@@ -1,0 +1,262 @@
+// Repository-level benchmarks: one testing.B entry per table/figure of
+// the paper's evaluation, at a laptop-friendly scale. The cmd/rsse-bench
+// binary runs the same experiments with full sweeps and paper-style
+// output; EXPERIMENTS.md records the comparison against the paper.
+//
+// Run with: go test -bench=. -benchmem
+package rsse_test
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"testing"
+
+	"rsse"
+	"rsse/internal/dataset"
+)
+
+// Benchmark workload: a near-uniform ("Gowalla-like") and a skewed
+// ("USPS-like") dataset, sized to keep the full bench run in minutes.
+const (
+	benchBits = 16
+	benchN    = 10000
+	uspsBits  = 14
+	uspsN     = 8000
+	trapdoorR = 100
+	fig8Bits  = 20
+)
+
+var (
+	benchOnce    sync.Once
+	benchGowalla []rsse.Tuple
+	benchUSPS    []rsse.Tuple
+
+	clientsMu sync.Mutex
+	clients   = map[string]*rsse.Client{}
+	indexes   = map[string]*rsse.Index{}
+)
+
+func benchSetup() {
+	benchOnce.Do(func() {
+		benchGowalla = dataset.Uniform(benchN, benchBits, 1)
+		m := uint64(1) << uspsBits
+		benchUSPS = dataset.BandedZipfPool(uspsN, uspsBits, uspsN/20, 1.3, m/8, m/2, 2)
+	})
+}
+
+// benchClient returns a cached client+index for (kind, dataset) pairs so
+// expensive builds happen once per bench binary run.
+func benchClient(b *testing.B, kind rsse.Kind, usps bool) (*rsse.Client, *rsse.Index) {
+	b.Helper()
+	benchSetup()
+	key := fmt.Sprintf("%v/%v", kind, usps)
+	clientsMu.Lock()
+	defer clientsMu.Unlock()
+	if c, ok := clients[key]; ok {
+		return c, indexes[key]
+	}
+	bits := uint8(benchBits)
+	tuples := benchGowalla
+	if usps {
+		bits = uspsBits
+		tuples = benchUSPS
+	}
+	c, err := rsse.NewClient(kind, bits,
+		rsse.WithSeed(3), rsse.AllowIntersectingQueries(),
+		rsse.WithTSetParams(512, 1.4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := c.BuildIndex(tuples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients[key] = c
+	indexes[key] = idx
+	return c, idx
+}
+
+func benchKinds() []rsse.Kind {
+	return []rsse.Kind{
+		rsse.ConstantBRC, rsse.ConstantURC,
+		rsse.LogarithmicBRC, rsse.LogarithmicURC,
+		rsse.LogarithmicSRC, rsse.LogarithmicSRCi,
+	}
+}
+
+// BenchmarkFig5_Build measures index construction (Figure 5(b)); the
+// reported index_MB metric is Figure 5(a).
+func BenchmarkFig5_Build(b *testing.B) {
+	benchSetup()
+	for _, kind := range benchKinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				c, err := rsse.NewClient(kind, benchBits,
+					rsse.WithSeed(4), rsse.WithTSetParams(512, 1.4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx, err := c.BuildIndex(benchGowalla)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = idx.Size()
+			}
+			b.ReportMetric(float64(size)/(1<<20), "index_MB")
+		})
+	}
+}
+
+// BenchmarkTable2_Build is the skewed-data construction cost (Table 2).
+func BenchmarkTable2_Build(b *testing.B) {
+	benchSetup()
+	for _, kind := range benchKinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				c, err := rsse.NewClient(kind, uspsBits,
+					rsse.WithSeed(5), rsse.WithTSetParams(512, 1.4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx, err := c.BuildIndex(benchUSPS)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = idx.Size()
+			}
+			b.ReportMetric(float64(size)/(1<<20), "index_MB")
+		})
+	}
+}
+
+// BenchmarkFig6_FalsePositives runs the SRC schemes on the skewed
+// workload and reports the average false-positive rate (Figure 6(b)).
+func BenchmarkFig6_FalsePositives(b *testing.B) {
+	for _, kind := range []rsse.Kind{rsse.LogarithmicSRC, rsse.LogarithmicSRCi} {
+		for _, pct := range []float64{10, 50} {
+			b.Run(fmt.Sprintf("%v/range=%v%%", kind, pct), func(b *testing.B) {
+				c, idx := benchClient(b, kind, true)
+				queries := dataset.PercentQueries(64, c.Domain(), pct, 6)
+				var fp, raw int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := c.Query(idx, queries[i%len(queries)])
+					if err != nil {
+						b.Fatal(err)
+					}
+					fp += res.Stats.FalsePositives
+					raw += res.Stats.Raw
+				}
+				if raw > 0 {
+					b.ReportMetric(float64(fp)/float64(raw), "fp_rate")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7_Search measures one full query protocol per op for every
+// scheme at two range sizes on the uniform workload (Figure 7(a)).
+func BenchmarkFig7_Search(b *testing.B) {
+	for _, kind := range benchKinds() {
+		for _, pct := range []float64{10, 50} {
+			b.Run(fmt.Sprintf("%v/range=%v%%", kind, pct), func(b *testing.B) {
+				c, idx := benchClient(b, kind, false)
+				queries := dataset.PercentQueries(64, c.Domain(), pct, 7)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Query(idx, queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7_SearchUSPS is Figure 7(b): the skewed workload, where
+// SRC-i overtakes SRC.
+func BenchmarkFig7_SearchUSPS(b *testing.B) {
+	for _, kind := range []rsse.Kind{rsse.LogarithmicSRC, rsse.LogarithmicSRCi} {
+		b.Run(kind.String(), func(b *testing.B) {
+			c, idx := benchClient(b, kind, true)
+			queries := dataset.PercentQueries(64, c.Domain(), 25, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Query(idx, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8_Trapdoor measures owner-side token generation and size
+// (Figures 8(a) and 8(b)) on a 2^20 domain, dataset-independent.
+func BenchmarkFig8_Trapdoor(b *testing.B) {
+	for _, kind := range benchKinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			c, err := rsse.NewClient(kind, fig8Bits, rsse.WithSeed(9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rnd := mrand.New(mrand.NewSource(10))
+			var bytes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := rnd.Uint64() % ((1 << fig8Bits) - trapdoorR)
+				_, bb, err := c.TrapdoorCost(rsse.Range{Lo: lo, Hi: lo + trapdoorR - 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = bb
+			}
+			b.ReportMetric(float64(bytes), "query_bytes")
+		})
+	}
+}
+
+// BenchmarkUpdates_Flush measures the Section 7 batch pipeline: buffering
+// plus flushing one 100-op batch into a fresh epoch, with consolidation.
+func BenchmarkUpdates_Flush(b *testing.B) {
+	d, err := rsse.NewDynamic(rsse.LogarithmicBRC, benchBits, 4,
+		rsse.WithSeed(11), rsse.WithTSetParams(512, 1.4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd := mrand.New(mrand.NewSource(12))
+	id := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 100; j++ {
+			d.Insert(id, rnd.Uint64()%(1<<benchBits), nil)
+			id++
+		}
+		if err := d.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.ActiveIndexes()), "active_indexes")
+}
+
+// BenchmarkQuadratic_Build exercises the naive baseline at its natural
+// (tiny) scale for completeness.
+func BenchmarkQuadratic_Build(b *testing.B) {
+	tuples := dataset.Uniform(200, 6, 13)
+	var size int
+	for i := 0; i < b.N; i++ {
+		c, err := rsse.NewClient(rsse.Quadratic, 6, rsse.WithSeed(14))
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = idx.Size()
+	}
+	b.ReportMetric(float64(size)/(1<<20), "index_MB")
+}

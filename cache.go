@@ -1,0 +1,142 @@
+package rsse
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrNotCached is returned by CachedClient.Query when an intersecting
+// query cannot be assembled from cached answers.
+var ErrNotCached = errors.New("rsse: intersecting query not covered by cached answers")
+
+// CachedClient wraps a Constant-scheme client with the application-level
+// strategy Section 5 of the paper suggests for the schemes' inherent
+// non-intersecting-queries restriction: "the owner's program may maintain
+// the history of queries and ... may try to answer the query from cached
+// answers of previous queries that collectively encompass the new query
+// range."
+//
+// A query that does not intersect history goes to the server as usual and
+// its results (with their decrypted values) are cached. A query fully
+// covered by the union of cached ranges is answered locally, contacting
+// the server zero times. An intersecting query that is not fully covered
+// fails with ErrNotCached — by design, it must never reach the server.
+type CachedClient struct {
+	client *Client
+	ranges []Range       // disjoint, sorted, queried ranges
+	values map[ID]Value  // decrypted values of cached matches
+	byVal  []cachedTuple // matches sorted by value for range lookup
+}
+
+type cachedTuple struct {
+	value Value
+	id    ID
+}
+
+// NewCachedClient wraps a ConstantBRC or ConstantURC client. Other kinds
+// are rejected: they have no intersection restriction to work around.
+func NewCachedClient(client *Client) (*CachedClient, error) {
+	if k := client.Kind(); k != ConstantBRC && k != ConstantURC {
+		return nil, errors.New("rsse: CachedClient only applies to the Constant schemes")
+	}
+	return &CachedClient{client: client, values: make(map[ID]Value)}, nil
+}
+
+// Query answers q from the server when permitted, or from the local cache
+// when q is fully covered by earlier answers. The returned Result's stats
+// have Rounds == 0 for cache hits.
+func (cc *CachedClient) Query(index *Index, q Range) (*Result, error) {
+	if cc.covered(q) {
+		ids := cc.lookup(q)
+		return &Result{
+			Matches: ids,
+			Raw:     ids,
+			Stats:   QueryStats{Matches: len(ids), Raw: len(ids)},
+		}, nil
+	}
+	if cc.intersectsHistory(q) {
+		return nil, ErrNotCached
+	}
+	res, err := cc.client.Query(index, q)
+	if err != nil {
+		return nil, err
+	}
+	// Cache the answer with decrypted values so future sub-ranges can be
+	// filtered locally.
+	for _, id := range res.Matches {
+		tup, err := cc.client.FetchTuple(index, id)
+		if err != nil {
+			return nil, err
+		}
+		cc.values[id] = tup.Value
+		cc.byVal = append(cc.byVal, cachedTuple{value: tup.Value, id: id})
+	}
+	sort.Slice(cc.byVal, func(i, j int) bool { return cc.byVal[i].value < cc.byVal[j].value })
+	cc.ranges = mergeRanges(append(cc.ranges, q))
+	return res, nil
+}
+
+// CachedRanges returns the merged, sorted ranges answerable locally.
+func (cc *CachedClient) CachedRanges() []Range {
+	out := make([]Range, len(cc.ranges))
+	copy(out, cc.ranges)
+	return out
+}
+
+// covered reports whether q lies inside the union of cached ranges.
+func (cc *CachedClient) covered(q Range) bool {
+	need := q.Lo
+	for _, r := range cc.ranges {
+		if r.Lo > need {
+			return false // gap before the next cached range
+		}
+		if r.Hi >= need {
+			if r.Hi >= q.Hi {
+				return true
+			}
+			need = r.Hi + 1
+		}
+	}
+	return false
+}
+
+func (cc *CachedClient) intersectsHistory(q Range) bool {
+	for _, r := range cc.ranges {
+		if q.Intersects(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// lookup returns the cached ids with values inside q.
+func (cc *CachedClient) lookup(q Range) []ID {
+	lo := sort.Search(len(cc.byVal), func(i int) bool { return cc.byVal[i].value >= q.Lo })
+	hi := sort.Search(len(cc.byVal), func(i int) bool { return cc.byVal[i].value > q.Hi })
+	out := make([]ID, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, cc.byVal[i].id)
+	}
+	return out
+}
+
+// mergeRanges merges overlapping or adjacent ranges into a minimal
+// disjoint sorted set.
+func mergeRanges(rs []Range) []Range {
+	if len(rs) == 0 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 && r.Lo >= last.Lo {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

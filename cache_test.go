@@ -1,0 +1,133 @@
+package rsse_test
+
+import (
+	"errors"
+	"testing"
+
+	"rsse"
+)
+
+func cachedSetup(t *testing.T) (*rsse.CachedClient, *rsse.Index, []rsse.Tuple) {
+	t.Helper()
+	tuples := genTuples(300, 10, 31)
+	client, err := rsse.NewClient(rsse.ConstantURC, 10, rsse.WithSeed(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := client.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := rsse.NewCachedClient(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc, index, tuples
+}
+
+func TestCachedClientSubrangeHit(t *testing.T) {
+	cc, index, tuples := cachedSetup(t)
+	big := rsse.Range{Lo: 100, Hi: 500}
+	res1, err := cc.Query(index, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(res1.Matches), oracle(tuples, big)) {
+		t.Fatal("first query wrong")
+	}
+	// A sub-range intersects history but is fully covered: must be served
+	// from cache, with zero protocol rounds.
+	sub := rsse.Range{Lo: 150, Hi: 320}
+	res2, err := cc.Query(index, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Rounds != 0 {
+		t.Errorf("cache hit contacted the server (%d rounds)", res2.Stats.Rounds)
+	}
+	if !equal(sorted(res2.Matches), oracle(tuples, sub)) {
+		t.Error("cached answer wrong")
+	}
+}
+
+func TestCachedClientDisjointGoesToServer(t *testing.T) {
+	cc, index, tuples := cachedSetup(t)
+	if _, err := cc.Query(index, rsse.Range{Lo: 0, Hi: 100}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Query(index, rsse.Range{Lo: 200, Hi: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds == 0 {
+		t.Error("disjoint query did not reach the server")
+	}
+	if !equal(sorted(res.Matches), oracle(tuples, rsse.Range{Lo: 200, Hi: 300})) {
+		t.Error("disjoint query wrong")
+	}
+}
+
+func TestCachedClientPartialOverlapRejected(t *testing.T) {
+	cc, index, _ := cachedSetup(t)
+	if _, err := cc.Query(index, rsse.Range{Lo: 100, Hi: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Intersects history but extends beyond it: neither servable from
+	// cache nor allowed at the server.
+	_, err := cc.Query(index, rsse.Range{Lo: 150, Hi: 400})
+	if !errors.Is(err, rsse.ErrNotCached) {
+		t.Errorf("partial overlap error = %v", err)
+	}
+}
+
+func TestCachedClientUnionCoverage(t *testing.T) {
+	cc, index, tuples := cachedSetup(t)
+	// Two disjoint-but-adjacent queries whose union covers a later one.
+	if _, err := cc.Query(index, rsse.Range{Lo: 100, Hi: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Query(index, rsse.Range{Lo: 301, Hi: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cc.CachedRanges()); got != 1 {
+		t.Errorf("adjacent ranges not merged: %v", cc.CachedRanges())
+	}
+	res, err := cc.Query(index, rsse.Range{Lo: 250, Hi: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 0 {
+		t.Error("union-covered query reached the server")
+	}
+	if !equal(sorted(res.Matches), oracle(tuples, rsse.Range{Lo: 250, Hi: 450})) {
+		t.Error("union-covered answer wrong")
+	}
+}
+
+func TestCachedClientExactRepeat(t *testing.T) {
+	cc, index, tuples := cachedSetup(t)
+	q := rsse.Range{Lo: 700, Hi: 900}
+	if _, err := cc.Query(index, q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Query(index, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds != 0 {
+		t.Error("repeated query reached the server")
+	}
+	if !equal(sorted(res.Matches), oracle(tuples, q)) {
+		t.Error("repeated answer wrong")
+	}
+}
+
+func TestCachedClientRejectsNonConstant(t *testing.T) {
+	client, err := rsse.NewClient(rsse.LogarithmicBRC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rsse.NewCachedClient(client); err == nil {
+		t.Error("non-Constant client accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package rsse
+
+import (
+	"rsse/internal/core"
+	"rsse/internal/cover"
+)
+
+// Client is the data owner's handle for one scheme instance: it holds the
+// secret keys, builds encrypted indexes and runs query protocols. The
+// zero value is not usable; construct with NewClient.
+//
+// A Client is not safe for concurrent use (the Constant schemes maintain
+// query history; token permutation shares a PRNG). Build one client per
+// goroutine or serialize access.
+type Client struct {
+	inner *core.Client
+}
+
+// NewClient creates an owner for the given scheme over the domain
+// {0..2^domainBits - 1}. With no options it uses the "basic" SSE
+// construction and fresh random keys.
+func NewClient(kind Kind, domainBits uint8, opts ...Option) (*Client, error) {
+	dom, err := cover.NewDomain(domainBits)
+	if err != nil {
+		return nil, err
+	}
+	lowered, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewClient(kind, dom, lowered)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: inner}, nil
+}
+
+// Kind returns the scheme this client instantiates.
+func (c *Client) Kind() Kind { return c.inner.Kind() }
+
+// Domain returns the query-attribute domain.
+func (c *Client) Domain() Domain { return c.inner.Domain() }
+
+// SSEName names the underlying SSE construction ("basic", "packed",
+// "tset").
+func (c *Client) SSEName() string { return c.inner.SSEName() }
+
+// BuildIndex encrypts the tuples and builds the scheme's index(es). The
+// returned Index (plus its embedded encrypted tuple store) is everything
+// the server needs; it contains no key material.
+func (c *Client) BuildIndex(tuples []Tuple) (*Index, error) {
+	return c.inner.BuildIndex(tuples)
+}
+
+// Query runs the scheme's full query protocol — one round, or two for
+// Logarithmic-SRC-i — against the index, filters any false positives
+// owner-side, and returns matches with cost/leakage accounting.
+func (c *Client) Query(index *Index, q Range) (*Result, error) {
+	return c.inner.Query(index, q)
+}
+
+// FetchTuple retrieves and decrypts one tuple by id — the final,
+// search-orthogonal step applications use to obtain payloads.
+func (c *Client) FetchTuple(index *Index, id ID) (Tuple, error) {
+	return c.inner.FetchTuple(index, id)
+}
+
+// Trapdoor produces the first-round query message without executing the
+// protocol — for benchmarks and protocol inspection. It bypasses the
+// Constant schemes' intersection guard; use Query for real traffic.
+func (c *Client) Trapdoor(q Range) (*Trapdoor, error) {
+	return c.inner.Trapdoor(q)
+}
+
+// TrapdoorCost measures the owner-side query cost for a range — token
+// count and serialized bytes — performing the real cryptographic work but
+// requiring no index (the measurement behind the paper's Figure 8).
+func (c *Client) TrapdoorCost(q Range) (tokens, bytes int, err error) {
+	return c.inner.TrapdoorCost(q)
+}
+
+// ResetHistory clears the Constant schemes' intersecting-query guard.
+func (c *Client) ResetHistory() { c.inner.ResetHistory() }

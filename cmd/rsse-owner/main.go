@@ -1,0 +1,231 @@
+// Command rsse-owner is the data owner's CLI: it builds encrypted indexes
+// from CSV data and queries them, locally or over the network against an
+// rsse-server.
+//
+// Build an index (writes the index file and a hex key file):
+//
+//	rsse-owner build -scheme Logarithmic-SRC-i -csv data.csv \
+//	    -out table.idx -keyfile table.key [-bits 20]
+//
+// The CSV must have an "id,value" header row, one tuple per line; an
+// optional third column is stored as the encrypted payload.
+//
+// Query a local index file:
+//
+//	rsse-owner query -index table.idx -keyfile table.key \
+//	    -scheme Logarithmic-SRC-i -bits 20 -lo 100 -hi 500
+//
+// Query a remote rsse-server:
+//
+//	rsse-owner query -addr 127.0.0.1:7070 -keyfile table.key \
+//	    -scheme Logarithmic-SRC-i -bits 20 -lo 100 -hi 500
+package main
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rsse"
+	"rsse/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query [flags] (see package docs)")
+	os.Exit(2)
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	scheme := fs.String("scheme", "Logarithmic-SRC-i", "scheme name (see rsse.Kinds)")
+	csvPath := fs.String("csv", "", "input CSV: id,value[,payload] with header (required)")
+	out := fs.String("out", "table.idx", "output index file")
+	keyfile := fs.String("keyfile", "table.key", "output master key file (hex)")
+	bits := fs.Uint("bits", 0, "domain bits; 0 = fit to max value")
+	sseName := fs.String("sse", "tset", "SSE construction: basic|packed|tset")
+	_ = fs.Parse(args)
+	if *csvPath == "" {
+		fatal(fmt.Errorf("-csv is required"))
+	}
+	kind, err := rsse.KindByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	tuples, maxValue, err := readCSV(*csvPath)
+	if err != nil {
+		fatal(err)
+	}
+	domBits := uint8(*bits)
+	if domBits == 0 {
+		domBits = rsse.FitDomain(maxValue).Bits
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		fatal(err)
+	}
+	client, err := rsse.NewClient(kind, domBits,
+		rsse.WithMasterKey(key), rsse.WithSSE(*sseName))
+	if err != nil {
+		fatal(err)
+	}
+	index, err := client.BuildIndex(tuples)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := index.MarshalBinary()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, blob, 0o600); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*keyfile, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rsse-owner: %d tuples → %s (%s, domain 2^%d, %.1f MB index); key in %s\n",
+		len(tuples), *out, kind, domBits, float64(index.Size())/(1<<20), *keyfile)
+}
+
+func query(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	scheme := fs.String("scheme", "Logarithmic-SRC-i", "scheme name")
+	indexPath := fs.String("index", "", "local index file (or use -addr)")
+	addr := fs.String("addr", "", "remote rsse-server address (or use -index)")
+	keyfile := fs.String("keyfile", "table.key", "master key file (hex)")
+	bits := fs.Uint("bits", 20, "domain bits the index was built with")
+	lo := fs.Uint64("lo", 0, "range lower bound")
+	hi := fs.Uint64("hi", 0, "range upper bound")
+	payloads := fs.Bool("payloads", false, "fetch and print decrypted payloads")
+	_ = fs.Parse(args)
+	kind, err := rsse.KindByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	keyHex, err := os.ReadFile(*keyfile)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(keyHex)))
+	if err != nil {
+		fatal(fmt.Errorf("keyfile: %w", err))
+	}
+	client, err := rsse.NewClient(kind, uint8(*bits), rsse.WithMasterKey(key))
+	if err != nil {
+		fatal(err)
+	}
+	q := rsse.Range{Lo: *lo, Hi: *hi}
+
+	var res *rsse.Result
+	fetch := func(id rsse.ID) (rsse.Tuple, error) { return rsse.Tuple{}, nil }
+	if *addr != "" {
+		remote, err := rsse.Dial("tcp", *addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer remote.Close()
+		if res, err = client.QueryRemote(remote, q); err != nil {
+			fatal(err)
+		}
+		fetch = func(id rsse.ID) (rsse.Tuple, error) { return client.FetchTupleRemote(remote, id) }
+	} else if *indexPath != "" {
+		blob, err := os.ReadFile(*indexPath)
+		if err != nil {
+			fatal(err)
+		}
+		index, err := core.UnmarshalIndex(blob)
+		if err != nil {
+			fatal(err)
+		}
+		if res, err = client.Query(index, q); err != nil {
+			fatal(err)
+		}
+		fetch = func(id rsse.ID) (rsse.Tuple, error) { return client.FetchTuple(index, id) }
+	} else {
+		fatal(fmt.Errorf("one of -index or -addr is required"))
+	}
+
+	fmt.Printf("query %v: %d matches (%d rounds, %d token bytes, %d false positives dropped)\n",
+		q, len(res.Matches), res.Stats.Rounds, res.Stats.TokenBytes, res.Stats.FalsePositives)
+	for _, id := range res.Matches {
+		if *payloads {
+			tup, err := fetch(id)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %d\t%d\t%s\n", tup.ID, tup.Value, tup.Payload)
+		} else {
+			fmt.Printf("  %d\n", id)
+		}
+	}
+}
+
+// readCSV parses "id,value[,payload]" lines after a header row.
+func readCSV(path string) ([]rsse.Tuple, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var tuples []rsse.Tuple
+	var maxValue uint64
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if strings.HasPrefix(strings.ToLower(line), "id,") {
+				continue // header
+			}
+		}
+		parts := strings.SplitN(line, ",", 3)
+		if len(parts) < 2 {
+			return nil, 0, fmt.Errorf("bad CSV line %q", line)
+		}
+		id, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad id in %q: %w", line, err)
+		}
+		value, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		t := rsse.Tuple{ID: id, Value: value}
+		if len(parts) == 3 {
+			t.Payload = []byte(parts[2])
+		}
+		if value > maxValue {
+			maxValue = value
+		}
+		tuples = append(tuples, t)
+	}
+	return tuples, maxValue, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsse-owner:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command rsse-server serves a serialized encrypted index (produced by
+// rsse-owner build) to remote data owners. The server holds no keys: it
+// can execute searches and return encrypted tuples, and learns nothing
+// beyond the scheme's formal leakage.
+//
+// Usage:
+//
+//	rsse-server -index table.idx -listen 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"rsse"
+	"rsse/internal/core"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "serialized index file (required)")
+	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
+	flag.Parse()
+	if *indexPath == "" {
+		fmt.Fprintln(os.Stderr, "rsse-server: -index is required")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(*indexPath)
+	if err != nil {
+		fatal(err)
+	}
+	index, err := core.UnmarshalIndex(blob)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rsse-server: serving %s index (%d tuples, %.1f MB) on %s\n",
+		index.Kind(), index.N(), float64(index.Size())/(1<<20), l.Addr())
+	if err := rsse.Serve(l, index); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsse-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Package rsse implements Range Searchable Symmetric Encryption: practical
+// private range search over outsourced data, reproducing "Practical
+// Private Range Search Revisited" (Demertzis, Papadopoulos, Papapetrou,
+// Deligiannakis, Garofalakis — SIGMOD 2016).
+//
+// # Model
+//
+// A data owner holds tuples (id, value, payload) with values from a
+// discrete domain {0..2^bits-1}. The owner encrypts the tuples and an
+// index and hands both to an untrusted, honest-but-curious server. Later
+// the owner issues range queries [lo, hi]; the server answers them over
+// the encrypted index without learning the data distribution, the query
+// endpoints, or anything beyond each scheme's precisely defined leakage.
+//
+// # Schemes
+//
+// The paper's seven schemes trade storage, query size, search time and
+// leakage against each other (its Table 1):
+//
+//	Scheme             Storage      Query     Search     False positives
+//	Quadratic          O(n m^2)     O(1)      O(r)       none
+//	Constant-BRC/URC   O(n)         O(log R)  O(R + r)   none
+//	Logarithmic-BRC/URC O(n log m)  O(log R)  O(log R+r) none
+//	Logarithmic-SRC    O(n log m)   O(1)      O(n)       up to O(n)
+//	Logarithmic-SRC-i  O(n log m)   O(1)      O(R + r)   O(R + r)
+//
+// where n is the dataset size, m the domain size, R the query range size
+// and r the result size. Higher rows are generally more secure;
+// Logarithmic-SRC-i offers the paper's preferred trade-off.
+//
+// # Quick start
+//
+//	client, err := rsse.NewClient(rsse.LogarithmicSRCi, 20) // 2^20 domain
+//	if err != nil { ... }
+//	index, err := client.BuildIndex([]rsse.Tuple{
+//		{ID: 1, Value: 1000, Payload: []byte("alice")},
+//		{ID: 2, Value: 2000, Payload: []byte("bob")},
+//	})
+//	if err != nil { ... }
+//	// Ship index to the server; keep client (it holds the keys).
+//	res, err := client.Query(index, rsse.Range{Lo: 500, Hi: 1500})
+//	// res.Matches == []rsse.ID{1}
+//
+// For batched updates with forward privacy (Section 7 of the paper), see
+// Dynamic. The underlying single-keyword SSE construction is pluggable
+// via WithSSE; experiments use the TSet construction with the paper's
+// parameters.
+package rsse

@@ -1,0 +1,98 @@
+package rsse
+
+import (
+	"rsse/internal/cover"
+	"rsse/internal/lsm"
+)
+
+// Dynamic is the updatable store of Section 7: updates are buffered into
+// batches, every flushed batch becomes an independent static index under
+// a fresh key, and batches consolidate hierarchically (an s-ary
+// log-structured merge tree, as in Vertica-style bulk loading).
+//
+// The construction achieves forward privacy — a search token issued
+// before an update cannot match data added after it — using only the
+// static schemes of this module, with at most O(s·log_s b) active indexes
+// after b batches.
+//
+// A Dynamic store is not safe for concurrent use.
+type Dynamic struct {
+	inner *lsm.Manager
+}
+
+// UpdateStats aggregates the per-epoch costs of one query over a Dynamic
+// store.
+type UpdateStats = lsm.QueryStats
+
+// DefaultConsolidationStep is the consolidation step s used when 0 is
+// passed to NewDynamic: small enough to merge frequently (good under
+// deletions), large enough to amortize re-encryption.
+const DefaultConsolidationStep = 4
+
+// NewDynamic creates an updatable store for the given scheme and domain.
+// consolidationStep is the paper's parameter s (how many sibling indexes
+// trigger a merge); pass 0 for the default. Options apply to every
+// per-epoch client; per-epoch keys are derived internally.
+func NewDynamic(kind Kind, domainBits uint8, consolidationStep int, opts ...Option) (*Dynamic, error) {
+	dom, err := cover.NewDomain(domainBits)
+	if err != nil {
+		return nil, err
+	}
+	if consolidationStep == 0 {
+		consolidationStep = DefaultConsolidationStep
+	}
+	lowered, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := lsm.NewManager(kind, dom, consolidationStep, lowered)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{inner: inner}, nil
+}
+
+// Insert buffers a tuple insertion for the next batch.
+func (d *Dynamic) Insert(id ID, value Value, payload []byte) {
+	d.inner.Insert(id, value, payload)
+}
+
+// Delete buffers a deletion. value must be the victim's current attribute
+// value: the tombstone is indexed under it so matching range queries
+// retrieve and cancel the victim.
+func (d *Dynamic) Delete(id ID, value Value) {
+	d.inner.Delete(id, value)
+}
+
+// Modify buffers a value/payload change (a tombstone under the old value
+// plus an insertion under the new one).
+func (d *Dynamic) Modify(id ID, oldValue, newValue Value, payload []byte) {
+	d.inner.Modify(id, oldValue, newValue, payload)
+}
+
+// Flush seals the pending batch into a fresh encrypted index and runs any
+// due consolidations. Flushing with nothing pending is a no-op.
+func (d *Dynamic) Flush() error { return d.inner.Flush() }
+
+// Query runs the range query against every active index, resolves the
+// per-id operation history owner-side (newest operation wins, tombstones
+// cancel their victims) and returns the live tuples.
+func (d *Dynamic) Query(q Range) ([]Tuple, UpdateStats, error) {
+	return d.inner.Query(q)
+}
+
+// FullConsolidate merges every active index into one and drops
+// tombstones — the periodic global rebuild.
+func (d *Dynamic) FullConsolidate() error { return d.inner.FullConsolidate() }
+
+// Pending returns the number of buffered, unflushed operations.
+func (d *Dynamic) Pending() int { return d.inner.Pending() }
+
+// ActiveIndexes returns how many indexes the server currently holds.
+func (d *Dynamic) ActiveIndexes() int { return d.inner.ActiveIndexes() }
+
+// Batches returns how many batches have been flushed so far.
+func (d *Dynamic) Batches() uint64 { return d.inner.Batches() }
+
+// TotalIndexSize sums the serialized sizes of all active indexes.
+func (d *Dynamic) TotalIndexSize() int { return d.inner.TotalIndexSize() }

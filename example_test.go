@@ -1,0 +1,118 @@
+package rsse_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"rsse"
+)
+
+// The basic flow: build an encrypted index, query a range, fetch a tuple.
+func Example() {
+	client, err := rsse.NewClient(rsse.LogarithmicSRCi, 16, rsse.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	index, err := client.BuildIndex([]rsse.Tuple{
+		{ID: 1, Value: 34, Payload: []byte("alice")},
+		{ID: 2, Value: 29, Payload: []byte("bob")},
+		{ID: 3, Value: 57, Payload: []byte("carol")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := client.Query(index, rsse.Range{Lo: 30, Hi: 45})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tup, err := client.FetchTuple(index, res.Matches[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d match: %s\n", len(res.Matches), tup.Payload)
+	// Output: 1 match: alice
+}
+
+// Observing the leakage profile: Logarithmic-SRC issues exactly one
+// token and returns one undivided result group.
+func ExampleClient_Query() {
+	client, err := rsse.NewClient(rsse.LogarithmicSRC, 12, rsse.WithSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuples := make([]rsse.Tuple, 64)
+	for i := range tuples {
+		tuples[i] = rsse.Tuple{ID: uint64(i + 1), Value: uint64(i * 64)}
+	}
+	index, err := client.BuildIndex(tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := client.Query(index, rsse.Range{Lo: 256, Hi: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tokens=%d rounds=%d groups=%d\n",
+		res.Stats.Tokens, res.Stats.Rounds, len(res.Stats.Groups))
+	// Output: tokens=1 rounds=1 groups=1
+}
+
+// Batched updates with forward privacy: deletions ride as tombstones and
+// disappear after consolidation.
+func ExampleDynamic() {
+	store, err := rsse.NewDynamic(rsse.LogarithmicURC, 12, 2, rsse.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.Insert(1, 100, nil)
+	store.Insert(2, 200, nil)
+	if err := store.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	store.Delete(1, 100)
+	if err := store.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	tuples, _, err := store.Query(rsse.Range{Lo: 0, Hi: 4095})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ids []uint64
+	for _, t := range tuples {
+		ids = append(ids, t.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Println(ids)
+	// Output: [2]
+}
+
+// Serving intersecting Constant-scheme queries from cache, as Section 5
+// of the paper suggests.
+func ExampleCachedClient() {
+	client, err := rsse.NewClient(rsse.ConstantURC, 12, rsse.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	index, err := client.BuildIndex([]rsse.Tuple{
+		{ID: 1, Value: 150}, {ID: 2, Value: 250}, {ID: 3, Value: 350},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached, err := rsse.NewCachedClient(client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cached.Query(index, rsse.Range{Lo: 100, Hi: 400}); err != nil {
+		log.Fatal(err)
+	}
+	// The sub-range intersects the history, so the raw client would
+	// refuse it — the cache answers locally instead.
+	res, err := cached.Query(index, rsse.Range{Lo: 200, Hi: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matches=%d rounds=%d\n", len(res.Matches), res.Stats.Rounds)
+	// Output: matches=1 rounds=0
+}

@@ -1,0 +1,85 @@
+// Check-ins: time-range analytics over an outsourced geo-social feed —
+// the Gowalla-style workload that motivates the paper's evaluation.
+//
+// A mobility startup stores user check-ins with an untrusted cloud and
+// wants "all check-ins between t1 and t2" without revealing timestamps,
+// their distribution, or the query windows. This example indexes the
+// same near-uniform stream under every practical scheme and contrasts
+// their storage and query profiles.
+//
+// Run with: go run ./examples/checkins
+package main
+
+import (
+	"fmt"
+	"log"
+	mrand "math/rand"
+
+	"rsse"
+)
+
+const (
+	domainBits = 22 // ~4.2M timestamp ticks
+	numTuples  = 20000
+	numQueries = 40
+)
+
+func main() {
+	// Near-uniform check-in timestamps (Gowalla is 95% distinct values).
+	rnd := mrand.New(mrand.NewSource(2016))
+	tuples := make([]rsse.Tuple, numTuples)
+	for i := range tuples {
+		tuples[i] = rsse.Tuple{
+			ID:      uint64(i + 1),
+			Value:   rnd.Uint64() % (1 << domainBits),
+			Payload: fmt.Appendf(nil, "user-%04d", rnd.Intn(500)),
+		}
+	}
+
+	// One-hour-ish windows at random positions.
+	queries := make([]rsse.Range, numQueries)
+	for i := range queries {
+		R := uint64(1 << 12)
+		lo := rnd.Uint64() % ((1 << domainBits) - R)
+		queries[i] = rsse.Range{Lo: lo, Hi: lo + R - 1}
+	}
+
+	kinds := []rsse.Kind{
+		rsse.ConstantBRC, rsse.ConstantURC,
+		rsse.LogarithmicBRC, rsse.LogarithmicURC,
+		rsse.LogarithmicSRC, rsse.LogarithmicSRCi,
+	}
+	fmt.Printf("%-18s %12s %10s %10s %10s %8s\n",
+		"scheme", "index", "postings", "tokens/q", "FP rate", "rounds")
+	for _, kind := range kinds {
+		client, err := rsse.NewClient(kind, domainBits,
+			rsse.WithSeed(7), rsse.AllowIntersectingQueries())
+		if err != nil {
+			log.Fatal(err)
+		}
+		index, err := client.BuildIndex(tuples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tokens, raw, fps, rounds int
+		for _, q := range queries {
+			res, err := client.Query(index, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tokens += res.Stats.Tokens
+			raw += res.Stats.Raw
+			fps += res.Stats.FalsePositives
+			rounds += res.Stats.Rounds
+		}
+		fpRate := 0.0
+		if raw > 0 {
+			fpRate = float64(fps) / float64(raw)
+		}
+		fmt.Printf("%-18s %10.1fMB %10d %10.1f %9.1f%% %8.1f\n",
+			kind, float64(index.Size())/(1<<20), index.Postings(),
+			float64(tokens)/numQueries, 100*fpRate, float64(rounds)/numQueries)
+	}
+	fmt.Println("\nOn near-uniform data the SRC schemes pay little for their")
+	fmt.Println("constant-size queries; Constant-* keeps the smallest index.")
+}

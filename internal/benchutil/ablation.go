@@ -1,0 +1,69 @@
+package benchutil
+
+import (
+	mrand "math/rand"
+
+	"rsse/internal/cover"
+)
+
+// AblationSRC quantifies the design decision behind the TDAG (Section
+// 6.2): how much larger are single-range-cover windows — and therefore
+// worst-case false positives — when the cover runs over the plain binary
+// tree instead of the TDAG with its injected nodes?
+//
+// For each range size it reports the mean and maximum window blow-up
+// (window size / R) over random positions. The TDAG's Lemma 1 caps the
+// ratio at 4; the naive cover degrades to m/R whenever a range straddles
+// a high midpoint.
+func AblationSRC(s Scale) (*Experiment, error) {
+	const bits = 20
+	d := cover.Domain{Bits: bits}
+	td := cover.NewTDAG(d)
+	exp := &Experiment{
+		Name: "Ablation (Section 6.2)", Title: "Single-range-cover window blow-up: TDAG vs plain binary tree",
+		XLabel: "R", YLabel: "window size / R",
+	}
+	tdagMean := Series{Label: "TDAG mean"}
+	tdagMax := Series{Label: "TDAG max"}
+	naiveMean := Series{Label: "binary-tree mean"}
+	naiveMax := Series{Label: "binary-tree max"}
+	rnd := mrand.New(mrand.NewSource(61))
+	const trials = 2000
+	for _, R := range []uint64{16, 64, 256, 1024, 4096, 16384} {
+		var tSum, nSum float64
+		var tMax, nMax float64
+		for i := 0; i < trials; i++ {
+			lo := rnd.Uint64() % (d.Size() - R)
+			hi := lo + R - 1
+			tn, err := td.SRC(lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			nn, err := cover.NaiveSingleCover(d, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			tr := float64(tn.Size()) / float64(R)
+			nr := float64(nn.Size()) / float64(R)
+			tSum += tr
+			nSum += nr
+			if tr > tMax {
+				tMax = tr
+			}
+			if nr > nMax {
+				nMax = nr
+			}
+		}
+		x := float64(R)
+		tdagMean.X = append(tdagMean.X, x)
+		tdagMean.Y = append(tdagMean.Y, tSum/trials)
+		tdagMax.X = append(tdagMax.X, x)
+		tdagMax.Y = append(tdagMax.Y, tMax)
+		naiveMean.X = append(naiveMean.X, x)
+		naiveMean.Y = append(naiveMean.Y, nSum/trials)
+		naiveMax.X = append(naiveMax.X, x)
+		naiveMax.Y = append(naiveMax.Y, nMax)
+	}
+	exp.Series = []Series{tdagMean, tdagMax, naiveMean, naiveMax}
+	return exp, nil
+}

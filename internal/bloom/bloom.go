@@ -1,0 +1,109 @@
+// Package bloom provides the Bloom filter used by the PB baseline of
+// Li et al. (PVLDB'14), reproduced by package pb. Elements are arbitrary
+// byte strings; the k index positions are carved out of a single
+// SHA-1-based double hash (Kirsch–Mitzenmacher), matching the paper's
+// implementation choice of SHA-1 for hash computations (Section 8).
+package bloom
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Filter is a fixed-size Bloom filter.
+type Filter struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      int    // number of hash functions
+	nAdded int
+}
+
+// New creates a filter with capacity for n elements at the target false
+// positive rate fpr (0 < fpr < 1). The PB scheme fixes fpr per tree node
+// (Section 2.1: "the scheme fixes the ratio of the false positives ...
+// at each node"), which is what drives its O(n log n log m) storage.
+func New(n int, fpr float64) (*Filter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bloom: capacity %d < 1", n)
+	}
+	if fpr <= 0 || fpr >= 1 {
+		return nil, fmt.Errorf("bloom: false positive rate %v outside (0,1)", fpr)
+	}
+	// Standard optimal sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+	mf := math.Ceil(-float64(n) * math.Log(fpr) / (math.Ln2 * math.Ln2))
+	m := uint64(mf)
+	if m < 8 {
+		m = 8
+	}
+	k := int(math.Round(mf / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k}, nil
+}
+
+// hashPair derives the two base hashes for double hashing.
+func hashPair(elem []byte) (uint64, uint64) {
+	sum := sha1.Sum(elem)
+	h1 := binary.BigEndian.Uint64(sum[0:8])
+	h2 := binary.BigEndian.Uint64(sum[8:16])
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15 // keep the probe sequence moving
+	}
+	return h1, h2
+}
+
+// Add inserts an element.
+func (f *Filter) Add(elem []byte) {
+	h1, h2 := hashPair(elem)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.nAdded++
+}
+
+// Contains reports whether elem may have been added. False positives occur
+// at roughly the configured rate; false negatives never.
+func (f *Filter) Contains(elem []byte) bool {
+	h1, h2 := hashPair(elem)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAny reports whether any of the elements may be present. The PB
+// tree descent tests a node's filter against every query dyadic range.
+func (f *Filter) ContainsAny(elems [][]byte) bool {
+	for _, e := range elems {
+		if f.Contains(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// SizeBytes returns the storage footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Hashes returns the number of hash functions k.
+func (f *Filter) Hashes() int { return f.k }
+
+// Added returns how many elements were inserted.
+func (f *Filter) Added() int { return f.nAdded }
+
+// EstimatedFPR returns the expected false positive rate given the current
+// fill: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPR() float64 {
+	exp := -float64(f.k) * float64(f.nAdded) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}

@@ -1,0 +1,117 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func elem(i uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := New(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(elem(i))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.Contains(elem(i)) {
+			t.Fatalf("false negative for element %d", i)
+		}
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	f, err := New(500, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(data []byte) bool {
+		f.Add(data)
+		return f.Contains(data)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateCalibration(t *testing.T) {
+	const n, target = 5000, 0.01
+	f, err := New(n, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		f.Add(elem(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := uint64(n); i < n+probes; i++ {
+		if f.Contains(elem(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 4*target {
+		t.Errorf("observed FP rate %f far above target %f", rate, target)
+	}
+	if est := f.EstimatedFPR(); est > 2*target {
+		t.Errorf("estimated FPR %f above expectation for target %f", est, target)
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	f, err := New(100, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add(elem(1))
+	if !f.ContainsAny([][]byte{elem(99), elem(1)}) {
+		t.Error("ContainsAny missed a present element")
+	}
+	if f.ContainsAny(nil) {
+		t.Error("ContainsAny(nil) = true")
+	}
+}
+
+func TestSizeScalesWithFPR(t *testing.T) {
+	loose, _ := New(1000, 0.1)
+	tight, _ := New(1000, 0.001)
+	if tight.SizeBytes() <= loose.SizeBytes() {
+		t.Errorf("tighter FPR should cost more bits: %d vs %d", tight.SizeBytes(), loose.SizeBytes())
+	}
+	if loose.Hashes() >= tight.Hashes() {
+		t.Errorf("tighter FPR should use more hashes: %d vs %d", loose.Hashes(), tight.Hashes())
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := New(0, 0.01); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("zero FPR accepted")
+	}
+	if _, err := New(10, 1); err == nil {
+		t.Error("FPR=1 accepted")
+	}
+}
+
+func TestAddedCounter(t *testing.T) {
+	f, _ := New(10, 0.01)
+	for i := uint64(0); i < 7; i++ {
+		f.Add(elem(i))
+	}
+	if f.Added() != 7 {
+		t.Errorf("Added = %d, want 7", f.Added())
+	}
+	if f.Bits() == 0 {
+		t.Error("Bits = 0")
+	}
+}

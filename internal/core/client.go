@@ -1,0 +1,567 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"rsse/internal/cover"
+	"rsse/internal/dprf"
+	"rsse/internal/prf"
+	"rsse/internal/secenc"
+	"rsse/internal/sse"
+)
+
+// Options configures a Client. The zero value selects the Basic SSE
+// construction, a random master key and a crypto-seeded shuffle source.
+type Options struct {
+	// SSE is the underlying single-keyword SSE construction. The paper's
+	// framework treats it as a black box; experiments use sse.TSet with
+	// the paper's parameters. Nil selects sse.Basic.
+	SSE sse.Scheme
+	// Rand drives the build-time shuffles and token permutations; pass a
+	// seeded source for reproducible tests. Nil selects a crypto-seeded
+	// source. (Key material never comes from this source.)
+	Rand *mrand.Rand
+	// MasterKey fixes the 32-byte master secret; nil draws a fresh one.
+	MasterKey []byte
+	// PadQuadratic pads the Quadratic index to the maximum possible
+	// replicated-dataset size so the index size leaks only (n, m), as
+	// discussed in Section 4.
+	PadQuadratic bool
+	// AllowIntersecting disables the Constant schemes' client-side guard
+	// against intersecting queries (Section 5). Use only in experiments.
+	AllowIntersecting bool
+	// QuadraticMaxBits guards the Quadratic scheme against intractable
+	// domains; Build fails if the domain exponent exceeds it. Zero
+	// selects 12 (m = 4096, i.e. ~8.4M possible subranges).
+	QuadraticMaxBits uint8
+}
+
+// Client is the data owner: it holds the secret keys of one scheme
+// instance, builds encrypted indexes, and drives query protocols.
+type Client struct {
+	kind Kind
+	dom  cover.Domain
+	sse  sse.Scheme
+	rnd  *mrand.Rand
+
+	master prf.Key
+	kSSE   prf.Key    // primary-index keyword PRF
+	kSSE2  prf.Key    // Logarithmic-SRC-i second-index keyword PRF
+	kDPRF  dprf.Key   // Constant schemes' delegatable PRF
+	kStore secenc.Key // tuple-store encryption
+	kPairs secenc.Key // Logarithmic-SRC-i pair encryption
+
+	padQuadratic   bool
+	allowIntersect bool
+	quadMaxBits    uint8
+
+	history []Range // issued queries (Constant schemes' guard)
+}
+
+// NewClient creates an owner for the given scheme over the given domain.
+func NewClient(kind Kind, dom cover.Domain, opts Options) (*Client, error) {
+	if dom.Bits > cover.MaxBits {
+		return nil, fmt.Errorf("core: domain bits %d exceed maximum %d", dom.Bits, cover.MaxBits)
+	}
+	c := &Client{
+		kind:           kind,
+		dom:            dom,
+		sse:            opts.SSE,
+		rnd:            opts.Rand,
+		padQuadratic:   opts.PadQuadratic,
+		allowIntersect: opts.AllowIntersecting,
+		quadMaxBits:    opts.QuadraticMaxBits,
+	}
+	if c.sse == nil {
+		c.sse = sse.Basic{}
+	}
+	if c.quadMaxBits == 0 {
+		c.quadMaxBits = 12
+	}
+	if c.rnd == nil {
+		var seed [8]byte
+		if _, err := rand.Read(seed[:]); err != nil {
+			return nil, fmt.Errorf("core: seeding shuffle source: %w", err)
+		}
+		c.rnd = mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(seed[:]))))
+	}
+	var err error
+	if opts.MasterKey != nil {
+		c.master, err = prf.KeyFromBytes(opts.MasterKey)
+	} else {
+		c.master, err = prf.NewKey(nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.kSSE = prf.Derive(c.master, "keywords/primary")
+	c.kSSE2 = prf.Derive(c.master, "keywords/positions")
+	c.kDPRF = dprf.KeyFromSeed(dom, prf.Derive(c.master, "dprf"))
+	storeKey := prf.Derive(c.master, "store")
+	copy(c.kStore[:], storeKey[:secenc.KeySize])
+	pairKey := prf.Derive(c.master, "pairs")
+	copy(c.kPairs[:], pairKey[:secenc.KeySize])
+	return c, nil
+}
+
+// Kind returns the scheme the client instantiates.
+func (c *Client) Kind() Kind { return c.kind }
+
+// Domain returns the query-attribute domain.
+func (c *Client) Domain() cover.Domain { return c.dom }
+
+// SSEName returns the name of the underlying SSE construction.
+func (c *Client) SSEName() string { return c.sse.Name() }
+
+// ResetHistory clears the Constant schemes' intersecting-query guard,
+// e.g. after the application re-keys.
+func (c *Client) ResetHistory() { c.history = nil }
+
+// Index is the server-side state: the encrypted SSE index(es) plus the
+// encrypted tuple store. The server holds no keys.
+type Index struct {
+	kind    Kind
+	dom     cover.Domain
+	n       int
+	posBits uint8 // height of TDAG2 (Logarithmic-SRC-i only)
+
+	primary sse.Index
+	aux     sse.Index // Logarithmic-SRC-i's I1
+	store   *TupleStore
+}
+
+// Server is the interface the query protocol runs against: a local
+// *Index satisfies it directly, and the transport layer provides a
+// network-backed implementation so the owner and the server can live in
+// different processes. Implementations must be safe for concurrent use.
+type Server interface {
+	// Meta describes the served index (scheme, domain, size). The client
+	// validates the scheme kind and uses PosBits for SRC-i round 2.
+	Meta() (IndexMeta, error)
+	// Search executes one round of server-side search.
+	Search(t *Trapdoor) (*Response, error)
+	// Fetch returns the encrypted tuple stored under id; ok is false if
+	// the id is unknown.
+	Fetch(id ID) (ct []byte, ok bool, err error)
+}
+
+// IndexMeta is the public metadata of an index — exactly the L1 leakage
+// plus protocol bookkeeping.
+type IndexMeta struct {
+	Kind       Kind
+	DomainBits uint8
+	PosBits    uint8
+	N          int
+}
+
+// Meta implements Server.
+func (x *Index) Meta() (IndexMeta, error) {
+	return IndexMeta{Kind: x.kind, DomainBits: x.dom.Bits, PosBits: x.posBits, N: x.n}, nil
+}
+
+// Fetch implements Server.
+func (x *Index) Fetch(id ID) ([]byte, bool, error) {
+	ct, ok := x.store.Get(id)
+	return ct, ok, nil
+}
+
+// Kind returns the scheme that built the index.
+func (x *Index) Kind() Kind { return x.kind }
+
+// Domain returns the domain the index was built over.
+func (x *Index) Domain() cover.Domain { return x.dom }
+
+// N returns the number of indexed tuples (the L1 leakage).
+func (x *Index) N() int { return x.n }
+
+// Size returns the serialized size of the encrypted index(es) in bytes —
+// the quantity of Figure 5(a) and Table 2 ("only the replicated tuple ids
+// and their associated keywords", i.e. excluding the tuple store).
+func (x *Index) Size() int {
+	s := x.primary.Size()
+	if x.aux != nil {
+		s += x.aux.Size()
+	}
+	return s
+}
+
+// Postings returns the number of real postings across the index(es): the
+// size of the replicated dataset D'.
+func (x *Index) Postings() int {
+	p := x.primary.Postings()
+	if x.aux != nil {
+		p += x.aux.Postings()
+	}
+	return p
+}
+
+// StoreSize returns the encrypted tuple store footprint, reported
+// separately because the paper's index-size metric excludes it.
+func (x *Index) StoreSize() int { return x.store.Size() }
+
+// Store exposes the encrypted tuple collection (ids and ciphertexts are
+// server-visible by design).
+func (x *Index) Store() *TupleStore { return x.store }
+
+// BuildIndex runs the scheme's BuildIndex algorithm: it encrypts the
+// tuples into the store and builds the encrypted search index(es).
+func (c *Client) BuildIndex(tuples []Tuple) (*Index, error) {
+	for _, t := range tuples {
+		if !c.dom.Contains(t.Value) {
+			return nil, fmt.Errorf("%w: value %d, domain size %d", ErrValueOutsideDomain, t.Value, c.dom.Size())
+		}
+	}
+	store, err := buildStore(c.kStore, tuples)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{kind: c.kind, dom: c.dom, n: len(tuples), store: store}
+	switch c.kind {
+	case Quadratic:
+		err = c.buildQuadratic(x, tuples)
+	case ConstantBRC, ConstantURC:
+		err = c.buildConstant(x, tuples)
+	case LogarithmicBRC, LogarithmicURC:
+		err = c.buildLogarithmic(x, tuples)
+	case LogarithmicSRC:
+		err = c.buildLogSRC(x, tuples)
+	case LogarithmicSRCi:
+		err = c.buildLogSRCi(x, tuples)
+	default:
+		err = fmt.Errorf("core: unknown scheme kind %d", int(c.kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// stagFor derives the primary-index stag of a keyword.
+func (c *Client) stagFor(keyword string) sse.Stag {
+	return sse.StagFromPRF(c.kSSE, keyword)
+}
+
+// entriesFromPostings converts a keyword→ids map into shuffled-order SSE
+// entries with derived stags.
+func (c *Client) entriesFromPostings(postings map[string][]ID, key prf.Key) []sse.Entry {
+	entries := make([]sse.Entry, 0, len(postings))
+	for kw, ids := range postings {
+		entries = append(entries, sse.EntryFromIDs(sse.StagFromPRF(key, kw), ids))
+	}
+	return entries
+}
+
+// technique returns the covering technique of the Constant/Logarithmic
+// schemes.
+func (c *Client) technique() cover.Technique {
+	switch c.kind {
+	case ConstantBRC, LogarithmicBRC:
+		return cover.BRCTechnique
+	default:
+		return cover.URCTechnique
+	}
+}
+
+// Trapdoor is one round's query message. Exactly one of Stags and GGM is
+// populated: the Constant schemes ship GGM delegation tokens, everything
+// else ships SSE stags. Tokens are already permuted.
+type Trapdoor struct {
+	round int
+	Stags []sse.Stag
+	GGM   []dprf.Token
+}
+
+// Tokens returns the number of tokens in the trapdoor.
+func (t *Trapdoor) Tokens() int { return len(t.Stags) + len(t.GGM) }
+
+// Bytes returns the serialized trapdoor size: 32 bytes per stag, 33 bytes
+// per GGM token (value plus level). This is the "query size" of
+// Figure 8(a).
+func (t *Trapdoor) Bytes() int {
+	return len(t.Stags)*sse.StagSize + len(t.GGM)*dprf.TokenSize
+}
+
+// Response is the server's answer to one trapdoor round: the decrypted
+// SSE payloads grouped per token (the "result partitioning" the
+// Logarithmic-BRC/URC leakage definition names).
+type Response struct {
+	Groups [][][]byte
+}
+
+// Items counts the payloads across all groups.
+func (r *Response) Items() int {
+	n := 0
+	for _, g := range r.Groups {
+		n += len(g)
+	}
+	return n
+}
+
+// QueryStats aggregates the observable costs and leakage of one query.
+type QueryStats struct {
+	// Rounds is the number of owner↔server round trips (2 for SRC-i).
+	Rounds int
+	// Tokens and TokenBytes measure the query size (Figure 8a).
+	Tokens     int
+	TokenBytes int
+	// ResponseItems counts every item the server shipped back, including
+	// SRC-i round-1 pair blobs.
+	ResponseItems int
+	// Raw is the number of ids the server returned; Matches the number
+	// that satisfy the query; FalsePositives their difference (Figure 6).
+	Raw            int
+	Matches        int
+	FalsePositives int
+	// Groups are the per-token result group sizes, in permuted token
+	// order — the structural leakage of Logarithmic-BRC/URC.
+	Groups []int
+	// TokenLevels are the GGM token levels the Constant schemes disclose.
+	TokenLevels []uint8
+	// ServerTime and OwnerTime split the wall-clock cost of the query.
+	ServerTime time.Duration
+	OwnerTime  time.Duration
+}
+
+// Result is the outcome of a full query protocol.
+type Result struct {
+	// Matches holds the ids of tuples satisfying the query, after the
+	// owner discarded false positives.
+	Matches []ID
+	// Raw holds the ids exactly as the server returned them.
+	Raw []ID
+	// Stats carries cost and leakage accounting.
+	Stats QueryStats
+}
+
+// Query runs the scheme's full (possibly interactive) query protocol
+// against a local index and returns the matching ids with cost
+// accounting.
+func (c *Client) Query(x *Index, q Range) (*Result, error) {
+	return c.QueryServer(x, q)
+}
+
+// QueryServer runs the query protocol against any Server — a local
+// *Index or a transport-layer connection to a remote one.
+func (c *Client) QueryServer(s Server, q Range) (*Result, error) {
+	meta, err := s.Meta()
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind != c.kind {
+		return nil, fmt.Errorf("%w: client %v, index %v", ErrKindMismatch, c.kind, meta.Kind)
+	}
+	if meta.DomainBits != c.dom.Bits {
+		return nil, fmt.Errorf("%w: client domain 2^%d, index domain 2^%d",
+			ErrKindMismatch, c.dom.Bits, meta.DomainBits)
+	}
+	if err := c.dom.CheckRange(q.Lo, q.Hi); err != nil {
+		return nil, err
+	}
+	if c.kind == ConstantBRC || c.kind == ConstantURC {
+		if !c.allowIntersect {
+			for _, prev := range c.history {
+				if q.Intersects(prev) {
+					return nil, fmt.Errorf("%w: %v intersects earlier %v", ErrIntersectingQuery, q, prev)
+				}
+			}
+		}
+		c.history = append(c.history, q)
+	}
+
+	res := &Result{}
+	ownerStart := time.Now()
+	t1, err := c.trapdoorRound1(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.OwnerTime += time.Since(ownerStart)
+	res.Stats.Rounds = 1
+	res.Stats.Tokens = t1.Tokens()
+	res.Stats.TokenBytes = t1.Bytes()
+	if c.kind == ConstantBRC || c.kind == ConstantURC {
+		for _, g := range t1.GGM {
+			res.Stats.TokenLevels = append(res.Stats.TokenLevels, g.Level)
+		}
+	}
+
+	serverStart := time.Now()
+	resp1, err := s.Search(t1)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ServerTime += time.Since(serverStart)
+	res.Stats.ResponseItems += resp1.Items()
+
+	var raw []ID
+	switch c.kind {
+	case LogarithmicSRCi:
+		ownerStart = time.Now()
+		posRange, any, err := c.mergePairs(resp1, q)
+		res.Stats.OwnerTime += time.Since(ownerStart)
+		if err != nil {
+			return nil, err
+		}
+		if !any {
+			break // no distinct value in range: done after round 1
+		}
+		ownerStart = time.Now()
+		t2, err := c.trapdoorSRCiRound2(posRange, meta.PosBits)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.OwnerTime += time.Since(ownerStart)
+		res.Stats.Rounds = 2
+		res.Stats.Tokens += t2.Tokens()
+		res.Stats.TokenBytes += t2.Bytes()
+		serverStart = time.Now()
+		resp2, err := s.Search(t2)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ServerTime += time.Since(serverStart)
+		res.Stats.ResponseItems += resp2.Items()
+		raw = idsOf(resp2, &res.Stats)
+	default:
+		raw = idsOf(resp1, &res.Stats)
+	}
+
+	res.Raw = raw
+	res.Stats.Raw = len(raw)
+	ownerStart = time.Now()
+	if c.kind.HasFalsePositives() {
+		res.Matches, err = c.filterMatches(s, raw, q)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res.Matches = raw
+	}
+	res.Stats.OwnerTime += time.Since(ownerStart)
+	res.Stats.Matches = len(res.Matches)
+	res.Stats.FalsePositives = len(raw) - len(res.Matches)
+	return res, nil
+}
+
+// Trapdoor produces the first-round query message for q without running
+// the protocol. It is the hook benchmarks use to time server-side Search
+// in isolation, and what the update layer's forward-privacy tests replay
+// against later epochs. It deliberately bypasses the Constant schemes'
+// intersection guard and records no history; use Query for real traffic.
+func (c *Client) Trapdoor(q Range) (*Trapdoor, error) {
+	if err := c.dom.CheckRange(q.Lo, q.Hi); err != nil {
+		return nil, err
+	}
+	return c.trapdoorRound1(q)
+}
+
+// trapdoorRound1 dispatches the first (often only) Trpdr round.
+func (c *Client) trapdoorRound1(q Range) (*Trapdoor, error) {
+	switch c.kind {
+	case Quadratic:
+		return c.trapdoorQuadratic(q)
+	case ConstantBRC, ConstantURC:
+		return c.trapdoorConstant(q)
+	case LogarithmicBRC, LogarithmicURC:
+		return c.trapdoorLogarithmic(q)
+	case LogarithmicSRC:
+		return c.trapdoorLogSRC(q)
+	case LogarithmicSRCi:
+		return c.trapdoorSRCiRound1(q)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme kind %d", int(c.kind))
+	}
+}
+
+// idsOf flattens an id-carrying response and records its group sizes.
+func idsOf(resp *Response, stats *QueryStats) []ID {
+	var out []ID
+	for _, g := range resp.Groups {
+		stats.Groups = append(stats.Groups, len(g))
+		for _, p := range g {
+			out = append(out, sse.PayloadU64(p))
+		}
+	}
+	return out
+}
+
+// filterMatches fetches and decrypts the returned tuples and keeps those
+// inside the query range — the owner-side refinement step that removes
+// the SRC schemes' false positives.
+func (c *Client) filterMatches(s Server, raw []ID, q Range) ([]ID, error) {
+	out := make([]ID, 0, len(raw))
+	for _, id := range raw {
+		ct, ok, err := s.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: server returned unknown id %d", id)
+		}
+		v, _, err := openTuple(c.kStore, ct)
+		if err != nil {
+			return nil, err
+		}
+		if q.Contains(v) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// FetchTuple retrieves and decrypts one tuple by id — the orthogonal
+// final step of Section 3 applications use to obtain actual documents.
+// It accepts any Server (local index or remote connection).
+func (c *Client) FetchTuple(s Server, id ID) (Tuple, error) {
+	ct, ok, err := s.Fetch(id)
+	if err != nil {
+		return Tuple{}, err
+	}
+	if !ok {
+		return Tuple{}, fmt.Errorf("core: no tuple with id %d", id)
+	}
+	v, payload, err := openTuple(c.kStore, ct)
+	if err != nil {
+		return Tuple{}, err
+	}
+	return Tuple{ID: id, Value: v, Payload: payload}, nil
+}
+
+// Search executes one server-side round. The server only ever sees the
+// trapdoor; scheme-specific expansion (Constant's GGM derivation) happens
+// here, on the untrusted side, exactly as in the paper's Search
+// algorithms.
+func (x *Index) Search(t *Trapdoor) (*Response, error) {
+	switch {
+	case len(t.GGM) > 0:
+		return x.searchConstant(t)
+	case t.round == 2:
+		return x.searchIndex(x.primary, t.Stags)
+	case x.kind == LogarithmicSRCi:
+		return x.searchIndex(x.aux, t.Stags)
+	default:
+		return x.searchIndex(x.primary, t.Stags)
+	}
+}
+
+// searchIndex runs plain SSE search for each stag against one index.
+func (x *Index) searchIndex(idx sse.Index, stags []sse.Stag) (*Response, error) {
+	resp := &Response{Groups: make([][][]byte, 0, len(stags))}
+	for _, stag := range stags {
+		g, err := idx.Search(stag)
+		if err != nil {
+			return nil, err
+		}
+		resp.Groups = append(resp.Groups, g)
+	}
+	return resp, nil
+}
+
+// permuteStags randomly permutes a token list in place (every Trpdr
+// algorithm in the paper permutes its output).
+func (c *Client) permuteStags(stags []sse.Stag) {
+	c.rnd.Shuffle(len(stags), func(i, j int) { stags[i], stags[j] = stags[j], stags[i] })
+}

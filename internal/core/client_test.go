@@ -1,0 +1,609 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	mrand "math/rand"
+	"sort"
+	"testing"
+
+	"rsse/internal/cover"
+	"rsse/internal/sse"
+)
+
+// testOptions returns deterministic options for reproducible tests.
+func testOptions(seed int64) Options {
+	return Options{
+		SSE:       sse.Basic{},
+		Rand:      mrand.New(mrand.NewSource(seed)),
+		MasterKey: bytes.Repeat([]byte{byte(seed)}, 32),
+	}
+}
+
+// uniformTuples draws n tuples uniformly over a bits-wide domain.
+func uniformTuples(n int, bits uint8, seed int64) []Tuple {
+	rnd := mrand.New(mrand.NewSource(seed))
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = Tuple{ID: uint64(i + 1), Value: rnd.Uint64() % (1 << bits)}
+	}
+	return out
+}
+
+// skewedTuples concentrates all but a few tuples on a single hot value —
+// the adversarial case of Section 6.2's false positive discussion.
+func skewedTuples(n int, hot Value, outliers map[ID]Value) []Tuple {
+	out := make([]Tuple, n)
+	for i := range out {
+		id := uint64(i + 1)
+		v := hot
+		if ov, ok := outliers[id]; ok {
+			v = ov
+		}
+		out[i] = Tuple{ID: id, Value: v}
+	}
+	return out
+}
+
+// exactIDs is the plaintext oracle.
+func exactIDs(tuples []Tuple, q Range) []ID {
+	var out []ID
+	for _, t := range tuples {
+		if q.Contains(t.Value) {
+			out = append(out, t.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedIDs(ids []ID) []ID {
+	out := append([]ID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func idsEqual(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nonQuadraticKinds are the schemes usable on realistic domains.
+func nonQuadraticKinds() []Kind {
+	return []Kind{
+		ConstantBRC, ConstantURC,
+		LogarithmicBRC, LogarithmicURC,
+		LogarithmicSRC, LogarithmicSRCi,
+	}
+}
+
+// TestAllSchemesMatchOracle is the central correctness test: every scheme
+// must return exactly the matching ids for random datasets and queries
+// (after owner-side filtering for the SRC schemes).
+func TestAllSchemesMatchOracle(t *testing.T) {
+	const bits = 10
+	dom := cover.Domain{Bits: bits}
+	tuples := uniformTuples(400, bits, 42)
+	queryRnd := mrand.New(mrand.NewSource(77))
+	type q struct{ lo, hi uint64 }
+	var queries []q
+	for i := 0; i < 25; i++ {
+		R := uint64(1) + queryRnd.Uint64()%300
+		lo := queryRnd.Uint64() % (dom.Size() - R)
+		queries = append(queries, q{lo, lo + R - 1})
+	}
+	for _, kind := range nonQuadraticKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			opts := testOptions(1)
+			opts.AllowIntersecting = true
+			c, err := NewClient(kind, dom, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := c.BuildIndex(tuples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, qq := range queries {
+				r := Range{qq.lo, qq.hi}
+				res, err := c.Query(idx, r)
+				if err != nil {
+					t.Fatalf("query %v: %v", r, err)
+				}
+				want := exactIDs(tuples, r)
+				if got := sortedIDs(res.Matches); !idsEqual(got, want) {
+					t.Fatalf("query %v: got %d matches, want %d", r, len(got), len(want))
+				}
+				if !kind.HasFalsePositives() && len(res.Raw) != len(res.Matches) {
+					t.Fatalf("query %v: %v produced %d false positives",
+						r, kind, len(res.Raw)-len(res.Matches))
+				}
+				if res.Stats.FalsePositives != len(res.Raw)-len(res.Matches) {
+					t.Fatalf("query %v: stats.FalsePositives inconsistent", r)
+				}
+				if res.Stats.Matches != len(res.Matches) || res.Stats.Raw != len(res.Raw) {
+					t.Fatalf("query %v: stats counters inconsistent", r)
+				}
+			}
+		})
+	}
+}
+
+// TestQuadraticMatchesOracle runs the naive baseline on a tiny domain.
+func TestQuadraticMatchesOracle(t *testing.T) {
+	dom := cover.Domain{Bits: 5}
+	tuples := uniformTuples(60, 5, 9)
+	c, err := NewClient(Quadratic, dom, testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := uint64(0); lo < 32; lo += 3 {
+		for hi := lo; hi < 32; hi += 5 {
+			r := Range{lo, hi}
+			res, err := c.Query(idx, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !idsEqual(sortedIDs(res.Matches), exactIDs(tuples, r)) {
+				t.Fatalf("query %v wrong", r)
+			}
+			if res.Stats.Tokens != 1 {
+				t.Fatalf("Quadratic used %d tokens", res.Stats.Tokens)
+			}
+		}
+	}
+}
+
+// TestAllSchemesAllSSEConstructions smoke-tests the black-box claim: every
+// scheme must work unchanged over each SSE construction.
+func TestAllSchemesAllSSEConstructions(t *testing.T) {
+	dom := cover.Domain{Bits: 8}
+	tuples := uniformTuples(120, 8, 5)
+	r := Range{40, 90}
+	want := exactIDs(tuples, r)
+	for _, s := range []sse.Scheme{sse.Basic{}, sse.Packed{BlockSize: 4}, sse.TSet{BucketCapacity: 128, Expansion: 1.3}} {
+		for _, kind := range nonQuadraticKinds() {
+			opts := testOptions(3)
+			opts.SSE = s
+			c, err := NewClient(kind, dom, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := c.BuildIndex(tuples)
+			if err != nil {
+				t.Fatalf("%v over %s: %v", kind, s.Name(), err)
+			}
+			res, err := c.Query(idx, r)
+			if err != nil {
+				t.Fatalf("%v over %s: %v", kind, s.Name(), err)
+			}
+			if !idsEqual(sortedIDs(res.Matches), want) {
+				t.Errorf("%v over %s: wrong result", kind, s.Name())
+			}
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	dom := cover.Domain{Bits: 8}
+	for _, kind := range nonQuadraticKinds() {
+		c, err := NewClient(kind, dom, testOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(nil)
+		if err != nil {
+			t.Fatalf("%v: empty build: %v", kind, err)
+		}
+		res, err := c.Query(idx, Range{0, 255})
+		if err != nil {
+			t.Fatalf("%v: query empty index: %v", kind, err)
+		}
+		if len(res.Matches) != 0 || len(res.Raw) != 0 {
+			t.Errorf("%v: empty index returned results", kind)
+		}
+	}
+}
+
+func TestEmptyResultRange(t *testing.T) {
+	dom := cover.Domain{Bits: 10}
+	// All values in the upper half; query the lower half.
+	tuples := make([]Tuple, 50)
+	for i := range tuples {
+		tuples[i] = Tuple{ID: uint64(i + 1), Value: 512 + uint64(i)}
+	}
+	for _, kind := range nonQuadraticKinds() {
+		c, err := NewClient(kind, dom, testOptions(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Query(idx, Range{0, 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 0 {
+			t.Errorf("%v: expected empty result, got %d", kind, len(res.Matches))
+		}
+		if kind == LogarithmicSRCi && res.Stats.Rounds != 1 {
+			// No qualifying pair: SRC-i must stop after round 1. (The SRC
+			// window may still surface pairs from outside the query.)
+			if res.Stats.Rounds == 2 && res.Stats.ResponseItems == 0 {
+				t.Errorf("SRC-i went to round 2 with nothing to fetch")
+			}
+		}
+	}
+}
+
+func TestSingleValueDomain(t *testing.T) {
+	dom := cover.Domain{Bits: 0}
+	tuples := []Tuple{{ID: 1, Value: 0}, {ID: 2, Value: 0}}
+	for _, kind := range append(nonQuadraticKinds(), Quadratic) {
+		c, err := NewClient(kind, dom, testOptions(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		res, err := c.Query(idx, Range{0, 0})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !idsEqual(sortedIDs(res.Matches), []ID{1, 2}) {
+			t.Errorf("%v: got %v", kind, res.Matches)
+		}
+	}
+}
+
+func TestFullDomainQuery(t *testing.T) {
+	dom := cover.Domain{Bits: 9}
+	tuples := uniformTuples(100, 9, 7)
+	for _, kind := range nonQuadraticKinds() {
+		c, err := NewClient(kind, dom, testOptions(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Query(idx, Range{0, dom.Size() - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != len(tuples) {
+			t.Errorf("%v: full-domain query returned %d of %d", kind, len(res.Matches), len(tuples))
+		}
+	}
+}
+
+func TestDomainBoundaryValues(t *testing.T) {
+	dom := cover.Domain{Bits: 8}
+	tuples := []Tuple{{ID: 1, Value: 0}, {ID: 2, Value: 255}, {ID: 3, Value: 128}}
+	for _, kind := range nonQuadraticKinds() {
+		opts := testOptions(8)
+		opts.AllowIntersecting = true
+		c, _ := NewClient(kind, dom, opts)
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			q    Range
+			want []ID
+		}{
+			{Range{0, 0}, []ID{1}},
+			{Range{255, 255}, []ID{2}},
+			{Range{128, 255}, []ID{2, 3}},
+			{Range{0, 127}, []ID{1}},
+		} {
+			res, err := c.Query(idx, tc.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !idsEqual(sortedIDs(res.Matches), tc.want) {
+				t.Errorf("%v %v: got %v want %v", kind, tc.q, res.Matches, tc.want)
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	dom := cover.Domain{Bits: 4}
+	c, err := NewClient(LogarithmicBRC, dom, testOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BuildIndex([]Tuple{{ID: 1, Value: 16}}); !errors.Is(err, ErrValueOutsideDomain) {
+		t.Errorf("out-of-domain build error = %v", err)
+	}
+	if _, err := c.BuildIndex([]Tuple{{ID: 1, Value: 1}, {ID: 1, Value: 2}}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate id build error = %v", err)
+	}
+	idx, err := c.BuildIndex([]Tuple{{ID: 1, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(idx, Range{5, 3}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := c.Query(idx, Range{0, 400}); err == nil {
+		t.Error("out-of-domain range accepted")
+	}
+	other, err := NewClient(LogarithmicSRC, dom, testOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Query(idx, Range{0, 1}); !errors.Is(err, ErrKindMismatch) {
+		t.Errorf("kind mismatch error = %v", err)
+	}
+}
+
+func TestConstantIntersectionGuard(t *testing.T) {
+	dom := cover.Domain{Bits: 10}
+	tuples := uniformTuples(50, 10, 11)
+	for _, kind := range []Kind{ConstantBRC, ConstantURC} {
+		c, err := NewClient(kind, dom, testOptions(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Query(idx, Range{100, 200}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Query(idx, Range{300, 400}); err != nil {
+			t.Fatalf("%v: disjoint query rejected: %v", kind, err)
+		}
+		if _, err := c.Query(idx, Range{150, 350}); !errors.Is(err, ErrIntersectingQuery) {
+			t.Fatalf("%v: intersecting query error = %v", kind, err)
+		}
+		// Touching at a single point is an intersection too.
+		if _, err := c.Query(idx, Range{200, 250}); !errors.Is(err, ErrIntersectingQuery) {
+			t.Fatalf("%v: touching query error = %v", kind, err)
+		}
+		c.ResetHistory()
+		if _, err := c.Query(idx, Range{150, 350}); err != nil {
+			t.Fatalf("%v: query after ResetHistory rejected: %v", kind, err)
+		}
+	}
+	// AllowIntersecting disables the guard entirely.
+	opts := testOptions(12)
+	opts.AllowIntersecting = true
+	c, err := NewClient(ConstantBRC, dom, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(idx, Range{100, 200}); err != nil {
+			t.Fatalf("intersecting query with guard disabled: %v", err)
+		}
+	}
+}
+
+func TestFetchTuple(t *testing.T) {
+	dom := cover.Domain{Bits: 8}
+	tuples := []Tuple{
+		{ID: 1, Value: 10, Payload: []byte("alice")},
+		{ID: 2, Value: 20, Payload: []byte("bob")},
+		{ID: 3, Value: 30},
+	}
+	c, err := NewClient(LogarithmicBRC, dom, testOptions(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.FetchTuple(idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 10 || string(got.Payload) != "alice" {
+		t.Errorf("FetchTuple(1) = %+v", got)
+	}
+	got, err = c.FetchTuple(idx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != 30 || len(got.Payload) != 0 {
+		t.Errorf("FetchTuple(3) = %+v", got)
+	}
+	if _, err := c.FetchTuple(idx, 99); err == nil {
+		t.Error("unknown id accepted")
+	}
+	// A different client (different keys) cannot decrypt the store.
+	c2, err := NewClient(LogarithmicBRC, dom, testOptions(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tup, err := c2.FetchTuple(idx, 1); err == nil && tup.Value == 10 {
+		t.Error("foreign client decrypted the tuple store")
+	}
+}
+
+func TestQuadraticDomainGuard(t *testing.T) {
+	c, err := NewClient(Quadratic, cover.Domain{Bits: 13}, testOptions(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BuildIndex(nil); !errors.Is(err, ErrDomainTooLarge) {
+		t.Errorf("domain guard error = %v", err)
+	}
+}
+
+// TestQuadraticPaddingHidesDistribution: with padding, two very different
+// value distributions of the same cardinality must produce byte-identical
+// index sizes (Section 4's padding argument).
+func TestQuadraticPaddingHidesDistribution(t *testing.T) {
+	dom := cover.Domain{Bits: 4}
+	allSame := make([]Tuple, 20)
+	allDiff := make([]Tuple, 20)
+	for i := range allSame {
+		allSame[i] = Tuple{ID: uint64(i + 1), Value: 8}
+		allDiff[i] = Tuple{ID: uint64(i + 1), Value: uint64(i % 16)}
+	}
+	sizes := make([]int, 2)
+	for i, tuples := range [][]Tuple{allSame, allDiff} {
+		opts := testOptions(16)
+		opts.PadQuadratic = true
+		c, err := NewClient(Quadratic, dom, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = idx.Size()
+		// Padded index must still answer correctly.
+		res, err := c.Query(idx, Range{4, 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(sortedIDs(res.Matches), exactIDs(tuples, Range{4, 12})) {
+			t.Fatal("padded Quadratic returned wrong result")
+		}
+	}
+	if sizes[0] != sizes[1] {
+		t.Errorf("padded sizes differ: %d vs %d", sizes[0], sizes[1])
+	}
+}
+
+func TestKindHelpers(t *testing.T) {
+	for _, k := range Kinds() {
+		parsed, err := KindByName(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), parsed, err)
+		}
+	}
+	if _, err := KindByName("bogus"); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+	if !LogarithmicSRC.HasFalsePositives() || LogarithmicBRC.HasFalsePositives() {
+		t.Error("HasFalsePositives wrong")
+	}
+	if !LogarithmicSRCi.Interactive() || LogarithmicSRC.Interactive() {
+		t.Error("Interactive wrong")
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	r := Range{3, 7}
+	if r.Size() != 5 || !r.Contains(3) || !r.Contains(7) || r.Contains(8) {
+		t.Error("Range basics wrong")
+	}
+	if !r.Intersects(Range{7, 9}) || r.Intersects(Range{8, 9}) {
+		t.Error("Intersects wrong")
+	}
+	if r.String() != "[3, 7]" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestIndexAccessors(t *testing.T) {
+	dom := cover.Domain{Bits: 6}
+	tuples := uniformTuples(30, 6, 17)
+	c, err := NewClient(LogarithmicSRCi, dom, testOptions(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Kind() != LogarithmicSRCi || idx.Domain() != dom || idx.N() != 30 {
+		t.Error("accessors wrong")
+	}
+	if idx.Size() <= 0 || idx.StoreSize() <= 0 || idx.Postings() <= 0 {
+		t.Error("sizes not positive")
+	}
+	if idx.Store().Len() != 30 {
+		t.Errorf("store has %d tuples", idx.Store().Len())
+	}
+	ids := idx.Store().IDs()
+	if len(ids) != 30 || ids[0] != 1 {
+		t.Errorf("Store().IDs() = %v...", ids[:3])
+	}
+}
+
+func TestClientAccessors(t *testing.T) {
+	c, err := NewClient(ConstantURC, cover.Domain{Bits: 5}, testOptions(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != ConstantURC || c.Domain().Bits != 5 || c.SSEName() != "basic" {
+		t.Error("client accessors wrong")
+	}
+	if _, err := NewClient(LogarithmicBRC, cover.Domain{Bits: 63}, Options{}); err == nil {
+		t.Error("oversized domain accepted")
+	}
+	if _, err := NewClient(LogarithmicBRC, cover.Domain{Bits: 5}, Options{MasterKey: []byte{1}}); err == nil {
+		t.Error("short master key accepted")
+	}
+}
+
+// TestTwoLevelConstruction runs the id-width schemes over the 2lev SSE
+// construction; Logarithmic-SRC-i is excluded (its auxiliary index needs
+// 40-byte payloads, which 2lev rejects by design).
+func TestTwoLevelConstruction(t *testing.T) {
+	dom := cover.Domain{Bits: 9}
+	tuples := uniformTuples(200, 9, 61)
+	q := Range{37, 400}
+	want := exactIDs(tuples, q)
+	for _, kind := range []Kind{ConstantBRC, ConstantURC, LogarithmicBRC, LogarithmicURC, LogarithmicSRC} {
+		opts := testOptions(62)
+		opts.SSE = sse.TwoLevel{InlineCap: 8, BlockSize: 16}
+		c, err := NewClient(kind, dom, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatalf("%v over 2lev: %v", kind, err)
+		}
+		res, err := c.Query(idx, q)
+		if err != nil {
+			t.Fatalf("%v over 2lev: %v", kind, err)
+		}
+		if !idsEqual(sortedIDs(res.Matches), want) {
+			t.Errorf("%v over 2lev: wrong result", kind)
+		}
+	}
+	// SRC-i must fail with a clear error rather than silently degrade.
+	opts := testOptions(63)
+	opts.SSE = sse.TwoLevel{}
+	c, err := NewClient(LogarithmicSRCi, dom, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BuildIndex(tuples); err == nil {
+		t.Error("SRC-i over 2lev should fail (pair payloads are 40 bytes)")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"rsse/internal/dprf"
+	"rsse/internal/sse"
+)
+
+// The Constant schemes (Section 5) assign each tuple the single keyword
+// d.a — its attribute value — so the index holds exactly n postings (the
+// O(n) row of Table 1). The trick enabling O(log R)-size queries is the
+// Delegatable PRF: the per-value search tag is not PRF(k, a) but the GGM
+// leaf value f_k(a), so the owner can ship the O(log R) GGM inner nodes of
+// the BRC or URC cover and the server derives the R leaf tags itself.
+//
+// The price is structural leakage (the exact mapping of result ids to the
+// leaves of each cover subtree, which reveals in-subtree ordering) and the
+// inherent DPRF restriction to non-intersecting queries, enforced by the
+// client-side guard in Query.
+
+func (c *Client) buildConstant(x *Index, tuples []Tuple) error {
+	byValue := make(map[Value][]ID)
+	for _, t := range tuples {
+		byValue[t.Value] = append(byValue[t.Value], t.ID)
+	}
+	entries := make([]sse.Entry, 0, len(byValue))
+	for v, ids := range byValue {
+		leaf, err := c.kDPRF.Eval(v)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, sse.EntryFromIDs(sse.Stag(leaf), ids))
+	}
+	idx, err := c.sse.Build(entries, 8, c.rnd)
+	if err != nil {
+		return err
+	}
+	x.primary = idx
+	return nil
+}
+
+// trapdoorConstant runs the DPRF token-generation function T over the
+// BRC/URC cover and permutes the resulting GGM tokens.
+func (c *Client) trapdoorConstant(q Range) (*Trapdoor, error) {
+	tokens, err := c.kDPRF.Delegate(q.Lo, q.Hi, c.technique())
+	if err != nil {
+		return nil, err
+	}
+	c.rnd.Shuffle(len(tokens), func(i, j int) { tokens[i], tokens[j] = tokens[j], tokens[i] })
+	return &Trapdoor{round: 1, GGM: tokens}, nil
+}
+
+// searchConstant expands each GGM token into its 2^level leaf DPRF values
+// (the public derivation function C) and uses them as SSE search tags.
+// The expansion is the O(R) term in the scheme's search cost.
+func (x *Index) searchConstant(t *Trapdoor) (*Response, error) {
+	resp := &Response{Groups: make([][][]byte, 0, len(t.GGM))}
+	var leaves []dprf.Value
+	for _, tok := range t.GGM {
+		leaves = dprf.ExpandInto(leaves[:0], tok)
+		var group [][]byte
+		for _, leaf := range leaves {
+			g, err := x.primary.Search(sse.Stag(leaf))
+			if err != nil {
+				return nil, err
+			}
+			group = append(group, g...)
+		}
+		resp.Groups = append(resp.Groups, group)
+	}
+	return resp, nil
+}

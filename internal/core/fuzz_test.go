@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"rsse/internal/cover"
+)
+
+// Fuzz targets for every parser that consumes server- or disk-originated
+// bytes. Run with `go test -fuzz=FuzzX ./internal/core`; the seed corpus
+// below runs on every ordinary `go test`.
+
+func FuzzUnmarshalIndex(f *testing.F) {
+	c, err := NewClient(LogarithmicSRCi, cover.Domain{Bits: 6}, testOptions(90))
+	if err != nil {
+		f.Fatal(err)
+	}
+	idx, err := c.BuildIndex(uniformTuples(20, 6, 91))
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the result must survive a
+		// re-marshal cycle.
+		x, err := UnmarshalIndex(data)
+		if err != nil {
+			return
+		}
+		if _, err := x.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal of accepted index failed: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalTrapdoor(f *testing.F) {
+	c, err := NewClient(ConstantURC, cover.Domain{Bits: 10}, testOptions(92))
+	if err != nil {
+		f.Fatal(err)
+	}
+	td, err := c.Trapdoor(Range{10, 300})
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := td.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		td, err := UnmarshalTrapdoor(data)
+		if err != nil {
+			return
+		}
+		back, err := td.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted trapdoor failed: %v", err)
+		}
+		td2, err := UnmarshalTrapdoor(back)
+		if err != nil {
+			t.Fatalf("re-parse of re-marshal failed: %v", err)
+		}
+		if td2.Tokens() != td.Tokens() {
+			t.Fatal("token count changed across roundtrip")
+		}
+	})
+}
+
+func FuzzUnmarshalResponse(f *testing.F) {
+	resp := &Response{Groups: [][][]byte{{[]byte("abc")}, {}}}
+	blob, err := resp.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalResponse(data)
+		if err != nil {
+			return
+		}
+		if _, err := r.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal of accepted response failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"rsse/internal/cover"
+	"rsse/internal/sse"
+)
+
+// Logarithmic-SRC (Section 6.2) eliminates the result-partitioning
+// leakage of Logarithmic-BRC/URC by covering every query with a *single*
+// keyword. Tuples are replicated under the TDAG windows containing their
+// value (still O(log m) keywords per tuple thanks to the injected nodes),
+// and a query maps to the lowest TDAG window containing it, whose size
+// Lemma 1 bounds by 4R. The price is false positives — everything in the
+// window but outside the query — which heavy skew can push to O(n).
+
+func (c *Client) buildLogSRC(x *Index, tuples []Tuple) error {
+	tdag := cover.NewTDAG(c.dom)
+	postings := make(map[string][]ID)
+	for _, t := range tuples {
+		for _, node := range tdag.Cover(t.Value) {
+			kw := node.Keyword()
+			postings[kw] = append(postings[kw], t.ID)
+		}
+	}
+	idx, err := c.sse.Build(c.entriesFromPostings(postings, c.kSSE), 8, c.rnd)
+	if err != nil {
+		return err
+	}
+	x.primary = idx
+	return nil
+}
+
+// trapdoorLogSRC emits the single token of the SRC cover.
+func (c *Client) trapdoorLogSRC(q Range) (*Trapdoor, error) {
+	node, err := cover.NewTDAG(c.dom).SRC(q.Lo, q.Hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Trapdoor{round: 1, Stags: []sse.Stag{c.stagFor(node.Keyword())}}, nil
+}

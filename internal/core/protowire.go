@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rsse/internal/dprf"
+	"rsse/internal/sse"
+)
+
+// Wire formats for the protocol messages, used by the transport layer to
+// run queries against a remote server. Both messages are length-safe:
+// parsers validate every count against the remaining input.
+
+// Round reports which protocol round the trapdoor belongs to (1 or 2;
+// Logarithmic-SRC-i is the only two-round scheme).
+func (t *Trapdoor) Round() int {
+	if t.round == 0 {
+		return 1
+	}
+	return t.round
+}
+
+// MarshalBinary serializes a trapdoor:
+// round(1) kind(1: 0=stags, 1=ggm) count(4) tokens...
+func (t *Trapdoor) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 6+len(t.Stags)*sse.StagSize+len(t.GGM)*dprf.TokenSize)
+	out = append(out, byte(t.Round()))
+	if len(t.GGM) > 0 {
+		out = append(out, 1)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(t.GGM)))
+		for _, g := range t.GGM {
+			m := g.Marshal()
+			out = append(out, m[:]...)
+		}
+		return out, nil
+	}
+	out = append(out, 0)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(t.Stags)))
+	for _, s := range t.Stags {
+		out = append(out, s[:]...)
+	}
+	return out, nil
+}
+
+// UnmarshalTrapdoor parses a trapdoor serialized with MarshalBinary.
+func UnmarshalTrapdoor(data []byte) (*Trapdoor, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("core: trapdoor too short (%d bytes)", len(data))
+	}
+	t := &Trapdoor{round: int(data[0])}
+	if t.round != 1 && t.round != 2 {
+		return nil, fmt.Errorf("core: bad trapdoor round %d", t.round)
+	}
+	kind := data[1]
+	count := int(binary.BigEndian.Uint32(data[2:6]))
+	body := data[6:]
+	switch kind {
+	case 0:
+		if len(body) != count*sse.StagSize {
+			return nil, fmt.Errorf("core: trapdoor stag payload truncated")
+		}
+		t.Stags = make([]sse.Stag, count)
+		for i := 0; i < count; i++ {
+			copy(t.Stags[i][:], body[i*sse.StagSize:])
+		}
+	case 1:
+		if len(body) != count*dprf.TokenSize {
+			return nil, fmt.Errorf("core: trapdoor GGM payload truncated")
+		}
+		t.GGM = make([]dprf.Token, count)
+		for i := 0; i < count; i++ {
+			var buf [dprf.TokenSize]byte
+			copy(buf[:], body[i*dprf.TokenSize:])
+			t.GGM[i] = dprf.TokenFromBytes(buf)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown trapdoor token kind %d", kind)
+	}
+	return t, nil
+}
+
+// MarshalBinary serializes a response:
+// groupCount(4) { itemCount(4) { itemLen(4) item }* }*
+func (r *Response) MarshalBinary() ([]byte, error) {
+	size := 4
+	for _, g := range r.Groups {
+		size += 4
+		for _, p := range g {
+			size += 4 + len(p)
+		}
+	}
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Groups)))
+	for _, g := range r.Groups {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(g)))
+		for _, p := range g {
+			out = binary.BigEndian.AppendUint32(out, uint32(len(p)))
+			out = append(out, p...)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalResponse parses a response serialized with MarshalBinary.
+func UnmarshalResponse(data []byte) (*Response, error) {
+	r := wireReader{data: data}
+	groups, err := r.uint32()
+	if err != nil {
+		return nil, fmt.Errorf("core: response truncated")
+	}
+	resp := &Response{Groups: make([][][]byte, 0, groups)}
+	for g := uint32(0); g < groups; g++ {
+		items, err := r.uint32()
+		if err != nil {
+			return nil, fmt.Errorf("core: response truncated")
+		}
+		group := make([][]byte, 0, items)
+		for i := uint32(0); i < items; i++ {
+			n, err := r.uint32()
+			if err != nil {
+				return nil, fmt.Errorf("core: response truncated")
+			}
+			item, err := r.bytes(int(n))
+			if err != nil {
+				return nil, fmt.Errorf("core: response truncated")
+			}
+			group = append(group, item)
+		}
+		resp.Groups = append(resp.Groups, group)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("core: %d trailing bytes in response", len(r.data)-r.off)
+	}
+	return resp, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rsse/internal/secenc"
+)
+
+// TupleStore is the server-side collection of encrypted tuples, stored
+// separately from the index as the paper prescribes (Section 3): search
+// returns ids; the owner then fetches the ciphertexts of those ids and
+// decrypts them in a final step. The store is also what lets the owner
+// weed out false positives of the SRC schemes and, in the update protocol
+// of Section 7, download and re-encrypt whole batches.
+//
+// Each ciphertext is AES-128-CBC(value || payload) under an owner key with
+// a fresh IV, i.e. semantically secure: the server learns only ids and
+// ciphertext lengths.
+type TupleStore struct {
+	cts  map[ID][]byte
+	size int
+}
+
+// buildStore encrypts every tuple under k.
+func buildStore(k secenc.Key, tuples []Tuple) (*TupleStore, error) {
+	s := &TupleStore{cts: make(map[ID][]byte, len(tuples))}
+	for _, t := range tuples {
+		if _, dup := s.cts[t.ID]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateID, t.ID)
+		}
+		plain := make([]byte, 8+len(t.Payload))
+		binary.BigEndian.PutUint64(plain, t.Value)
+		copy(plain[8:], t.Payload)
+		ct, err := secenc.EncryptCBC(k, plain, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.cts[t.ID] = ct
+		s.size += 8 + len(ct)
+	}
+	return s, nil
+}
+
+// Get returns the ciphertext stored for id.
+func (s *TupleStore) Get(id ID) ([]byte, bool) {
+	ct, ok := s.cts[id]
+	return ct, ok
+}
+
+// Len returns the number of stored tuples.
+func (s *TupleStore) Len() int { return len(s.cts) }
+
+// Size returns the server storage footprint of the ciphertext collection.
+func (s *TupleStore) Size() int { return s.size }
+
+// IDs lists the stored ids in ascending order. IDs are public; the update
+// manager uses this to download a batch for consolidation.
+func (s *TupleStore) IDs() []ID {
+	out := make([]ID, 0, len(s.cts))
+	for id := range s.cts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// openTuple decrypts a stored ciphertext back into (value, payload).
+func openTuple(k secenc.Key, ct []byte) (Value, []byte, error) {
+	plain, err := secenc.DecryptCBC(k, ct)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(plain) < 8 {
+		return 0, nil, fmt.Errorf("core: corrupt tuple ciphertext")
+	}
+	return binary.BigEndian.Uint64(plain[:8]), plain[8:], nil
+}

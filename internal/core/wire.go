@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rsse/internal/cover"
+	"rsse/internal/sse"
+)
+
+// ErrCorruptIndex is returned when a serialized index fails to parse.
+var ErrCorruptIndex = errors.New("core: corrupt serialized index")
+
+const indexWireVersion = 1
+
+// MarshalBinary serializes the complete server-side state — SSE
+// index(es) plus the encrypted tuple store — so the owner can ship it to
+// the server (or the server can persist it). No key material is included.
+//
+// Layout: version(1) kind(1) domBits(1) posBits(1) n(8)
+// primaryLen(8) primary auxLen(8) aux storeCount(8) {id(8) ctLen(4) ct}*
+func (x *Index) MarshalBinary() ([]byte, error) {
+	primary, err := x.primary.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var aux []byte
+	if x.aux != nil {
+		if aux, err = x.aux.MarshalBinary(); err != nil {
+			return nil, err
+		}
+	}
+	ids := x.store.IDs()
+	out := make([]byte, 0, 28+len(primary)+len(aux)+x.store.Size())
+	out = append(out, indexWireVersion, byte(x.kind), x.dom.Bits, x.posBits)
+	out = binary.BigEndian.AppendUint64(out, uint64(x.n))
+	out = binary.BigEndian.AppendUint64(out, uint64(len(primary)))
+	out = append(out, primary...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(aux)))
+	out = append(out, aux...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(ids)))
+	for _, id := range ids {
+		ct, _ := x.store.Get(id)
+		out = binary.BigEndian.AppendUint64(out, id)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(ct)))
+		out = append(out, ct...)
+	}
+	return out, nil
+}
+
+// UnmarshalIndex reconstructs an Index serialized with MarshalBinary.
+func UnmarshalIndex(data []byte) (*Index, error) {
+	r := wireReader{data: data}
+	version, err := r.byte()
+	if err != nil || version != indexWireVersion {
+		return nil, fmt.Errorf("%w: bad version", ErrCorruptIndex)
+	}
+	kindB, err := r.byte()
+	if err != nil {
+		return nil, ErrCorruptIndex
+	}
+	domBits, err := r.byte()
+	if err != nil || domBits > cover.MaxBits {
+		return nil, ErrCorruptIndex
+	}
+	posBits, err := r.byte()
+	if err != nil {
+		return nil, ErrCorruptIndex
+	}
+	n, err := r.uint64()
+	if err != nil {
+		return nil, ErrCorruptIndex
+	}
+	x := &Index{
+		kind:    Kind(kindB),
+		dom:     cover.Domain{Bits: domBits},
+		posBits: posBits,
+		n:       int(n),
+	}
+	primBlob, err := r.lenPrefixed()
+	if err != nil {
+		return nil, ErrCorruptIndex
+	}
+	if x.primary, err = sse.Unmarshal(primBlob); err != nil {
+		return nil, fmt.Errorf("%w: primary: %v", ErrCorruptIndex, err)
+	}
+	auxBlob, err := r.lenPrefixed()
+	if err != nil {
+		return nil, ErrCorruptIndex
+	}
+	if len(auxBlob) > 0 {
+		if x.aux, err = sse.Unmarshal(auxBlob); err != nil {
+			return nil, fmt.Errorf("%w: aux: %v", ErrCorruptIndex, err)
+		}
+	}
+	count, err := r.uint64()
+	if err != nil {
+		return nil, ErrCorruptIndex
+	}
+	store := &TupleStore{cts: make(map[ID][]byte, count)}
+	for i := uint64(0); i < count; i++ {
+		id, err := r.uint64()
+		if err != nil {
+			return nil, ErrCorruptIndex
+		}
+		ctLen, err := r.uint32()
+		if err != nil {
+			return nil, ErrCorruptIndex
+		}
+		ct, err := r.bytes(int(ctLen))
+		if err != nil {
+			return nil, ErrCorruptIndex
+		}
+		if _, dup := store.cts[id]; dup {
+			return nil, ErrCorruptIndex
+		}
+		store.cts[id] = ct
+		store.size += 8 + len(ct)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptIndex, len(r.data)-r.off)
+	}
+	x.store = store
+	return x, nil
+}
+
+// wireReader is a bounds-checked cursor over a byte slice.
+type wireReader struct {
+	data []byte
+	off  int
+}
+
+func (r *wireReader) byte() (byte, error) {
+	if r.off+1 > len(r.data) {
+		return 0, ErrCorruptIndex
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *wireReader) uint32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, ErrCorruptIndex
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *wireReader) uint64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, ErrCorruptIndex
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *wireReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, ErrCorruptIndex
+	}
+	out := make([]byte, n)
+	copy(out, r.data[r.off:r.off+n])
+	r.off += n
+	return out, nil
+}
+
+func (r *wireReader) lenPrefixed() ([]byte, error) {
+	n, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.off) {
+		return nil, ErrCorruptIndex
+	}
+	return r.bytes(int(n))
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"rsse/internal/cover"
+)
+
+func TestIndexMarshalRoundtripAllKinds(t *testing.T) {
+	dom := cover.Domain{Bits: 9}
+	tuples := uniformTuples(150, 9, 51)
+	q := Range{100, 400}
+	for _, kind := range nonQuadraticKinds() {
+		opts := testOptions(52)
+		opts.AllowIntersecting = true // the index is queried twice below
+		c, err := NewClient(kind, dom, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.Query(idx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := idx.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", kind, err)
+		}
+		back, err := UnmarshalIndex(blob)
+		if err != nil {
+			t.Fatalf("%v: unmarshal: %v", kind, err)
+		}
+		if back.Kind() != kind || back.N() != idx.N() || back.Domain() != dom {
+			t.Fatalf("%v: metadata lost", kind)
+		}
+		got, err := c.Query(back, q)
+		if err != nil {
+			t.Fatalf("%v: query after roundtrip: %v", kind, err)
+		}
+		if !idsEqual(sortedIDs(got.Matches), sortedIDs(want.Matches)) {
+			t.Fatalf("%v: results differ after roundtrip", kind)
+		}
+		// Tuple store survives too.
+		tup, err := c.FetchTuple(back, tuples[0].ID)
+		if err != nil || tup.Value != tuples[0].Value {
+			t.Fatalf("%v: store lost in roundtrip: %v %v", kind, tup, err)
+		}
+	}
+}
+
+func TestIndexMarshalEmpty(t *testing.T) {
+	c, err := NewClient(LogarithmicSRC, cover.Domain{Bits: 5}, testOptions(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalIndex(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(back, Range{0, 31})
+	if err != nil || len(res.Matches) != 0 {
+		t.Fatalf("empty roundtrip broken: %v %v", res, err)
+	}
+}
+
+func TestUnmarshalIndexRejectsGarbage(t *testing.T) {
+	c, err := NewClient(LogarithmicBRC, cover.Domain{Bits: 6}, testOptions(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(uniformTuples(20, 6, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                                  // bad version
+		blob[:len(blob)/2],                    // truncated
+		append(blob, 1, 2, 3),                 // trailing garbage
+		{1, 1, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // domain bits too large
+	}
+	for i, bad := range cases {
+		if _, err := UnmarshalIndex(bad); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestIndexMarshalDeterministicSize(t *testing.T) {
+	c, err := NewClient(ConstantBRC, cover.Domain{Bits: 8}, testOptions(56))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(uniformTuples(40, 8, 57))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Error("marshal size not stable")
+	}
+}

@@ -1,0 +1,61 @@
+package cover
+
+import (
+	mrand "math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the covering primitives on the paper's Figure 8
+// domain (2^20). Cover computation is pure arithmetic; these set the
+// baseline under the PRF costs measured in Figure 8(b).
+
+func benchRanges(b *testing.B, R uint64) []uint64 {
+	d := Domain{Bits: 20}
+	rnd := mrand.New(mrand.NewSource(1))
+	los := make([]uint64, 1024)
+	for i := range los {
+		los[i] = rnd.Uint64() % (d.Size() - R)
+	}
+	return los
+}
+
+func BenchmarkBRC_R100(b *testing.B) {
+	d := Domain{Bits: 20}
+	los := benchRanges(b, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BRC(d, los[i%len(los)], los[i%len(los)]+99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkURC_R100(b *testing.B) {
+	d := Domain{Bits: 20}
+	los := benchRanges(b, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := URC(d, los[i%len(los)], los[i%len(los)]+99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSRC_R100(b *testing.B) {
+	td := NewTDAG(Domain{Bits: 20})
+	los := benchRanges(b, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := td.SRC(los[i%len(los)], los[i%len(los)]+99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTDAGCover(b *testing.B) {
+	td := NewTDAG(Domain{Bits: 20})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		td.Cover(uint64(i) % td.D.Size())
+	}
+}

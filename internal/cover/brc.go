@@ -1,0 +1,71 @@
+package cover
+
+// Technique selects a range-covering technique for the schemes that are
+// parametric in it (Constant-* and Logarithmic-* of Sections 5 and 6.1).
+type Technique int
+
+const (
+	// BRCTechnique is the best range cover: the unique minimal set of
+	// dyadic nodes covering the range exactly.
+	BRCTechnique Technique = iota
+	// URCTechnique is the uniform range cover of Kiayias et al. [24]: a
+	// worst-case decomposition whose level multiset depends only on the
+	// range size, not its position.
+	URCTechnique
+)
+
+// String returns the technique's conventional name.
+func (t Technique) String() string {
+	switch t {
+	case BRCTechnique:
+		return "BRC"
+	case URCTechnique:
+		return "URC"
+	default:
+		return "unknown"
+	}
+}
+
+// Cover dispatches to BRC or URC.
+func Cover(d Domain, lo, hi uint64, t Technique) ([]Node, error) {
+	switch t {
+	case BRCTechnique:
+		return BRC(d, lo, hi)
+	case URCTechnique:
+		return URC(d, lo, hi)
+	default:
+		return nil, errUnknownTechnique
+	}
+}
+
+// BRC computes the best range cover of [lo, hi]: the unique minimal set of
+// dyadic nodes whose intervals partition the range (the "minimum dyadic
+// intervals" of Section 2.2). Nodes are returned left to right. For a
+// range of size R the cover has O(log R) nodes, at most two per level.
+func BRC(d Domain, lo, hi uint64) ([]Node, error) {
+	if err := d.CheckRange(lo, hi); err != nil {
+		return nil, err
+	}
+	out := make([]Node, 0, 2*int(d.Bits)+1)
+	a := lo
+	for {
+		// Pick the largest aligned node starting at a that stays within hi.
+		l := uint8(0)
+		for l < d.Bits {
+			sz := uint64(1) << (l + 1)
+			if a&(sz-1) != 0 {
+				break // a is not aligned to the next level
+			}
+			if sz-1 > hi-a {
+				break // the next level would overshoot hi
+			}
+			l++
+		}
+		out = append(out, Node{Level: l, Start: a})
+		step := uint64(1) << l
+		if hi-a+1 == step {
+			return out, nil
+		}
+		a += step
+	}
+}

@@ -1,0 +1,174 @@
+package cover
+
+import (
+	"math/bits"
+	mrand "math/rand"
+	"testing"
+)
+
+// checkExactCover verifies that nodes partition [lo, hi]: consecutive,
+// non-overlapping, and spanning exactly the range.
+func checkExactCover(t *testing.T, nodes []Node, lo, hi uint64) {
+	t.Helper()
+	if len(nodes) == 0 {
+		t.Fatalf("empty cover for [%d, %d]", lo, hi)
+	}
+	sorted := make([]Node, len(nodes))
+	copy(sorted, nodes)
+	SortNodes(sorted)
+	if sorted[0].Start != lo {
+		t.Fatalf("cover starts at %d, want %d", sorted[0].Start, lo)
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Start != sorted[i-1].End()+1 {
+			t.Fatalf("gap/overlap between %v and %v", sorted[i-1], sorted[i])
+		}
+	}
+	if last := sorted[len(sorted)-1].End(); last != hi {
+		t.Fatalf("cover ends at %d, want %d", last, hi)
+	}
+}
+
+func TestBRCPaperExamples(t *testing.T) {
+	d := Domain{Bits: 3}
+	// Figure 1: [2,7] is covered by N2,3 and N4,7.
+	nodes, err := BRC(d, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{{1, 2}, {2, 4}}
+	if len(nodes) != 2 || nodes[0] != want[0] || nodes[1] != want[1] {
+		t.Errorf("BRC([2,7]) = %v, want %v", nodes, want)
+	}
+	// Section 2.2: [1,6] is covered by N1, N2,3, N4,5 and N6.
+	nodes, err = BRC(d, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []Node{{0, 1}, {1, 2}, {1, 4}, {0, 6}}
+	if len(nodes) != 4 {
+		t.Fatalf("BRC([1,6]) = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("BRC([1,6])[%d] = %v, want %v", i, nodes[i], want[i])
+		}
+	}
+}
+
+func TestBRCSingleValue(t *testing.T) {
+	d := Domain{Bits: 5}
+	for _, v := range []uint64{0, 13, 31} {
+		nodes, err := BRC(d, v, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != 1 || nodes[0] != (Node{0, v}) {
+			t.Errorf("BRC([%d,%d]) = %v", v, v, nodes)
+		}
+	}
+}
+
+func TestBRCFullDomain(t *testing.T) {
+	for _, b := range []uint8{0, 1, 4, 10} {
+		d := Domain{Bits: b}
+		nodes, err := BRC(d, 0, d.Size()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != 1 || nodes[0] != d.Root() {
+			t.Errorf("BRC(full %d-bit domain) = %v, want root", b, nodes)
+		}
+	}
+}
+
+func TestBRCInvalidRange(t *testing.T) {
+	d := Domain{Bits: 3}
+	if _, err := BRC(d, 5, 3); err == nil {
+		t.Error("BRC on empty range should fail")
+	}
+	if _, err := BRC(d, 0, 8); err == nil {
+		t.Error("BRC beyond domain should fail")
+	}
+}
+
+// TestBRCExhaustive validates exactness, the <=2-nodes-per-level
+// structure, and minimality (via the unique maximal-dyadic-interval
+// characterization) for every range of a small domain.
+func TestBRCExhaustive(t *testing.T) {
+	d := Domain{Bits: 7}
+	m := d.Size()
+	for lo := uint64(0); lo < m; lo++ {
+		for hi := lo; hi < m; hi++ {
+			nodes, err := BRC(d, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkExactCover(t, nodes, lo, hi)
+			perLevel := map[uint8]int{}
+			for _, n := range nodes {
+				perLevel[n.Level]++
+				if perLevel[n.Level] > 2 {
+					t.Fatalf("BRC([%d,%d]) has >2 nodes at level %d: %v", lo, hi, n.Level, nodes)
+				}
+				// Minimality: every BRC node must be maximal, i.e. its
+				// parent's interval must spill outside [lo, hi].
+				if n.Level < d.Bits {
+					parent := Node{Level: n.Level + 1, Start: n.Start >> (n.Level + 1) << (n.Level + 1)}
+					if parent.Start >= lo && parent.End() <= hi {
+						t.Fatalf("BRC([%d,%d]) node %v is not maximal (parent %v fits)", lo, hi, n, parent)
+					}
+				}
+			}
+			// O(log R) bound: at most 2*floor(log2 R) + 2 nodes.
+			R := hi - lo + 1
+			if maxN := 2*bits.Len64(R) + 2; len(nodes) > maxN {
+				t.Fatalf("BRC([%d,%d]) has %d nodes, bound %d", lo, hi, len(nodes), maxN)
+			}
+		}
+	}
+}
+
+func TestBRCRandomLargeDomain(t *testing.T) {
+	d := Domain{Bits: 40}
+	rnd := mrand.New(mrand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		lo := rnd.Uint64() % d.Size()
+		R := uint64(1) + rnd.Uint64()%(1<<20)
+		hi := lo + R - 1
+		if hi >= d.Size() {
+			hi = d.Size() - 1
+		}
+		nodes, err := BRC(d, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkExactCover(t, nodes, lo, hi)
+		if maxN := 2*bits.Len64(hi-lo+1) + 2; len(nodes) > maxN {
+			t.Fatalf("BRC([%d,%d]) has %d nodes, bound %d", lo, hi, len(nodes), maxN)
+		}
+	}
+}
+
+func TestCoverDispatch(t *testing.T) {
+	d := Domain{Bits: 4}
+	for _, tech := range []Technique{BRCTechnique, URCTechnique} {
+		nodes, err := Cover(d, 3, 11, tech)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		checkExactCover(t, nodes, 3, 11)
+	}
+	if _, err := Cover(d, 3, 11, Technique(99)); err == nil {
+		t.Error("unknown technique should fail")
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	if BRCTechnique.String() != "BRC" || URCTechnique.String() != "URC" {
+		t.Error("technique names wrong")
+	}
+	if Technique(9).String() != "unknown" {
+		t.Error("unknown technique name wrong")
+	}
+}

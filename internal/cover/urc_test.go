@@ -1,0 +1,255 @@
+package cover
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"reflect"
+	"testing"
+)
+
+// levelCounts tallies a node list into per-level counts, trimmed.
+func levelCounts(nodes []Node) []uint64 {
+	maxL := 0
+	for _, n := range nodes {
+		if int(n.Level) > maxL {
+			maxL = int(n.Level)
+		}
+	}
+	c := make([]uint64, maxL+1)
+	for _, n := range nodes {
+		c[n.Level]++
+	}
+	return c
+}
+
+// bruteMassVector computes, by scanning every position of a size-R range
+// inside a comfortably larger domain, the pointwise-minimum mass vector
+// that urcMassVector claims in closed form.
+func bruteMassVector(t *testing.T, R uint64) []uint64 {
+	t.Helper()
+	bits := ceilLog2(R) + 3 // several full alignment periods
+	d := Domain{Bits: bits}
+	var minW []uint64
+	for lo := uint64(0); lo+R-1 < d.Size(); lo++ {
+		nodes, err := BRC(d, lo, lo+R-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := levelCounts(nodes)
+		W := make([]uint64, len(c))
+		for tt := len(c) - 1; tt >= 0; tt-- {
+			var above uint64
+			if tt+1 < len(c) {
+				above = W[tt+1]
+			}
+			W[tt] = c[tt] + 2*above
+		}
+		if minW == nil {
+			minW = W
+			continue
+		}
+		for tt := range minW {
+			var w uint64
+			if tt < len(W) {
+				w = W[tt]
+			}
+			if w < minW[tt] {
+				minW[tt] = w
+			}
+		}
+	}
+	for len(minW) > 1 && minW[len(minW)-1] == 0 {
+		minW = minW[:len(minW)-1]
+	}
+	return minW
+}
+
+// TestURCMassVectorAgainstBruteForce is the linchpin correctness test for
+// the closed-form canonical decomposition: for every R up to 512 the
+// closed form must equal the brute-force pointwise minimum over all range
+// positions.
+func TestURCMassVectorAgainstBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute force scan skipped in -short mode")
+	}
+	for R := uint64(1); R <= 512; R++ {
+		got := urcMassVector(R)
+		for len(got) > 1 && got[len(got)-1] == 0 {
+			got = got[:len(got)-1]
+		}
+		want := bruteMassVector(t, R)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("urcMassVector(%d) = %v, brute force = %v", R, got, want)
+		}
+	}
+}
+
+func TestURCLevelCountsKnownValues(t *testing.T) {
+	cases := map[uint64][]uint64{
+		1:  {1},
+		2:  {2},
+		3:  {1, 1},
+		4:  {2, 1},
+		5:  {1, 2},
+		6:  {2, 2},
+		7:  {1, 1, 1},
+		8:  {2, 1, 1},
+		9:  {1, 2, 1},
+		10: {2, 2, 1},
+	}
+	for R, want := range cases {
+		if got := URCLevelCounts(R); !reflect.DeepEqual(got, want) {
+			t.Errorf("URCLevelCounts(%d) = %v, want %v", R, got, want)
+		}
+	}
+}
+
+func TestURCLevelCountsMassConservation(t *testing.T) {
+	for R := uint64(1); R <= 5000; R++ {
+		var sum uint64
+		for l, c := range URCLevelCounts(R) {
+			sum += c << uint(l)
+		}
+		if sum != R {
+			t.Fatalf("URCLevelCounts(%d) sums to %d", R, sum)
+		}
+	}
+}
+
+func TestURCPaperExample(t *testing.T) {
+	d := Domain{Bits: 3}
+	// Figure 1: URC([2,7]) = {N2, N3, N4,5, N6,7}.
+	nodes, err := URC(d, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortNodes(nodes)
+	want := []Node{{0, 2}, {0, 3}, {1, 4}, {1, 6}}
+	if !reflect.DeepEqual(nodes, want) {
+		t.Errorf("URC([2,7]) = %v, want %v", nodes, want)
+	}
+	// [1,6] has the same size and must produce the same level multiset.
+	nodes16, err := URC(d, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(levelCounts(nodes16), levelCounts(nodes)) {
+		t.Errorf("URC([1,6]) levels %v != URC([2,7]) levels %v",
+			levelCounts(nodes16), levelCounts(nodes))
+	}
+}
+
+// TestURCPositionIndependence is the security property URC exists for:
+// for a fixed R, every position must yield the identical level multiset.
+func TestURCPositionIndependence(t *testing.T) {
+	d := Domain{Bits: 10}
+	for _, R := range []uint64{1, 2, 3, 5, 7, 8, 13, 64, 100, 255, 256, 257, 500, 1024} {
+		want := URCLevelCounts(R)
+		step := uint64(1)
+		if R > 64 {
+			step = 7 // sample positions for large R to keep the test fast
+		}
+		for lo := uint64(0); lo+R-1 < d.Size(); lo += step {
+			nodes, err := URC(d, lo, lo+R-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := levelCounts(nodes); !reflect.DeepEqual(got, want) {
+				t.Fatalf("URC(R=%d, lo=%d) levels = %v, want %v", R, lo, got, want)
+			}
+		}
+	}
+}
+
+func TestURCExhaustiveExactness(t *testing.T) {
+	d := Domain{Bits: 6}
+	m := d.Size()
+	for lo := uint64(0); lo < m; lo++ {
+		for hi := lo; hi < m; hi++ {
+			nodes, err := URC(d, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkExactCover(t, nodes, lo, hi)
+			if got, want := levelCounts(nodes), URCLevelCounts(hi-lo+1); !reflect.DeepEqual(got, want) {
+				t.Fatalf("URC([%d,%d]) levels %v, want %v", lo, hi, got, want)
+			}
+			// URC nodes must still be dyadic-aligned (they are binary-tree
+			// nodes, unlike TDAG windows).
+			for _, n := range nodes {
+				if n.Start&(n.Size()-1) != 0 {
+					t.Fatalf("URC([%d,%d]) emitted unaligned node %v", lo, hi, n)
+				}
+			}
+		}
+	}
+}
+
+func TestURCRandomLargeDomain(t *testing.T) {
+	d := Domain{Bits: 40}
+	rnd := mrand.New(mrand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		R := uint64(1) + rnd.Uint64()%(1<<16)
+		lo := rnd.Uint64() % (d.Size() - R)
+		hi := lo + R - 1
+		nodes, err := URC(d, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkExactCover(t, nodes, lo, hi)
+		if got, want := levelCounts(nodes), URCLevelCounts(R); !reflect.DeepEqual(got, want) {
+			t.Fatalf("URC(R=%d, lo=%d) levels %v, want %v", R, lo, got, want)
+		}
+	}
+}
+
+// TestURCTokenCountBound checks the O(log R) query-size claim of Table 1:
+// |URC(R)| stays within 2*ceil(log2 R) + 2.
+func TestURCTokenCountBound(t *testing.T) {
+	for R := uint64(1); R <= 1<<16; R = R*3/2 + 1 {
+		n := URCNodeCount(R)
+		bound := 2*int(ceilLog2(R)) + 2
+		if n > bound {
+			t.Errorf("URCNodeCount(%d) = %d exceeds bound %d", R, n, bound)
+		}
+	}
+}
+
+// TestURCDominatesBRC: URC is a refinement of BRC, so it can never use
+// fewer nodes.
+func TestURCDominatesBRC(t *testing.T) {
+	d := Domain{Bits: 12}
+	rnd := mrand.New(mrand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		R := uint64(1) + rnd.Uint64()%4096
+		lo := rnd.Uint64() % (d.Size() - R)
+		brc, err := BRC(d, lo, lo+R-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		urc, err := URC(d, lo, lo+R-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(urc) < len(brc) {
+			t.Fatalf("URC(R=%d,lo=%d) smaller than BRC: %d < %d", R, lo, len(urc), len(brc))
+		}
+	}
+}
+
+func TestURCInvalidRange(t *testing.T) {
+	d := Domain{Bits: 3}
+	if _, err := URC(d, 5, 3); err == nil {
+		t.Error("URC on empty range should fail")
+	}
+	if _, err := URC(d, 0, 99); err == nil {
+		t.Error("URC beyond domain should fail")
+	}
+}
+
+func ExampleURCLevelCounts() {
+	// Any range of size 6 decomposes into two leaves and two level-1
+	// nodes, regardless of position (Figure 1 of the paper).
+	fmt.Println(URCLevelCounts(6))
+	// Output: [2 2]
+}

@@ -1,0 +1,206 @@
+// Package dataset generates the synthetic workloads the benchmark harness
+// uses to reproduce the paper's evaluation (Section 8).
+//
+// The paper's two real datasets are not redistributable, so this package
+// builds synthetic equivalents that preserve the property each experiment
+// isolates (see DESIGN.md, "Substitutions"):
+//
+//   - Gowalla: 6.4M location check-ins with timestamps over a domain of
+//     ~103M values; about 95% of the tuples carry distinct values, i.e.
+//     the data is near-uniform over the domain. GowallaLike draws values
+//     uniformly over a 2^27 domain, which reproduces the distinctness
+//     ratio at the paper's scale.
+//   - USPS: 389K salary records over a domain of ~277K values with only
+//     5% distinct values, i.e. heavily skewed. USPSLike draws values with
+//     a Zipf law over a small pool of distinct salaries inside a 2^19
+//     domain.
+//
+// All generators are deterministic given a seed.
+package dataset
+
+import (
+	mrand "math/rand"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+)
+
+// GowallaBits is the domain exponent of the synthetic Gowalla workload:
+// 2^27 ≈ 134M, matching the paper's check-in timestamp domain of ~103M.
+const GowallaBits uint8 = 27
+
+// USPSBits is the domain exponent of the synthetic USPS workload:
+// 2^19 = 524288, covering the paper's salary domain of 276840.
+const USPSBits uint8 = 19
+
+// GowallaDomain returns the synthetic Gowalla domain.
+func GowallaDomain() cover.Domain { return cover.Domain{Bits: GowallaBits} }
+
+// USPSDomain returns the synthetic USPS domain.
+func USPSDomain() cover.Domain { return cover.Domain{Bits: USPSBits} }
+
+// Uniform draws n tuples with values uniform over a bits-wide domain.
+func Uniform(n int, bits uint8, seed int64) []core.Tuple {
+	rnd := mrand.New(mrand.NewSource(seed))
+	out := make([]core.Tuple, n)
+	size := uint64(1) << bits
+	for i := range out {
+		out[i] = core.Tuple{ID: uint64(i + 1), Value: rnd.Uint64() % size}
+	}
+	return out
+}
+
+// GowallaLike draws an n-tuple near-uniform workload over the Gowalla
+// domain (~95%+ distinct values at n = 5M, more at smaller n).
+func GowallaLike(n int, seed int64) []core.Tuple {
+	return Uniform(n, GowallaBits, seed)
+}
+
+// ZipfPool draws n tuples whose values follow a Zipf(s) law over a pool
+// of `distinct` values placed uniformly in a bits-wide domain. Small
+// pools and s near 1.0+ produce the heavy skew of salary-style data.
+func ZipfPool(n int, bits uint8, distinct int, s float64, seed int64) []core.Tuple {
+	if distinct < 1 {
+		distinct = 1
+	}
+	rnd := mrand.New(mrand.NewSource(seed))
+	size := uint64(1) << bits
+	pool := make([]uint64, distinct)
+	for i := range pool {
+		pool[i] = rnd.Uint64() % size
+	}
+	// rand.Zipf requires s > 1.
+	zipf := mrand.NewZipf(rnd, s, 1, uint64(distinct-1))
+	out := make([]core.Tuple, n)
+	for i := range out {
+		out[i] = core.Tuple{ID: uint64(i + 1), Value: pool[zipf.Uint64()]}
+	}
+	return out
+}
+
+// BandedZipfPool is ZipfPool with the distinct-value pool confined to
+// [bandLo, bandHi): real skewed attributes (salaries, prices) concentrate
+// their distinct values in a band of the domain rather than spreading
+// them uniformly. The clustering is what gives Logarithmic-SRC-i its
+// false-positive advantage in the paper's Figure 6(b): queries near the
+// band drag whole hot values into SRC's single window.
+func BandedZipfPool(n int, bits uint8, distinct int, s float64, bandLo, bandHi uint64, seed int64) []core.Tuple {
+	if distinct < 1 {
+		distinct = 1
+	}
+	size := uint64(1) << bits
+	if bandHi > size {
+		bandHi = size
+	}
+	if bandLo >= bandHi {
+		bandLo, bandHi = 0, size
+	}
+	rnd := mrand.New(mrand.NewSource(seed))
+	pool := make([]uint64, distinct)
+	for i := range pool {
+		pool[i] = bandLo + rnd.Uint64()%(bandHi-bandLo)
+	}
+	zipf := mrand.NewZipf(rnd, s, 1, uint64(distinct-1))
+	out := make([]core.Tuple, n)
+	for i := range out {
+		out[i] = core.Tuple{ID: uint64(i + 1), Value: pool[zipf.Uint64()]}
+	}
+	return out
+}
+
+// USPSLike draws an n-tuple heavily skewed workload over the USPS domain:
+// the distinct-value pool is 5% of n (the paper's ratio), clustered in a
+// salary band, with Zipf mass on a few common salaries.
+func USPSLike(n int, seed int64) []core.Tuple {
+	m := uint64(1) << USPSBits
+	return BandedZipfPool(n, USPSBits, n/20, 1.3, m/8, m/2, seed)
+}
+
+// Clustered draws n tuples grouped into the given number of clusters:
+// cluster centers are uniform, members deviate by at most spread. Useful
+// for moderately skewed workloads between the two extremes.
+func Clustered(n int, bits uint8, clusters int, spread uint64, seed int64) []core.Tuple {
+	if clusters < 1 {
+		clusters = 1
+	}
+	rnd := mrand.New(mrand.NewSource(seed))
+	size := uint64(1) << bits
+	centers := make([]uint64, clusters)
+	for i := range centers {
+		centers[i] = rnd.Uint64() % size
+	}
+	out := make([]core.Tuple, n)
+	for i := range out {
+		c := centers[rnd.Intn(clusters)]
+		v := c + rnd.Uint64()%(2*spread+1)
+		if v >= spread {
+			v -= spread
+		}
+		if v >= size {
+			v = size - 1
+		}
+		out[i] = core.Tuple{ID: uint64(i + 1), Value: v}
+	}
+	return out
+}
+
+// DistinctFraction reports the ratio of distinct values to tuples — the
+// statistic the paper quotes to contrast Gowalla (95%) with USPS (5%).
+func DistinctFraction(tuples []core.Tuple) float64 {
+	if len(tuples) == 0 {
+		return 0
+	}
+	seen := make(map[core.Value]struct{}, len(tuples))
+	for _, t := range tuples {
+		seen[t.Value] = struct{}{}
+	}
+	return float64(len(seen)) / float64(len(tuples))
+}
+
+// Queries draws num random queries of exactly R values each, uniformly
+// positioned over the domain.
+func Queries(num int, d cover.Domain, R uint64, seed int64) []core.Range {
+	if R < 1 {
+		R = 1
+	}
+	if R > d.Size() {
+		R = d.Size()
+	}
+	rnd := mrand.New(mrand.NewSource(seed))
+	out := make([]core.Range, num)
+	span := d.Size() - R + 1
+	for i := range out {
+		lo := rnd.Uint64() % span
+		out[i] = core.Range{Lo: lo, Hi: lo + R - 1}
+	}
+	return out
+}
+
+// PercentQueries draws num random queries covering pct percent of the
+// domain — the x-axis of Figures 6 and 7.
+func PercentQueries(num int, d cover.Domain, pct float64, seed int64) []core.Range {
+	R := uint64(float64(d.Size()) * pct / 100.0)
+	if R < 1 {
+		R = 1
+	}
+	return Queries(num, d, R, seed)
+}
+
+// Partition splits tuples into batches of the given size, preserving
+// order — the incremental loading protocol of Figure 5 ("start with one
+// partition, and gradually add the rest").
+func Partition(tuples []core.Tuple, batch int) [][]core.Tuple {
+	if batch < 1 {
+		batch = 1
+	}
+	var out [][]core.Tuple
+	for len(tuples) > 0 {
+		n := batch
+		if n > len(tuples) {
+			n = len(tuples)
+		}
+		out = append(out, tuples[:n])
+		tuples = tuples[n:]
+	}
+	return out
+}

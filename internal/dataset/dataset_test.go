@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"testing"
+
+	"rsse/internal/cover"
+)
+
+func TestUniformBasics(t *testing.T) {
+	tuples := Uniform(1000, 10, 1)
+	if len(tuples) != 1000 {
+		t.Fatalf("len = %d", len(tuples))
+	}
+	seen := map[uint64]bool{}
+	for _, tu := range tuples {
+		if tu.Value >= 1024 {
+			t.Fatalf("value %d outside 10-bit domain", tu.Value)
+		}
+		if seen[tu.ID] {
+			t.Fatalf("duplicate id %d", tu.ID)
+		}
+		seen[tu.ID] = true
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Uniform(100, 12, 7)
+	b := Uniform(100, 12, 7)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Value != b[i].Value {
+			t.Fatal("same seed produced different tuples")
+		}
+	}
+	c := Uniform(100, 12, 8)
+	same := true
+	for i := range a {
+		if a[i].ID != c[i].ID || a[i].Value != c[i].Value {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical tuples")
+	}
+}
+
+// TestGowallaLikeDistinctness: the synthetic Gowalla must be near-uniform
+// — the paper reports 95% distinct values; at smaller n the ratio is
+// even higher.
+func TestGowallaLikeDistinctness(t *testing.T) {
+	tuples := GowallaLike(50000, 3)
+	if f := DistinctFraction(tuples); f < 0.95 {
+		t.Errorf("Gowalla-like distinct fraction %f < 0.95", f)
+	}
+	for _, tu := range tuples[:100] {
+		if !GowallaDomain().Contains(tu.Value) {
+			t.Fatal("value outside Gowalla domain")
+		}
+	}
+}
+
+// TestUSPSLikeSkew: the synthetic USPS must have ~5% distinct values and
+// a dominant hot value.
+func TestUSPSLikeSkew(t *testing.T) {
+	tuples := USPSLike(20000, 4)
+	f := DistinctFraction(tuples)
+	if f > 0.06 {
+		t.Errorf("USPS-like distinct fraction %f > 0.06", f)
+	}
+	counts := map[uint64]int{}
+	for _, tu := range tuples {
+		counts[tu.Value]++
+		if !USPSDomain().Contains(tu.Value) {
+			t.Fatal("value outside USPS domain")
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(len(tuples)) < 0.05 {
+		t.Errorf("hot value holds only %f of the data; expected heavy skew",
+			float64(max)/float64(len(tuples)))
+	}
+	// Values cluster in the salary band.
+	m := uint64(1) << USPSBits
+	for _, tu := range tuples {
+		if tu.Value < m/8 || tu.Value >= m/2 {
+			t.Fatalf("value %d outside the salary band [%d, %d)", tu.Value, m/8, m/2)
+		}
+	}
+}
+
+func TestBandedZipfPoolEdges(t *testing.T) {
+	// Degenerate band falls back to the whole domain.
+	tuples := BandedZipfPool(100, 8, 5, 1.5, 200, 100, 9)
+	if len(tuples) != 100 {
+		t.Fatal("wrong length")
+	}
+	// Band beyond the domain is clamped.
+	tuples = BandedZipfPool(100, 8, 5, 1.5, 0, 1<<20, 10)
+	for _, tu := range tuples {
+		if tu.Value >= 256 {
+			t.Fatalf("value %d outside 8-bit domain", tu.Value)
+		}
+	}
+}
+
+func TestZipfPoolEdges(t *testing.T) {
+	tuples := ZipfPool(100, 8, 0, 1.5, 5) // distinct clamped to 1
+	first := tuples[0].Value
+	for _, tu := range tuples {
+		if tu.Value != first {
+			t.Fatal("single-value pool produced multiple values")
+		}
+	}
+}
+
+func TestClustered(t *testing.T) {
+	tuples := Clustered(5000, 16, 5, 50, 6)
+	if len(tuples) != 5000 {
+		t.Fatal("wrong length")
+	}
+	f := DistinctFraction(tuples)
+	if f > 0.3 {
+		t.Errorf("clustered data too uniform: %f", f)
+	}
+	d := cover.Domain{Bits: 16}
+	for _, tu := range tuples {
+		if !d.Contains(tu.Value) {
+			t.Fatalf("value %d outside domain", tu.Value)
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	d := cover.Domain{Bits: 16}
+	qs := Queries(200, d, 500, 7)
+	if len(qs) != 200 {
+		t.Fatal("wrong count")
+	}
+	for _, q := range qs {
+		if q.Size() != 500 {
+			t.Fatalf("query size %d, want 500", q.Size())
+		}
+		if !d.Contains(q.Hi) {
+			t.Fatalf("query %v outside domain", q)
+		}
+	}
+	// Clamping: R larger than the domain.
+	qs = Queries(5, d, 1<<20, 8)
+	for _, q := range qs {
+		if q.Lo != 0 || q.Hi != d.Size()-1 {
+			t.Fatalf("oversized R not clamped: %v", q)
+		}
+	}
+	// R = 0 becomes 1.
+	qs = Queries(5, d, 0, 9)
+	for _, q := range qs {
+		if q.Size() != 1 {
+			t.Fatalf("zero R not clamped: %v", q)
+		}
+	}
+}
+
+func TestPercentQueries(t *testing.T) {
+	d := cover.Domain{Bits: 10}
+	for _, pct := range []float64{1, 10, 50, 100} {
+		qs := PercentQueries(50, d, pct, 11)
+		want := uint64(float64(d.Size()) * pct / 100)
+		for _, q := range qs {
+			if q.Size() != want {
+				t.Fatalf("pct=%v: size %d, want %d", pct, q.Size(), want)
+			}
+		}
+	}
+}
+
+func TestDistinctFraction(t *testing.T) {
+	if DistinctFraction(nil) != 0 {
+		t.Error("empty dataset fraction should be 0")
+	}
+	tuples := Uniform(10, 20, 13)
+	if f := DistinctFraction(tuples); f != 1.0 {
+		t.Errorf("10 tuples over 2^20: fraction %f (collision wildly unlikely)", f)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	tuples := Uniform(10, 8, 14)
+	parts := Partition(tuples, 3)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 10 {
+		t.Fatalf("partition lost tuples: %d", total)
+	}
+	if len(parts[3]) != 1 {
+		t.Fatalf("last part has %d", len(parts[3]))
+	}
+	if got := Partition(tuples, 0); len(got) != 10 {
+		t.Error("batch<1 not clamped")
+	}
+}

@@ -1,0 +1,202 @@
+// Package dprf implements the Delegatable Pseudorandom Function of
+// Kiayias et al. [24] on the GGM tree, as used by the Constant-BRC and
+// Constant-URC schemes (Section 5 of the paper).
+//
+// The GGM pseudorandom generator G maps a 32-byte seed to two 32-byte
+// outputs G0, G1; following the paper's implementation notes (Section 8)
+// it is realized with HMAC-SHA-512, whose 64-byte output is split in half.
+// The DPRF value of an L-bit domain value a_{L-1}...a_0 under key k is
+//
+//	f_k(a) = G_{a_0}( ... G_{a_{L-1}}(k) ... )
+//
+// i.e. a walk from the GGM-tree root along the bits of a, most significant
+// first. A GGM value for an internal node (paired with its level) lets an
+// untrusted party derive every leaf DPRF value in the node's subtree but
+// nothing outside it. The token-generation function T emits the GGM values
+// for the BRC or URC cover of a range; the expansion function C derives
+// the leaf values.
+package dprf
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha512"
+	"fmt"
+	"io"
+
+	"rsse/internal/cover"
+)
+
+// Size is the byte length of GGM seeds and DPRF outputs.
+const Size = 32
+
+// Value is a GGM seed or DPRF output.
+type Value [Size]byte
+
+// Key is a DPRF secret key (the GGM root seed).
+type Key struct {
+	seed Value
+	bits uint8 // domain height L
+}
+
+// TokenSize is the serialized size of one delegation token:
+// one level byte plus the GGM value.
+const TokenSize = 1 + Size
+
+// Token delegates evaluation over one subtree: the GGM value of the node
+// and the node's level (needed by the receiver to know how far to expand).
+// Per Section 5, tokens deliberately omit the node position.
+type Token struct {
+	Level uint8
+	Value Value
+}
+
+// NewKey draws a fresh DPRF key for an L-bit domain from r
+// (crypto/rand.Reader if nil).
+func NewKey(d cover.Domain, r io.Reader) (Key, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	var k Key
+	k.bits = d.Bits
+	if _, err := io.ReadFull(r, k.seed[:]); err != nil {
+		return Key{}, fmt.Errorf("dprf: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromSeed builds a DPRF key from an existing 32-byte seed, e.g. one
+// derived from a master key.
+func KeyFromSeed(d cover.Domain, seed [Size]byte) Key {
+	return Key{seed: seed, bits: d.Bits}
+}
+
+// Bits returns the domain height the key was generated for.
+func (k Key) Bits() uint8 { return k.bits }
+
+// g computes the GGM PRG: G(seed) = HMAC-SHA-512(seed, "rsse/ggm"),
+// split into (G0, G1).
+func g(seed Value) (g0, g1 Value) {
+	mac := hmac.New(sha512.New, seed[:])
+	mac.Write([]byte("rsse/ggm"))
+	sum := mac.Sum(nil)
+	copy(g0[:], sum[:Size])
+	copy(g1[:], sum[Size:2*Size])
+	return g0, g1
+}
+
+// step applies G and selects the branch for one path bit.
+func step(seed Value, bit uint64) Value {
+	g0, g1 := g(seed)
+	if bit == 0 {
+		return g0
+	}
+	return g1
+}
+
+// walk descends `depth` levels following the low `depth` bits of path,
+// most significant first.
+func walk(seed Value, path uint64, depth uint8) Value {
+	for i := int(depth) - 1; i >= 0; i-- {
+		seed = step(seed, (path>>uint(i))&1)
+	}
+	return seed
+}
+
+// Eval computes the leaf DPRF value f_k(a). a must lie in the key's domain.
+func (k Key) Eval(a uint64) (Value, error) {
+	if a >= uint64(1)<<k.bits {
+		return Value{}, fmt.Errorf("dprf: value %d outside %d-bit domain", a, k.bits)
+	}
+	return walk(k.seed, a, k.bits), nil
+}
+
+// NodeToken computes the delegation token for one dyadic node: the GGM
+// value at the node's position in the tree. The node must be aligned
+// (binary-tree node) and fit the domain.
+func (k Key) NodeToken(n cover.Node) (Token, error) {
+	if n.Level > k.bits {
+		return Token{}, fmt.Errorf("dprf: node level %d above domain height %d", n.Level, k.bits)
+	}
+	if n.Start&(n.Size()-1) != 0 {
+		return Token{}, fmt.Errorf("dprf: node %v is not dyadic-aligned", n)
+	}
+	if n.End() >= uint64(1)<<k.bits {
+		return Token{}, fmt.Errorf("dprf: node %v outside %d-bit domain", n, k.bits)
+	}
+	prefix := n.Start >> n.Level
+	return Token{Level: n.Level, Value: walk(k.seed, prefix, k.bits-n.Level)}, nil
+}
+
+// Delegate implements the token-generation function T of the DPRF: it
+// covers [lo, hi] with BRC or URC and returns one token per covering node.
+// The caller is expected to randomly permute the tokens before sending
+// them (the Trpdr algorithms of Section 5 do so).
+func (k Key) Delegate(lo, hi uint64, tech cover.Technique) ([]Token, error) {
+	d := cover.Domain{Bits: k.bits}
+	nodes, err := cover.Cover(d, lo, hi, tech)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Token, len(nodes))
+	for i, n := range nodes {
+		t, err := k.NodeToken(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Expand implements the derivation function C: given a token it computes
+// the 2^Level leaf DPRF values of the delegated subtree. Anyone holding
+// the token can run it; no secret key is involved.
+func Expand(t Token) []Value {
+	out := make([]Value, 0, 1<<t.Level)
+	var rec func(v Value, depth uint8)
+	rec = func(v Value, depth uint8) {
+		if depth == 0 {
+			out = append(out, v)
+			return
+		}
+		g0, g1 := g(v)
+		rec(g0, depth-1)
+		rec(g1, depth-1)
+	}
+	rec(t.Value, t.Level)
+	return out
+}
+
+// ExpandInto appends the leaf values of t to dst and returns it, avoiding
+// an allocation per token on the server's search path.
+func ExpandInto(dst []Value, t Token) []Value {
+	var rec func(v Value, depth uint8)
+	rec = func(v Value, depth uint8) {
+		if depth == 0 {
+			dst = append(dst, v)
+			return
+		}
+		g0, g1 := g(v)
+		rec(g0, depth-1)
+		rec(g1, depth-1)
+	}
+	rec(t.Value, t.Level)
+	return dst
+}
+
+// Marshal serializes a token (level byte followed by the GGM value).
+func (t Token) Marshal() [TokenSize]byte {
+	var b [TokenSize]byte
+	b[0] = t.Level
+	copy(b[1:], t.Value[:])
+	return b
+}
+
+// TokenFromBytes parses a serialized token.
+func TokenFromBytes(b [TokenSize]byte) Token {
+	var t Token
+	t.Level = b[0]
+	copy(t.Value[:], b[1:])
+	return t
+}

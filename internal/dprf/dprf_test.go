@@ -1,0 +1,287 @@
+package dprf
+
+import (
+	"bytes"
+	mrand "math/rand"
+	"testing"
+
+	"rsse/internal/cover"
+)
+
+func testKey(t *testing.T, bits uint8) Key {
+	t.Helper()
+	var seed [Size]byte
+	for i := range seed {
+		seed[i] = byte(i + int(bits))
+	}
+	return KeyFromSeed(cover.Domain{Bits: bits}, seed)
+}
+
+func TestEvalDeterministic(t *testing.T) {
+	k := testKey(t, 8)
+	a, err := k.Eval(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Eval(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Eval not deterministic")
+	}
+}
+
+func TestEvalDomainCheck(t *testing.T) {
+	k := testKey(t, 4)
+	if _, err := k.Eval(16); err == nil {
+		t.Error("value outside domain accepted")
+	}
+	if _, err := k.Eval(15); err != nil {
+		t.Errorf("value 15 rejected on 4-bit domain: %v", err)
+	}
+}
+
+func TestEvalInjective(t *testing.T) {
+	k := testKey(t, 10)
+	seen := make(map[Value]uint64)
+	for v := uint64(0); v < 1024; v++ {
+		out, err := k.Eval(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[out]; dup {
+			t.Fatalf("DPRF collision between %d and %d", prev, v)
+		}
+		seen[out] = v
+	}
+}
+
+func TestDistinctKeysDisagree(t *testing.T) {
+	k1 := testKey(t, 8)
+	var seed [Size]byte
+	seed[0] = 0xFF
+	k2 := KeyFromSeed(cover.Domain{Bits: 8}, seed)
+	a, _ := k1.Eval(5)
+	b, _ := k2.Eval(5)
+	if a == b {
+		t.Error("different keys produce the same DPRF value")
+	}
+}
+
+// TestExpandConsistency is the core DPRF property: expanding the token of
+// any node yields exactly the leaf values obtained by direct evaluation,
+// in left-to-right order.
+func TestExpandConsistency(t *testing.T) {
+	k := testKey(t, 6)
+	d := cover.Domain{Bits: 6}
+	for level := uint8(0); level <= 6; level++ {
+		for start := uint64(0); start < d.Size(); start += uint64(1) << level {
+			node := cover.Node{Level: level, Start: start}
+			tok, err := k.NodeToken(node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves := Expand(tok)
+			if len(leaves) != 1<<level {
+				t.Fatalf("Expand(%v) returned %d leaves, want %d", node, len(leaves), 1<<level)
+			}
+			for i, got := range leaves {
+				want, err := k.Eval(start + uint64(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("Expand(%v)[%d] != Eval(%d)", node, i, start+uint64(i))
+				}
+			}
+		}
+	}
+}
+
+func TestExpandIntoMatchesExpand(t *testing.T) {
+	k := testKey(t, 8)
+	tok, err := k.NodeToken(cover.Node{Level: 5, Start: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Expand(tok)
+	b := ExpandInto(nil, tok)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	// Reuse should start from the given prefix.
+	c := ExpandInto(b[:0], tok)
+	if len(c) != len(a) {
+		t.Fatalf("reused ExpandInto returned %d values", len(c))
+	}
+}
+
+func TestNodeTokenValidation(t *testing.T) {
+	k := testKey(t, 4)
+	if _, err := k.NodeToken(cover.Node{Level: 5, Start: 0}); err == nil {
+		t.Error("level above domain accepted")
+	}
+	if _, err := k.NodeToken(cover.Node{Level: 2, Start: 3}); err == nil {
+		t.Error("unaligned node accepted")
+	}
+	if _, err := k.NodeToken(cover.Node{Level: 2, Start: 16}); err == nil {
+		t.Error("node outside domain accepted")
+	}
+}
+
+// TestDelegateCoversExactly: for both techniques, the union of expanded
+// token leaves must equal the DPRF values of exactly the queried range.
+func TestDelegateCoversExactly(t *testing.T) {
+	k := testKey(t, 9)
+	d := cover.Domain{Bits: 9}
+	rnd := mrand.New(mrand.NewSource(21))
+	for _, tech := range []cover.Technique{cover.BRCTechnique, cover.URCTechnique} {
+		for trial := 0; trial < 50; trial++ {
+			R := uint64(1) + rnd.Uint64()%128
+			lo := rnd.Uint64() % (d.Size() - R)
+			hi := lo + R - 1
+			tokens, err := k.Delegate(lo, hi, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[Value]bool)
+			for _, tok := range tokens {
+				for _, leaf := range Expand(tok) {
+					if got[leaf] {
+						t.Fatalf("%v: duplicate leaf value in expansion", tech)
+					}
+					got[leaf] = true
+				}
+			}
+			if len(got) != int(R) {
+				t.Fatalf("%v [%d,%d]: %d leaves, want %d", tech, lo, hi, len(got), R)
+			}
+			for v := lo; v <= hi; v++ {
+				want, _ := k.Eval(v)
+				if !got[want] {
+					t.Fatalf("%v [%d,%d]: missing DPRF value of %d", tech, lo, hi, v)
+				}
+			}
+		}
+	}
+}
+
+// TestDelegateTokenLevelsURC: token levels must follow the canonical URC
+// multiset — the security property carried through to the DPRF layer.
+func TestDelegateTokenLevelsURC(t *testing.T) {
+	k := testKey(t, 10)
+	R := uint64(37)
+	want := cover.URCLevelCounts(R)
+	for lo := uint64(0); lo < 900; lo += 13 {
+		tokens, err := k.Delegate(lo, lo+R-1, cover.URCTechnique)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint64, len(want))
+		for _, tok := range tokens {
+			if int(tok.Level) >= len(got) {
+				t.Fatalf("token level %d beyond canonical max %d", tok.Level, len(want)-1)
+			}
+			got[tok.Level]++
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("lo=%d: level counts %v, want %v", lo, got, want)
+			}
+		}
+	}
+}
+
+func TestTokenMarshalRoundtrip(t *testing.T) {
+	k := testKey(t, 12)
+	tok, err := k.NodeToken(cover.Node{Level: 7, Start: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tok.Marshal()
+	back := TokenFromBytes(b)
+	if back != tok {
+		t.Error("token marshal roundtrip failed")
+	}
+	if len(b) != TokenSize {
+		t.Errorf("marshal size %d != TokenSize %d", len(b), TokenSize)
+	}
+}
+
+func TestNewKeyRandom(t *testing.T) {
+	d := cover.Domain{Bits: 8}
+	k1, err := NewKey(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKey(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := k1.Eval(3)
+	b, _ := k2.Eval(3)
+	if a == b {
+		t.Error("fresh keys agree")
+	}
+	if k1.Bits() != 8 {
+		t.Errorf("Bits = %d", k1.Bits())
+	}
+	if _, err := NewKey(d, bytes.NewReader(nil)); err == nil {
+		t.Error("empty reader accepted")
+	}
+}
+
+// TestGGMPaperExample mirrors Section 2.2: the DPRF of value 6 = (110)2 on
+// a 3-bit domain is G0(G1(G1(k))), and the token for node N4,7 lets the
+// server derive values 4..7 but nothing else.
+func TestGGMPaperExample(t *testing.T) {
+	k := testKey(t, 3)
+	// Manual walk for 6 = 110b.
+	s := k.seed
+	s = step(s, 1)
+	s = step(s, 1)
+	s = step(s, 0)
+	got, _ := k.Eval(6)
+	if got != s {
+		t.Error("Eval(6) does not follow the MSB-first GGM path")
+	}
+	tok, err := k.NodeToken(cover.Node{Level: 2, Start: 4}) // N4,7
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := Expand(tok)
+	for i := uint64(0); i < 4; i++ {
+		want, _ := k.Eval(4 + i)
+		if leaves[i] != want {
+			t.Fatalf("N4,7 expansion leaf %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkEval20Bits(b *testing.B) {
+	var seed [Size]byte
+	k := KeyFromSeed(cover.Domain{Bits: 20}, seed)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Eval(uint64(i) % (1 << 20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpandLevel10(b *testing.B) {
+	var seed [Size]byte
+	k := KeyFromSeed(cover.Domain{Bits: 20}, seed)
+	tok, _ := k.NodeToken(cover.Node{Level: 10, Start: 0})
+	var buf []Value
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = ExpandInto(buf[:0], tok)
+	}
+}

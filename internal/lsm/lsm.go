@@ -1,0 +1,366 @@
+// Package lsm implements the update mechanism of Section 7: batched
+// updates over *static* RSSE indexes, consolidated hierarchically like a
+// log-structured merge tree (the Vertica-style bulk loading the paper
+// adopts).
+//
+// Every flushed batch becomes an independent index under a fresh key;
+// deletions ride along as tombstone records; queries fan out over all
+// active indexes and the owner resolves the per-id operation history.
+// Because each epoch has its own keys, a token issued for an old epoch is
+// useless against any later index — the forward privacy property the
+// section formalizes. With consolidation step s, at most O(s·log_s b)
+// indexes are ever active for b flushed batches.
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+	"rsse/internal/prf"
+)
+
+// OpKind distinguishes the record types inside a batch.
+type OpKind byte
+
+const (
+	// OpInsert adds a live tuple.
+	OpInsert OpKind = 1
+	// OpDelete is a tombstone: it cancels any earlier operation on the
+	// same application id. It is indexed under the value the tuple had,
+	// so range queries that would have matched the victim retrieve it.
+	OpDelete OpKind = 2
+)
+
+// Op is one buffered update.
+type Op struct {
+	Kind  OpKind
+	ID    core.ID // application-level tuple id
+	Value core.Value
+	// Payload is the application payload (inserts only).
+	Payload []byte
+	seq     uint64 // global operation order, assigned by the manager
+}
+
+// Errors returned by the manager.
+var (
+	ErrBadStep = errors.New("lsm: consolidation step must be at least 2")
+)
+
+// epoch is one active static index.
+type epoch struct {
+	seq    uint64 // creation order
+	client *core.Client
+	index  *core.Index
+}
+
+// Manager is the owner-side update coordinator.
+type Manager struct {
+	kind   core.Kind
+	dom    cover.Domain
+	step   int
+	master prf.Key
+	opts   core.Options
+
+	pending   []Op
+	nextOpSeq uint64
+	nextEpoch uint64
+	// levels[i] holds the not-yet-consolidated epochs of LSM level i,
+	// oldest first. When a level accumulates `step` epochs they merge
+	// into one epoch at level i+1.
+	levels [][]*epoch
+}
+
+// NewManager creates an update manager for the given scheme and domain.
+// step is the consolidation step s (how many sibling indexes trigger a
+// merge); opts configures every per-epoch client (its MasterKey field is
+// ignored — each epoch derives a fresh key from the manager's master).
+func NewManager(kind core.Kind, dom cover.Domain, step int, opts core.Options) (*Manager, error) {
+	if step < 2 {
+		return nil, ErrBadStep
+	}
+	master, err := prf.NewKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{kind: kind, dom: dom, step: step, master: master, opts: opts}, nil
+}
+
+// Insert buffers a live-tuple insertion.
+func (m *Manager) Insert(id core.ID, v core.Value, payload []byte) {
+	m.pending = append(m.pending, Op{Kind: OpInsert, ID: id, Value: v, Payload: payload})
+}
+
+// Delete buffers a deletion tombstone. value must be the victim tuple's
+// current attribute value — the tombstone is indexed under it so that any
+// range query matching the victim also retrieves the tombstone.
+func (m *Manager) Delete(id core.ID, value core.Value) {
+	m.pending = append(m.pending, Op{Kind: OpDelete, ID: id, Value: value})
+}
+
+// Modify buffers a value/payload change: a tombstone under the old value
+// followed by an insertion under the new one, exactly as Section 7
+// treats modifications.
+func (m *Manager) Modify(id core.ID, oldValue, newValue core.Value, payload []byte) {
+	m.Delete(id, oldValue)
+	m.Insert(id, newValue, payload)
+}
+
+// Pending returns the number of buffered operations.
+func (m *Manager) Pending() int { return len(m.pending) }
+
+// ActiveIndexes returns the number of indexes the server currently holds.
+func (m *Manager) ActiveIndexes() int {
+	n := 0
+	for _, lvl := range m.levels {
+		n += len(lvl)
+	}
+	return n
+}
+
+// Batches returns the number of batches flushed so far.
+func (m *Manager) Batches() uint64 { return m.nextEpoch }
+
+// TotalIndexSize sums the sizes of all active encrypted indexes.
+func (m *Manager) TotalIndexSize() int {
+	n := 0
+	for _, lvl := range m.levels {
+		for _, e := range lvl {
+			n += e.index.Size()
+		}
+	}
+	return n
+}
+
+// encodeOp packs an operation into the encrypted tuple-store payload:
+// op kind, application id, global sequence number, application payload.
+func encodeOp(op Op) []byte {
+	out := make([]byte, 1+8+8+len(op.Payload))
+	out[0] = byte(op.Kind)
+	binary.BigEndian.PutUint64(out[1:9], op.ID)
+	binary.BigEndian.PutUint64(out[9:17], op.seq)
+	copy(out[17:], op.Payload)
+	return out
+}
+
+// decodeOp reverses encodeOp; value comes from the tuple itself.
+func decodeOp(value core.Value, payload []byte) (Op, error) {
+	if len(payload) < 17 {
+		return Op{}, fmt.Errorf("lsm: corrupt op payload (%d bytes)", len(payload))
+	}
+	kind := OpKind(payload[0])
+	if kind != OpInsert && kind != OpDelete {
+		return Op{}, fmt.Errorf("lsm: unknown op kind %d", payload[0])
+	}
+	return Op{
+		Kind:    kind,
+		ID:      binary.BigEndian.Uint64(payload[1:9]),
+		Value:   value,
+		seq:     binary.BigEndian.Uint64(payload[9:17]),
+		Payload: append([]byte(nil), payload[17:]...),
+	}, nil
+}
+
+// buildEpoch encrypts a batch of ops into a fresh static index. Tuples
+// are stored under synthetic epoch-local ids (their sequence numbers), so
+// the server cannot even correlate application ids across epochs.
+func (m *Manager) buildEpoch(ops []Op) (*epoch, error) {
+	seq := m.nextEpoch
+	m.nextEpoch++
+	opts := m.opts
+	key := prf.DeriveN(m.master, "epoch", seq)
+	opts.MasterKey = key[:]
+	client, err := core.NewClient(m.kind, m.dom, opts)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]core.Tuple, len(ops))
+	for i, op := range ops {
+		tuples[i] = core.Tuple{ID: op.seq, Value: op.Value, Payload: encodeOp(op)}
+	}
+	index, err := client.BuildIndex(tuples)
+	if err != nil {
+		return nil, err
+	}
+	return &epoch{seq: seq, client: client, index: index}, nil
+}
+
+// Flush seals the pending batch into a new index and consolidates any
+// level that reached the step threshold. A flush with no pending
+// operations is a no-op.
+func (m *Manager) Flush() error {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	ops := m.pending
+	m.pending = nil
+	for i := range ops {
+		ops[i].seq = m.nextOpSeq
+		m.nextOpSeq++
+	}
+	e, err := m.buildEpoch(ops)
+	if err != nil {
+		return err
+	}
+	if len(m.levels) == 0 {
+		m.levels = append(m.levels, nil)
+	}
+	m.levels[0] = append(m.levels[0], e)
+	return m.consolidate()
+}
+
+// consolidate merges full levels upward until every level is below step.
+func (m *Manager) consolidate() error {
+	for lvl := 0; lvl < len(m.levels); lvl++ {
+		for len(m.levels[lvl]) >= m.step {
+			group := m.levels[lvl][:m.step]
+			m.levels[lvl] = append([]*epoch(nil), m.levels[lvl][m.step:]...)
+			merged, err := m.merge(group, false)
+			if err != nil {
+				return err
+			}
+			if lvl+1 == len(m.levels) {
+				m.levels = append(m.levels, nil)
+			}
+			m.levels[lvl+1] = append(m.levels[lvl+1], merged)
+		}
+	}
+	return nil
+}
+
+// downloadOps decrypts every record of an epoch — the "owner downloads
+// the involved indexes" step of the consolidation protocol.
+func downloadOps(e *epoch) ([]Op, error) {
+	ids := e.index.Store().IDs()
+	ops := make([]Op, 0, len(ids))
+	for _, id := range ids {
+		t, err := e.client.FetchTuple(e.index, id)
+		if err != nil {
+			return nil, err
+		}
+		op, err := decodeOp(t.Value, t.Payload)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// merge downloads a group of epochs, resolves operation histories, and
+// re-encrypts the survivors into a single fresh epoch.
+//
+// Resolution is per (id, value) pair — NOT per id: a tombstone under an
+// old value must survive even when the same id was later re-inserted
+// under a different value within the group, because an older epoch
+// outside the group may still hold an insert at the old value that only
+// this tombstone can cancel. (Queries resolve by maximum sequence number
+// among the operations they retrieve, and they only retrieve operations
+// indexed under values inside the query range.)
+//
+// dropTombstones is only safe when the group spans every active epoch:
+// then nothing older remains for a tombstone to kill.
+func (m *Manager) merge(group []*epoch, dropTombstones bool) (*epoch, error) {
+	type idValue struct {
+		id    core.ID
+		value core.Value
+	}
+	latest := make(map[idValue]Op)
+	for _, e := range group {
+		ops, err := downloadOps(e)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range ops {
+			key := idValue{id: op.ID, value: op.Value}
+			if cur, ok := latest[key]; !ok || op.seq > cur.seq {
+				latest[key] = op
+			}
+		}
+	}
+	var survivors []Op
+	for _, op := range latest {
+		if op.Kind == OpDelete && dropTombstones {
+			continue
+		}
+		survivors = append(survivors, op)
+	}
+	return m.buildEpoch(survivors)
+}
+
+// FullConsolidate merges every active epoch into a single fresh index and
+// discards tombstones — the periodic global rebuild large systems run.
+func (m *Manager) FullConsolidate() error {
+	if len(m.pending) > 0 {
+		if err := m.Flush(); err != nil {
+			return err
+		}
+	}
+	var all []*epoch
+	for _, lvl := range m.levels {
+		all = append(all, lvl...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	merged, err := m.merge(all, true)
+	if err != nil {
+		return err
+	}
+	m.levels = [][]*epoch{nil, {merged}}
+	return nil
+}
+
+// QueryStats aggregates per-epoch query costs.
+type QueryStats struct {
+	Indexes        int // active indexes the query fanned out to
+	Tokens         int
+	TokenBytes     int
+	Raw            int
+	FalsePositives int
+}
+
+// Query runs the range query against every active index and resolves the
+// operation history at the owner: the newest operation per application id
+// wins, tombstones drop their victims. Results carry application ids,
+// current values and payloads.
+func (m *Manager) Query(q core.Range) ([]core.Tuple, QueryStats, error) {
+	var stats QueryStats
+	latest := make(map[core.ID]Op)
+	for _, lvl := range m.levels {
+		for _, e := range lvl {
+			stats.Indexes++
+			res, err := e.client.Query(e.index, q)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Tokens += res.Stats.Tokens
+			stats.TokenBytes += res.Stats.TokenBytes
+			stats.Raw += res.Stats.Raw
+			stats.FalsePositives += res.Stats.FalsePositives
+			for _, storeID := range res.Matches {
+				t, err := e.client.FetchTuple(e.index, storeID)
+				if err != nil {
+					return nil, stats, err
+				}
+				op, err := decodeOp(t.Value, t.Payload)
+				if err != nil {
+					return nil, stats, err
+				}
+				if cur, ok := latest[op.ID]; !ok || op.seq > cur.seq {
+					latest[op.ID] = op
+				}
+			}
+		}
+	}
+	var out []core.Tuple
+	for _, op := range latest {
+		if op.Kind != OpInsert {
+			continue
+		}
+		out = append(out, core.Tuple{ID: op.ID, Value: op.Value, Payload: op.Payload})
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,235 @@
+package pb
+
+import (
+	mrand "math/rand"
+	"sort"
+	"testing"
+
+	"rsse/internal/cover"
+)
+
+func testItems(n int, bits uint8, seed int64) []Item {
+	rnd := mrand.New(mrand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), Value: rnd.Uint64() % (1 << bits)}
+	}
+	return items
+}
+
+func exactMatches(items []Item, lo, hi uint64) []uint64 {
+	var out []uint64
+	for _, it := range items {
+		if it.Value >= lo && it.Value <= hi {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func query(t *testing.T, c *Client, idx *Index, lo, hi uint64) []uint64 {
+	t.Helper()
+	td, err := c.Trapdoor(lo, hi, idx.Depth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Search(td)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	return got
+}
+
+// TestNoFalseNegatives: PB may return false positives (Bloom filters) but
+// must never miss a matching item.
+func TestNoFalseNegatives(t *testing.T) {
+	dom := cover.Domain{Bits: 10}
+	c, err := NewClient(dom, 0.01, mrand.New(mrand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := testItems(500, 10, 2)
+	idx, err := c.Build(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := mrand.New(mrand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		R := uint64(1) + rnd.Uint64()%256
+		lo := rnd.Uint64() % (dom.Size() - R)
+		hi := lo + R - 1
+		got := query(t, c, idx, lo, hi)
+		want := exactMatches(items, lo, hi)
+		gotSet := make(map[uint64]bool, len(got))
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for _, id := range want {
+			if !gotSet[id] {
+				t.Fatalf("query [%d,%d] missed matching id %d", lo, hi, id)
+			}
+		}
+	}
+}
+
+// TestFalsePositiveRateBounded: with a 1% per-node rate, total extras
+// must stay a small fraction of the dataset.
+func TestFalsePositiveRateBounded(t *testing.T) {
+	dom := cover.Domain{Bits: 12}
+	c, err := NewClient(dom, 0.01, mrand.New(mrand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := testItems(1000, 12, 6)
+	idx, err := c.Build(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalFP, totalResults := 0, 0
+	rnd := mrand.New(mrand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		R := uint64(64)
+		lo := rnd.Uint64() % (dom.Size() - R)
+		got := query(t, c, idx, lo, lo+R-1)
+		want := exactMatches(items, lo, lo+R-1)
+		totalFP += len(got) - len(want)
+		totalResults += len(got)
+	}
+	if totalResults > 0 && float64(totalFP)/float64(totalResults) > 0.5 {
+		t.Errorf("false positives dominate: %d of %d results", totalFP, totalResults)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	dom := cover.Domain{Bits: 6}
+	c, err := NewClient(dom, 0.01, mrand.New(mrand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := query(t, c, idx, 0, 63); len(got) != 0 {
+		t.Errorf("empty index returned %v", got)
+	}
+	idx, err = c.Build([]Item{{ID: 42, Value: 17}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := query(t, c, idx, 10, 20)
+	found := false
+	for _, id := range got {
+		if id == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("singleton hit not returned: %v", got)
+	}
+}
+
+func TestDomainValidation(t *testing.T) {
+	dom := cover.Domain{Bits: 4}
+	c, err := NewClient(dom, 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build([]Item{{ID: 1, Value: 16}}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if _, err := NewClient(dom, 1.5, nil); err == nil {
+		t.Error("FPR > 1 accepted")
+	}
+}
+
+func TestStorageGrowsLoglinear(t *testing.T) {
+	dom := cover.Domain{Bits: 12}
+	c, err := NewClient(dom, 0.01, mrand.New(mrand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := c.Build(testItems(200, 12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := c.Build(testItems(800, 12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x items with log n growth: expect more than 4x but far less than 8x.
+	ratio := float64(big.Size()) / float64(small.Size())
+	if ratio < 3.5 || ratio > 8 {
+		t.Errorf("storage ratio %f outside the O(n log n) envelope", ratio)
+	}
+	if big.Len() != 800 || big.Depth() < 9 {
+		t.Errorf("Len=%d Depth=%d", big.Len(), big.Depth())
+	}
+}
+
+func TestTrapdoorShape(t *testing.T) {
+	dom := cover.Domain{Bits: 16}
+	c, err := NewClient(dom, 0.01, mrand.New(mrand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := c.Trapdoor(100, 131, 12) // R = 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td) != 13 {
+		t.Fatalf("trapdoor has %d levels, want 13", len(td))
+	}
+	brc, _ := cover.BRC(dom, 100, 131)
+	for lvl, digests := range td {
+		if len(digests) != len(brc) {
+			t.Fatalf("level %d has %d digests, want %d", lvl, len(digests), len(brc))
+		}
+		for _, d := range digests {
+			if len(d) != DigestSize {
+				t.Fatalf("digest size %d", len(d))
+			}
+		}
+	}
+	if got, want := TrapdoorBytes(td), 13*len(brc)*DigestSize; got != want {
+		t.Errorf("TrapdoorBytes = %d, want %d", got, want)
+	}
+	if _, err := c.Trapdoor(9, 3, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+// TestLevelKeyedDigests: a digest for one level must not match filters at
+// another level (cross-level unlinkability of trapdoor entries).
+func TestLevelKeyedDigests(t *testing.T) {
+	dom := cover.Domain{Bits: 8}
+	c, err := NewClient(dom, 0.01, mrand.New(mrand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cover.Node{Level: 2, Start: 4}
+	d0 := c.digest(0, n.Label())
+	d1 := c.digest(1, n.Label())
+	if string(d0) == string(d1) {
+		t.Error("digests are identical across levels")
+	}
+}
+
+func TestDuplicateValuesAllReturned(t *testing.T) {
+	dom := cover.Domain{Bits: 8}
+	c, err := NewClient(dom, 0.001, mrand.New(mrand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{ID: uint64(i), Value: 77}
+	}
+	idx, err := c.Build(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := query(t, c, idx, 70, 80)
+	if len(got) < 20 {
+		t.Errorf("only %d of 20 duplicates returned", len(got))
+	}
+}

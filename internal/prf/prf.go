@@ -1,0 +1,90 @@
+// Package prf provides the pseudorandom function and key-derivation
+// primitives shared by every scheme in the module.
+//
+// Following the paper's implementation choices (Section 8), PRF values are
+// computed with HMAC-SHA-512 and truncated to 32 bytes. Keys are 32-byte
+// random strings. A small labelled-KDF derives independent subkeys from a
+// master key so that each index, epoch and purpose uses its own key.
+package prf
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha512"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// KeySize is the size in bytes of PRF keys and outputs.
+const KeySize = 32
+
+// Key is a 32-byte PRF key.
+type Key [KeySize]byte
+
+// NewKey draws a fresh random key from r (crypto/rand.Reader if r is nil).
+func NewKey(r io.Reader) (Key, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	var k Key
+	if _, err := io.ReadFull(r, k[:]); err != nil {
+		return Key{}, fmt.Errorf("prf: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes copies b into a Key. It returns an error unless len(b) == KeySize.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return k, fmt.Errorf("prf: key must be %d bytes, got %d", KeySize, len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Eval computes PRF_k(data) = HMAC-SHA-512(k, data) truncated to 32 bytes.
+func Eval(k Key, data []byte) [KeySize]byte {
+	mac := hmac.New(sha512.New, k[:])
+	mac.Write(data)
+	var out [KeySize]byte
+	sum := mac.Sum(nil)
+	copy(out[:], sum[:KeySize])
+	return out
+}
+
+// EvalString is Eval on the bytes of s.
+func EvalString(k Key, s string) [KeySize]byte {
+	return Eval(k, []byte(s))
+}
+
+// EvalUint64 evaluates the PRF on the 8-byte big-endian encoding of v.
+func EvalUint64(k Key, v uint64) [KeySize]byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return Eval(k, buf[:])
+}
+
+// Derive derives an independent subkey from k for the given label. Distinct
+// labels yield computationally independent keys.
+func Derive(k Key, label string) Key {
+	return Key(Eval(k, append([]byte("rsse/kdf/"), label...)))
+}
+
+// DeriveN derives an independent subkey bound to both a label and an index,
+// e.g. one key per update batch.
+func DeriveN(k Key, label string, n uint64) Key {
+	buf := make([]byte, 0, len(label)+17)
+	buf = append(buf, "rsse/kdf/"...)
+	buf = append(buf, label...)
+	buf = append(buf, '/')
+	buf = binary.BigEndian.AppendUint64(buf, n)
+	return Key(Eval(k, buf))
+}
+
+// Equal reports whether two PRF outputs are equal in constant time.
+func Equal(a, b [KeySize]byte) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}

@@ -1,0 +1,186 @@
+package prf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKeyRandom(t *testing.T) {
+	k1, err := NewKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("two fresh keys are equal")
+	}
+}
+
+func TestNewKeyFromReader(t *testing.T) {
+	r := bytes.NewReader(bytes.Repeat([]byte{7}, KeySize))
+	k, err := NewKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range k {
+		if b != 7 {
+			t.Fatal("key not read from provided reader")
+		}
+	}
+	if _, err := NewKey(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("short reader should fail")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, KeySize)); err != nil {
+		t.Errorf("valid key rejected: %v", err)
+	}
+	if _, err := KeyFromBytes(make([]byte, KeySize-1)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := KeyFromBytes(make([]byte, KeySize+1)); err == nil {
+		t.Error("long key accepted")
+	}
+}
+
+func TestEvalDeterministic(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{1}, KeySize))
+	a := Eval(k, []byte("hello"))
+	b := Eval(k, []byte("hello"))
+	if a != b {
+		t.Error("Eval not deterministic")
+	}
+}
+
+func TestEvalDistinctInputs(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{1}, KeySize))
+	f := func(x, y []byte) bool {
+		if bytes.Equal(x, y) {
+			return true
+		}
+		return Eval(k, x) != Eval(k, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalDistinctKeys(t *testing.T) {
+	k1, _ := KeyFromBytes(bytes.Repeat([]byte{1}, KeySize))
+	k2, _ := KeyFromBytes(bytes.Repeat([]byte{2}, KeySize))
+	if Eval(k1, []byte("x")) == Eval(k2, []byte("x")) {
+		t.Error("different keys collide")
+	}
+}
+
+func TestEvalUint64MatchesEval(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{3}, KeySize))
+	f := func(v uint64) bool {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (56 - 8*i))
+		}
+		return EvalUint64(k, v) == Eval(k, buf[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalStringMatchesEval(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{4}, KeySize))
+	if EvalString(k, "abc") != Eval(k, []byte("abc")) {
+		t.Error("EvalString disagrees with Eval")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{5}, KeySize))
+	a := Derive(k, "one")
+	b := Derive(k, "two")
+	if a == b {
+		t.Error("distinct labels produce equal subkeys")
+	}
+	if a == k || b == k {
+		t.Error("derived key equals master")
+	}
+	if Derive(k, "one") != a {
+		t.Error("Derive not deterministic")
+	}
+}
+
+func TestDeriveNIndependence(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{6}, KeySize))
+	seen := make(map[Key]uint64)
+	for i := uint64(0); i < 100; i++ {
+		d := DeriveN(k, "epoch", i)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("DeriveN collision between %d and %d", prev, i)
+		}
+		seen[d] = i
+	}
+	if DeriveN(k, "epoch", 1) == DeriveN(k, "batch", 1) {
+		t.Error("distinct labels with same index collide")
+	}
+}
+
+// TestDeriveNNoAmbiguity: the (label, index) encoding must be injective;
+// a label ending in '/' plus crafted indexes must not alias another pair.
+func TestDeriveNNoAmbiguity(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{7}, KeySize))
+	a := DeriveN(k, "a", 0)
+	b := DeriveN(k, "a/", 0)
+	if a == b {
+		t.Error("label framing is ambiguous")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{8}, KeySize))
+	a := Eval(k, []byte("x"))
+	b := Eval(k, []byte("x"))
+	c := Eval(k, []byte("y"))
+	if !Equal(a, b) {
+		t.Error("equal outputs not Equal")
+	}
+	if Equal(a, c) {
+		t.Error("distinct outputs Equal")
+	}
+}
+
+// TestOutputBitBalance sanity-checks pseudorandomness: across many
+// evaluations, each output bit should be set roughly half the time.
+func TestOutputBitBalance(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{9}, KeySize))
+	const trials = 4096
+	ones := 0
+	for i := uint64(0); i < trials; i++ {
+		out := EvalUint64(k, i)
+		for _, b := range out {
+			for bit := 0; bit < 8; bit++ {
+				if b&(1<<bit) != 0 {
+					ones++
+				}
+			}
+		}
+	}
+	totalBits := trials * KeySize * 8
+	ratio := float64(ones) / float64(totalBits)
+	if ratio < 0.49 || ratio > 0.51 {
+		t.Errorf("bit balance %f far from 0.5", ratio)
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{1}, KeySize))
+	data := []byte("benchmark-keyword")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Eval(k, data)
+	}
+}

@@ -1,0 +1,152 @@
+// Package secenc implements the symmetric encryption used for tuple
+// payloads and index values: AES-128-CBC with PKCS#7 padding (the paper's
+// choice, Section 8) and AES-128-CTR for fixed-width index cells.
+//
+// The schemes in this module are secure against honest-but-curious servers;
+// ciphertexts carry no authentication tag (the adversary model is
+// semi-honest, as in the paper).
+package secenc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+var (
+	// ErrCiphertextTooShort is returned when a ciphertext is shorter than
+	// one IV plus one block.
+	ErrCiphertextTooShort = errors.New("secenc: ciphertext too short")
+	// ErrBadPadding is returned when PKCS#7 padding is malformed.
+	ErrBadPadding = errors.New("secenc: invalid PKCS#7 padding")
+)
+
+// Key is an AES-128 key.
+type Key [KeySize]byte
+
+// NewKey draws a fresh random AES key from r (crypto/rand.Reader if nil).
+func NewKey(r io.Reader) (Key, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	var k Key
+	if _, err := io.ReadFull(r, k[:]); err != nil {
+		return Key{}, fmt.Errorf("secenc: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyFromBytes copies b into a Key; b must be exactly KeySize bytes.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return k, fmt.Errorf("secenc: key must be %d bytes, got %d", KeySize, len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// pad appends PKCS#7 padding to p for the given block size.
+func pad(p []byte, blockSize int) []byte {
+	n := blockSize - len(p)%blockSize
+	out := make([]byte, len(p)+n)
+	copy(out, p)
+	for i := len(p); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// unpad strips PKCS#7 padding.
+func unpad(p []byte, blockSize int) ([]byte, error) {
+	if len(p) == 0 || len(p)%blockSize != 0 {
+		return nil, ErrBadPadding
+	}
+	n := int(p[len(p)-1])
+	if n == 0 || n > blockSize || n > len(p) {
+		return nil, ErrBadPadding
+	}
+	for _, b := range p[len(p)-n:] {
+		if int(b) != n {
+			return nil, ErrBadPadding
+		}
+	}
+	return p[:len(p)-n], nil
+}
+
+// EncryptCBC encrypts plaintext with AES-128-CBC under k, using a fresh
+// random IV drawn from r (crypto/rand.Reader if nil). The IV is prepended
+// to the ciphertext.
+func EncryptCBC(k Key, plaintext []byte, r io.Reader) ([]byte, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, err
+	}
+	padded := pad(plaintext, aes.BlockSize)
+	out := make([]byte, aes.BlockSize+len(padded))
+	iv := out[:aes.BlockSize]
+	if _, err := io.ReadFull(r, iv); err != nil {
+		return nil, fmt.Errorf("secenc: generating IV: %w", err)
+	}
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out[aes.BlockSize:], padded)
+	return out, nil
+}
+
+// DecryptCBC reverses EncryptCBC.
+func DecryptCBC(k Key, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < 2*aes.BlockSize {
+		return nil, ErrCiphertextTooShort
+	}
+	if (len(ciphertext)-aes.BlockSize)%aes.BlockSize != 0 {
+		return nil, ErrCiphertextTooShort
+	}
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, err
+	}
+	iv := ciphertext[:aes.BlockSize]
+	body := make([]byte, len(ciphertext)-aes.BlockSize)
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(body, ciphertext[aes.BlockSize:])
+	return unpad(body, aes.BlockSize)
+}
+
+// XORKeyStreamCTR encrypts (or decrypts — CTR is an involution) src in
+// place-free fashion with AES-128-CTR under k and the given 16-byte nonce.
+// It is used for fixed-width index cells where each (key, nonce) pair is
+// used at most once by construction.
+func XORKeyStreamCTR(k Key, nonce [aes.BlockSize]byte, src []byte) []byte {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key sizes, which the Key
+		// type rules out.
+		panic("secenc: " + err.Error())
+	}
+	dst := make([]byte, len(src))
+	cipher.NewCTR(block, nonce[:]).XORKeyStream(dst, src)
+	return dst
+}
+
+// NonceFromUint64 builds a CTR nonce from a 64-bit counter. The counter
+// occupies the first 8 bytes; the low 8 bytes are left for the CTR block
+// counter, so up to 2^64 blocks may be encrypted per nonce.
+func NonceFromUint64(ctr uint64) [aes.BlockSize]byte {
+	var n [aes.BlockSize]byte
+	n[0] = byte(ctr >> 56)
+	n[1] = byte(ctr >> 48)
+	n[2] = byte(ctr >> 40)
+	n[3] = byte(ctr >> 32)
+	n[4] = byte(ctr >> 24)
+	n[5] = byte(ctr >> 16)
+	n[6] = byte(ctr >> 8)
+	n[7] = byte(ctr)
+	return n
+}

@@ -1,0 +1,169 @@
+package secenc
+
+import (
+	"bytes"
+	"crypto/aes"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T, fill byte) Key {
+	t.Helper()
+	k, err := KeyFromBytes(bytes.Repeat([]byte{fill}, KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCBCRoundtrip(t *testing.T) {
+	k := testKey(t, 1)
+	for _, n := range []int{0, 1, 15, 16, 17, 100, 4096} {
+		plain := bytes.Repeat([]byte{0xAB}, n)
+		ct, err := EncryptCBC(k, plain, nil)
+		if err != nil {
+			t.Fatalf("encrypt %d bytes: %v", n, err)
+		}
+		got, err := DecryptCBC(k, ct)
+		if err != nil {
+			t.Fatalf("decrypt %d bytes: %v", n, err)
+		}
+		if !bytes.Equal(got, plain) {
+			t.Fatalf("roundtrip failed for %d bytes", n)
+		}
+	}
+}
+
+func TestCBCRoundtripQuick(t *testing.T) {
+	k := testKey(t, 2)
+	f := func(plain []byte) bool {
+		ct, err := EncryptCBC(k, plain, nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptCBC(k, ct)
+		return err == nil && bytes.Equal(got, plain)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCBCProbabilistic(t *testing.T) {
+	k := testKey(t, 3)
+	plain := []byte("same plaintext")
+	a, _ := EncryptCBC(k, plain, nil)
+	b, _ := EncryptCBC(k, plain, nil)
+	if bytes.Equal(a, b) {
+		t.Error("two encryptions of the same plaintext are identical (IV reuse?)")
+	}
+}
+
+func TestCBCWrongKey(t *testing.T) {
+	k1, k2 := testKey(t, 4), testKey(t, 5)
+	ct, _ := EncryptCBC(k1, []byte("secret"), nil)
+	got, err := DecryptCBC(k2, ct)
+	if err == nil && bytes.Equal(got, []byte("secret")) {
+		t.Error("wrong key decrypted successfully")
+	}
+}
+
+func TestCBCCorruptCiphertext(t *testing.T) {
+	k := testKey(t, 6)
+	if _, err := DecryptCBC(k, []byte{1, 2, 3}); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+	ct, _ := EncryptCBC(k, []byte("hello world, this is long enough"), nil)
+	if _, err := DecryptCBC(k, ct[:len(ct)-3]); err == nil {
+		t.Error("truncated ciphertext accepted")
+	}
+}
+
+func TestPKCS7(t *testing.T) {
+	for n := 0; n < 64; n++ {
+		p := pad(bytes.Repeat([]byte{1}, n), aes.BlockSize)
+		if len(p)%aes.BlockSize != 0 {
+			t.Fatalf("pad(%d) not block-aligned", n)
+		}
+		u, err := unpad(p, aes.BlockSize)
+		if err != nil {
+			t.Fatalf("unpad(%d): %v", n, err)
+		}
+		if len(u) != n {
+			t.Fatalf("unpad(%d) returned %d bytes", n, len(u))
+		}
+	}
+}
+
+func TestUnpadRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		{},
+		bytes.Repeat([]byte{0}, 16),             // zero pad byte
+		append(bytes.Repeat([]byte{1}, 15), 17), // pad > block
+		append(bytes.Repeat([]byte{9}, 14), 2, 3), // inconsistent pad
+		bytes.Repeat([]byte{1}, 15),               // not block aligned
+	}
+	for i, b := range bad {
+		if _, err := unpad(b, aes.BlockSize); err == nil {
+			t.Errorf("case %d: garbage padding accepted", i)
+		}
+	}
+}
+
+func TestCTRInvolution(t *testing.T) {
+	k := testKey(t, 7)
+	f := func(nonce [16]byte, data []byte) bool {
+		ct := XORKeyStreamCTR(k, nonce, data)
+		back := XORKeyStreamCTR(k, nonce, ct)
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCTRDistinctNonces(t *testing.T) {
+	k := testKey(t, 8)
+	plain := bytes.Repeat([]byte{0}, 32)
+	a := XORKeyStreamCTR(k, NonceFromUint64(1), plain)
+	b := XORKeyStreamCTR(k, NonceFromUint64(2), plain)
+	if bytes.Equal(a, b) {
+		t.Error("distinct nonces produced identical keystreams")
+	}
+}
+
+func TestNonceFromUint64(t *testing.T) {
+	n := NonceFromUint64(0x0102030405060708)
+	want := [16]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if n != want {
+		t.Errorf("NonceFromUint64 = %v, want %v", n, want)
+	}
+}
+
+func TestNewKey(t *testing.T) {
+	a, err := NewKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two fresh keys equal")
+	}
+	if _, err := KeyFromBytes(make([]byte, 5)); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func BenchmarkEncryptCBC64(b *testing.B) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{1}, KeySize))
+	plain := bytes.Repeat([]byte{7}, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncryptCBC(k, plain, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sse
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"testing"
+)
+
+// Cross-construction micro-benchmarks: build and search costs per
+// construction on the same keyword distribution.
+
+func benchEntries(n, lists int) []Entry {
+	rnd := mrand.New(mrand.NewSource(2))
+	perList := n / lists
+	entries := make([]Entry, lists)
+	for i := range entries {
+		var stag Stag
+		rnd.Read(stag[:])
+		ids := make([]uint64, perList)
+		for j := range ids {
+			ids[j] = rnd.Uint64()
+		}
+		entries[i] = EntryFromIDs(stag, ids)
+	}
+	return entries
+}
+
+func benchConstructions() []Scheme {
+	return []Scheme{
+		Basic{},
+		Packed{BlockSize: 8},
+		TSet{BucketCapacity: 512, Expansion: 1.4},
+		TwoLevel{InlineCap: 16, BlockSize: 64},
+	}
+}
+
+func BenchmarkBuild10kPostings(b *testing.B) {
+	entries := benchEntries(10000, 100)
+	for _, s := range benchConstructions() {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(3)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = idx.Size()
+			}
+			b.ReportMetric(float64(size)/1024, "KB")
+		})
+	}
+}
+
+func BenchmarkSearch100IDs(b *testing.B) {
+	entries := benchEntries(10000, 100) // 100 ids per keyword
+	for _, s := range benchConstructions() {
+		b.Run(s.Name(), func(b *testing.B) {
+			idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(4)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := idx.Search(entries[i%len(entries)].Stag)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != 100 {
+					b.Fatal(fmt.Errorf("got %d payloads", len(got)))
+				}
+			}
+		})
+	}
+}

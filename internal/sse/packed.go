@@ -1,0 +1,175 @@
+package sse
+
+import (
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+)
+
+// DefaultBlockSize is the number of postings packed per encrypted block.
+const DefaultBlockSize = 8
+
+// Packed is the Πpack variant of Cash et al. (NDSS'14): postings are
+// grouped into blocks of BlockSize, each block encrypted as a single cell
+// and padded to full length. Compared to Basic it trades padding waste in
+// the last block of each keyword for one PRF evaluation and one dictionary
+// probe per block instead of per posting.
+type Packed struct {
+	// BlockSize is the number of postings per block (1..255).
+	// Zero selects DefaultBlockSize.
+	BlockSize int
+}
+
+// Name implements Scheme.
+func (Packed) Name() string { return "packed" }
+
+func (s Packed) blockSize() (int, error) {
+	b := s.BlockSize
+	if b == 0 {
+		b = DefaultBlockSize
+	}
+	if b < 1 || b > 255 {
+		return 0, fmt.Errorf("sse: packed block size %d outside 1..255", b)
+	}
+	return b, nil
+}
+
+// Build implements Scheme.
+func (s Packed) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error) {
+	bs, err := s.blockSize()
+	if err != nil {
+		return nil, err
+	}
+	total, err := checkEntries(entries, width)
+	if err != nil {
+		return nil, err
+	}
+	rnd = newRand(rnd)
+	blockLen := 1 + bs*width // count byte + padded payload area
+	cells := make(map[[LabelSize]byte][]byte)
+	for _, e := range entries {
+		keys := deriveStagKeys(e.Stag, 0)
+		payloads := shuffled(e.Payloads, rnd)
+		for b := 0; b*bs < len(payloads); b++ {
+			chunk := payloads[b*bs : min((b+1)*bs, len(payloads))]
+			plain := make([]byte, blockLen)
+			plain[0] = byte(len(chunk))
+			for i, p := range chunk {
+				copy(plain[1+i*width:], p)
+			}
+			// Random padding in the unused tail: without it, trailing
+			// zeros of the last block would leak posting-list length
+			// modulo the block size to anyone holding the stag.
+			for i := 1 + len(chunk)*width; i < blockLen; i++ {
+				plain[i] = byte(rnd.Intn(256))
+			}
+			lab := cellLabel(keys.loc, uint64(b))
+			if _, dup := cells[lab]; dup {
+				return nil, fmt.Errorf("sse: label collision (duplicate or related stags?)")
+			}
+			cells[lab] = encryptCell(keys.enc, uint64(b), plain)
+		}
+	}
+	idx := &packedIndex{width: width, blockSize: bs, postings: total, cells: cells}
+	idx.size = idx.serializedSize()
+	return idx, nil
+}
+
+type packedIndex struct {
+	width     int
+	blockSize int
+	postings  int
+	size      int
+	cells     map[[LabelSize]byte][]byte
+}
+
+func (x *packedIndex) Width() int    { return x.width }
+func (x *packedIndex) Postings() int { return x.postings }
+func (x *packedIndex) Size() int     { return x.size }
+
+func (x *packedIndex) Search(stag Stag) ([][]byte, error) {
+	keys := deriveStagKeys(stag, 0)
+	var out [][]byte
+	for b := uint64(0); ; b++ {
+		cell, ok := x.cells[cellLabel(keys.loc, b)]
+		if !ok {
+			return out, nil
+		}
+		plain := decryptCell(keys.enc, b, cell)
+		n := int(plain[0])
+		if n > x.blockSize {
+			return nil, fmt.Errorf("sse: corrupt packed block (count %d > block size %d)", n, x.blockSize)
+		}
+		for i := 0; i < n; i++ {
+			p := make([]byte, x.width)
+			copy(p, plain[1+i*x.width:])
+			out = append(out, p)
+		}
+	}
+}
+
+// Wire format: tag(1) width(4) blockSize(1) postings(8) blockCount(8)
+// then blockCount sorted records of label(16) || cell(1+blockSize*width).
+func (x *packedIndex) serializedSize() int {
+	blockLen := 1 + x.blockSize*x.width
+	return 1 + 4 + 1 + 8 + 8 + len(x.cells)*(LabelSize+blockLen)
+}
+
+func (x *packedIndex) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, x.serializedSize())
+	out = append(out, tagPacked)
+	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
+	out = append(out, byte(x.blockSize))
+	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
+	out = binary.BigEndian.AppendUint64(out, uint64(len(x.cells)))
+	labels := make([][LabelSize]byte, 0, len(x.cells))
+	for l := range x.cells {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		return string(labels[i][:]) < string(labels[j][:])
+	})
+	for _, l := range labels {
+		out = append(out, l[:]...)
+		out = append(out, x.cells[l]...)
+	}
+	return out, nil
+}
+
+func unmarshalPacked(data []byte) (Index, error) {
+	if len(data) < 22 {
+		return nil, ErrCorrupt
+	}
+	width := int(binary.BigEndian.Uint32(data[1:5]))
+	blockSize := int(data[5])
+	postings := binary.BigEndian.Uint64(data[6:14])
+	blocks := binary.BigEndian.Uint64(data[14:22])
+	if width <= 0 || blockSize < 1 {
+		return nil, ErrCorrupt
+	}
+	rec := uint64(LabelSize + 1 + blockSize*width)
+	body := data[22:]
+	if uint64(len(body)) != blocks*rec {
+		return nil, ErrCorrupt
+	}
+	cells := make(map[[LabelSize]byte][]byte, blocks)
+	for i := uint64(0); i < blocks; i++ {
+		var lab [LabelSize]byte
+		off := i * rec
+		copy(lab[:], body[off:off+LabelSize])
+		cell := make([]byte, rec-LabelSize)
+		copy(cell, body[off+LabelSize:off+rec])
+		cells[lab] = cell
+	}
+	x := &packedIndex{width: width, blockSize: blockSize, postings: int(postings), cells: cells}
+	x.size = x.serializedSize()
+	return x, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+// Package sse implements static single-keyword Searchable Symmetric
+// Encryption as an encrypted multimap, the substrate every RSSE scheme in
+// the paper builds on (Sections 2.2 and 3).
+//
+// The package deliberately works with externally supplied keyword tokens
+// ("stags", 32-byte pseudorandom strings): a client normally derives
+// stag = PRF(k, keyword), but the Constant-BRC/URC schemes of Section 5
+// substitute a Delegatable PRF value for the same role. Everything below
+// the stag — cell placement, cell encryption, padding — is identical in
+// both cases, which is exactly the black-box property the paper exploits.
+//
+// Three constructions are provided:
+//
+//   - Basic: the Πbas dictionary of Cash et al. (NDSS'14). One cell per
+//     posting at pseudorandom labels.
+//   - Packed: the Πpack variant. B postings per encrypted, padded block.
+//   - TSet: the bucketized T-set of Cash et al. (CRYPTO'13), the scheme
+//     the paper instantiates its experiments with (S = 6000, K = 1.1).
+//   - TwoLevel: the dictionary-plus-array "2lev" layout of Cash et al.
+//     (NDSS'14), for 8-byte payloads.
+//
+// All constructions shuffle each posting list at build time, support
+// binary serialization, and report their serialized size — the quantity
+// plotted in Figure 5(a) and Table 2.
+package sse
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+
+	"rsse/internal/prf"
+	"rsse/internal/secenc"
+)
+
+// StagSize is the byte length of a search tag.
+const StagSize = 32
+
+// LabelSize is the byte length of a cell label.
+const LabelSize = 16
+
+// Stag is a keyword search tag: a pseudorandom value that unlocks exactly
+// one posting list.
+type Stag [StagSize]byte
+
+// Entry is one keyword's posting list prepared for indexing: the keyword's
+// stag plus its payloads (fixed-width opaque values, typically 8-byte
+// tuple ids).
+type Entry struct {
+	Stag     Stag
+	Payloads [][]byte
+}
+
+// Scheme builds encrypted indexes.
+type Scheme interface {
+	// Name identifies the construction ("basic", "packed", "tset").
+	Name() string
+	// Build encrypts the entries into a searchable index. width is the
+	// exact byte length of every payload. rnd drives the posting-list
+	// shuffles and padding; if nil a crypto-seeded source is used.
+	Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error)
+}
+
+// Index is a server-side encrypted multimap.
+type Index interface {
+	// Search returns the payloads stored under stag, or an empty slice if
+	// the stag matches nothing. Unknown stags are indistinguishable from
+	// empty posting lists.
+	Search(stag Stag) ([][]byte, error)
+	// Width returns the payload width the index was built with.
+	Width() int
+	// Postings returns the number of real (non-padding) payloads stored.
+	Postings() int
+	// Size returns the serialized size of the index in bytes — the
+	// storage cost a server pays, padding included.
+	Size() int
+	// MarshalBinary serializes the index (self-describing; see Unmarshal).
+	MarshalBinary() ([]byte, error)
+}
+
+// Construction wire tags.
+const (
+	tagBasic    byte = 1
+	tagPacked   byte = 2
+	tagTSet     byte = 3
+	tagTwoLevel byte = 4
+)
+
+// Errors shared by the constructions.
+var (
+	ErrWidth         = errors.New("sse: payload width must be positive")
+	ErrPayloadWidth  = errors.New("sse: payload does not match declared width")
+	ErrDuplicateStag = errors.New("sse: duplicate stag across entries")
+	ErrCorrupt       = errors.New("sse: corrupt serialized index")
+)
+
+// ByName returns the construction registered under name, using its default
+// parameters.
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "basic":
+		return Basic{}, nil
+	case "packed":
+		return Packed{}, nil
+	case "tset":
+		return TSet{}, nil
+	case "2lev":
+		return TwoLevel{}, nil
+	default:
+		return nil, fmt.Errorf("sse: unknown construction %q", name)
+	}
+}
+
+// Unmarshal reconstructs an index serialized with MarshalBinary.
+func Unmarshal(data []byte) (Index, error) {
+	if len(data) == 0 {
+		return nil, ErrCorrupt
+	}
+	switch data[0] {
+	case tagBasic:
+		return unmarshalBasic(data)
+	case tagPacked:
+		return unmarshalPacked(data)
+	case tagTSet:
+		return unmarshalTSet(data)
+	case tagTwoLevel:
+		return unmarshalTwoLevel(data)
+	default:
+		return nil, fmt.Errorf("sse: unknown index tag %d: %w", data[0], ErrCorrupt)
+	}
+}
+
+// U64Payload encodes a uint64 id as an 8-byte payload.
+func U64Payload(v uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, v)
+}
+
+// PayloadU64 decodes an 8-byte payload back into a uint64 id.
+func PayloadU64(p []byte) uint64 {
+	return binary.BigEndian.Uint64(p)
+}
+
+// EntryFromIDs builds an Entry whose payloads are 8-byte encoded ids.
+func EntryFromIDs(stag Stag, ids []uint64) Entry {
+	p := make([][]byte, len(ids))
+	for i, id := range ids {
+		p[i] = U64Payload(id)
+	}
+	return Entry{Stag: stag, Payloads: p}
+}
+
+// StagFromPRF derives the standard keyword stag PRF_k(keyword); the
+// Constant schemes bypass this and supply DPRF outputs instead.
+func StagFromPRF(k prf.Key, keyword string) Stag {
+	return Stag(prf.EvalString(k, keyword))
+}
+
+// newRand returns rnd, or a fresh math/rand source seeded from
+// crypto/rand when rnd is nil.
+func newRand(rnd *mrand.Rand) *mrand.Rand {
+	if rnd != nil {
+		return rnd
+	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		panic("sse: cannot seed shuffle source: " + err.Error())
+	}
+	return mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(seed[:]))))
+}
+
+// shuffled returns a shuffled copy of payloads. Posting lists are permuted
+// so that storage order leaks nothing about insertion or domain order
+// (required by the BuildIndex algorithms of Sections 6.1–6.3).
+func shuffled(payloads [][]byte, rnd *mrand.Rand) [][]byte {
+	out := make([][]byte, len(payloads))
+	copy(out, payloads)
+	rnd.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// checkEntries validates widths and stag uniqueness and returns the total
+// number of payloads.
+func checkEntries(entries []Entry, width int) (int, error) {
+	if width <= 0 {
+		return 0, ErrWidth
+	}
+	seen := make(map[Stag]struct{}, len(entries))
+	total := 0
+	for _, e := range entries {
+		if _, dup := seen[e.Stag]; dup {
+			return 0, ErrDuplicateStag
+		}
+		seen[e.Stag] = struct{}{}
+		for _, p := range e.Payloads {
+			if len(p) != width {
+				return 0, fmt.Errorf("%w: got %d, want %d", ErrPayloadWidth, len(p), width)
+			}
+		}
+		total += len(e.Payloads)
+	}
+	return total, nil
+}
+
+// Per-stag working keys. Everything a construction needs is derived from
+// the stag itself, so search requires no additional secrets.
+type stagKeys struct {
+	loc prf.Key    // label derivation
+	enc secenc.Key // cell encryption
+	bkt prf.Key    // bucket selection (TSet only)
+}
+
+func deriveStagKeys(stag Stag, salt uint64) stagKeys {
+	base := prf.Key(stag)
+	encFull := prf.Derive(base, "sse/enc")
+	var enc secenc.Key
+	copy(enc[:], encFull[:secenc.KeySize])
+	return stagKeys{
+		loc: prf.Derive(base, "sse/loc"),
+		enc: enc,
+		bkt: prf.DeriveN(base, "sse/bkt", salt),
+	}
+}
+
+// cellLabel computes the pseudorandom label of the i-th cell of a keyword.
+func cellLabel(loc prf.Key, i uint64) [LabelSize]byte {
+	full := prf.EvalUint64(loc, i)
+	var l [LabelSize]byte
+	copy(l[:], full[:LabelSize])
+	return l
+}
+
+// encryptCell encrypts a fixed-width cell with AES-CTR; the counter i is
+// the nonce, unique per (stag, i) pair by construction.
+func encryptCell(enc secenc.Key, i uint64, plain []byte) []byte {
+	return secenc.XORKeyStreamCTR(enc, secenc.NonceFromUint64(i), plain)
+}
+
+// decryptCell reverses encryptCell (CTR is an involution).
+func decryptCell(enc secenc.Key, i uint64, cell []byte) []byte {
+	return secenc.XORKeyStreamCTR(enc, secenc.NonceFromUint64(i), cell)
+}
+
+// sortedLabels returns the map's labels in lexicographic order, for
+// deterministic serialization.
+func sortedLabels(cells map[[LabelSize]byte][]byte) [][LabelSize]byte {
+	labels := make([][LabelSize]byte, 0, len(cells))
+	for l := range cells {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		return string(labels[i][:]) < string(labels[j][:])
+	})
+	return labels
+}

@@ -1,0 +1,255 @@
+package sse
+
+import (
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+
+	"rsse/internal/prf"
+)
+
+// TSet defaults, matching the parameters the paper reports for its
+// experiments with the Cash et al. (CRYPTO'13) construction: buckets of
+// S = 6000 records with a K = 1.1 space expansion factor.
+const (
+	DefaultBucketCapacity = 6000
+	DefaultExpansion      = 1.1
+	defaultMaxRetries     = 64
+)
+
+// TSet is the bucketized T-set instantiation of Cash et al. (CRYPTO'13).
+// The N postings are hashed into b = ceil(K*N/S) buckets of fixed capacity
+// S; every bucket is padded to capacity with random records, so the index
+// occupies exactly b*S record slots regardless of the keyword
+// distribution — the padding is what buys the scheme its tight leakage
+// profile at a K-factor storage premium.
+//
+// If any bucket overflows its capacity, the build re-randomizes bucket
+// assignment with a fresh salt and retries; for S in the thousands the
+// per-attempt failure probability is negligible (Chernoff).
+type TSet struct {
+	// BucketCapacity is S, the records per bucket. Zero selects
+	// DefaultBucketCapacity. Tests use small values to exercise padding
+	// and overflow behaviour cheaply.
+	BucketCapacity int
+	// Expansion is K, the total-slots to postings ratio. Zero selects
+	// DefaultExpansion. Must be > 1.
+	Expansion float64
+	// MaxRetries bounds the salt retries on bucket overflow. Zero selects
+	// a default of 64.
+	MaxRetries int
+}
+
+// Name implements Scheme.
+func (TSet) Name() string { return "tset" }
+
+func (s TSet) params() (capacity int, expansion float64, retries int, err error) {
+	capacity = s.BucketCapacity
+	if capacity == 0 {
+		capacity = DefaultBucketCapacity
+	}
+	expansion = s.Expansion
+	if expansion == 0 {
+		expansion = DefaultExpansion
+	}
+	retries = s.MaxRetries
+	if retries == 0 {
+		retries = defaultMaxRetries
+	}
+	if capacity < 1 {
+		return 0, 0, 0, fmt.Errorf("sse: tset bucket capacity %d < 1", capacity)
+	}
+	if expansion <= 1 {
+		return 0, 0, 0, fmt.Errorf("sse: tset expansion %v must exceed 1", expansion)
+	}
+	return capacity, expansion, retries, nil
+}
+
+type tsetRecord struct {
+	label [LabelSize]byte
+	cell  []byte
+}
+
+// Build implements Scheme.
+func (s TSet) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error) {
+	capacity, expansion, retries, err := s.params()
+	if err != nil {
+		return nil, err
+	}
+	total, err := checkEntries(entries, width)
+	if err != nil {
+		return nil, err
+	}
+	rnd = newRand(rnd)
+	numBuckets := int((expansion*float64(total) + float64(capacity) - 1) / float64(capacity))
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+
+	var buckets [][]tsetRecord
+	salt := uint64(0)
+attempt:
+	for try := 0; ; try++ {
+		if try == retries {
+			return nil, fmt.Errorf("sse: tset bucket overflow after %d retries (capacity %d too small for %d postings in %d buckets)",
+				retries, capacity, total, numBuckets)
+		}
+		buckets = make([][]tsetRecord, numBuckets)
+		for _, e := range entries {
+			keys := deriveStagKeys(e.Stag, salt)
+			for i, p := range shuffled(e.Payloads, rnd) {
+				b := bucketOf(keys.bkt, uint64(i), numBuckets)
+				if len(buckets[b]) == capacity {
+					salt++
+					continue attempt
+				}
+				buckets[b] = append(buckets[b], tsetRecord{
+					label: cellLabel(keys.loc, uint64(i)),
+					cell:  encryptCell(keys.enc, uint64(i), p),
+				})
+			}
+		}
+		break
+	}
+
+	// Pad every bucket to capacity with random records so all buckets are
+	// indistinguishable from full ones.
+	for b := range buckets {
+		for len(buckets[b]) < capacity {
+			var r tsetRecord
+			fillRandom(r.label[:], rnd)
+			r.cell = make([]byte, width)
+			fillRandom(r.cell, rnd)
+			buckets[b] = append(buckets[b], r)
+		}
+		// Hide which slots are real.
+		rnd.Shuffle(len(buckets[b]), func(i, j int) {
+			buckets[b][i], buckets[b][j] = buckets[b][j], buckets[b][i]
+		})
+	}
+
+	idx := &tsetIndex{
+		width:    width,
+		postings: total,
+		salt:     salt,
+		capacity: capacity,
+		buckets:  buckets,
+		lookup:   make(map[[LabelSize]byte][]byte, numBuckets*capacity),
+	}
+	for _, bkt := range buckets {
+		for _, r := range bkt {
+			idx.lookup[r.label] = r.cell
+		}
+	}
+	idx.size = idx.serializedSize()
+	return idx, nil
+}
+
+// bucketOf maps the i-th record of a keyword to a bucket via the
+// stag-derived (and salted) bucket key.
+func bucketOf(bkt prf.Key, i uint64, n int) int {
+	v := prf.EvalUint64(bkt, i)
+	return int(binary.BigEndian.Uint64(v[:8]) % uint64(n))
+}
+
+func fillRandom(dst []byte, rnd *mrand.Rand) {
+	for i := range dst {
+		dst[i] = byte(rnd.Intn(256))
+	}
+}
+
+type tsetIndex struct {
+	width    int
+	postings int
+	salt     uint64
+	capacity int
+	size     int
+	buckets  [][]tsetRecord
+	lookup   map[[LabelSize]byte][]byte
+}
+
+func (x *tsetIndex) Width() int    { return x.width }
+func (x *tsetIndex) Postings() int { return x.postings }
+func (x *tsetIndex) Size() int     { return x.size }
+
+// Buckets reports the bucket count; exposed for tests and stats.
+func (x *tsetIndex) Buckets() int { return len(x.buckets) }
+
+// Capacity reports the per-bucket record capacity.
+func (x *tsetIndex) Capacity() int { return x.capacity }
+
+func (x *tsetIndex) Search(stag Stag) ([][]byte, error) {
+	keys := deriveStagKeys(stag, x.salt)
+	var out [][]byte
+	for i := uint64(0); ; i++ {
+		cell, ok := x.lookup[cellLabel(keys.loc, i)]
+		if !ok {
+			return out, nil
+		}
+		out = append(out, decryptCell(keys.enc, i, cell))
+	}
+}
+
+// Wire format: tag(1) width(4) salt(8) postings(8) buckets(8) capacity(4)
+// then buckets*capacity records of label(16) || cell(width).
+func (x *tsetIndex) serializedSize() int {
+	return 1 + 4 + 8 + 8 + 8 + 4 + len(x.buckets)*x.capacity*(LabelSize+x.width)
+}
+
+func (x *tsetIndex) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, x.serializedSize())
+	out = append(out, tagTSet)
+	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
+	out = binary.BigEndian.AppendUint64(out, x.salt)
+	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
+	out = binary.BigEndian.AppendUint64(out, uint64(len(x.buckets)))
+	out = binary.BigEndian.AppendUint32(out, uint32(x.capacity))
+	for _, bkt := range x.buckets {
+		for _, r := range bkt {
+			out = append(out, r.label[:]...)
+			out = append(out, r.cell...)
+		}
+	}
+	return out, nil
+}
+
+func unmarshalTSet(data []byte) (Index, error) {
+	if len(data) < 33 {
+		return nil, ErrCorrupt
+	}
+	width := int(binary.BigEndian.Uint32(data[1:5]))
+	salt := binary.BigEndian.Uint64(data[5:13])
+	postings := binary.BigEndian.Uint64(data[13:21])
+	numBuckets := binary.BigEndian.Uint64(data[21:29])
+	capacity := int(binary.BigEndian.Uint32(data[29:33]))
+	if width <= 0 || capacity < 1 {
+		return nil, ErrCorrupt
+	}
+	rec := uint64(LabelSize + width)
+	body := data[33:]
+	if uint64(len(body)) != numBuckets*uint64(capacity)*rec {
+		return nil, ErrCorrupt
+	}
+	x := &tsetIndex{
+		width:    width,
+		postings: int(postings),
+		salt:     salt,
+		capacity: capacity,
+		buckets:  make([][]tsetRecord, numBuckets),
+		lookup:   make(map[[LabelSize]byte][]byte, numBuckets*uint64(capacity)),
+	}
+	off := uint64(0)
+	for b := range x.buckets {
+		bkt := make([]tsetRecord, capacity)
+		for i := 0; i < capacity; i++ {
+			copy(bkt[i].label[:], body[off:off+LabelSize])
+			bkt[i].cell = make([]byte, width)
+			copy(bkt[i].cell, body[off+LabelSize:off+rec])
+			x.lookup[bkt[i].label] = bkt[i].cell
+			off += rec
+		}
+		x.buckets[b] = bkt
+	}
+	x.size = x.serializedSize()
+	return x, nil
+}

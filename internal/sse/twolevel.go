@@ -1,0 +1,338 @@
+package sse
+
+import (
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+)
+
+// TwoLevel defaults.
+const (
+	DefaultInlineCap     = 16
+	DefaultTwoLevelBlock = 64
+)
+
+// TwoLevel is the dictionary-plus-array construction of Cash et al.
+// (NDSS'14, the paper's reference [5] for dynamic large-database SSE,
+// there called "2lev"): each keyword owns one fixed-width dictionary
+// cell, and posting lists that do not fit inline spill into a shuffled
+// global array of encrypted blocks.
+//
+// Three tiers, by posting-list length n (C = InlineCap, B = BlockSize):
+//
+//	n <= C          ids inline in the dictionary cell
+//	n <= C*B        cell holds pointers to id-blocks
+//	n <= C*B*B      cell holds pointers to pointer-blocks
+//
+// The layout trades Basic's per-posting dictionary entries for one
+// dictionary probe plus sequential (well, pseudorandomly scattered)
+// block reads — the structure that makes SSE viable on disk-resident
+// databases. Longer lists than C*B*B fail the build; pick parameters
+// accordingly.
+type TwoLevel struct {
+	// InlineCap is C, the number of 8-byte slots in a dictionary cell.
+	// Zero selects DefaultInlineCap. Must be at least 1.
+	InlineCap int
+	// BlockSize is B, the number of 8-byte items per array block. Zero
+	// selects DefaultTwoLevelBlock. Must be at least 2.
+	BlockSize int
+}
+
+// Name implements Scheme.
+func (TwoLevel) Name() string { return "2lev" }
+
+// Cell modes.
+const (
+	modeInline byte = 0
+	modeMedium byte = 1
+	modeLarge  byte = 2
+)
+
+func (s TwoLevel) params() (c, b int, err error) {
+	c = s.InlineCap
+	if c == 0 {
+		c = DefaultInlineCap
+	}
+	b = s.BlockSize
+	if b == 0 {
+		b = DefaultTwoLevelBlock
+	}
+	if c < 1 {
+		return 0, 0, fmt.Errorf("sse: 2lev inline capacity %d < 1", c)
+	}
+	if b < 2 {
+		return 0, 0, fmt.Errorf("sse: 2lev block size %d < 2", b)
+	}
+	return c, b, nil
+}
+
+// Build implements Scheme. Payload width must be 8 (the construction
+// packs 8-byte items); wider payloads belong in Basic/Packed/TSet.
+func (s TwoLevel) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error) {
+	capacity, blockSize, err := s.params()
+	if err != nil {
+		return nil, err
+	}
+	if width != 8 {
+		return nil, fmt.Errorf("sse: 2lev requires 8-byte payloads, got %d", width)
+	}
+	if _, err := checkEntries(entries, width); err != nil {
+		return nil, err
+	}
+	rnd = newRand(rnd)
+
+	// First pass: count blocks so positions can be drawn as a random
+	// permutation of the exact array size.
+	totalBlocks := 0
+	for _, e := range entries {
+		n := len(e.Payloads)
+		if n <= capacity {
+			continue
+		}
+		idBlocks := (n + blockSize - 1) / blockSize
+		totalBlocks += idBlocks
+		if idBlocks > capacity {
+			ptrBlocks := (idBlocks + blockSize - 1) / blockSize
+			if ptrBlocks > capacity {
+				return nil, fmt.Errorf("sse: 2lev posting list of %d ids exceeds C*B*B = %d",
+					n, capacity*blockSize*blockSize)
+			}
+			totalBlocks += ptrBlocks
+		}
+	}
+	perm := rnd.Perm(totalBlocks)
+	next := 0
+	takeSlot := func() uint64 { v := perm[next]; next++; return uint64(v) }
+
+	x := &twoLevelIndex{
+		inlineCap: capacity,
+		blockSize: blockSize,
+		cells:     make(map[[LabelSize]byte][]byte, len(entries)),
+		blocks:    make([][]byte, totalBlocks),
+	}
+	cellLen := 1 + 4 + capacity*8 // mode, count, C slots
+	blockLen := blockSize * 8
+
+	for _, e := range entries {
+		keys := deriveStagKeys(e.Stag, 0)
+		payloads := shuffled(e.Payloads, rnd)
+		n := len(payloads)
+		cell := make([]byte, cellLen)
+		binary.BigEndian.PutUint32(cell[1:5], uint32(n))
+		fill := func(dst []byte, items [][]byte) {
+			for i, p := range items {
+				copy(dst[i*8:], p)
+			}
+			for i := len(items) * 8; i < len(dst); i++ {
+				dst[i] = byte(rnd.Intn(256))
+			}
+		}
+		writeBlock := func(slot uint64, items [][]byte) {
+			plain := make([]byte, blockLen)
+			fill(plain, items)
+			x.blocks[slot] = encryptCell(keys.enc, 1+slot, plain)
+		}
+		u64 := func(v uint64) []byte { return binary.BigEndian.AppendUint64(nil, v) }
+
+		switch {
+		case n <= capacity:
+			cell[0] = modeInline
+			fill(cell[5:], payloads)
+		default:
+			// Spill ids into blocks.
+			var idSlots [][]byte // encoded slot pointers
+			for i := 0; i < n; i += blockSize {
+				end := min(i+blockSize, n)
+				slot := takeSlot()
+				writeBlock(slot, payloads[i:end])
+				idSlots = append(idSlots, u64(slot))
+			}
+			if len(idSlots) <= capacity {
+				cell[0] = modeMedium
+				fill(cell[5:], idSlots)
+			} else {
+				cell[0] = modeLarge
+				var ptrSlots [][]byte
+				for i := 0; i < len(idSlots); i += blockSize {
+					end := min(i+blockSize, len(idSlots))
+					slot := takeSlot()
+					writeBlock(slot, idSlots[i:end])
+					ptrSlots = append(ptrSlots, u64(slot))
+				}
+				fill(cell[5:], ptrSlots)
+			}
+		}
+		lab := cellLabel(keys.loc, 0)
+		if _, dup := x.cells[lab]; dup {
+			return nil, fmt.Errorf("sse: label collision (duplicate or related stags?)")
+		}
+		x.cells[lab] = encryptCell(keys.enc, 0, cell)
+		x.postings += n
+	}
+	x.size = x.serializedSize()
+	return x, nil
+}
+
+type twoLevelIndex struct {
+	inlineCap int
+	blockSize int
+	postings  int
+	size      int
+	cells     map[[LabelSize]byte][]byte
+	blocks    [][]byte
+}
+
+func (x *twoLevelIndex) Width() int    { return 8 }
+func (x *twoLevelIndex) Postings() int { return x.postings }
+func (x *twoLevelIndex) Size() int     { return x.size }
+
+// BlockCount reports the array size; exposed for tests.
+func (x *twoLevelIndex) BlockCount() int { return len(x.blocks) }
+
+func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
+	keys := deriveStagKeys(stag, 0)
+	cellCT, ok := x.cells[cellLabel(keys.loc, 0)]
+	if !ok {
+		return nil, nil
+	}
+	cell := decryptCell(keys.enc, 0, cellCT)
+	mode := cell[0]
+	n := int(binary.BigEndian.Uint32(cell[1:5]))
+	slots := cell[5:]
+
+	readBlock := func(slot uint64) ([]byte, error) {
+		if slot >= uint64(len(x.blocks)) {
+			return nil, fmt.Errorf("sse: 2lev block pointer %d out of range", slot)
+		}
+		return decryptCell(keys.enc, 1+slot, x.blocks[slot]), nil
+	}
+	items := func(raw []byte, count int) [][]byte {
+		out := make([][]byte, count)
+		for i := 0; i < count; i++ {
+			out[i] = append([]byte(nil), raw[i*8:(i+1)*8]...)
+		}
+		return out
+	}
+
+	switch mode {
+	case modeInline:
+		if n > x.inlineCap {
+			return nil, fmt.Errorf("sse: corrupt 2lev inline cell (count %d)", n)
+		}
+		return items(slots, n), nil
+	case modeMedium, modeLarge:
+		idBlocks := (n + x.blockSize - 1) / x.blockSize
+		var idSlots []uint64
+		if mode == modeMedium {
+			if idBlocks > x.inlineCap {
+				return nil, fmt.Errorf("sse: corrupt 2lev medium cell")
+			}
+			for i := 0; i < idBlocks; i++ {
+				idSlots = append(idSlots, binary.BigEndian.Uint64(slots[i*8:]))
+			}
+		} else {
+			ptrBlocks := (idBlocks + x.blockSize - 1) / x.blockSize
+			if ptrBlocks > x.inlineCap {
+				return nil, fmt.Errorf("sse: corrupt 2lev large cell")
+			}
+			remaining := idBlocks
+			for i := 0; i < ptrBlocks; i++ {
+				raw, err := readBlock(binary.BigEndian.Uint64(slots[i*8:]))
+				if err != nil {
+					return nil, err
+				}
+				take := min(remaining, x.blockSize)
+				for j := 0; j < take; j++ {
+					idSlots = append(idSlots, binary.BigEndian.Uint64(raw[j*8:]))
+				}
+				remaining -= take
+			}
+		}
+		out := make([][]byte, 0, n)
+		remaining := n
+		for _, slot := range idSlots {
+			raw, err := readBlock(slot)
+			if err != nil {
+				return nil, err
+			}
+			take := min(remaining, x.blockSize)
+			out = append(out, items(raw, take)...)
+			remaining -= take
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sse: corrupt 2lev cell mode %d", mode)
+	}
+}
+
+// Wire format: tag(1) inlineCap(4) blockSize(4) postings(8)
+// cellCount(8) {label cell}* blockCount(8) blocks*
+func (x *twoLevelIndex) serializedSize() int {
+	cellLen := 1 + 4 + x.inlineCap*8
+	blockLen := x.blockSize * 8
+	return 1 + 4 + 4 + 8 + 8 + len(x.cells)*(LabelSize+cellLen) + 8 + len(x.blocks)*blockLen
+}
+
+func (x *twoLevelIndex) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, x.serializedSize())
+	out = append(out, tagTwoLevel)
+	out = binary.BigEndian.AppendUint32(out, uint32(x.inlineCap))
+	out = binary.BigEndian.AppendUint32(out, uint32(x.blockSize))
+	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
+	out = binary.BigEndian.AppendUint64(out, uint64(len(x.cells)))
+	labels := sortedLabels(x.cells)
+	for _, l := range labels {
+		out = append(out, l[:]...)
+		out = append(out, x.cells[l]...)
+	}
+	out = binary.BigEndian.AppendUint64(out, uint64(len(x.blocks)))
+	for _, b := range x.blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+func unmarshalTwoLevel(data []byte) (Index, error) {
+	if len(data) < 25 {
+		return nil, ErrCorrupt
+	}
+	x := &twoLevelIndex{
+		inlineCap: int(binary.BigEndian.Uint32(data[1:5])),
+		blockSize: int(binary.BigEndian.Uint32(data[5:9])),
+		postings:  int(binary.BigEndian.Uint64(data[9:17])),
+	}
+	if x.inlineCap < 1 || x.blockSize < 2 {
+		return nil, ErrCorrupt
+	}
+	cellCount := binary.BigEndian.Uint64(data[17:25])
+	cellLen := uint64(1 + 4 + x.inlineCap*8)
+	off := uint64(25)
+	rec := uint64(LabelSize) + cellLen
+	if uint64(len(data)) < off+cellCount*rec+8 {
+		return nil, ErrCorrupt
+	}
+	x.cells = make(map[[LabelSize]byte][]byte, cellCount)
+	for i := uint64(0); i < cellCount; i++ {
+		var lab [LabelSize]byte
+		copy(lab[:], data[off:off+LabelSize])
+		cell := make([]byte, cellLen)
+		copy(cell, data[off+LabelSize:off+rec])
+		x.cells[lab] = cell
+		off += rec
+	}
+	blockCount := binary.BigEndian.Uint64(data[off : off+8])
+	off += 8
+	blockLen := uint64(x.blockSize * 8)
+	if uint64(len(data)) != off+blockCount*blockLen {
+		return nil, ErrCorrupt
+	}
+	x.blocks = make([][]byte, blockCount)
+	for i := uint64(0); i < blockCount; i++ {
+		b := make([]byte, blockLen)
+		copy(b, data[off:off+blockLen])
+		x.blocks[i] = b
+		off += blockLen
+	}
+	x.size = x.serializedSize()
+	return x, nil
+}

@@ -1,0 +1,277 @@
+// Package transport runs the RSSE query protocol over a network
+// connection, so the data owner and the untrusted server can live in
+// different processes (or machines). The server side serves one encrypted
+// index; the client side implements core.Server, so the owner's existing
+// query logic works against it unchanged.
+//
+// The protocol is a simple length-prefixed request/response framing over
+// any stream connection (TCP, unix sockets, net.Pipe in tests):
+//
+//	frame  := len(u32, big-endian) type(u8) payload
+//	request types: meta, search (trapdoor wire), fetch (id)
+//	response:      ok(0) payload | err(1) message
+//
+// Exactly the protocol messages of the paper cross the wire: trapdoors
+// owner→server, opaque result groups and encrypted tuples server→owner.
+// The transport adds no leakage beyond message lengths and timing.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rsse/internal/core"
+)
+
+// MaxFrame bounds a single frame; larger frames abort the connection.
+// Responses carry whole result groups, so the bound is generous.
+const MaxFrame = 1 << 28 // 256 MiB
+
+// Request/response type tags.
+const (
+	typeMeta   byte = 1
+	typeSearch byte = 2
+	typeFetch  byte = 3
+
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
+
+// writeFrame writes one framed message.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one framed message.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Serve accepts connections on l and serves the index until the listener
+// is closed. Each connection is handled on its own goroutine; *core.Index
+// is read-only after build, so connections proceed concurrently.
+func Serve(l net.Listener, idx core.Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = ServeConn(conn, idx)
+		}()
+	}
+}
+
+// ServeConn answers requests on a single connection until EOF or error.
+func ServeConn(conn io.ReadWriter, idx core.Server) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		resp, err := handle(idx, typ, payload)
+		if err != nil {
+			if werr := writeFrame(bw, statusErr, []byte(err.Error())); werr != nil {
+				return werr
+			}
+		} else {
+			if werr := writeFrame(bw, statusOK, resp); werr != nil {
+				return werr
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// handle dispatches one request against the index.
+func handle(idx core.Server, typ byte, payload []byte) ([]byte, error) {
+	switch typ {
+	case typeMeta:
+		meta, err := idx.Meta()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 0, 11)
+		out = append(out, byte(meta.Kind), meta.DomainBits, meta.PosBits)
+		out = binary.BigEndian.AppendUint64(out, uint64(meta.N))
+		return out, nil
+	case typeSearch:
+		t, err := core.UnmarshalTrapdoor(payload)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := idx.Search(t)
+		if err != nil {
+			return nil, err
+		}
+		return resp.MarshalBinary()
+	case typeFetch:
+		if len(payload) != 8 {
+			return nil, fmt.Errorf("transport: fetch payload must be 8 bytes")
+		}
+		ct, ok, err := idx.Fetch(binary.BigEndian.Uint64(payload))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 0, 1+len(ct))
+		if ok {
+			out = append(out, 1)
+			out = append(out, ct...)
+		} else {
+			out = append(out, 0)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown request type %d", typ)
+	}
+}
+
+// Conn is the owner-side handle to a remote index. It implements
+// core.Server, so core.Client.QueryServer works against it directly.
+// Requests on one Conn are serialized; open several connections for
+// parallel queries.
+type Conn struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	metaOnce sync.Once
+	meta     core.IndexMeta
+	metaErr  error
+}
+
+// NewConn wraps an established stream connection.
+func NewConn(conn io.ReadWriteCloser) *Conn {
+	return &Conn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Dial connects to a serving address ("tcp", "host:port" etc.).
+func Dial(network, addr string) (*Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Conn) roundTrip(typ byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, typ, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	status, resp, err := readFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case statusOK:
+		return resp, nil
+	case statusErr:
+		return nil, fmt.Errorf("transport: server: %s", resp)
+	default:
+		return nil, fmt.Errorf("transport: bad response status %d", status)
+	}
+}
+
+// Meta implements core.Server; the result is cached for the connection's
+// lifetime (index metadata is immutable).
+func (c *Conn) Meta() (core.IndexMeta, error) {
+	c.metaOnce.Do(func() {
+		resp, err := c.roundTrip(typeMeta, nil)
+		if err != nil {
+			c.metaErr = err
+			return
+		}
+		if len(resp) != 11 {
+			c.metaErr = fmt.Errorf("transport: bad meta response length %d", len(resp))
+			return
+		}
+		c.meta = core.IndexMeta{
+			Kind:       core.Kind(resp[0]),
+			DomainBits: resp[1],
+			PosBits:    resp[2],
+			N:          int(binary.BigEndian.Uint64(resp[3:])),
+		}
+	})
+	return c.meta, c.metaErr
+}
+
+// Search implements core.Server.
+func (c *Conn) Search(t *core.Trapdoor) (*core.Response, error) {
+	payload, err := t.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(typeSearch, payload)
+	if err != nil {
+		return nil, err
+	}
+	return core.UnmarshalResponse(resp)
+}
+
+// Fetch implements core.Server.
+func (c *Conn) Fetch(id core.ID) ([]byte, bool, error) {
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], id)
+	resp, err := c.roundTrip(typeFetch, payload[:])
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp) < 1 {
+		return nil, false, fmt.Errorf("transport: empty fetch response")
+	}
+	if resp[0] == 0 {
+		return nil, false, nil
+	}
+	return resp[1:], true, nil
+}

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	mrand "math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+	"rsse/internal/sse"
+)
+
+func testClientIndex(t *testing.T, kind core.Kind) (*core.Client, *core.Index, []core.Tuple) {
+	t.Helper()
+	rnd := mrand.New(mrand.NewSource(7))
+	tuples := make([]core.Tuple, 200)
+	for i := range tuples {
+		tuples[i] = core.Tuple{
+			ID:      uint64(i + 1),
+			Value:   rnd.Uint64() % 1024,
+			Payload: []byte{byte(i), byte(i >> 8)},
+		}
+	}
+	c, err := core.NewClient(kind, cover.Domain{Bits: 10}, core.Options{
+		SSE:               sse.Basic{},
+		Rand:              mrand.New(mrand.NewSource(8)),
+		MasterKey:         bytes.Repeat([]byte{9}, 32),
+		AllowIntersecting: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, idx, tuples
+}
+
+func exact(tuples []core.Tuple, q core.Range) []core.ID {
+	var out []core.ID
+	for _, tu := range tuples {
+		if q.Contains(tu.Value) {
+			out = append(out, tu.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// pipeServer serves idx over one end of a net.Pipe and returns the
+// owner-side Conn.
+func pipeServer(t *testing.T, idx core.Server) *Conn {
+	t.Helper()
+	serverEnd, clientEnd := net.Pipe()
+	go func() { _ = ServeConn(serverEnd, idx) }()
+	t.Cleanup(func() { serverEnd.Close(); clientEnd.Close() })
+	return NewConn(clientEnd)
+}
+
+// TestRemoteQueryAllSchemes runs the full query protocol over a pipe for
+// every scheme, including the interactive SRC-i (two Search round trips).
+func TestRemoteQueryAllSchemes(t *testing.T) {
+	kinds := []core.Kind{
+		core.ConstantBRC, core.ConstantURC,
+		core.LogarithmicBRC, core.LogarithmicURC,
+		core.LogarithmicSRC, core.LogarithmicSRCi,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			c, idx, tuples := testClientIndex(t, kind)
+			remote := pipeServer(t, idx)
+			for _, q := range []core.Range{{Lo: 100, Hi: 600}, {Lo: 0, Hi: 1023}, {Lo: 777, Hi: 777}} {
+				res, err := c.QueryServer(remote, q)
+				if err != nil {
+					t.Fatalf("query %v: %v", q, err)
+				}
+				got := append([]core.ID(nil), res.Matches...)
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				want := exact(tuples, q)
+				if len(got) != len(want) {
+					t.Fatalf("query %v: got %d matches, want %d", q, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("query %v: match %d = %d, want %d", q, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRemoteFetchTuple(t *testing.T) {
+	c, idx, tuples := testClientIndex(t, core.LogarithmicBRC)
+	remote := pipeServer(t, idx)
+	tup, err := c.FetchTuple(remote, tuples[5].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tup.Value != tuples[5].Value || !bytes.Equal(tup.Payload, tuples[5].Payload) {
+		t.Errorf("remote fetch = %+v, want %+v", tup, tuples[5])
+	}
+	if _, err := c.FetchTuple(remote, 99999); err == nil {
+		t.Error("unknown id fetched remotely")
+	}
+}
+
+func TestRemoteMetaCached(t *testing.T) {
+	_, idx, _ := testClientIndex(t, core.LogarithmicSRCi)
+	remote := pipeServer(t, idx)
+	a, err := remote.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := remote.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a.Kind != core.LogarithmicSRCi || a.N != 200 || a.DomainBits != 10 {
+		t.Errorf("meta = %+v / %+v", a, b)
+	}
+}
+
+func TestRemoteKindMismatch(t *testing.T) {
+	_, idx, _ := testClientIndex(t, core.LogarithmicSRC)
+	other, err := core.NewClient(core.LogarithmicBRC, cover.Domain{Bits: 10}, core.Options{SSE: sse.Basic{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := pipeServer(t, idx)
+	if _, err := other.QueryServer(remote, core.Range{Lo: 0, Hi: 5}); !errors.Is(err, core.ErrKindMismatch) {
+		t.Errorf("kind mismatch error = %v", err)
+	}
+}
+
+// TestTCPServer exercises the real listener path with concurrent clients.
+func TestTCPServer(t *testing.T) {
+	c, idx, tuples := testClientIndex(t, core.LogarithmicSRC)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Serve(l, idx) }()
+
+	q := core.Range{Lo: 200, Hi: 800}
+	want := exact(tuples, q)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			// Each goroutine needs its own owner client (clients are not
+			// concurrent-safe); same master key, so same search tokens.
+			cc, err := core.NewClient(core.LogarithmicSRC, cover.Domain{Bits: 10}, core.Options{
+				SSE:       sse.Basic{},
+				MasterKey: bytes.Repeat([]byte{9}, 32),
+			})
+			if err != nil {
+				t.Errorf("client: %v", err)
+				return
+			}
+			for rep := 0; rep < 3; rep++ {
+				res, err := cc.QueryServer(conn, q)
+				if err != nil {
+					t.Errorf("remote query: %v", err)
+					return
+				}
+				if len(res.Matches) != len(want) {
+					t.Errorf("got %d matches, want %d", len(res.Matches), len(want))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	_ = c
+}
+
+func TestServerRejectsGarbageFrames(t *testing.T) {
+	_, idx, _ := testClientIndex(t, core.LogarithmicBRC)
+	serverEnd, clientEnd := net.Pipe()
+	go func() { _ = ServeConn(serverEnd, idx) }()
+	defer serverEnd.Close()
+	defer clientEnd.Close()
+
+	// Unknown request type → statusErr response, connection stays up.
+	if err := writeFrame(clientEnd, 77, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	status, payload, err := readFrame(clientEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != statusErr || !strings.Contains(string(payload), "unknown request") {
+		t.Errorf("status=%d payload=%q", status, payload)
+	}
+	// The connection still answers valid requests afterwards.
+	conn := NewConn(clientEnd)
+	meta, err := conn.Meta()
+	if err != nil || meta.Kind != core.LogarithmicBRC {
+		t.Errorf("meta after garbage: %+v, %v", meta, err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typeMeta, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized write error = %v", err)
+	}
+	// A forged oversized header must be rejected on read.
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	hdr[1] = 0xFF
+	hdr[2] = 0xFF
+	hdr[3] = 0xFF
+	if _, _, err := readFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized read error = %v", err)
+	}
+}
+
+func TestTrapdoorWireRoundtrip(t *testing.T) {
+	c, _, _ := testClientIndex(t, core.ConstantURC)
+	td, err := c.Trapdoor(core.Range{Lo: 13, Hi: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := td.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.UnmarshalTrapdoor(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Round() != td.Round() || len(back.GGM) != len(td.GGM) {
+		t.Fatalf("roundtrip mismatch: %d GGM tokens vs %d", len(back.GGM), len(td.GGM))
+	}
+	for i := range td.GGM {
+		if back.GGM[i] != td.GGM[i] {
+			t.Fatal("GGM token corrupted")
+		}
+	}
+	// Stag-based trapdoors too.
+	c2, _, _ := testClientIndex(t, core.LogarithmicURC)
+	td2, err := c2.Trapdoor(core.Range{Lo: 13, Hi: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := td2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := core.UnmarshalTrapdoor(blob2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back2.Stags) != len(td2.Stags) {
+		t.Fatal("stag count corrupted")
+	}
+	for i := range td2.Stags {
+		if back2.Stags[i] != td2.Stags[i] {
+			t.Fatal("stag corrupted")
+		}
+	}
+	// Garbage rejected.
+	for _, bad := range [][]byte{nil, {0}, {9, 0, 0, 0, 0, 1}, blob[:len(blob)-3]} {
+		if _, err := core.UnmarshalTrapdoor(bad); err == nil {
+			t.Error("garbage trapdoor accepted")
+		}
+	}
+}
+
+func TestResponseWireRoundtrip(t *testing.T) {
+	resp := &core.Response{Groups: [][][]byte{
+		{[]byte("abc"), []byte("")},
+		{},
+		{[]byte{1, 2, 3, 4, 5, 6, 7, 8}},
+	}}
+	blob, err := resp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.UnmarshalResponse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Groups) != 3 || back.Items() != resp.Items() {
+		t.Fatalf("roundtrip: %d groups, %d items", len(back.Groups), back.Items())
+	}
+	if !bytes.Equal(back.Groups[0][0], []byte("abc")) {
+		t.Error("payload corrupted")
+	}
+	for _, bad := range [][]byte{{1}, blob[:len(blob)-2], append(blob, 9)} {
+		if _, err := core.UnmarshalResponse(bad); err == nil {
+			t.Error("garbage response accepted")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package rsse
+
+import (
+	"io"
+	"net"
+
+	"rsse/internal/transport"
+)
+
+// Serve serves an encrypted index to remote owners until the listener is
+// closed. The server side holds no keys: everything it can learn is the
+// scheme's formal leakage. Each connection is handled concurrently.
+func Serve(l net.Listener, index *Index) error {
+	return transport.Serve(l, index)
+}
+
+// ServeConn serves an index over a single established connection
+// (useful for custom listeners or in-process pipes).
+func ServeConn(conn io.ReadWriter, index *Index) error {
+	return transport.ServeConn(conn, index)
+}
+
+// RemoteIndex is the owner-side handle to an index served elsewhere. It
+// satisfies the same role as a local *Index in Client.QueryRemote and
+// Client.FetchTupleRemote. Requests on one RemoteIndex are serialized;
+// open one per goroutine for parallel querying.
+type RemoteIndex struct {
+	conn *transport.Conn
+}
+
+// Dial connects to a remote index server, e.g.
+// Dial("tcp", "search.internal:7070").
+func Dial(network, addr string) (*RemoteIndex, error) {
+	c, err := transport.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteIndex{conn: c}, nil
+}
+
+// NewRemoteIndex wraps an established stream connection (TCP, unix
+// socket, net.Pipe, TLS — anything io.ReadWriteCloser).
+func NewRemoteIndex(conn io.ReadWriteCloser) *RemoteIndex {
+	return &RemoteIndex{conn: transport.NewConn(conn)}
+}
+
+// Close closes the connection.
+func (r *RemoteIndex) Close() error { return r.conn.Close() }
+
+// N returns the number of tuples in the remote index (its L1 leakage).
+func (r *RemoteIndex) N() (int, error) {
+	meta, err := r.conn.Meta()
+	if err != nil {
+		return 0, err
+	}
+	return meta.N, nil
+}
+
+// Kind returns the scheme of the remote index.
+func (r *RemoteIndex) Kind() (Kind, error) {
+	meta, err := r.conn.Meta()
+	if err != nil {
+		return 0, err
+	}
+	return meta.Kind, nil
+}
+
+// QueryRemote runs the full query protocol against a remote index — the
+// same rounds as Query, with each round crossing the connection.
+func (c *Client) QueryRemote(r *RemoteIndex, q Range) (*Result, error) {
+	return c.inner.QueryServer(r.conn, q)
+}
+
+// FetchTupleRemote retrieves and decrypts one tuple from a remote index.
+func (c *Client) FetchTupleRemote(r *RemoteIndex, id ID) (Tuple, error) {
+	return c.inner.FetchTuple(r.conn, id)
+}

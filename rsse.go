@@ -1,0 +1,91 @@
+package rsse
+
+import (
+	"rsse/internal/core"
+	"rsse/internal/cover"
+)
+
+// Core data types, shared with the scheme implementations.
+type (
+	// Tuple is one data item: a unique ID, its query-attribute Value, and
+	// an optional application Payload stored encrypted on the server.
+	Tuple = core.Tuple
+	// Range is a closed query interval [Lo, Hi].
+	Range = core.Range
+	// ID is a tuple identifier (visible to the server — access pattern).
+	ID = core.ID
+	// Value is a query-attribute value.
+	Value = core.Value
+	// Kind selects one of the paper's schemes.
+	Kind = core.Kind
+	// Result is a query outcome: Matches (exact), Raw (as returned by the
+	// server, possibly with false positives) and Stats.
+	Result = core.Result
+	// QueryStats carries per-query cost and leakage accounting.
+	QueryStats = core.QueryStats
+	// Trapdoor is a single round's encrypted query message. Advanced use
+	// only (benchmarks, protocol inspection); normal callers use Query.
+	Trapdoor = core.Trapdoor
+	// Index is the server-side encrypted state.
+	Index = core.Index
+	// Domain is the query-attribute domain {0..2^Bits-1}.
+	Domain = cover.Domain
+)
+
+// The paper's schemes, in presentation order (Sections 4-6).
+const (
+	// Quadratic: one keyword per possible subrange. Maximal security,
+	// O(n m^2) storage; tiny domains only (Section 4).
+	Quadratic = core.Quadratic
+	// ConstantBRC: DPRF-based, O(n) storage, best range cover trapdoors.
+	// Non-intersecting queries only (Section 5).
+	ConstantBRC = core.ConstantBRC
+	// ConstantURC: ConstantBRC with position-hiding uniform range covers.
+	ConstantURC = core.ConstantURC
+	// LogarithmicBRC: dyadic path keywords, O(n log m) storage, exact
+	// results (Section 6.1).
+	LogarithmicBRC = core.LogarithmicBRC
+	// LogarithmicURC: LogarithmicBRC with uniform range covers.
+	LogarithmicURC = core.LogarithmicURC
+	// LogarithmicSRC: TDAG single-keyword queries; false positives under
+	// skew (Section 6.2).
+	LogarithmicSRC = core.LogarithmicSRC
+	// LogarithmicSRCi: interactive double index; the paper's best
+	// security/efficiency trade-off (Section 6.3).
+	LogarithmicSRCi = core.LogarithmicSRCi
+)
+
+// Kinds lists every scheme.
+func Kinds() []Kind { return core.Kinds() }
+
+// KindByName parses a scheme name as printed by Kind.String, e.g.
+// "Logarithmic-SRC-i".
+func KindByName(name string) (Kind, error) { return core.KindByName(name) }
+
+// Errors re-exported from the scheme layer.
+var (
+	// ErrIntersectingQuery: the Constant schemes reject queries that
+	// intersect earlier ones (an inherent DPRF limitation, Section 5).
+	ErrIntersectingQuery = core.ErrIntersectingQuery
+	// ErrDuplicateID: BuildIndex requires unique tuple ids.
+	ErrDuplicateID = core.ErrDuplicateID
+	// ErrValueOutsideDomain: a tuple value or query bound exceeds 2^bits.
+	ErrValueOutsideDomain = core.ErrValueOutsideDomain
+	// ErrKindMismatch: an index was queried by a client of another scheme.
+	ErrKindMismatch = core.ErrKindMismatch
+	// ErrDomainTooLarge: the Quadratic scheme refuses intractable domains.
+	ErrDomainTooLarge = core.ErrDomainTooLarge
+)
+
+// UnmarshalIndex reconstructs an Index serialized with
+// Index.MarshalBinary — how a server restores persisted state. The blob
+// contains no key material; only the matching client can query it.
+func UnmarshalIndex(data []byte) (*Index, error) { return core.UnmarshalIndex(data) }
+
+// NewDomain returns the domain {0..2^bits-1}; bits at most 62.
+func NewDomain(bits uint8) (Domain, error) { return cover.NewDomain(bits) }
+
+// FitDomain returns the smallest domain containing maxValue — convenient
+// when the attribute's maximum is known but not a power of two (the paper
+// scales arbitrary discrete domains this way).
+func FitDomain(maxValue Value) Domain { return cover.FitDomain(maxValue) }

@@ -1,0 +1,349 @@
+package rsse_test
+
+import (
+	"errors"
+	mrand "math/rand"
+	"sort"
+	"testing"
+
+	"rsse"
+)
+
+func genTuples(n int, bits uint8, seed int64) []rsse.Tuple {
+	rnd := mrand.New(mrand.NewSource(seed))
+	out := make([]rsse.Tuple, n)
+	for i := range out {
+		out[i] = rsse.Tuple{ID: uint64(i + 1), Value: rnd.Uint64() % (1 << bits)}
+	}
+	return out
+}
+
+func oracle(tuples []rsse.Tuple, q rsse.Range) []rsse.ID {
+	var out []rsse.ID
+	for _, t := range tuples {
+		if q.Contains(t.Value) {
+			out = append(out, t.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sorted(ids []rsse.ID) []rsse.ID {
+	out := append([]rsse.ID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []rsse.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	client, err := rsse.NewClient(rsse.LogarithmicSRCi, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := client.BuildIndex([]rsse.Tuple{
+		{ID: 1, Value: 1000, Payload: []byte("alice")},
+		{ID: 2, Value: 2000, Payload: []byte("bob")},
+		{ID: 3, Value: 1400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Query(index, rsse.Range{Lo: 500, Hi: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(res.Matches), []rsse.ID{1, 3}) {
+		t.Fatalf("Matches = %v", res.Matches)
+	}
+	got, err := client.FetchTuple(index, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "alice" || got.Value != 1000 {
+		t.Fatalf("FetchTuple = %+v", got)
+	}
+}
+
+func TestAllKindsThroughPublicAPI(t *testing.T) {
+	tuples := genTuples(200, 10, 1)
+	q := rsse.Range{Lo: 200, Hi: 700}
+	want := oracle(tuples, q)
+	for _, kind := range rsse.Kinds() {
+		bits := uint8(10)
+		opts := []rsse.Option{rsse.WithSeed(7)}
+		if kind == rsse.Quadratic {
+			bits = 6 // keep the naive baseline tractable
+			continue // covered separately below with a scaled query
+		}
+		client, err := rsse.NewClient(kind, bits, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		index, err := client.BuildIndex(tuples)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		res, err := client.Query(index, q)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !equal(sorted(res.Matches), want) {
+			t.Errorf("%v: wrong matches", kind)
+		}
+		if index.Kind() != kind || index.N() != len(tuples) {
+			t.Errorf("%v: index accessors wrong", kind)
+		}
+	}
+}
+
+func TestQuadraticThroughPublicAPI(t *testing.T) {
+	tuples := genTuples(50, 5, 2)
+	client, err := rsse.NewClient(rsse.Quadratic, 5, rsse.WithQuadraticPadding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := client.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rsse.Range{Lo: 3, Hi: 19}
+	res, err := client.Query(index, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(res.Matches), oracle(tuples, q)) {
+		t.Error("Quadratic wrong matches")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := rsse.NewClient(rsse.LogarithmicBRC, 70); err == nil {
+		t.Error("oversized domain accepted")
+	}
+	if _, err := rsse.NewClient(rsse.LogarithmicBRC, 10, rsse.WithSSE("nope")); err == nil {
+		t.Error("unknown SSE accepted")
+	}
+	if _, err := rsse.NewClient(rsse.LogarithmicBRC, 10, rsse.WithMasterKey([]byte{1})); err == nil {
+		t.Error("short master key accepted")
+	}
+	if _, err := rsse.NewClient(rsse.LogarithmicBRC, 10, rsse.WithTSetParams(0, 1.1)); err == nil {
+		t.Error("zero bucket capacity accepted")
+	}
+	if _, err := rsse.NewClient(rsse.LogarithmicBRC, 10, rsse.WithTSetParams(10, 0.5)); err == nil {
+		t.Error("sub-1 expansion accepted")
+	}
+	if _, err := rsse.NewClient(rsse.LogarithmicBRC, 10, rsse.WithPackedBlockSize(0)); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := rsse.NewClient(rsse.LogarithmicBRC, 10, rsse.WithQuadraticMaxBits(0)); err == nil {
+		t.Error("zero quadratic max bits accepted")
+	}
+}
+
+func TestSSEConstructionsViaOptions(t *testing.T) {
+	tuples := genTuples(100, 8, 3)
+	q := rsse.Range{Lo: 10, Hi: 200}
+	want := oracle(tuples, q)
+	cases := []struct {
+		name string
+		opts []rsse.Option
+	}{
+		{"basic", []rsse.Option{rsse.WithSSE("basic")}},
+		{"packed", []rsse.Option{rsse.WithPackedBlockSize(4)}},
+		{"tset", []rsse.Option{rsse.WithTSetParams(128, 1.3)}},
+	}
+	for _, tc := range cases {
+		client, err := rsse.NewClient(rsse.LogarithmicBRC, 8, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if client.SSEName() != tc.name {
+			t.Errorf("SSEName = %q, want %q", client.SSEName(), tc.name)
+		}
+		index, err := client.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := client.Query(index, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal(sorted(res.Matches), want) {
+			t.Errorf("%s: wrong matches", tc.name)
+		}
+	}
+}
+
+func TestMasterKeyReproducibility(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	tuples := genTuples(50, 8, 4)
+	c1, err := rsse.NewClient(rsse.LogarithmicBRC, 8, rsse.WithMasterKey(key), rsse.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := c1.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second client with the same master key can query the index.
+	c2, err := rsse.NewClient(rsse.LogarithmicBRC, 8, rsse.WithMasterKey(key), rsse.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rsse.Range{Lo: 0, Hi: 128}
+	res, err := c2.Query(index, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(res.Matches), oracle(tuples, q)) {
+		t.Error("rebuilt client cannot query the index")
+	}
+}
+
+func TestConstantGuardThroughPublicAPI(t *testing.T) {
+	client, err := rsse.NewClient(rsse.ConstantURC, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := client.BuildIndex(genTuples(50, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(index, rsse.Range{Lo: 0, Hi: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(index, rsse.Range{Lo: 50, Hi: 150}); !errors.Is(err, rsse.ErrIntersectingQuery) {
+		t.Errorf("intersecting query error = %v", err)
+	}
+	client.ResetHistory()
+	if _, err := client.Query(index, rsse.Range{Lo: 50, Hi: 150}); err != nil {
+		t.Errorf("query after reset: %v", err)
+	}
+}
+
+func TestTrapdoorCostShapes(t *testing.T) {
+	// Constant query size for the SRC schemes, logarithmic for the rest —
+	// the Figure 8(a) shapes.
+	for _, tc := range []struct {
+		kind       rsse.Kind
+		wantTokens func(int) bool
+	}{
+		{rsse.LogarithmicSRC, func(n int) bool { return n == 1 }},
+		{rsse.LogarithmicSRCi, func(n int) bool { return n == 2 }},
+		{rsse.LogarithmicBRC, func(n int) bool { return n >= 1 && n <= 16 }},
+		{rsse.ConstantURC, func(n int) bool { return n >= 1 && n <= 16 }},
+	} {
+		client, err := rsse.NewClient(tc.kind, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, R := range []uint64{1, 10, 100} {
+			tokens, bytes, err := client.TrapdoorCost(rsse.Range{Lo: 5000, Hi: 5000 + R - 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.wantTokens(tokens) {
+				t.Errorf("%v R=%d: %d tokens", tc.kind, R, tokens)
+			}
+			if bytes <= 0 {
+				t.Errorf("%v R=%d: %d bytes", tc.kind, R, bytes)
+			}
+		}
+	}
+}
+
+func TestDynamicThroughPublicAPI(t *testing.T) {
+	d, err := rsse.NewDynamic(rsse.LogarithmicBRC, 12, 0, rsse.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Insert(1, 100, []byte("a"))
+	d.Insert(2, 200, []byte("b"))
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d.Modify(1, 100, 300, []byte("a2"))
+	d.Delete(2, 200)
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tuples, stats, err := d.Query(rsse.Range{Lo: 0, Hi: 4095})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 || tuples[0].ID != 1 || tuples[0].Value != 300 || string(tuples[0].Payload) != "a2" {
+		t.Fatalf("dynamic query = %+v", tuples)
+	}
+	if stats.Indexes != d.ActiveIndexes() || d.Batches() != 2 {
+		t.Errorf("stats/accessors wrong: %+v", stats)
+	}
+	if err := d.FullConsolidate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ActiveIndexes() != 1 {
+		t.Errorf("ActiveIndexes after consolidation = %d", d.ActiveIndexes())
+	}
+	if d.TotalIndexSize() <= 0 {
+		t.Error("TotalIndexSize not positive")
+	}
+	if _, err := rsse.NewDynamic(rsse.LogarithmicBRC, 12, 1); err == nil {
+		t.Error("step 1 accepted")
+	}
+	if _, err := rsse.NewDynamic(rsse.LogarithmicBRC, 99, 0); err == nil {
+		t.Error("oversized domain accepted")
+	}
+}
+
+func TestDomainHelpers(t *testing.T) {
+	d, err := rsse.NewDomain(16)
+	if err != nil || d.Size() != 65536 {
+		t.Fatalf("NewDomain: %v %v", d, err)
+	}
+	if _, err := rsse.NewDomain(63); err == nil {
+		t.Error("63-bit domain accepted")
+	}
+	if rsse.FitDomain(276840).Bits != 19 {
+		t.Errorf("FitDomain(276840).Bits = %d", rsse.FitDomain(276840).Bits)
+	}
+	if _, err := rsse.KindByName("Logarithmic-SRC-i"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoLevelViaOptions(t *testing.T) {
+	client, err := rsse.NewClient(rsse.LogarithmicBRC, 10, rsse.WithSSE("2lev"), rsse.WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.SSEName() != "2lev" {
+		t.Fatalf("SSEName = %q", client.SSEName())
+	}
+	tuples := genTuples(150, 10, 22)
+	index, err := client.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rsse.Range{Lo: 100, Hi: 700}
+	res, err := client.Query(index, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(res.Matches), oracle(tuples, q)) {
+		t.Error("2lev-backed query wrong")
+	}
+}
