@@ -110,6 +110,7 @@ func query(args []string) {
 	scheme := fs.String("scheme", "Logarithmic-SRC-i", "scheme name")
 	indexPath := fs.String("index", "", "local index file (or use -addr)")
 	addr := fs.String("addr", "", "remote rsse-server address (or use -index)")
+	name := fs.String("name", rsse.DefaultIndexName, "served index name on the remote server")
 	keyfile := fs.String("keyfile", "table.key", "master key file (hex)")
 	bits := fs.Uint("bits", 20, "domain bits the index was built with")
 	lo := fs.Uint64("lo", 0, "range lower bound")
@@ -137,7 +138,7 @@ func query(args []string) {
 	var res *rsse.Result
 	fetch := func(id rsse.ID) (rsse.Tuple, error) { return rsse.Tuple{}, nil }
 	if *addr != "" {
-		remote, err := rsse.Dial("tcp", *addr)
+		remote, err := rsse.DialIndex("tcp", *addr, *name)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,48 +1,121 @@
-// Command rsse-server serves a serialized encrypted index (produced by
+// Command rsse-server serves serialized encrypted indexes (produced by
 // rsse-owner build) to remote data owners. The server holds no keys: it
 // can execute searches and return encrypted tuples, and learns nothing
-// beyond the scheme's formal leakage.
+// beyond the schemes' formal leakage.
 //
-// Usage:
+// Serve a single index under the default name:
 //
 //	rsse-server -index table.idx -listen 127.0.0.1:7070
+//
+// Serve every *.idx file in a directory as one multi-index process, each
+// index named after its file (salaries.idx → "salaries"; owners address
+// one with rsse.DialIndex):
+//
+//	rsse-server -dir ./indexes -listen 127.0.0.1:7070
+//
+// Indexes load onto the read-optimized "sorted" storage engine by
+// default (-storage map restores hash tables). SIGINT/SIGTERM trigger a
+// graceful shutdown: listeners close immediately, in-flight requests
+// finish and flush before connections drop.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
 
 	"rsse"
-	"rsse/internal/core"
 )
 
 func main() {
-	indexPath := flag.String("index", "", "serialized index file (required)")
+	indexPath := flag.String("index", "", "serialized index file, served as \"default\"")
+	dir := flag.String("dir", "", "directory of .idx files, each served under its basename")
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
+	engine := flag.String("storage", "sorted", "storage engine for loaded indexes: map|sorted")
+	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	flag.Parse()
-	if *indexPath == "" {
-		fmt.Fprintln(os.Stderr, "rsse-server: -index is required")
+	if (*indexPath == "") == (*dir == "") {
+		fmt.Fprintln(os.Stderr, "rsse-server: exactly one of -index and -dir is required")
 		os.Exit(2)
 	}
-	blob, err := os.ReadFile(*indexPath)
-	if err != nil {
-		fatal(err)
+
+	reg := rsse.NewRegistry()
+	if *indexPath != "" {
+		if err := load(reg, rsse.DefaultIndexName, *indexPath, *engine); err != nil {
+			fatal(err)
+		}
+	} else {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".idx") {
+				continue
+			}
+			name := strings.TrimSuffix(e.Name(), ".idx")
+			if err := load(reg, name, filepath.Join(*dir, e.Name()), *engine); err != nil {
+				fatal(err)
+			}
+		}
+		if len(reg.Names()) == 0 {
+			fatal(fmt.Errorf("no .idx files in %s", *dir))
+		}
 	}
-	index, err := core.UnmarshalIndex(blob)
-	if err != nil {
-		fatal(err)
-	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("rsse-server: serving %s index (%d tuples, %.1f MB) on %s\n",
-		index.Kind(), index.N(), float64(index.Size())/(1<<20), l.Addr())
-	if err := rsse.Serve(l, index); err != nil {
-		fatal(err)
+	fmt.Printf("rsse-server: serving %d index(es) on %s (%s storage)\n",
+		len(reg.Names()), l.Addr(), *engine)
+
+	srv := rsse.NewServer(reg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("rsse-server: %v — draining (up to %v)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rsse-server: forced shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println("rsse-server: drained, bye")
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
 	}
+}
+
+// load reads, parses and registers one index file.
+func load(reg *rsse.Registry, name, path, engine string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	index, err := rsse.UnmarshalIndexWith(blob, engine)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := reg.Register(name, index); err != nil {
+		return err
+	}
+	fmt.Printf("rsse-server: %-20q %v  %d tuples  %.1f MB index\n",
+		name, index.Kind(), index.N(), float64(index.Size())/(1<<20))
+	return nil
 }
 
 func fatal(err error) {

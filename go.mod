@@ -1,0 +1,3 @@
+module rsse
+
+go 1.24

@@ -361,7 +361,7 @@ func pureSSEFloor(s Scale, dom cover.Domain, tuples []core.Tuple, queriesPerPct 
 			stagOf[pct] = append(stagOf[pct], stag)
 		}
 	}
-	idx, err := s.sseScheme().Build(entries, 8, newRand(26))
+	idx, err := s.sseScheme().Build(entries, 8, newRand(26), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"rsse/internal/prf"
 	"rsse/internal/secenc"
 	"rsse/internal/sse"
+	"rsse/internal/storage"
 )
 
 // Options configures a Client. The zero value selects the Basic SSE
@@ -21,6 +22,11 @@ type Options struct {
 	// framework treats it as a black box; experiments use sse.TSet with
 	// the paper's parameters. Nil selects sse.Basic.
 	SSE sse.Scheme
+	// Storage selects the physical layout of the encrypted dictionaries
+	// and the tuple store (see package storage). Nil selects the default
+	// hash-map engine; storage.Sorted{} builds the read-optimized flat
+	// layout servers prefer.
+	Storage storage.Engine
 	// Rand drives the build-time shuffles and token permutations; pass a
 	// seeded source for reproducible tests. Nil selects a crypto-seeded
 	// source. (Key material never comes from this source.)
@@ -43,10 +49,11 @@ type Options struct {
 // Client is the data owner: it holds the secret keys of one scheme
 // instance, builds encrypted indexes, and drives query protocols.
 type Client struct {
-	kind Kind
-	dom  cover.Domain
-	sse  sse.Scheme
-	rnd  *mrand.Rand
+	kind    Kind
+	dom     cover.Domain
+	sse     sse.Scheme
+	storage storage.Engine
+	rnd     *mrand.Rand
 
 	master prf.Key
 	kSSE   prf.Key    // primary-index keyword PRF
@@ -71,6 +78,7 @@ func NewClient(kind Kind, dom cover.Domain, opts Options) (*Client, error) {
 		kind:           kind,
 		dom:            dom,
 		sse:            opts.SSE,
+		storage:        opts.Storage,
 		rnd:            opts.Rand,
 		padQuadratic:   opts.PadQuadratic,
 		allowIntersect: opts.AllowIntersecting,
@@ -215,7 +223,7 @@ func (c *Client) BuildIndex(tuples []Tuple) (*Index, error) {
 			return nil, fmt.Errorf("%w: value %d, domain size %d", ErrValueOutsideDomain, t.Value, c.dom.Size())
 		}
 	}
-	store, err := buildStore(c.kStore, tuples)
+	store, err := buildStore(c.kStore, tuples, c.storage)
 	if err != nil {
 		return nil, err
 	}

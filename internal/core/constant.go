@@ -30,7 +30,7 @@ func (c *Client) buildConstant(x *Index, tuples []Tuple) error {
 		}
 		entries = append(entries, sse.EntryFromIDs(sse.Stag(leaf), ids))
 	}
-	idx, err := c.sse.Build(entries, 8, c.rnd)
+	idx, err := c.sse.Build(entries, 8, c.rnd, c.storage)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"rsse/internal/cover"
+	"rsse/internal/storage"
 )
 
 // TestQuickCrossSchemeEquivalence is the framework's central property:
@@ -172,11 +173,12 @@ func TestCorruptStoreDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Tamper with every ciphertext's padding region.
-	for id, ct := range idx.store.cts {
+	// Tamper with every ciphertext's padding region. The visited slices
+	// alias backend memory; mutating them is exactly the point here.
+	idx.store.cts.Iterate(func(_, ct []byte) bool {
 		ct[len(ct)-1] ^= 0xFF
-		idx.store.cts[id] = ct
-	}
+		return true
+	})
 	_, err = c.Query(idx, Range{0, 255})
 	if err == nil {
 		// CBC padding may occasionally still validate; FetchTuple must
@@ -194,7 +196,11 @@ func TestServerReturnsUnknownID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.filterMatches(&Index{store: &TupleStore{cts: map[ID][]byte{}}}, []ID{42}, Range{0, 10}); err == nil {
+	empty, err := storage.Default().NewBuilder(storeKeyLen, 0).Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.filterMatches(&Index{store: &TupleStore{cts: empty}}, []ID{42}, Range{0, 10}); err == nil {
 		t.Error("unknown id accepted by filter")
 	}
 }

@@ -3,9 +3,9 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"rsse/internal/secenc"
+	"rsse/internal/storage"
 )
 
 // TupleStore is the server-side collection of encrypted tuples, stored
@@ -17,19 +17,28 @@ import (
 //
 // Each ciphertext is AES-128-CBC(value || payload) under an owner key with
 // a fresh IV, i.e. semantically secure: the server learns only ids and
-// ciphertext lengths.
+// ciphertext lengths. Physically the id→ciphertext records live behind a
+// storage.Backend, chosen by the same engine that lays out the SSE
+// dictionaries.
 type TupleStore struct {
-	cts  map[ID][]byte
+	cts  storage.Backend
 	size int
 }
 
-// buildStore encrypts every tuple under k.
-func buildStore(k secenc.Key, tuples []Tuple) (*TupleStore, error) {
-	s := &TupleStore{cts: make(map[ID][]byte, len(tuples))}
+// storeKeyLen is the byte length of a tuple-store key (a big-endian id).
+const storeKeyLen = 8
+
+func storeKey(id ID) [storeKeyLen]byte {
+	var k [storeKeyLen]byte
+	binary.BigEndian.PutUint64(k[:], id)
+	return k
+}
+
+// buildStore encrypts every tuple under k onto the given storage engine.
+func buildStore(k secenc.Key, tuples []Tuple, eng storage.Engine) (*TupleStore, error) {
+	b := storage.OrDefault(eng).NewBuilder(storeKeyLen, len(tuples))
+	s := &TupleStore{}
 	for _, t := range tuples {
-		if _, dup := s.cts[t.ID]; dup {
-			return nil, fmt.Errorf("%w: %d", ErrDuplicateID, t.ID)
-		}
 		plain := make([]byte, 8+len(t.Payload))
 		binary.BigEndian.PutUint64(plain, t.Value)
 		copy(plain[8:], t.Payload)
@@ -37,20 +46,28 @@ func buildStore(k secenc.Key, tuples []Tuple) (*TupleStore, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.cts[t.ID] = ct
+		key := storeKey(t.ID)
+		if err := b.Put(key[:], ct); err != nil {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateID, t.ID)
+		}
 		s.size += 8 + len(ct)
 	}
+	cts, err := b.Seal()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDuplicateID, err)
+	}
+	s.cts = cts
 	return s, nil
 }
 
 // Get returns the ciphertext stored for id.
 func (s *TupleStore) Get(id ID) ([]byte, bool) {
-	ct, ok := s.cts[id]
-	return ct, ok
+	k := storeKey(id)
+	return s.cts.Get(k[:])
 }
 
 // Len returns the number of stored tuples.
-func (s *TupleStore) Len() int { return len(s.cts) }
+func (s *TupleStore) Len() int { return s.cts.Len() }
 
 // Size returns the server storage footprint of the ciphertext collection.
 func (s *TupleStore) Size() int { return s.size }
@@ -58,11 +75,11 @@ func (s *TupleStore) Size() int { return s.size }
 // IDs lists the stored ids in ascending order. IDs are public; the update
 // manager uses this to download a batch for consolidation.
 func (s *TupleStore) IDs() []ID {
-	out := make([]ID, 0, len(s.cts))
-	for id := range s.cts {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]ID, 0, s.cts.Len())
+	s.cts.Iterate(func(key, _ []byte) bool {
+		out = append(out, binary.BigEndian.Uint64(key))
+		return true
+	})
 	return out
 }
 

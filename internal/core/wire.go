@@ -7,6 +7,7 @@ import (
 
 	"rsse/internal/cover"
 	"rsse/internal/sse"
+	"rsse/internal/storage"
 )
 
 // ErrCorruptIndex is returned when a serialized index fails to parse.
@@ -49,8 +50,17 @@ func (x *Index) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalIndex reconstructs an Index serialized with MarshalBinary.
+// UnmarshalIndex reconstructs an Index serialized with MarshalBinary,
+// onto the default storage engine.
 func UnmarshalIndex(data []byte) (*Index, error) {
+	return UnmarshalIndexWith(data, nil)
+}
+
+// UnmarshalIndexWith reconstructs a serialized Index onto an explicit
+// storage engine — servers load read-mostly indexes onto storage.Sorted
+// for the flat, binary-searched layout. The wire stores records in
+// ascending key order, so rebuilding onto the sorted engine is linear.
+func UnmarshalIndexWith(data []byte, eng storage.Engine) (*Index, error) {
 	r := wireReader{data: data}
 	version, err := r.byte()
 	if err != nil || version != indexWireVersion {
@@ -82,7 +92,7 @@ func UnmarshalIndex(data []byte) (*Index, error) {
 	if err != nil {
 		return nil, ErrCorruptIndex
 	}
-	if x.primary, err = sse.Unmarshal(primBlob); err != nil {
+	if x.primary, err = sse.Unmarshal(primBlob, eng); err != nil {
 		return nil, fmt.Errorf("%w: primary: %v", ErrCorruptIndex, err)
 	}
 	auxBlob, err := r.lenPrefixed()
@@ -90,7 +100,7 @@ func UnmarshalIndex(data []byte) (*Index, error) {
 		return nil, ErrCorruptIndex
 	}
 	if len(auxBlob) > 0 {
-		if x.aux, err = sse.Unmarshal(auxBlob); err != nil {
+		if x.aux, err = sse.Unmarshal(auxBlob, eng); err != nil {
 			return nil, fmt.Errorf("%w: aux: %v", ErrCorruptIndex, err)
 		}
 	}
@@ -98,7 +108,8 @@ func UnmarshalIndex(data []byte) (*Index, error) {
 	if err != nil {
 		return nil, ErrCorruptIndex
 	}
-	store := &TupleStore{cts: make(map[ID][]byte, count)}
+	store := &TupleStore{}
+	cts := storage.OrDefault(eng).NewBuilder(storeKeyLen, int(count))
 	for i := uint64(0); i < count; i++ {
 		id, err := r.uint64()
 		if err != nil {
@@ -112,11 +123,14 @@ func UnmarshalIndex(data []byte) (*Index, error) {
 		if err != nil {
 			return nil, ErrCorruptIndex
 		}
-		if _, dup := store.cts[id]; dup {
+		key := storeKey(id)
+		if err := cts.Put(key[:], ct); err != nil {
 			return nil, ErrCorruptIndex
 		}
-		store.cts[id] = ct
 		store.size += 8 + len(ct)
+	}
+	if store.cts, err = cts.Seal(); err != nil {
+		return nil, ErrCorruptIndex
 	}
 	if r.off != len(r.data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptIndex, len(r.data)-r.off)

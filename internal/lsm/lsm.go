@@ -111,6 +111,55 @@ func (m *Manager) Modify(id core.ID, oldValue, newValue core.Value, payload []by
 // Pending returns the number of buffered operations.
 func (m *Manager) Pending() int { return len(m.pending) }
 
+// NamedIndex pairs an epoch's stable serving name with its server-side
+// index, for registration in a multi-index server (transport.Registry).
+type NamedIndex struct {
+	Name  string
+	Index *core.Index
+}
+
+// epochName is the registry name of an epoch: stable across
+// consolidations that leave the epoch alive, unique across the manager's
+// lifetime (sequence numbers are never reused).
+func epochName(e *epoch) string { return fmt.Sprintf("epoch-%d", e.seq) }
+
+// ActiveEpochs lists every active epoch as a (name, index) pair, oldest
+// level first. Registering these into one transport.Registry is how a
+// single server process serves the whole LSM set; after every Flush or
+// consolidation the caller re-syncs the registry with the new list.
+func (m *Manager) ActiveEpochs() []NamedIndex {
+	var out []NamedIndex
+	for _, lvl := range m.levels {
+		for _, e := range lvl {
+			out = append(out, NamedIndex{Name: epochName(e), Index: e.index})
+		}
+	}
+	return out
+}
+
+// Directory resolves epoch names to query targets. transport.Registry
+// implements it for the serving process; transport.Conn implements it on
+// the owner side of a connection, so a Manager can query its epochs
+// through a remote multi-index server.
+type Directory interface {
+	Lookup(name string) (core.Server, error)
+}
+
+// localEpochs resolves epoch names against the manager's own indexes —
+// the all-in-one-process deployment.
+type localEpochs struct{ m *Manager }
+
+func (d localEpochs) Lookup(name string) (core.Server, error) {
+	for _, lvl := range d.m.levels {
+		for _, e := range lvl {
+			if epochName(e) == name {
+				return e.index, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("lsm: unknown epoch %q", name)
+}
+
 // ActiveIndexes returns the number of indexes the server currently holds.
 func (m *Manager) ActiveIndexes() int {
 	n := 0
@@ -322,17 +371,30 @@ type QueryStats struct {
 	FalsePositives int
 }
 
-// Query runs the range query against every active index and resolves the
-// operation history at the owner: the newest operation per application id
-// wins, tombstones drop their victims. Results carry application ids,
-// current values and payloads.
+// Query runs the range query against every active index held locally and
+// resolves the operation history at the owner: the newest operation per
+// application id wins, tombstones drop their victims. Results carry
+// application ids, current values and payloads.
 func (m *Manager) Query(q core.Range) ([]core.Tuple, QueryStats, error) {
+	return m.QueryOn(localEpochs{m}, q)
+}
+
+// QueryOn runs the same fan-out query with every epoch resolved through
+// dir — pass a transport.Conn to query epochs served by a remote
+// multi-index server, or a transport.Registry to query served-in-process
+// indexes. Each epoch keeps its own keys, so every per-epoch round runs
+// under that epoch's client.
+func (m *Manager) QueryOn(dir Directory, q core.Range) ([]core.Tuple, QueryStats, error) {
 	var stats QueryStats
 	latest := make(map[core.ID]Op)
 	for _, lvl := range m.levels {
 		for _, e := range lvl {
 			stats.Indexes++
-			res, err := e.client.Query(e.index, q)
+			srv, err := dir.Lookup(epochName(e))
+			if err != nil {
+				return nil, stats, err
+			}
+			res, err := e.client.QueryServer(srv, q)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -341,7 +403,7 @@ func (m *Manager) Query(q core.Range) ([]core.Tuple, QueryStats, error) {
 			stats.Raw += res.Stats.Raw
 			stats.FalsePositives += res.Stats.FalsePositives
 			for _, storeID := range res.Matches {
-				t, err := e.client.FetchTuple(e.index, storeID)
+				t, err := e.client.FetchTuple(srv, storeID)
 				if err != nil {
 					return nil, stats, err
 				}

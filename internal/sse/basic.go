@@ -2,15 +2,15 @@ package sse
 
 import (
 	"encoding/binary"
-	"fmt"
 	mrand "math/rand"
-	"sort"
+
+	"rsse/internal/storage"
 )
 
 // Basic is the Πbas dictionary construction of Cash et al. (NDSS'14): each
-// posting occupies its own cell, stored in a hash table under the
-// pseudorandom label F(stag, i) and encrypted with a stag-derived key.
-// Search walks i = 0, 1, ... until the first miss.
+// posting occupies its own cell, stored under the pseudorandom label
+// F(stag, i) and encrypted with a stag-derived key. Search walks
+// i = 0, 1, ... until the first miss.
 //
 // Storage is exactly one (label, cell) pair per posting; there is no
 // padding, so the index size reveals the total number of postings (the L1
@@ -21,22 +21,25 @@ type Basic struct{}
 func (Basic) Name() string { return "basic" }
 
 // Build implements Scheme.
-func (Basic) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error) {
+func (Basic) Build(entries []Entry, width int, rnd *mrand.Rand, eng storage.Engine) (Index, error) {
 	total, err := checkEntries(entries, width)
 	if err != nil {
 		return nil, err
 	}
 	rnd = newRand(rnd)
-	cells := make(map[[LabelSize]byte][]byte, total)
+	b := cellBuilder(eng, total)
 	for _, e := range entries {
 		keys := deriveStagKeys(e.Stag, 0)
 		for i, p := range shuffled(e.Payloads, rnd) {
 			lab := cellLabel(keys.loc, uint64(i))
-			if _, dup := cells[lab]; dup {
-				return nil, fmt.Errorf("sse: label collision (duplicate or related stags?)")
+			if err := b.Put(lab[:], encryptCell(keys.enc, uint64(i), p)); err != nil {
+				return nil, errLabelCollision(err)
 			}
-			cells[lab] = encryptCell(keys.enc, uint64(i), p)
 		}
+	}
+	cells, err := b.Seal()
+	if err != nil {
+		return nil, errLabelCollision(err)
 	}
 	idx := &basicIndex{width: width, postings: total, cells: cells}
 	idx.size = idx.serializedSize()
@@ -47,7 +50,7 @@ type basicIndex struct {
 	width    int
 	postings int
 	size     int
-	cells    map[[LabelSize]byte][]byte
+	cells    storage.Backend
 }
 
 func (x *basicIndex) Width() int    { return x.width }
@@ -58,7 +61,8 @@ func (x *basicIndex) Search(stag Stag) ([][]byte, error) {
 	keys := deriveStagKeys(stag, 0)
 	var out [][]byte
 	for i := uint64(0); ; i++ {
-		cell, ok := x.cells[cellLabel(keys.loc, i)]
+		lab := cellLabel(keys.loc, i)
+		cell, ok := x.cells.Get(lab[:])
 		if !ok {
 			return out, nil
 		}
@@ -69,29 +73,18 @@ func (x *basicIndex) Search(stag Stag) ([][]byte, error) {
 // Wire format: tag(1) width(4) count(8) then count sorted records of
 // label(16) || cell(width).
 func (x *basicIndex) serializedSize() int {
-	return 1 + 4 + 8 + len(x.cells)*(LabelSize+x.width)
+	return 1 + 4 + 8 + x.cells.Len()*(LabelSize+x.width)
 }
 
 func (x *basicIndex) MarshalBinary() ([]byte, error) {
 	out := make([]byte, 0, x.serializedSize())
 	out = append(out, tagBasic)
 	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
-	out = binary.BigEndian.AppendUint64(out, uint64(len(x.cells)))
-	labels := make([][LabelSize]byte, 0, len(x.cells))
-	for l := range x.cells {
-		labels = append(labels, l)
-	}
-	sort.Slice(labels, func(i, j int) bool {
-		return string(labels[i][:]) < string(labels[j][:])
-	})
-	for _, l := range labels {
-		out = append(out, l[:]...)
-		out = append(out, x.cells[l]...)
-	}
-	return out, nil
+	out = binary.BigEndian.AppendUint64(out, uint64(x.cells.Len()))
+	return appendCells(out, x.cells), nil
 }
 
-func unmarshalBasic(data []byte) (Index, error) {
+func unmarshalBasic(data []byte, eng storage.Engine) (Index, error) {
 	if len(data) < 13 {
 		return nil, ErrCorrupt
 	}
@@ -102,17 +95,21 @@ func unmarshalBasic(data []byte) (Index, error) {
 	}
 	rec := LabelSize + width
 	body := data[13:]
-	if uint64(len(body)) != count*uint64(rec) {
+	// Bound count before multiplying: a huge count must not wrap the
+	// product past the length check into a panic below.
+	if count > uint64(len(body))/uint64(rec) || uint64(len(body)) != count*uint64(rec) {
 		return nil, ErrCorrupt
 	}
-	cells := make(map[[LabelSize]byte][]byte, count)
+	b := cellBuilder(eng, int(count))
 	for i := uint64(0); i < count; i++ {
-		var lab [LabelSize]byte
 		off := i * uint64(rec)
-		copy(lab[:], body[off:off+LabelSize])
-		cell := make([]byte, width)
-		copy(cell, body[off+LabelSize:off+uint64(rec)])
-		cells[lab] = cell
+		if err := b.Put(body[off:off+LabelSize], body[off+LabelSize:off+uint64(rec)]); err != nil {
+			return nil, ErrCorrupt
+		}
+	}
+	cells, err := b.Seal()
+	if err != nil {
+		return nil, ErrCorrupt
 	}
 	x := &basicIndex{width: width, postings: int(count), cells: cells}
 	x.size = x.serializedSize()

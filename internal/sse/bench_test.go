@@ -4,10 +4,12 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"testing"
+
+	"rsse/internal/storage"
 )
 
 // Cross-construction micro-benchmarks: build and search costs per
-// construction on the same keyword distribution.
+// construction and per storage engine on the same keyword distribution.
 
 func benchEntries(n, lists int) []Entry {
 	rnd := mrand.New(mrand.NewSource(2))
@@ -37,40 +39,47 @@ func benchConstructions() []Scheme {
 func BenchmarkBuild10kPostings(b *testing.B) {
 	entries := benchEntries(10000, 100)
 	for _, s := range benchConstructions() {
-		b.Run(s.Name(), func(b *testing.B) {
-			b.ReportAllocs()
-			var size int
-			for i := 0; i < b.N; i++ {
-				idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(3)))
-				if err != nil {
-					b.Fatal(err)
+		for _, eng := range storage.Engines() {
+			b.Run(s.Name()+"/"+eng.Name(), func(b *testing.B) {
+				b.ReportAllocs()
+				var size int
+				for i := 0; i < b.N; i++ {
+					idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(3)), eng)
+					if err != nil {
+						b.Fatal(err)
+					}
+					size = idx.Size()
 				}
-				size = idx.Size()
-			}
-			b.ReportMetric(float64(size)/1024, "KB")
-		})
+				b.ReportMetric(float64(size)/1024, "KB")
+			})
+		}
 	}
 }
 
+// BenchmarkSearch100IDs is the acceptance benchmark for the storage seam:
+// per construction it compares the hash-map engine against the
+// read-optimized sorted engine on the hot server-side Search path.
 func BenchmarkSearch100IDs(b *testing.B) {
 	entries := benchEntries(10000, 100) // 100 ids per keyword
 	for _, s := range benchConstructions() {
-		b.Run(s.Name(), func(b *testing.B) {
-			idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(4)))
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				got, err := idx.Search(entries[i%len(entries)].Stag)
+		for _, eng := range storage.Engines() {
+			b.Run(s.Name()+"/"+eng.Name(), func(b *testing.B) {
+				idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(4)), eng)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if len(got) != 100 {
-					b.Fatal(fmt.Errorf("got %d payloads", len(got)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got, err := idx.Search(entries[i%len(entries)].Stag)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got) != 100 {
+						b.Fatal(fmt.Errorf("got %d payloads", len(got)))
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }

@@ -3,6 +3,8 @@ package sse
 import (
 	mrand "math/rand"
 	"testing"
+
+	"rsse/internal/storage"
 )
 
 // FuzzUnmarshal hammers the index parser with mutated blobs: it must
@@ -12,7 +14,7 @@ func FuzzUnmarshal(f *testing.F) {
 	for _, s := range []Scheme{Basic{}, Packed{BlockSize: 4}, TSet{BucketCapacity: 16, Expansion: 1.5}} {
 		var stag Stag
 		stag[0] = 7
-		idx, err := s.Build([]Entry{EntryFromIDs(stag, []uint64{1, 2, 3})}, 8, mrand.New(mrand.NewSource(1)))
+		idx, err := s.Build([]Entry{EntryFromIDs(stag, []uint64{1, 2, 3})}, 8, mrand.New(mrand.NewSource(1)), nil)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -25,17 +27,19 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{tagBasic})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		idx, err := Unmarshal(data)
-		if err != nil {
-			return
-		}
-		var probe Stag
-		probe[5] = 9
-		if _, err := idx.Search(probe); err != nil {
-			t.Fatalf("accepted index fails to search: %v", err)
-		}
-		if _, err := idx.MarshalBinary(); err != nil {
-			t.Fatalf("accepted index fails to re-marshal: %v", err)
+		for _, eng := range storage.Engines() {
+			idx, err := Unmarshal(data, eng)
+			if err != nil {
+				continue
+			}
+			var probe Stag
+			probe[5] = 9
+			if _, err := idx.Search(probe); err != nil {
+				t.Fatalf("%s: accepted index fails to search: %v", eng.Name(), err)
+			}
+			if _, err := idx.MarshalBinary(); err != nil {
+				t.Fatalf("%s: accepted index fails to re-marshal: %v", eng.Name(), err)
+			}
 		}
 	})
 }

@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	mrand "math/rand"
-	"sort"
+
+	"rsse/internal/storage"
 )
 
 // DefaultBlockSize is the number of postings packed per encrypted block.
@@ -36,7 +37,7 @@ func (s Packed) blockSize() (int, error) {
 }
 
 // Build implements Scheme.
-func (s Packed) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error) {
+func (s Packed) Build(entries []Entry, width int, rnd *mrand.Rand, eng storage.Engine) (Index, error) {
 	bs, err := s.blockSize()
 	if err != nil {
 		return nil, err
@@ -47,12 +48,12 @@ func (s Packed) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error
 	}
 	rnd = newRand(rnd)
 	blockLen := 1 + bs*width // count byte + padded payload area
-	cells := make(map[[LabelSize]byte][]byte)
+	b := cellBuilder(eng, (total+bs-1)/max(bs, 1))
 	for _, e := range entries {
 		keys := deriveStagKeys(e.Stag, 0)
 		payloads := shuffled(e.Payloads, rnd)
-		for b := 0; b*bs < len(payloads); b++ {
-			chunk := payloads[b*bs : min((b+1)*bs, len(payloads))]
+		for blk := 0; blk*bs < len(payloads); blk++ {
+			chunk := payloads[blk*bs : min((blk+1)*bs, len(payloads))]
 			plain := make([]byte, blockLen)
 			plain[0] = byte(len(chunk))
 			for i, p := range chunk {
@@ -64,12 +65,15 @@ func (s Packed) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error
 			for i := 1 + len(chunk)*width; i < blockLen; i++ {
 				plain[i] = byte(rnd.Intn(256))
 			}
-			lab := cellLabel(keys.loc, uint64(b))
-			if _, dup := cells[lab]; dup {
-				return nil, fmt.Errorf("sse: label collision (duplicate or related stags?)")
+			lab := cellLabel(keys.loc, uint64(blk))
+			if err := b.Put(lab[:], encryptCell(keys.enc, uint64(blk), plain)); err != nil {
+				return nil, errLabelCollision(err)
 			}
-			cells[lab] = encryptCell(keys.enc, uint64(b), plain)
 		}
+	}
+	cells, err := b.Seal()
+	if err != nil {
+		return nil, errLabelCollision(err)
 	}
 	idx := &packedIndex{width: width, blockSize: bs, postings: total, cells: cells}
 	idx.size = idx.serializedSize()
@@ -81,7 +85,7 @@ type packedIndex struct {
 	blockSize int
 	postings  int
 	size      int
-	cells     map[[LabelSize]byte][]byte
+	cells     storage.Backend
 }
 
 func (x *packedIndex) Width() int    { return x.width }
@@ -92,7 +96,8 @@ func (x *packedIndex) Search(stag Stag) ([][]byte, error) {
 	keys := deriveStagKeys(stag, 0)
 	var out [][]byte
 	for b := uint64(0); ; b++ {
-		cell, ok := x.cells[cellLabel(keys.loc, b)]
+		lab := cellLabel(keys.loc, b)
+		cell, ok := x.cells.Get(lab[:])
 		if !ok {
 			return out, nil
 		}
@@ -113,7 +118,7 @@ func (x *packedIndex) Search(stag Stag) ([][]byte, error) {
 // then blockCount sorted records of label(16) || cell(1+blockSize*width).
 func (x *packedIndex) serializedSize() int {
 	blockLen := 1 + x.blockSize*x.width
-	return 1 + 4 + 1 + 8 + 8 + len(x.cells)*(LabelSize+blockLen)
+	return 1 + 4 + 1 + 8 + 8 + x.cells.Len()*(LabelSize+blockLen)
 }
 
 func (x *packedIndex) MarshalBinary() ([]byte, error) {
@@ -122,22 +127,11 @@ func (x *packedIndex) MarshalBinary() ([]byte, error) {
 	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
 	out = append(out, byte(x.blockSize))
 	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
-	out = binary.BigEndian.AppendUint64(out, uint64(len(x.cells)))
-	labels := make([][LabelSize]byte, 0, len(x.cells))
-	for l := range x.cells {
-		labels = append(labels, l)
-	}
-	sort.Slice(labels, func(i, j int) bool {
-		return string(labels[i][:]) < string(labels[j][:])
-	})
-	for _, l := range labels {
-		out = append(out, l[:]...)
-		out = append(out, x.cells[l]...)
-	}
-	return out, nil
+	out = binary.BigEndian.AppendUint64(out, uint64(x.cells.Len()))
+	return appendCells(out, x.cells), nil
 }
 
-func unmarshalPacked(data []byte) (Index, error) {
+func unmarshalPacked(data []byte, eng storage.Engine) (Index, error) {
 	if len(data) < 22 {
 		return nil, ErrCorrupt
 	}
@@ -150,26 +144,22 @@ func unmarshalPacked(data []byte) (Index, error) {
 	}
 	rec := uint64(LabelSize + 1 + blockSize*width)
 	body := data[22:]
-	if uint64(len(body)) != blocks*rec {
+	// Bound blocks before multiplying so the product cannot wrap.
+	if blocks > uint64(len(body))/rec || uint64(len(body)) != blocks*rec {
 		return nil, ErrCorrupt
 	}
-	cells := make(map[[LabelSize]byte][]byte, blocks)
+	b := cellBuilder(eng, int(blocks))
 	for i := uint64(0); i < blocks; i++ {
-		var lab [LabelSize]byte
 		off := i * rec
-		copy(lab[:], body[off:off+LabelSize])
-		cell := make([]byte, rec-LabelSize)
-		copy(cell, body[off+LabelSize:off+rec])
-		cells[lab] = cell
+		if err := b.Put(body[off:off+LabelSize], body[off+LabelSize:off+rec]); err != nil {
+			return nil, ErrCorrupt
+		}
+	}
+	cells, err := b.Seal()
+	if err != nil {
+		return nil, ErrCorrupt
 	}
 	x := &packedIndex{width: width, blockSize: blockSize, postings: int(postings), cells: cells}
 	x.size = x.serializedSize()
 	return x, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -22,6 +22,11 @@
 // All constructions shuffle each posting list at build time, support
 // binary serialization, and report their serialized size — the quantity
 // plotted in Figure 5(a) and Table 2.
+//
+// Physical storage of the encrypted dictionaries is delegated to
+// package storage: Build and Unmarshal take a storage.Engine choosing the
+// label→cell representation (nil selects the default hash map), and the
+// constructions address cells only through storage.Backend.
 package sse
 
 import (
@@ -30,10 +35,10 @@ import (
 	"errors"
 	"fmt"
 	mrand "math/rand"
-	"sort"
 
 	"rsse/internal/prf"
 	"rsse/internal/secenc"
+	"rsse/internal/storage"
 )
 
 // StagSize is the byte length of a search tag.
@@ -60,8 +65,10 @@ type Scheme interface {
 	Name() string
 	// Build encrypts the entries into a searchable index. width is the
 	// exact byte length of every payload. rnd drives the posting-list
-	// shuffles and padding; if nil a crypto-seeded source is used.
-	Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error)
+	// shuffles and padding; if nil a crypto-seeded source is used. eng
+	// selects the dictionary's physical layout; nil selects the default
+	// engine.
+	Build(entries []Entry, width int, rnd *mrand.Rand, eng storage.Engine) (Index, error)
 }
 
 // Index is a server-side encrypted multimap.
@@ -114,20 +121,23 @@ func ByName(name string) (Scheme, error) {
 	}
 }
 
-// Unmarshal reconstructs an index serialized with MarshalBinary.
-func Unmarshal(data []byte) (Index, error) {
+// Unmarshal reconstructs an index serialized with MarshalBinary onto the
+// given storage engine (nil selects the default). The wire formats store
+// records in ascending label order, so rebuilding onto the read-optimized
+// sorted engine is linear.
+func Unmarshal(data []byte, eng storage.Engine) (Index, error) {
 	if len(data) == 0 {
 		return nil, ErrCorrupt
 	}
 	switch data[0] {
 	case tagBasic:
-		return unmarshalBasic(data)
+		return unmarshalBasic(data, eng)
 	case tagPacked:
-		return unmarshalPacked(data)
+		return unmarshalPacked(data, eng)
 	case tagTSet:
-		return unmarshalTSet(data)
+		return unmarshalTSet(data, eng)
 	case tagTwoLevel:
-		return unmarshalTwoLevel(data)
+		return unmarshalTwoLevel(data, eng)
 	default:
 		return nil, fmt.Errorf("sse: unknown index tag %d: %w", data[0], ErrCorrupt)
 	}
@@ -243,15 +253,25 @@ func decryptCell(enc secenc.Key, i uint64, cell []byte) []byte {
 	return secenc.XORKeyStreamCTR(enc, secenc.NonceFromUint64(i), cell)
 }
 
-// sortedLabels returns the map's labels in lexicographic order, for
-// deterministic serialization.
-func sortedLabels(cells map[[LabelSize]byte][]byte) [][LabelSize]byte {
-	labels := make([][LabelSize]byte, 0, len(cells))
-	for l := range cells {
-		labels = append(labels, l)
-	}
-	sort.Slice(labels, func(i, j int) bool {
-		return string(labels[i][:]) < string(labels[j][:])
+// cellBuilder starts a label→cell space on eng (nil = default engine).
+func cellBuilder(eng storage.Engine, capacityHint int) storage.Builder {
+	return storage.OrDefault(eng).NewBuilder(LabelSize, capacityHint)
+}
+
+// errLabelCollision wraps a builder error in the constructions' label
+// collision diagnosis (duplicates can only arise from duplicate or
+// related stags — or, vanishingly unlikely, colliding PRF outputs).
+func errLabelCollision(err error) error {
+	return fmt.Errorf("sse: label collision (duplicate or related stags?): %w", err)
+}
+
+// appendCells serializes a cell space in its deterministic (ascending
+// label) iteration order: label(16) || cell, repeated.
+func appendCells(out []byte, cells storage.Backend) []byte {
+	cells.Iterate(func(label, cell []byte) bool {
+		out = append(out, label...)
+		out = append(out, cell...)
+		return true
 	})
-	return labels
+	return out
 }

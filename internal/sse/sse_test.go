@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"rsse/internal/prf"
+	"rsse/internal/storage"
 )
 
 // testSchemes returns every construction with test-friendly parameters.
@@ -28,14 +29,28 @@ func stagOf(t testing.TB, kw string) Stag {
 	return StagFromPRF(k, kw)
 }
 
-// buildTestIndex builds an index over a deterministic keyword→ids map.
+// buildTestIndex builds an index over a deterministic keyword→ids map on
+// the default storage engine.
 func buildTestIndex(t testing.TB, s Scheme, db map[string][]uint64) Index {
 	t.Helper()
-	entries := make([]Entry, 0, len(db))
-	for kw, ids := range db {
-		entries = append(entries, EntryFromIDs(stagOf(t, kw), ids))
+	return buildTestIndexOn(t, s, db, nil)
+}
+
+// buildTestIndexOn builds the same index on an explicit storage engine.
+// Entries are built in sorted keyword order so repeated builds from the
+// same seed are bit-identical (map iteration order must not leak in).
+func buildTestIndexOn(t testing.TB, s Scheme, db map[string][]uint64, eng storage.Engine) Index {
+	t.Helper()
+	kws := make([]string, 0, len(db))
+	for kw := range db {
+		kws = append(kws, kw)
 	}
-	idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(1)))
+	sort.Strings(kws)
+	entries := make([]Entry, 0, len(db))
+	for _, kw := range kws {
+		entries = append(entries, EntryFromIDs(stagOf(t, kw), db[kw]))
+	}
+	idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(1)), eng)
 	if err != nil {
 		t.Fatalf("%s: Build: %v", s.Name(), err)
 	}
@@ -82,30 +97,32 @@ func TestRoundtripAllSchemes(t *testing.T) {
 		"delta": {7, 7, 7}, // duplicate ids are preserved verbatim
 	}
 	for _, s := range testSchemes() {
-		t.Run(s.Name(), func(t *testing.T) {
-			idx := buildTestIndex(t, s, db)
-			for kw, ids := range db {
-				got := searchIDs(t, idx, kw)
-				if !equalIDs(got, sortedCopy(ids)) {
-					t.Errorf("Search(%q) = %v, want %v", kw, got, ids)
+		for _, eng := range storage.Engines() {
+			t.Run(s.Name()+"/"+eng.Name(), func(t *testing.T) {
+				idx := buildTestIndexOn(t, s, db, eng)
+				for kw, ids := range db {
+					got := searchIDs(t, idx, kw)
+					if !equalIDs(got, sortedCopy(ids)) {
+						t.Errorf("Search(%q) = %v, want %v", kw, got, ids)
+					}
 				}
-			}
-			if got := searchIDs(t, idx, "absent"); len(got) != 0 {
-				t.Errorf("absent keyword returned %v", got)
-			}
-			if idx.Postings() != 16 {
-				t.Errorf("Postings = %d, want 16", idx.Postings())
-			}
-			if idx.Width() != 8 {
-				t.Errorf("Width = %d, want 8", idx.Width())
-			}
-		})
+				if got := searchIDs(t, idx, "absent"); len(got) != 0 {
+					t.Errorf("absent keyword returned %v", got)
+				}
+				if idx.Postings() != 16 {
+					t.Errorf("Postings = %d, want 16", idx.Postings())
+				}
+				if idx.Width() != 8 {
+					t.Errorf("Width = %d, want 8", idx.Width())
+				}
+			})
+		}
 	}
 }
 
 func TestEmptyIndex(t *testing.T) {
 	for _, s := range testSchemes() {
-		idx, err := s.Build(nil, 8, mrand.New(mrand.NewSource(2)))
+		idx, err := s.Build(nil, 8, mrand.New(mrand.NewSource(2)), nil)
 		if err != nil {
 			t.Fatalf("%s: empty build: %v", s.Name(), err)
 		}
@@ -163,10 +180,10 @@ func TestShuffleHidesInsertionOrder(t *testing.T) {
 func TestWidthValidation(t *testing.T) {
 	entries := []Entry{{Stag: stagOf(t, "w"), Payloads: [][]byte{{1, 2, 3}}}}
 	for _, s := range testSchemes() {
-		if _, err := s.Build(entries, 8, nil); err == nil {
+		if _, err := s.Build(entries, 8, nil, nil); err == nil {
 			t.Errorf("%s: mismatched payload width accepted", s.Name())
 		}
-		if _, err := s.Build(nil, 0, nil); err == nil {
+		if _, err := s.Build(nil, 0, nil, nil); err == nil {
 			t.Errorf("%s: zero width accepted", s.Name())
 		}
 	}
@@ -176,7 +193,7 @@ func TestDuplicateStagRejected(t *testing.T) {
 	s := stagOf(t, "dup")
 	entries := []Entry{EntryFromIDs(s, []uint64{1}), EntryFromIDs(s, []uint64{2})}
 	for _, sch := range testSchemes() {
-		if _, err := sch.Build(entries, 8, nil); err == nil {
+		if _, err := sch.Build(entries, 8, nil, nil); err == nil {
 			t.Errorf("%s: duplicate stag accepted", sch.Name())
 		}
 	}
@@ -198,43 +215,73 @@ func TestMarshalRoundtripAllSchemes(t *testing.T) {
 			if len(blob) != idx.Size() {
 				t.Errorf("Size() = %d but marshaled %d bytes", idx.Size(), len(blob))
 			}
-			back, err := Unmarshal(blob)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if back.Postings() != idx.Postings() || back.Width() != idx.Width() {
-				t.Error("metadata lost in roundtrip")
-			}
-			for kw, ids := range db {
-				got, err := back.Search(stagOf(t, kw))
+			// The wire format must not depend on the engine the index was
+			// built on: the same build on every engine marshals to the
+			// same bytes.
+			for _, eng := range Engines() {
+				other := buildTestIndexOn(t, s, db, eng)
+				blob2, err := other.MarshalBinary()
 				if err != nil {
 					t.Fatal(err)
 				}
-				sorted := make([]uint64, len(got))
-				for i, p := range got {
-					sorted[i] = PayloadU64(p)
+				if !bytes.Equal(blob, blob2) {
+					t.Errorf("engine %s marshals different bytes", eng.Name())
 				}
-				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-				if !equalIDs(sorted, sortedCopy(ids)) {
-					t.Errorf("after roundtrip, Search(%q) = %v", kw, sorted)
+			}
+			// ... and every engine can load the blob back.
+			for _, eng := range append([]storage.Engine{nil}, Engines()...) {
+				back, err := Unmarshal(blob, eng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if back.Postings() != idx.Postings() || back.Width() != idx.Width() {
+					t.Error("metadata lost in roundtrip")
+				}
+				for kw, ids := range db {
+					got, err := back.Search(stagOf(t, kw))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sorted := make([]uint64, len(got))
+					for i, p := range got {
+						sorted[i] = PayloadU64(p)
+					}
+					sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+					if !equalIDs(sorted, sortedCopy(ids)) {
+						t.Errorf("after roundtrip, Search(%q) = %v", kw, sorted)
+					}
 				}
 			}
 		})
 	}
 }
 
+// Engines is shorthand for the storage engines under test.
+func Engines() []storage.Engine { return storage.Engines() }
+
 func TestUnmarshalRejectsGarbage(t *testing.T) {
-	cases := [][]byte{nil, {}, {99}, {tagBasic, 0, 0}, {tagTSet, 1, 2, 3}}
-	for i, c := range cases {
-		if _, err := Unmarshal(c); err == nil {
-			t.Errorf("case %d: garbage accepted", i)
+	// overflowTSet: width=16, salt=0, postings=0, numBuckets=2^59,
+	// capacity=16, empty body — the record-count product wraps to 0 mod
+	// 2^64, so a naive length check passes and makeslice panics.
+	overflowTSet := []byte{tagTSet, 0, 0, 0, 16,
+		0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+		0x08, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 16}
+	// overflowBasic: width=2^31, count=2^33 → count*rec wraps.
+	overflowBasic := []byte{tagBasic, 0x80, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0}
+	cases := [][]byte{nil, {}, {99}, {tagBasic, 0, 0}, {tagTSet, 1, 2, 3},
+		overflowTSet, overflowBasic}
+	for _, eng := range storage.Engines() {
+		for i, c := range cases {
+			if _, err := Unmarshal(c, eng); err == nil {
+				t.Errorf("%s case %d: garbage accepted", eng.Name(), i)
+			}
 		}
-	}
-	// Truncated valid index.
-	idx := buildTestIndex(t, Basic{}, map[string][]uint64{"k": {1, 2}})
-	blob, _ := idx.MarshalBinary()
-	if _, err := Unmarshal(blob[:len(blob)-5]); err == nil {
-		t.Error("truncated basic blob accepted")
+		// Truncated valid index.
+		idx := buildTestIndex(t, Basic{}, map[string][]uint64{"k": {1, 2}})
+		blob, _ := idx.MarshalBinary()
+		if _, err := Unmarshal(blob[:len(blob)-5], eng); err == nil {
+			t.Errorf("%s: truncated basic blob accepted", eng.Name())
+		}
 	}
 }
 
@@ -265,7 +312,7 @@ func TestOpaquePayloadWidths(t *testing.T) {
 			Payloads: [][]byte{payload(1, w), payload(2, w), payload(3, w)},
 		}}
 		for _, s := range testSchemes() {
-			idx, err := s.Build(entries, w, mrand.New(mrand.NewSource(3)))
+			idx, err := s.Build(entries, w, mrand.New(mrand.NewSource(3)), nil)
 			if err != nil {
 				t.Fatalf("%s width %d: %v", s.Name(), w, err)
 			}

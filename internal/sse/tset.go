@@ -6,6 +6,7 @@ import (
 	mrand "math/rand"
 
 	"rsse/internal/prf"
+	"rsse/internal/storage"
 )
 
 // TSet defaults, matching the parameters the paper reports for its
@@ -71,7 +72,7 @@ type tsetRecord struct {
 }
 
 // Build implements Scheme.
-func (s TSet) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error) {
+func (s TSet) Build(entries []Entry, width int, rnd *mrand.Rand, eng storage.Engine) (Index, error) {
 	capacity, expansion, retries, err := s.params()
 	if err != nil {
 		return nil, err
@@ -129,20 +130,41 @@ attempt:
 	}
 
 	idx := &tsetIndex{
-		width:    width,
-		postings: total,
-		salt:     salt,
-		capacity: capacity,
-		buckets:  buckets,
-		lookup:   make(map[[LabelSize]byte][]byte, numBuckets*capacity),
+		width:      width,
+		postings:   total,
+		salt:       salt,
+		capacity:   capacity,
+		numBuckets: numBuckets,
 	}
-	for _, bkt := range buckets {
-		for _, r := range bkt {
-			idx.lookup[r.label] = r.cell
-		}
+	if err := idx.buildLookup(eng, buckets); err != nil {
+		return nil, err
 	}
 	idx.size = idx.serializedSize()
 	return idx, nil
+}
+
+// buildLookup moves the bucket records into the engine-backed label→cell
+// space, padding records included, keeping only the slot-order labels
+// for serialization (the wire format is bucket order, not label order).
+// The cell bytes live once, in the backend.
+func (x *tsetIndex) buildLookup(eng storage.Engine, buckets [][]tsetRecord) error {
+	slots := x.numBuckets * x.capacity
+	b := cellBuilder(eng, slots)
+	x.order = make([][LabelSize]byte, 0, slots)
+	for _, bkt := range buckets {
+		for _, r := range bkt {
+			if err := b.Put(r.label[:], r.cell); err != nil {
+				return errLabelCollision(err)
+			}
+			x.order = append(x.order, r.label)
+		}
+	}
+	lookup, err := b.Seal()
+	if err != nil {
+		return errLabelCollision(err)
+	}
+	x.lookup = lookup
+	return nil
 }
 
 // bucketOf maps the i-th record of a keyword to a bucket via the
@@ -159,13 +181,18 @@ func fillRandom(dst []byte, rnd *mrand.Rand) {
 }
 
 type tsetIndex struct {
-	width    int
-	postings int
-	salt     uint64
-	capacity int
-	size     int
-	buckets  [][]tsetRecord
-	lookup   map[[LabelSize]byte][]byte
+	width      int
+	postings   int
+	salt       uint64
+	capacity   int
+	numBuckets int
+	size       int
+	// lookup is the engine-backed label→cell space searches probe; order
+	// remembers each slot's label in padded bucket order so MarshalBinary
+	// can reproduce the physical layout without a second copy of the
+	// cells.
+	lookup storage.Backend
+	order  [][LabelSize]byte
 }
 
 func (x *tsetIndex) Width() int    { return x.width }
@@ -173,7 +200,7 @@ func (x *tsetIndex) Postings() int { return x.postings }
 func (x *tsetIndex) Size() int     { return x.size }
 
 // Buckets reports the bucket count; exposed for tests and stats.
-func (x *tsetIndex) Buckets() int { return len(x.buckets) }
+func (x *tsetIndex) Buckets() int { return x.numBuckets }
 
 // Capacity reports the per-bucket record capacity.
 func (x *tsetIndex) Capacity() int { return x.capacity }
@@ -182,7 +209,8 @@ func (x *tsetIndex) Search(stag Stag) ([][]byte, error) {
 	keys := deriveStagKeys(stag, x.salt)
 	var out [][]byte
 	for i := uint64(0); ; i++ {
-		cell, ok := x.lookup[cellLabel(keys.loc, i)]
+		lab := cellLabel(keys.loc, i)
+		cell, ok := x.lookup.Get(lab[:])
 		if !ok {
 			return out, nil
 		}
@@ -193,7 +221,7 @@ func (x *tsetIndex) Search(stag Stag) ([][]byte, error) {
 // Wire format: tag(1) width(4) salt(8) postings(8) buckets(8) capacity(4)
 // then buckets*capacity records of label(16) || cell(width).
 func (x *tsetIndex) serializedSize() int {
-	return 1 + 4 + 8 + 8 + 8 + 4 + len(x.buckets)*x.capacity*(LabelSize+x.width)
+	return 1 + 4 + 8 + 8 + 8 + 4 + x.numBuckets*x.capacity*(LabelSize+x.width)
 }
 
 func (x *tsetIndex) MarshalBinary() ([]byte, error) {
@@ -202,18 +230,20 @@ func (x *tsetIndex) MarshalBinary() ([]byte, error) {
 	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
 	out = binary.BigEndian.AppendUint64(out, x.salt)
 	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
-	out = binary.BigEndian.AppendUint64(out, uint64(len(x.buckets)))
+	out = binary.BigEndian.AppendUint64(out, uint64(x.numBuckets))
 	out = binary.BigEndian.AppendUint32(out, uint32(x.capacity))
-	for _, bkt := range x.buckets {
-		for _, r := range bkt {
-			out = append(out, r.label[:]...)
-			out = append(out, r.cell...)
+	for _, lab := range x.order {
+		cell, ok := x.lookup.Get(lab[:])
+		if !ok {
+			return nil, fmt.Errorf("sse: tset slot label missing from lookup")
 		}
+		out = append(out, lab[:]...)
+		out = append(out, cell...)
 	}
 	return out, nil
 }
 
-func unmarshalTSet(data []byte) (Index, error) {
+func unmarshalTSet(data []byte, eng storage.Engine) (Index, error) {
 	if len(data) < 33 {
 		return nil, ErrCorrupt
 	}
@@ -227,29 +257,35 @@ func unmarshalTSet(data []byte) (Index, error) {
 	}
 	rec := uint64(LabelSize + width)
 	body := data[33:]
-	if uint64(len(body)) != numBuckets*uint64(capacity)*rec {
+	// Bound the factors before multiplying: numBuckets*capacity*rec must
+	// not wrap past the length check into a makeslice panic below.
+	maxSlots := uint64(len(body)) / rec
+	if numBuckets > maxSlots/uint64(capacity) || uint64(len(body)) != numBuckets*uint64(capacity)*rec {
 		return nil, ErrCorrupt
 	}
 	x := &tsetIndex{
-		width:    width,
-		postings: int(postings),
-		salt:     salt,
-		capacity: capacity,
-		buckets:  make([][]tsetRecord, numBuckets),
-		lookup:   make(map[[LabelSize]byte][]byte, numBuckets*uint64(capacity)),
+		width:      width,
+		postings:   int(postings),
+		salt:       salt,
+		capacity:   capacity,
+		numBuckets: int(numBuckets),
 	}
+	slots := x.numBuckets * capacity
+	b := cellBuilder(eng, slots)
+	x.order = make([][LabelSize]byte, slots)
 	off := uint64(0)
-	for b := range x.buckets {
-		bkt := make([]tsetRecord, capacity)
-		for i := 0; i < capacity; i++ {
-			copy(bkt[i].label[:], body[off:off+LabelSize])
-			bkt[i].cell = make([]byte, width)
-			copy(bkt[i].cell, body[off+LabelSize:off+rec])
-			x.lookup[bkt[i].label] = bkt[i].cell
-			off += rec
+	for i := 0; i < slots; i++ {
+		copy(x.order[i][:], body[off:off+LabelSize])
+		if err := b.Put(body[off:off+LabelSize], body[off+LabelSize:off+rec]); err != nil {
+			return nil, ErrCorrupt
 		}
-		x.buckets[b] = bkt
+		off += rec
 	}
+	lookup, err := b.Seal()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	x.lookup = lookup
 	x.size = x.serializedSize()
 	return x, nil
 }

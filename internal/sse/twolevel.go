@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	mrand "math/rand"
+
+	"rsse/internal/storage"
 )
 
 // TwoLevel defaults.
@@ -68,7 +70,7 @@ func (s TwoLevel) params() (c, b int, err error) {
 
 // Build implements Scheme. Payload width must be 8 (the construction
 // packs 8-byte items); wider payloads belong in Basic/Packed/TSet.
-func (s TwoLevel) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, error) {
+func (s TwoLevel) Build(entries []Entry, width int, rnd *mrand.Rand, eng storage.Engine) (Index, error) {
 	capacity, blockSize, err := s.params()
 	if err != nil {
 		return nil, err
@@ -107,9 +109,9 @@ func (s TwoLevel) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, err
 	x := &twoLevelIndex{
 		inlineCap: capacity,
 		blockSize: blockSize,
-		cells:     make(map[[LabelSize]byte][]byte, len(entries)),
 		blocks:    make([][]byte, totalBlocks),
 	}
+	cb := cellBuilder(eng, len(entries))
 	cellLen := 1 + 4 + capacity*8 // mode, count, C slots
 	blockLen := blockSize * 8
 
@@ -163,12 +165,16 @@ func (s TwoLevel) Build(entries []Entry, width int, rnd *mrand.Rand) (Index, err
 			}
 		}
 		lab := cellLabel(keys.loc, 0)
-		if _, dup := x.cells[lab]; dup {
-			return nil, fmt.Errorf("sse: label collision (duplicate or related stags?)")
+		if err := cb.Put(lab[:], encryptCell(keys.enc, 0, cell)); err != nil {
+			return nil, errLabelCollision(err)
 		}
-		x.cells[lab] = encryptCell(keys.enc, 0, cell)
 		x.postings += n
 	}
+	cells, err := cb.Seal()
+	if err != nil {
+		return nil, errLabelCollision(err)
+	}
+	x.cells = cells
 	x.size = x.serializedSize()
 	return x, nil
 }
@@ -178,8 +184,10 @@ type twoLevelIndex struct {
 	blockSize int
 	postings  int
 	size      int
-	cells     map[[LabelSize]byte][]byte
-	blocks    [][]byte
+	// cells is the engine-backed keyword dictionary; blocks is the
+	// positional spill array, addressed by slot number rather than label.
+	cells  storage.Backend
+	blocks [][]byte
 }
 
 func (x *twoLevelIndex) Width() int    { return 8 }
@@ -191,7 +199,8 @@ func (x *twoLevelIndex) BlockCount() int { return len(x.blocks) }
 
 func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
 	keys := deriveStagKeys(stag, 0)
-	cellCT, ok := x.cells[cellLabel(keys.loc, 0)]
+	lab := cellLabel(keys.loc, 0)
+	cellCT, ok := x.cells.Get(lab[:])
 	if !ok {
 		return nil, nil
 	}
@@ -270,7 +279,7 @@ func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
 func (x *twoLevelIndex) serializedSize() int {
 	cellLen := 1 + 4 + x.inlineCap*8
 	blockLen := x.blockSize * 8
-	return 1 + 4 + 4 + 8 + 8 + len(x.cells)*(LabelSize+cellLen) + 8 + len(x.blocks)*blockLen
+	return 1 + 4 + 4 + 8 + 8 + x.cells.Len()*(LabelSize+cellLen) + 8 + len(x.blocks)*blockLen
 }
 
 func (x *twoLevelIndex) MarshalBinary() ([]byte, error) {
@@ -279,12 +288,8 @@ func (x *twoLevelIndex) MarshalBinary() ([]byte, error) {
 	out = binary.BigEndian.AppendUint32(out, uint32(x.inlineCap))
 	out = binary.BigEndian.AppendUint32(out, uint32(x.blockSize))
 	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
-	out = binary.BigEndian.AppendUint64(out, uint64(len(x.cells)))
-	labels := sortedLabels(x.cells)
-	for _, l := range labels {
-		out = append(out, l[:]...)
-		out = append(out, x.cells[l]...)
-	}
+	out = binary.BigEndian.AppendUint64(out, uint64(x.cells.Len()))
+	out = appendCells(out, x.cells)
 	out = binary.BigEndian.AppendUint64(out, uint64(len(x.blocks)))
 	for _, b := range x.blocks {
 		out = append(out, b...)
@@ -292,7 +297,7 @@ func (x *twoLevelIndex) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-func unmarshalTwoLevel(data []byte) (Index, error) {
+func unmarshalTwoLevel(data []byte, eng storage.Engine) (Index, error) {
 	if len(data) < 25 {
 		return nil, ErrCorrupt
 	}
@@ -308,22 +313,26 @@ func unmarshalTwoLevel(data []byte) (Index, error) {
 	cellLen := uint64(1 + 4 + x.inlineCap*8)
 	off := uint64(25)
 	rec := uint64(LabelSize) + cellLen
-	if uint64(len(data)) < off+cellCount*rec+8 {
+	// Bound cellCount before multiplying so the product cannot wrap.
+	if cellCount > (uint64(len(data))-off)/rec || uint64(len(data)) < off+cellCount*rec+8 {
 		return nil, ErrCorrupt
 	}
-	x.cells = make(map[[LabelSize]byte][]byte, cellCount)
+	cb := cellBuilder(eng, int(cellCount))
 	for i := uint64(0); i < cellCount; i++ {
-		var lab [LabelSize]byte
-		copy(lab[:], data[off:off+LabelSize])
-		cell := make([]byte, cellLen)
-		copy(cell, data[off+LabelSize:off+rec])
-		x.cells[lab] = cell
+		if err := cb.Put(data[off:off+LabelSize], data[off+LabelSize:off+rec]); err != nil {
+			return nil, ErrCorrupt
+		}
 		off += rec
 	}
+	cells, err := cb.Seal()
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	x.cells = cells
 	blockCount := binary.BigEndian.Uint64(data[off : off+8])
 	off += 8
 	blockLen := uint64(x.blockSize * 8)
-	if uint64(len(data)) != off+blockCount*blockLen {
+	if blockCount > (uint64(len(data))-off)/blockLen || uint64(len(data)) != off+blockCount*blockLen {
 		return nil, ErrCorrupt
 	}
 	x.blocks = make([][]byte, blockCount)

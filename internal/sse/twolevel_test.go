@@ -11,7 +11,7 @@ func buildTwoLevel(t *testing.T, s TwoLevel, db map[string][]uint64) Index {
 	for kw, ids := range db {
 		entries = append(entries, EntryFromIDs(stagOf(t, kw), ids))
 	}
-	idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(5)))
+	idx, err := s.Build(entries, 8, mrand.New(mrand.NewSource(5)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestTwoLevelAllTiers(t *testing.T) {
 
 func TestTwoLevelTooLong(t *testing.T) {
 	s := TwoLevel{InlineCap: 2, BlockSize: 2} // max 8 ids
-	_, err := s.Build([]Entry{EntryFromIDs(stagOf(t, "k"), seq(9))}, 8, nil)
+	_, err := s.Build([]Entry{EntryFromIDs(stagOf(t, "k"), seq(9))}, 8, nil, nil)
 	if err == nil {
 		t.Fatal("oversized posting list accepted")
 	}
@@ -66,16 +66,16 @@ func TestTwoLevelTooLong(t *testing.T) {
 func TestTwoLevelWidthRestriction(t *testing.T) {
 	s := TwoLevel{}
 	entries := []Entry{{Stag: stagOf(t, "w"), Payloads: [][]byte{make([]byte, 24)}}}
-	if _, err := s.Build(entries, 24, nil); err == nil {
+	if _, err := s.Build(entries, 24, nil, nil); err == nil {
 		t.Fatal("non-8-byte width accepted")
 	}
 }
 
 func TestTwoLevelParamValidation(t *testing.T) {
-	if _, err := (TwoLevel{InlineCap: -1}).Build(nil, 8, nil); err == nil {
+	if _, err := (TwoLevel{InlineCap: -1}).Build(nil, 8, nil, nil); err == nil {
 		t.Error("negative inline cap accepted")
 	}
-	if _, err := (TwoLevel{BlockSize: 1}).Build(nil, 8, nil); err == nil {
+	if _, err := (TwoLevel{BlockSize: 1}).Build(nil, 8, nil, nil); err == nil {
 		t.Error("block size 1 accepted")
 	}
 }
@@ -95,7 +95,7 @@ func TestTwoLevelMarshalRoundtrip(t *testing.T) {
 	if len(blob) != idx.Size() {
 		t.Errorf("Size() = %d, marshaled %d", idx.Size(), len(blob))
 	}
-	back, err := Unmarshal(blob)
+	back, err := Unmarshal(blob, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestTwoLevelMarshalRoundtrip(t *testing.T) {
 	}
 	// Truncations rejected.
 	for _, cut := range []int{1, 10, len(blob) - 3} {
-		if _, err := Unmarshal(blob[:cut]); err == nil {
+		if _, err := Unmarshal(blob[:cut], nil); err == nil {
 			t.Errorf("truncated at %d accepted", cut)
 		}
 	}

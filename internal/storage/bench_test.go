@@ -1,0 +1,86 @@
+package storage
+
+import (
+	mrand "math/rand"
+	"testing"
+)
+
+// benchRecords builds n uniform 16-byte-label records — the key
+// distribution of the SSE dictionaries, which is what the Get path is
+// optimized for.
+func benchRecords(n int) ([][]byte, [][]byte) {
+	rnd := mrand.New(mrand.NewSource(42))
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = make([]byte, 16)
+		rnd.Read(keys[i])
+		vals[i] = make([]byte, 8)
+		rnd.Read(vals[i])
+	}
+	return keys, vals
+}
+
+func benchBackend(b *testing.B, e Engine, n int) ([][]byte, Backend) {
+	keys, vals := benchRecords(n)
+	bld := e.NewBuilder(16, n)
+	for i := range keys {
+		if err := bld.Put(keys[i], vals[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	x, err := bld.Seal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return keys, x
+}
+
+func BenchmarkGet(b *testing.B) {
+	for _, e := range Engines() {
+		for _, n := range []int{1000, 100000} {
+			keys, x := benchBackend(b, e, n)
+			b.Run(e.Name()+"/n="+itoa(n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, ok := x.Get(keys[i%n]); !ok {
+						b.Fatal("miss")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, e := range Engines() {
+		keys, vals := benchRecords(100000)
+		b.Run(e.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bld := e.NewBuilder(16, len(keys))
+				for j := range keys {
+					if err := bld.Put(keys[j], vals[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := bld.Seal(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

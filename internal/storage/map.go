@@ -1,0 +1,79 @@
+package storage
+
+import "sort"
+
+// Map is the hash-table engine: one Go map per key space, exactly the
+// representation the SSE dictionaries and the tuple store used before the
+// storage seam existed. O(1) point lookups, no ordering; Iterate sorts on
+// demand (serialization is the only order-sensitive consumer).
+type Map struct{}
+
+// Name implements Engine.
+func (Map) Name() string { return "map" }
+
+// NewBuilder implements Engine.
+func (Map) NewBuilder(keyLen, capacityHint int) Builder {
+	if capacityHint < 0 {
+		capacityHint = 0
+	}
+	return &mapBuilder{keyLen: keyLen, m: make(map[string][]byte, capacityHint)}
+}
+
+type mapBuilder struct {
+	keyLen int
+	m      map[string][]byte
+	sealed bool
+}
+
+func (b *mapBuilder) Put(key, value []byte) error {
+	if b.sealed {
+		return ErrSealed
+	}
+	if len(key) != b.keyLen {
+		return ErrKeyLen
+	}
+	k := string(key) // copies
+	if _, dup := b.m[k]; dup {
+		return ErrDuplicateKey
+	}
+	b.m[k] = append([]byte(nil), value...)
+	return nil
+}
+
+func (b *mapBuilder) Seal() (Backend, error) {
+	if b.sealed {
+		return nil, ErrSealed
+	}
+	b.sealed = true
+	return &mapBackend{keyLen: b.keyLen, m: b.m}, nil
+}
+
+type mapBackend struct {
+	keyLen int
+	m      map[string][]byte
+}
+
+func (x *mapBackend) Get(key []byte) ([]byte, bool) {
+	if len(key) != x.keyLen {
+		return nil, false
+	}
+	v, ok := x.m[string(key)] // no allocation: map lookup special case
+	return v, ok
+}
+
+func (x *mapBackend) Len() int { return len(x.m) }
+
+func (x *mapBackend) Iterate(fn func(key, value []byte) bool) {
+	keys := make([]string, 0, len(x.m))
+	for k := range x.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), x.m[k]) {
+			return
+		}
+	}
+}
+
+func (x *mapBackend) Snapshot() Backend { return x }

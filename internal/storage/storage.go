@@ -1,0 +1,95 @@
+// Package storage separates the RSSE query structures from their physical
+// representation. Every server-side component stores records in one of two
+// keyed byte spaces — the SSE dictionaries map 16-byte pseudorandom labels
+// to encrypted cells, the tuple store maps 8-byte ids to ciphertexts — and
+// both speak to those spaces only through the Backend interface defined
+// here. Schemes choose an Engine at build/unmarshal time; nothing above
+// this package knows (or cares) how the records are laid out.
+//
+// Two engines ship today: Map, a hash table preserving the original
+// in-memory behavior, and Sorted, a read-optimized flat-array layout
+// built for the server's load path. The seam is what later work plugs
+// into: sharded, disk-backed, or workload-adaptive representations (in
+// the spirit of biased range trees) slot in as new Engines without
+// touching scheme code.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by builders.
+var (
+	// ErrKeyLen is returned when a key does not match the space's fixed
+	// key length.
+	ErrKeyLen = errors.New("storage: key length does not match the space")
+	// ErrDuplicateKey is returned when the same key is inserted twice. A
+	// builder may report the duplicate at Put or defer it to Seal.
+	ErrDuplicateKey = errors.New("storage: duplicate key")
+	// ErrSealed is returned by Put after Seal.
+	ErrSealed = errors.New("storage: builder already sealed")
+)
+
+// Engine names a physical record layout and creates builders for it.
+type Engine interface {
+	// Name identifies the engine ("map", "sorted").
+	Name() string
+	// NewBuilder starts a key space whose keys are exactly keyLen bytes.
+	// capacityHint sizes internal allocations; zero is allowed.
+	NewBuilder(keyLen, capacityHint int) Builder
+}
+
+// Builder accumulates records and seals them into an immutable Backend.
+// Builders are not safe for concurrent use.
+type Builder interface {
+	// Put records one key→value pair, copying both slices. Keys must be
+	// unique; a duplicate is reported here or at Seal.
+	Put(key, value []byte) error
+	// Seal freezes the records into a Backend. The builder is unusable
+	// afterwards.
+	Seal() (Backend, error)
+}
+
+// Backend is an immutable keyed record space. Implementations are safe
+// for concurrent readers — the multi-index server relies on this to let
+// every connection search shared indexes without locking.
+type Backend interface {
+	// Get returns the value stored under key. The returned slice aliases
+	// backend-internal memory and must not be modified.
+	Get(key []byte) (value []byte, ok bool)
+	// Len returns the number of records.
+	Len() int
+	// Iterate visits every record in ascending lexicographic key order —
+	// the deterministic order the wire formats serialize in — until fn
+	// returns false. Visited slices must not be modified or retained.
+	Iterate(fn func(key, value []byte) bool)
+	// Snapshot returns a read view that remains valid while the original
+	// keeps serving. Backends are immutable, so this is cheap.
+	Snapshot() Backend
+}
+
+// Default returns the engine used when a caller passes nil: the hash-map
+// layout, matching the behavior the repository started with.
+func Default() Engine { return Map{} }
+
+// OrDefault substitutes the default engine for nil.
+func OrDefault(e Engine) Engine {
+	if e == nil {
+		return Default()
+	}
+	return e
+}
+
+// Engines lists the built-in engines.
+func Engines() []Engine { return []Engine{Map{}, Sorted{}} }
+
+// ByName returns the built-in engine registered under name.
+func ByName(name string) (Engine, error) {
+	for _, e := range Engines() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: unknown engine %q", name)
+}

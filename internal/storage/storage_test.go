@@ -1,0 +1,243 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	mrand "math/rand"
+	"sort"
+	"testing"
+)
+
+// fill builds a backend on e from the given records.
+func fill(t *testing.T, e Engine, keyLen int, recs map[string][]byte) Backend {
+	t.Helper()
+	b := e.NewBuilder(keyLen, len(recs))
+	for k, v := range recs {
+		if err := b.Put([]byte(k), v); err != nil {
+			t.Fatalf("%s: put: %v", e.Name(), err)
+		}
+	}
+	x, err := b.Seal()
+	if err != nil {
+		t.Fatalf("%s: seal: %v", e.Name(), err)
+	}
+	return x
+}
+
+func randomRecords(rnd *mrand.Rand, n, keyLen int) map[string][]byte {
+	recs := make(map[string][]byte, n)
+	for len(recs) < n {
+		k := make([]byte, keyLen)
+		rnd.Read(k)
+		v := make([]byte, rnd.Intn(40))
+		rnd.Read(v)
+		recs[string(k)] = v
+	}
+	return recs
+}
+
+func TestEnginesRoundtrip(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(1))
+	for _, e := range Engines() {
+		for _, keyLen := range []int{2, 8, 16} {
+			recs := randomRecords(rnd, 500, keyLen)
+			x := fill(t, e, keyLen, recs)
+			if x.Len() != len(recs) {
+				t.Fatalf("%s/%d: len = %d, want %d", e.Name(), keyLen, x.Len(), len(recs))
+			}
+			for k, v := range recs {
+				got, ok := x.Get([]byte(k))
+				if !ok || !bytes.Equal(got, v) {
+					t.Fatalf("%s/%d: get %x = %x,%v want %x", e.Name(), keyLen, k, got, ok, v)
+				}
+			}
+			// Misses: mutate one byte of an existing key.
+			for k := range recs {
+				miss := []byte(k)
+				miss[0] ^= 0xFF
+				if _, ok := x.Get(miss); ok && recs[string(miss)] == nil {
+					t.Fatalf("%s/%d: phantom key %x", e.Name(), keyLen, miss)
+				}
+				break
+			}
+			if _, ok := x.Get(make([]byte, keyLen+1)); ok {
+				t.Fatalf("%s/%d: wrong-length key found", e.Name(), keyLen)
+			}
+			if x.Snapshot() == nil {
+				t.Fatalf("%s/%d: nil snapshot", e.Name(), keyLen)
+			}
+		}
+	}
+}
+
+func TestIterateAscendingOrder(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(2))
+	recs := randomRecords(rnd, 300, 16)
+	want := make([]string, 0, len(recs))
+	for k := range recs {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	for _, e := range Engines() {
+		x := fill(t, e, 16, recs)
+		var got []string
+		x.Iterate(func(k, v []byte) bool {
+			if !bytes.Equal(v, recs[string(k)]) {
+				t.Fatalf("%s: iterate value mismatch at %x", e.Name(), k)
+			}
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%s: iterated %d records, want %d", e.Name(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: iterate order broken at %d", e.Name(), i)
+			}
+		}
+		// Early stop.
+		count := 0
+		x.Iterate(func(k, v []byte) bool { count++; return count < 5 })
+		if count != 5 {
+			t.Fatalf("%s: early stop visited %d", e.Name(), count)
+		}
+	}
+}
+
+func TestDuplicateAndKeyLenErrors(t *testing.T) {
+	for _, e := range Engines() {
+		// Adjacent duplicate (ascending input).
+		b := e.NewBuilder(4, 0)
+		if err := b.Put([]byte("aaaa"), []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		err := b.Put([]byte("aaaa"), []byte("2"))
+		if err == nil {
+			_, err = b.Seal()
+		}
+		if !errors.Is(err, ErrDuplicateKey) {
+			t.Errorf("%s: adjacent dup error = %v", e.Name(), err)
+		}
+
+		// Non-adjacent duplicate in unsorted input.
+		b = e.NewBuilder(4, 0)
+		for _, k := range []string{"zzzz", "aaaa", "mmmm", "zzzz"} {
+			if perr := b.Put([]byte(k), nil); perr != nil {
+				err = perr
+				break
+			}
+			err = nil
+		}
+		if err == nil {
+			_, err = b.Seal()
+		}
+		if !errors.Is(err, ErrDuplicateKey) {
+			t.Errorf("%s: non-adjacent dup error = %v", e.Name(), err)
+		}
+
+		// Wrong key length.
+		b = e.NewBuilder(4, 0)
+		if err := b.Put([]byte("abc"), nil); !errors.Is(err, ErrKeyLen) {
+			t.Errorf("%s: key length error = %v", e.Name(), err)
+		}
+
+		// Put/Seal after Seal.
+		b = e.NewBuilder(4, 0)
+		if _, err := b.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put([]byte("abcd"), nil); !errors.Is(err, ErrSealed) {
+			t.Errorf("%s: post-seal put error = %v", e.Name(), err)
+		}
+		if _, err := b.Seal(); !errors.Is(err, ErrSealed) {
+			t.Errorf("%s: double seal error = %v", e.Name(), err)
+		}
+	}
+}
+
+func TestEmptyBackend(t *testing.T) {
+	for _, e := range Engines() {
+		x := fill(t, e, 16, nil)
+		if x.Len() != 0 {
+			t.Fatalf("%s: empty len = %d", e.Name(), x.Len())
+		}
+		if _, ok := x.Get(make([]byte, 16)); ok {
+			t.Fatalf("%s: empty backend found a key", e.Name())
+		}
+		x.Iterate(func(k, v []byte) bool { t.Fatalf("%s: empty iterate", e.Name()); return false })
+	}
+}
+
+// TestSortedSkewedKeys exercises the directory's degenerate case: small
+// sequential big-endian ids share all their leading bytes, so every
+// record lands in one directory bucket.
+func TestSortedSkewedKeys(t *testing.T) {
+	for _, e := range Engines() {
+		b := e.NewBuilder(8, 0)
+		for i := uint64(1); i <= 2000; i++ {
+			var k [8]byte
+			binary.BigEndian.PutUint64(k[:], i)
+			if err := b.Put(k[:], binary.BigEndian.AppendUint64(nil, i*i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		x, err := b.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 2000; i++ {
+			var k [8]byte
+			binary.BigEndian.PutUint64(k[:], i)
+			v, ok := x.Get(k[:])
+			if !ok || binary.BigEndian.Uint64(v) != i*i {
+				t.Fatalf("%s: id %d lookup failed", e.Name(), i)
+			}
+		}
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], 5000)
+		if _, ok := x.Get(k[:]); ok {
+			t.Fatalf("%s: phantom id", e.Name())
+		}
+	}
+}
+
+// TestBuilderCopiesInput ensures builders do not alias caller buffers.
+func TestBuilderCopiesInput(t *testing.T) {
+	for _, e := range Engines() {
+		b := e.NewBuilder(4, 0)
+		key := []byte("k000")
+		val := []byte("value")
+		if err := b.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		key[0], val[0] = 'X', 'X'
+		x, err := b.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := x.Get([]byte("k000"))
+		if !ok || string(v) != "value" {
+			t.Fatalf("%s: builder aliased caller memory: %q %v", e.Name(), v, ok)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"map", "sorted"} {
+		e, err := ByName(name)
+		if err != nil || e.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, e, err)
+		}
+	}
+	if _, err := ByName("btree"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if OrDefault(nil).Name() != Default().Name() {
+		t.Fatal("OrDefault(nil) is not the default engine")
+	}
+	if e := (Sorted{}); OrDefault(e).Name() != "sorted" {
+		t.Fatal("OrDefault dropped an explicit engine")
+	}
+}

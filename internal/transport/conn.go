@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rsse/internal/core"
+)
+
+// Conn is the owner-side end of a connection to a multi-index server.
+// It is safe for concurrent use: requests are multiplexed by id, so any
+// number of goroutines may query through one connection (and through one
+// IndexHandle) simultaneously, each response routed back to its caller
+// as the server produces it.
+type Conn struct {
+	conn io.ReadWriteCloser
+
+	wmu sync.Mutex // guards bw
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan rpcResult
+	readErr error // sticky: set once the read loop dies
+}
+
+type rpcResult struct {
+	status  byte
+	payload []byte
+}
+
+// NewConn wraps an established stream connection and starts its response
+// demultiplexer.
+func NewConn(conn io.ReadWriteCloser) *Conn {
+	c := &Conn{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint32]chan rpcResult),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a serving address ("tcp", "host:port" etc.).
+func Dial(network, addr string) (*Conn, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Close closes the underlying connection; outstanding requests fail.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// readLoop routes response frames to their waiting requests until the
+// connection dies, then fails everything outstanding.
+func (c *Conn) readLoop() {
+	br := bufio.NewReader(c.conn)
+	var err error
+	for {
+		var body []byte
+		if body, err = readFrame(br); err != nil {
+			break
+		}
+		if len(body) < responseHeader {
+			err = fmt.Errorf("transport: short response (%d bytes)", len(body))
+			break
+		}
+		id := binary.BigEndian.Uint32(body[:4])
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			err = fmt.Errorf("transport: response for unknown request %d", id)
+			break
+		}
+		ch <- rpcResult{status: body[4], payload: body[responseHeader:]}
+	}
+	c.mu.Lock()
+	c.readErr = fmt.Errorf("transport: connection lost: %w", err)
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch) // a closed channel signals transport failure
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip sends one request and waits for its response. Concurrent
+// callers interleave freely.
+func (c *Conn) roundTrip(op byte, name string, payload []byte) ([]byte, error) {
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("%w: %q", ErrBadIndexName, name)
+	}
+	ch := make(chan rpcResult, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	body := appendRequest(id, op, name, payload)
+	c.wmu.Lock()
+	err := writeFrame(c.bw, body)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	res, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	switch res.status {
+	case statusOK:
+		return res.payload, nil
+	case statusErr:
+		return nil, fmt.Errorf("transport: server: %s", res.payload)
+	default:
+		return nil, fmt.Errorf("transport: bad response status %d", res.status)
+	}
+}
+
+// Names asks the server which indexes it serves.
+func (c *Conn) Names() ([]string, error) {
+	payload, err := c.roundTrip(opNames, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	return parseNames(payload)
+}
+
+// Index returns a handle on the served index called name. The handle
+// implements core.Server and is safe for concurrent use; creating it
+// performs no I/O (an unknown name surfaces on first use).
+func (c *Conn) Index(name string) *IndexHandle {
+	return &IndexHandle{conn: c, name: name}
+}
+
+// Default returns the handle single-index deployments talk to.
+func (c *Conn) Default() *IndexHandle { return c.Index(DefaultIndex) }
+
+// Lookup validates that the server serves name and returns its handle.
+// It is the owner-side counterpart of Registry.Lookup, letting a Conn
+// act as the directory an lsm.Manager resolves its epochs through.
+func (c *Conn) Lookup(name string) (core.Server, error) {
+	h := c.Index(name)
+	if _, err := h.Meta(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// IndexHandle addresses one named index over a shared Conn. It
+// implements core.Server; all methods are safe for concurrent use.
+type IndexHandle struct {
+	conn *Conn
+	name string
+
+	metaOnce sync.Once
+	meta     core.IndexMeta
+	metaErr  error
+}
+
+// Name returns the index name the handle addresses.
+func (h *IndexHandle) Name() string { return h.name }
+
+// Meta implements core.Server; the result is cached for the handle's
+// lifetime (index metadata is immutable).
+func (h *IndexHandle) Meta() (core.IndexMeta, error) {
+	h.metaOnce.Do(func() {
+		resp, err := h.conn.roundTrip(opMeta, h.name, nil)
+		if err != nil {
+			h.metaErr = err
+			return
+		}
+		if len(resp) != 11 {
+			h.metaErr = fmt.Errorf("transport: bad meta response length %d", len(resp))
+			return
+		}
+		h.meta = core.IndexMeta{
+			Kind:       core.Kind(resp[0]),
+			DomainBits: resp[1],
+			PosBits:    resp[2],
+			N:          int(binary.BigEndian.Uint64(resp[3:])),
+		}
+	})
+	return h.meta, h.metaErr
+}
+
+// Search implements core.Server.
+func (h *IndexHandle) Search(t *core.Trapdoor) (*core.Response, error) {
+	payload, err := t.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.conn.roundTrip(opSearch, h.name, payload)
+	if err != nil {
+		return nil, err
+	}
+	return core.UnmarshalResponse(resp)
+}
+
+// Fetch implements core.Server.
+func (h *IndexHandle) Fetch(id core.ID) ([]byte, bool, error) {
+	var payload [8]byte
+	binary.BigEndian.PutUint64(payload[:], id)
+	resp, err := h.conn.roundTrip(opFetch, h.name, payload[:])
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp) < 1 {
+		return nil, false, fmt.Errorf("transport: empty fetch response")
+	}
+	if resp[0] == 0 {
+		return nil, false, nil
+	}
+	return resp[1:], true, nil
+}

@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rsse/internal/core"
+)
+
+// DefaultIndex is the registry name single-index deployments serve under;
+// Serve, ServeConn and the owner-side Conn.Default use it implicitly.
+const DefaultIndex = "default"
+
+// maxNameLen bounds an index name on the wire (one length byte).
+const maxNameLen = 255
+
+// Errors reported by the registry.
+var (
+	ErrUnknownIndex   = errors.New("transport: unknown index")
+	ErrDuplicateIndex = errors.New("transport: index name already registered")
+	ErrBadIndexName   = errors.New("transport: index name must be 1..255 bytes")
+)
+
+// Registry is a concurrent-safe collection of named indexes served by one
+// process: independent tables, LSM epochs, or any mix. Served indexes
+// must be safe for concurrent reads (a *core.Index is — it is immutable
+// after build), because the server dispatches requests from every
+// connection against them in parallel.
+//
+// Registry implements the owner-side Directory notion of the lsm package
+// via Lookup, so a local manager can query its registered epochs through
+// exactly the interface a remote connection offers.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]core.Server
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]core.Server)}
+}
+
+// Register adds an index under name. Names are 1..255 bytes and must be
+// unique; registering a live registry is safe at any time, including
+// while serving.
+func (r *Registry) Register(name string, s core.Server) error {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("%w: %q", ErrBadIndexName, name)
+	}
+	if s == nil {
+		return errors.New("transport: cannot register a nil index")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateIndex, name)
+	}
+	r.m[name] = s
+	return nil
+}
+
+// Deregister removes name, reporting whether it was present. In-flight
+// requests against the index complete; new requests fail with
+// ErrUnknownIndex.
+func (r *Registry) Deregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[name]
+	delete(r.m, name)
+	return ok
+}
+
+// Lookup resolves a served index by name.
+func (r *Registry) Lookup(name string) (core.Server, error) {
+	r.mu.RLock()
+	s, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, name)
+	}
+	return s, nil
+}
+
+// Names lists the registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.m))
+	for name := range r.m {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered indexes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// singleRegistry wraps one index under the default name, for the
+// single-index compatibility entry points.
+func singleRegistry(idx core.Server) *Registry {
+	r := NewRegistry()
+	if err := r.Register(DefaultIndex, idx); err != nil {
+		panic("transport: " + err.Error()) // DefaultIndex is a valid name
+	}
+	return r
+}

@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"rsse/internal/core"
+)
+
+// connConcurrency caps the requests one connection may have executing at
+// once; further frames queue behind the semaphore. Requests from
+// different connections are unbounded relative to each other.
+const connConcurrency = 32
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("transport: server closed")
+
+// Server serves a Registry of named indexes over any number of
+// listeners. Every connection's requests are dispatched concurrently —
+// one slow search does not block the connection's other requests — and
+// Shutdown drains in-flight requests before closing connections.
+type Server struct {
+	reg *Registry
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+
+	reqMu   sync.Mutex
+	reqN    int
+	down    bool
+	drained chan struct{}
+}
+
+// NewServer creates a server over reg. The registry stays live: indexes
+// registered or deregistered while serving are picked up per request.
+func NewServer(reg *Registry) *Server {
+	return &Server{
+		reg:       reg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Registry returns the served registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// closing reports whether Shutdown has begun.
+func (s *Server) closing() bool {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	return s.down
+}
+
+// beginRequest admits a request into the in-flight set; false after
+// Shutdown has begun.
+func (s *Server) beginRequest() bool {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	if s.down {
+		return false
+	}
+	s.reqN++
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.reqMu.Lock()
+	s.reqN--
+	if s.reqN == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.reqMu.Unlock()
+}
+
+// Serve accepts connections on l until the listener closes or Shutdown
+// is called; it returns nil in both cases. Multiple Serve calls on
+// different listeners may run concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	if s.closing() {
+		return ErrServerClosed
+	}
+	s.mu.Lock()
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || s.closing() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			_ = serveLoop(s.reg, conn, s)
+		}()
+	}
+}
+
+// Shutdown gracefully stops the server: listeners close immediately, no
+// new requests are admitted, and in-flight requests finish (their
+// responses flushed) before the connections are closed. If ctx expires
+// first, remaining connections are closed anyway and ctx's error is
+// returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	// Wake connection readers blocked on their next frame so they stop
+	// admitting requests.
+	now := time.Now()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+
+	s.reqMu.Lock()
+	s.down = true
+	var drained chan struct{}
+	if s.reqN > 0 {
+		drained = make(chan struct{})
+		s.drained = drained
+	}
+	s.reqMu.Unlock()
+
+	var err error
+	if drained != nil {
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Serve serves a single index under the default name until the listener
+// is closed — the one-table deployment. For multiple named indexes or
+// graceful shutdown, use NewServer with a Registry.
+func Serve(l net.Listener, idx core.Server) error {
+	return NewServer(singleRegistry(idx)).Serve(l)
+}
+
+// ServeConn answers requests for a single default-named index on one
+// established connection until EOF or error (nil on clean EOF). Requests
+// are still dispatched concurrently.
+func ServeConn(conn io.ReadWriter, idx core.Server) error {
+	return serveLoop(singleRegistry(idx), conn, nil)
+}
+
+// ServeConnRegistry is ServeConn over a full registry.
+func ServeConnRegistry(conn io.ReadWriter, reg *Registry) error {
+	return serveLoop(reg, conn, nil)
+}
+
+// serveLoop reads request frames from rw and dispatches each to its own
+// goroutine (bounded per connection), serializing responses through one
+// write lock. srv, when non-nil, tracks in-flight requests for graceful
+// shutdown.
+func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server) error {
+	br := bufio.NewReader(rw)
+	bw := bufio.NewWriter(rw)
+	var wmu sync.Mutex
+	sem := make(chan struct{}, connConcurrency)
+	var inFlight sync.WaitGroup
+	// Let in-flight requests finish writing before the caller closes the
+	// connection.
+	defer inFlight.Wait()
+	for {
+		body, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || (srv != nil && srv.closing()) {
+				return nil
+			}
+			return err
+		}
+		req, err := parseRequest(body)
+		if err != nil {
+			// Without a request id there is nothing to route an error to;
+			// the framing is corrupt, drop the connection.
+			return err
+		}
+		if srv != nil && !srv.beginRequest() {
+			writeResponse(bw, &wmu, req.id, nil, errors.New("server shutting down"))
+			continue
+		}
+		sem <- struct{}{}
+		inFlight.Add(1)
+		go func(req request) {
+			defer func() {
+				<-sem
+				inFlight.Done()
+				if srv != nil {
+					srv.endRequest()
+				}
+			}()
+			payload, herr := handleRequest(reg, req)
+			writeResponse(bw, &wmu, req.id, payload, herr)
+		}(req)
+	}
+}
+
+// writeResponse frames one response under the connection's write lock.
+// An oversized payload is converted to an err-response so the waiting
+// request fails instead of hanging; other write errors are dropped (the
+// read side of a dead connection surfaces them to serveLoop).
+func writeResponse(bw *bufio.Writer, wmu *sync.Mutex, id uint32, payload []byte, herr error) {
+	var hdr [responseHeader]byte
+	binary.BigEndian.PutUint32(hdr[:4], id)
+	if herr != nil {
+		hdr[4] = statusErr
+		payload = []byte(herr.Error())
+	} else {
+		hdr[4] = statusOK
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	if err := writeFrame(bw, hdr[:], payload); err != nil {
+		if !errors.Is(err, ErrFrameTooLarge) {
+			return
+		}
+		// writeFrame rejects oversized frames before writing any bytes,
+		// so the stream is still clean for a substitute error response.
+		hdr[4] = statusErr
+		if err := writeFrame(bw, hdr[:], []byte(ErrFrameTooLarge.Error())); err != nil {
+			return
+		}
+	}
+	_ = bw.Flush()
+}

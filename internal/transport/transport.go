@@ -1,29 +1,33 @@
 // Package transport runs the RSSE query protocol over a network
 // connection, so the data owner and the untrusted server can live in
-// different processes (or machines). The server side serves one encrypted
-// index; the client side implements core.Server, so the owner's existing
-// query logic works against it unchanged.
+// different processes (or machines). The server side serves a Registry of
+// named encrypted indexes; the client side hands out per-index handles
+// implementing core.Server, so the owner's existing query logic works
+// against any served index unchanged.
 //
-// The protocol is a simple length-prefixed request/response framing over
-// any stream connection (TCP, unix sockets, net.Pipe in tests):
+// The protocol is a request/response framing over any stream connection
+// (TCP, unix sockets, net.Pipe in tests), multiplexed by request id so
+// one connection carries many requests concurrently and responses return
+// as they complete — a slow search does not block the connection's other
+// requests, and one handle is safe for concurrent use:
 //
-//	frame  := len(u32, big-endian) type(u8) payload
-//	request types: meta, search (trapdoor wire), fetch (id)
-//	response:      ok(0) payload | err(1) message
+//	frame    := len(u32, big-endian) body          (len counts the body)
+//	request  := reqID(u32) op(u8) nameLen(u8) name payload
+//	response := reqID(u32) status(u8) payload
+//	ops:      meta(1), search(trapdoor wire, 2), fetch(id, 3), names(4)
+//	status:   ok(0) payload | err(1) message
 //
 // Exactly the protocol messages of the paper cross the wire: trapdoors
 // owner→server, opaque result groups and encrypted tuples server→owner.
-// The transport adds no leakage beyond message lengths and timing.
+// The transport adds no leakage beyond message lengths, timing, and the
+// (public) name of the index each request addresses.
 package transport
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"net"
-	"sync"
 
 	"rsse/internal/core"
 )
@@ -32,112 +36,128 @@ import (
 // Responses carry whole result groups, so the bound is generous.
 const MaxFrame = 1 << 28 // 256 MiB
 
-// Request/response type tags.
+// Request op codes and response status codes.
 const (
-	typeMeta   byte = 1
-	typeSearch byte = 2
-	typeFetch  byte = 3
+	opMeta   byte = 1
+	opSearch byte = 2
+	opFetch  byte = 3
+	opNames  byte = 4
 
 	statusOK  byte = 0
 	statusErr byte = 1
 )
 
+// requestHeader is the fixed prefix of a request body: id, op, name
+// length.
+const requestHeader = 4 + 1 + 1
+
+// responseHeader is the fixed prefix of a response body: id, status.
+const responseHeader = 4 + 1
+
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
 
-// writeFrame writes one framed message.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	if len(payload)+1 > MaxFrame {
+// writeFrame writes one length-prefixed frame assembled from parts.
+func writeFrame(w io.Writer, parts ...[]byte) error {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = typ
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
-	return err
+	for _, p := range parts {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// readFrame reads one framed message.
-func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+// readFrame reads one frame body.
+func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n < 1 || n > MaxFrame {
-		return 0, nil, ErrFrameTooLarge
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
 	}
-	return buf[0], buf[1:], nil
+	return body, nil
 }
 
-// Serve accepts connections on l and serves the index until the listener
-// is closed. Each connection is handled on its own goroutine; *core.Index
-// is read-only after build, so connections proceed concurrently.
-func Serve(l net.Listener, idx core.Server) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		go func() {
-			defer conn.Close()
-			_ = ServeConn(conn, idx)
-		}()
-	}
+// request is one parsed request frame.
+type request struct {
+	id      uint32
+	op      byte
+	name    string
+	payload []byte
 }
 
-// ServeConn answers requests on a single connection until EOF or error.
-func ServeConn(conn io.ReadWriter, idx core.Server) error {
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
-	for {
-		typ, payload, err := readFrame(br)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return err
-		}
-		resp, err := handle(idx, typ, payload)
-		if err != nil {
-			if werr := writeFrame(bw, statusErr, []byte(err.Error())); werr != nil {
-				return werr
-			}
-		} else {
-			if werr := writeFrame(bw, statusOK, resp); werr != nil {
-				return werr
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
+// parseRequest splits a request body.
+func parseRequest(body []byte) (request, error) {
+	if len(body) < requestHeader {
+		return request{}, fmt.Errorf("transport: short request (%d bytes)", len(body))
 	}
+	nameLen := int(body[5])
+	if len(body) < requestHeader+nameLen {
+		return request{}, fmt.Errorf("transport: request truncates index name")
+	}
+	return request{
+		id:      binary.BigEndian.Uint32(body[:4]),
+		op:      body[4],
+		name:    string(body[requestHeader : requestHeader+nameLen]),
+		payload: body[requestHeader+nameLen:],
+	}, nil
 }
 
-// handle dispatches one request against the index.
-func handle(idx core.Server, typ byte, payload []byte) ([]byte, error) {
-	switch typ {
-	case typeMeta:
+// appendRequest assembles a request body.
+func appendRequest(id uint32, op byte, name string, payload []byte) []byte {
+	body := make([]byte, 0, requestHeader+len(name)+len(payload))
+	body = binary.BigEndian.AppendUint32(body, id)
+	body = append(body, op, byte(len(name)))
+	body = append(body, name...)
+	return append(body, payload...)
+}
+
+// handleRequest executes one request against the registry. The returned
+// payload is the ok-response body; a non-nil error becomes an
+// err-response, leaving the connection up.
+func handleRequest(reg *Registry, req request) ([]byte, error) {
+	if req.op == opNames {
+		names := reg.Names()
+		out := binary.BigEndian.AppendUint32(nil, uint32(len(names)))
+		for _, n := range names {
+			out = append(out, byte(len(n)))
+			out = append(out, n...)
+		}
+		return out, nil
+	}
+	idx, err := reg.Lookup(req.name)
+	if err != nil {
+		return nil, err
+	}
+	switch req.op {
+	case opMeta:
 		meta, err := idx.Meta()
 		if err != nil {
 			return nil, err
 		}
 		out := make([]byte, 0, 11)
 		out = append(out, byte(meta.Kind), meta.DomainBits, meta.PosBits)
-		out = binary.BigEndian.AppendUint64(out, uint64(meta.N))
-		return out, nil
-	case typeSearch:
-		t, err := core.UnmarshalTrapdoor(payload)
+		return binary.BigEndian.AppendUint64(out, uint64(meta.N)), nil
+	case opSearch:
+		t, err := core.UnmarshalTrapdoor(req.payload)
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +166,11 @@ func handle(idx core.Server, typ byte, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return resp.MarshalBinary()
-	case typeFetch:
-		if len(payload) != 8 {
+	case opFetch:
+		if len(req.payload) != 8 {
 			return nil, fmt.Errorf("transport: fetch payload must be 8 bytes")
 		}
-		ct, ok, err := idx.Fetch(binary.BigEndian.Uint64(payload))
+		ct, ok, err := idx.Fetch(binary.BigEndian.Uint64(req.payload))
 		if err != nil {
 			return nil, err
 		}
@@ -163,115 +183,30 @@ func handle(idx core.Server, typ byte, payload []byte) ([]byte, error) {
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("transport: unknown request type %d", typ)
+		return nil, fmt.Errorf("transport: unknown request type %d", req.op)
 	}
 }
 
-// Conn is the owner-side handle to a remote index. It implements
-// core.Server, so core.Client.QueryServer works against it directly.
-// Requests on one Conn are serialized; open several connections for
-// parallel queries.
-type Conn struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
-	br   *bufio.Reader
-	bw   *bufio.Writer
-
-	metaOnce sync.Once
-	meta     core.IndexMeta
-	metaErr  error
-}
-
-// NewConn wraps an established stream connection.
-func NewConn(conn io.ReadWriteCloser) *Conn {
-	return &Conn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
-}
-
-// Dial connects to a serving address ("tcp", "host:port" etc.).
-func Dial(network, addr string) (*Conn, error) {
-	c, err := net.Dial(network, addr)
-	if err != nil {
-		return nil, err
+// parseNames decodes an opNames response.
+func parseNames(payload []byte) ([]string, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("transport: short names response")
 	}
-	return NewConn(c), nil
-}
-
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.conn.Close() }
-
-// roundTrip sends one request and reads its response.
-func (c *Conn) roundTrip(typ byte, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.bw, typ, payload); err != nil {
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
-	}
-	status, resp, err := readFrame(c.br)
-	if err != nil {
-		return nil, err
-	}
-	switch status {
-	case statusOK:
-		return resp, nil
-	case statusErr:
-		return nil, fmt.Errorf("transport: server: %s", resp)
-	default:
-		return nil, fmt.Errorf("transport: bad response status %d", status)
-	}
-}
-
-// Meta implements core.Server; the result is cached for the connection's
-// lifetime (index metadata is immutable).
-func (c *Conn) Meta() (core.IndexMeta, error) {
-	c.metaOnce.Do(func() {
-		resp, err := c.roundTrip(typeMeta, nil)
-		if err != nil {
-			c.metaErr = err
-			return
+	count := int(binary.BigEndian.Uint32(payload))
+	payload = payload[4:]
+	// The server is untrusted: cap the allocation hint by the bytes
+	// actually present (each name costs at least its length byte).
+	out := make([]string, 0, min(count, len(payload)))
+	for i := 0; i < count; i++ {
+		if len(payload) < 1 {
+			return nil, fmt.Errorf("transport: names response truncated")
 		}
-		if len(resp) != 11 {
-			c.metaErr = fmt.Errorf("transport: bad meta response length %d", len(resp))
-			return
+		n := int(payload[0])
+		if len(payload) < 1+n {
+			return nil, fmt.Errorf("transport: names response truncated")
 		}
-		c.meta = core.IndexMeta{
-			Kind:       core.Kind(resp[0]),
-			DomainBits: resp[1],
-			PosBits:    resp[2],
-			N:          int(binary.BigEndian.Uint64(resp[3:])),
-		}
-	})
-	return c.meta, c.metaErr
-}
-
-// Search implements core.Server.
-func (c *Conn) Search(t *core.Trapdoor) (*core.Response, error) {
-	payload, err := t.MarshalBinary()
-	if err != nil {
-		return nil, err
+		out = append(out, string(payload[1:1+n]))
+		payload = payload[1+n:]
 	}
-	resp, err := c.roundTrip(typeSearch, payload)
-	if err != nil {
-		return nil, err
-	}
-	return core.UnmarshalResponse(resp)
-}
-
-// Fetch implements core.Server.
-func (c *Conn) Fetch(id core.ID) ([]byte, bool, error) {
-	var payload [8]byte
-	binary.BigEndian.PutUint64(payload[:], id)
-	resp, err := c.roundTrip(typeFetch, payload[:])
-	if err != nil {
-		return nil, false, err
-	}
-	if len(resp) < 1 {
-		return nil, false, fmt.Errorf("transport: empty fetch response")
-	}
-	if resp[0] == 0 {
-		return nil, false, nil
-	}
-	return resp[1:], true, nil
+	return out, nil
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	mrand "math/rand"
 	"net"
@@ -9,9 +10,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rsse/internal/core"
 	"rsse/internal/cover"
+	"rsse/internal/lsm"
 	"rsse/internal/sse"
 )
 
@@ -53,12 +56,21 @@ func exact(tuples []core.Tuple, q core.Range) []core.ID {
 	return out
 }
 
-// pipeServer serves idx over one end of a net.Pipe and returns the
-// owner-side Conn.
+// pipeServer serves idx under the default name over one end of a
+// net.Pipe and returns the owner-side Conn.
 func pipeServer(t *testing.T, idx core.Server) *Conn {
 	t.Helper()
 	serverEnd, clientEnd := net.Pipe()
 	go func() { _ = ServeConn(serverEnd, idx) }()
+	t.Cleanup(func() { serverEnd.Close(); clientEnd.Close() })
+	return NewConn(clientEnd)
+}
+
+// pipeRegistry serves a full registry over a net.Pipe.
+func pipeRegistry(t *testing.T, reg *Registry) *Conn {
+	t.Helper()
+	serverEnd, clientEnd := net.Pipe()
+	go func() { _ = ServeConnRegistry(serverEnd, reg) }()
 	t.Cleanup(func() { serverEnd.Close(); clientEnd.Close() })
 	return NewConn(clientEnd)
 }
@@ -74,7 +86,7 @@ func TestRemoteQueryAllSchemes(t *testing.T) {
 	for _, kind := range kinds {
 		t.Run(kind.String(), func(t *testing.T) {
 			c, idx, tuples := testClientIndex(t, kind)
-			remote := pipeServer(t, idx)
+			remote := pipeServer(t, idx).Default()
 			for _, q := range []core.Range{{Lo: 100, Hi: 600}, {Lo: 0, Hi: 1023}, {Lo: 777, Hi: 777}} {
 				res, err := c.QueryServer(remote, q)
 				if err != nil {
@@ -98,7 +110,7 @@ func TestRemoteQueryAllSchemes(t *testing.T) {
 
 func TestRemoteFetchTuple(t *testing.T) {
 	c, idx, tuples := testClientIndex(t, core.LogarithmicBRC)
-	remote := pipeServer(t, idx)
+	remote := pipeServer(t, idx).Default()
 	tup, err := c.FetchTuple(remote, tuples[5].ID)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +125,7 @@ func TestRemoteFetchTuple(t *testing.T) {
 
 func TestRemoteMetaCached(t *testing.T) {
 	_, idx, _ := testClientIndex(t, core.LogarithmicSRCi)
-	remote := pipeServer(t, idx)
+	remote := pipeServer(t, idx).Default()
 	a, err := remote.Meta()
 	if err != nil {
 		t.Fatal(err)
@@ -133,38 +145,135 @@ func TestRemoteKindMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	remote := pipeServer(t, idx)
+	remote := pipeServer(t, idx).Default()
 	if _, err := other.QueryServer(remote, core.Range{Lo: 0, Hi: 5}); !errors.Is(err, core.ErrKindMismatch) {
 		t.Errorf("kind mismatch error = %v", err)
 	}
 }
 
-// TestTCPServer exercises the real listener path with concurrent clients.
-func TestTCPServer(t *testing.T) {
-	c, idx, tuples := testClientIndex(t, core.LogarithmicSRC)
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+// TestRegistry exercises the registry's own bookkeeping.
+func TestRegistry(t *testing.T) {
+	_, idx, _ := testClientIndex(t, core.LogarithmicBRC)
+	reg := NewRegistry()
+	if err := reg.Register("a", idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("a", idx); !errors.Is(err, ErrDuplicateIndex) {
+		t.Errorf("duplicate register error = %v", err)
+	}
+	if err := reg.Register("", idx); !errors.Is(err, ErrBadIndexName) {
+		t.Errorf("empty name error = %v", err)
+	}
+	if err := reg.Register(strings.Repeat("x", 300), idx); !errors.Is(err, ErrBadIndexName) {
+		t.Errorf("long name error = %v", err)
+	}
+	if err := reg.Register("b", idx); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("names = %v", got)
+	}
+	if _, err := reg.Lookup("nope"); !errors.Is(err, ErrUnknownIndex) {
+		t.Errorf("unknown lookup error = %v", err)
+	}
+	if !reg.Deregister("a") || reg.Deregister("a") {
+		t.Error("deregister bookkeeping broken")
+	}
+	if reg.Len() != 1 {
+		t.Errorf("len = %d", reg.Len())
+	}
+}
+
+// TestMaxLengthIndexName serves an index under a 255-byte name — the
+// longest the wire's length byte can carry — end to end.
+func TestMaxLengthIndexName(t *testing.T) {
+	c, idx, tuples := testClientIndex(t, core.LogarithmicBRC)
+	long := strings.Repeat("n", 255)
+	reg := NewRegistry()
+	if err := reg.Register(long, idx); err != nil {
+		t.Fatal(err)
+	}
+	conn := pipeRegistry(t, reg)
+	names, err := conn.Names()
+	if err != nil || len(names) != 1 || names[0] != long {
+		t.Fatalf("Names = %v, %v", names, err)
+	}
+	q := core.Range{Lo: 0, Hi: 500}
+	res, err := c.QueryServer(conn.Index(long), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan error, 1)
-	go func() { done <- Serve(l, idx) }()
+	if len(res.Matches) != len(exact(tuples, q)) {
+		t.Errorf("got %d matches", len(res.Matches))
+	}
+}
 
+// TestMultiIndexServer serves two independently-keyed indexes of
+// different schemes from one process and queries both over one
+// connection.
+func TestMultiIndexServer(t *testing.T) {
+	cBRC, idxBRC, tuplesBRC := testClientIndex(t, core.LogarithmicBRC)
+	cSRC, idxSRC, tuplesSRC := testClientIndex(t, core.LogarithmicSRC)
+	reg := NewRegistry()
+	if err := reg.Register("brc", idxBRC); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("src", idxSRC); err != nil {
+		t.Fatal(err)
+	}
+	conn := pipeRegistry(t, reg)
+
+	names, err := conn.Names()
+	if err != nil || len(names) != 2 || names[0] != "brc" || names[1] != "src" {
+		t.Fatalf("Names = %v, %v", names, err)
+	}
+
+	q := core.Range{Lo: 64, Hi: 700}
+	resBRC, err := cBRC.QueryServer(conn.Index("brc"), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSRC, err := cSRC.QueryServer(conn.Index("src"), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resBRC.Matches) != len(exact(tuplesBRC, q)) {
+		t.Errorf("brc matches = %d", len(resBRC.Matches))
+	}
+	if len(resSRC.Matches) != len(exact(tuplesSRC, q)) {
+		t.Errorf("src matches = %d", len(resSRC.Matches))
+	}
+
+	// Unknown index: clean server-side error, connection stays usable.
+	if _, err := cBRC.QueryServer(conn.Index("ghost"), q); err == nil ||
+		!strings.Contains(err.Error(), "unknown index") {
+		t.Errorf("ghost index error = %v", err)
+	}
+	if _, err := conn.Lookup("ghost"); err == nil {
+		t.Error("Lookup(ghost) succeeded")
+	}
+	if _, err := cBRC.QueryServer(conn.Index("brc"), core.Range{Lo: 0, Hi: 63}); err != nil {
+		t.Errorf("connection unusable after unknown-index error: %v", err)
+	}
+}
+
+// TestOneConnConcurrentUse hammers a single Conn (and a single handle)
+// from many goroutines — the regression test for the old frame-stream
+// corruption footgun; run with -race.
+func TestOneConnConcurrentUse(t *testing.T) {
+	c, idx, tuples := testClientIndex(t, core.LogarithmicBRC)
+	conn := pipeServer(t, idx)
+	handle := conn.Default()
 	q := core.Range{Lo: 200, Hi: 800}
 	want := exact(tuples, q)
+
 	var wg sync.WaitGroup
-	for i := 0; i < 4; i++ {
+	for g := 0; g < 8; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
-			conn, err := Dial("tcp", l.Addr().String())
-			if err != nil {
-				t.Errorf("dial: %v", err)
-				return
-			}
-			defer conn.Close()
-			// Each goroutine needs its own owner client (clients are not
-			// concurrent-safe); same master key, so same search tokens.
-			cc, err := core.NewClient(core.LogarithmicSRC, cover.Domain{Bits: 10}, core.Options{
+			// Clients are not concurrent-safe; one per goroutine, same key.
+			cc, err := core.NewClient(core.LogarithmicBRC, cover.Domain{Bits: 10}, core.Options{
 				SSE:       sse.Basic{},
 				MasterKey: bytes.Repeat([]byte{9}, 32),
 			})
@@ -172,48 +281,246 @@ func TestTCPServer(t *testing.T) {
 				t.Errorf("client: %v", err)
 				return
 			}
-			for rep := 0; rep < 3; rep++ {
-				res, err := cc.QueryServer(conn, q)
+			for rep := 0; rep < 5; rep++ {
+				res, err := cc.QueryServer(handle, q)
 				if err != nil {
-					t.Errorf("remote query: %v", err)
+					t.Errorf("goroutine %d: %v", g, err)
 					return
 				}
 				if len(res.Matches) != len(want) {
-					t.Errorf("got %d matches, want %d", len(res.Matches), len(want))
+					t.Errorf("goroutine %d: got %d matches, want %d", g, len(res.Matches), len(want))
 					return
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
-	l.Close()
-	if err := <-done; err != nil {
-		t.Fatalf("serve: %v", err)
-	}
 	_ = c
 }
 
-func TestServerRejectsGarbageFrames(t *testing.T) {
+// TestServerLoad is the transport load test: N concurrent clients × M
+// queries each, against one served registry of two indexes over real TCP,
+// results checked against local Query. Run with -race.
+func TestServerLoad(t *testing.T) {
+	kinds := map[string]core.Kind{"brc": core.LogarithmicBRC, "srci": core.LogarithmicSRCi}
+	tuplesOf := map[string][]core.Tuple{}
+	reg := NewRegistry()
+	for name, kind := range kinds {
+		_, idx, tuples := testClientIndex(t, kind)
+		if err := reg.Register(name, idx); err != nil {
+			t.Fatal(err)
+		}
+		tuplesOf[name] = tuples
+	}
+	srv := NewServer(reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	const clients, queriesPerClient = 8, 6
+	queries := []core.Range{{Lo: 0, Hi: 1023}, {Lo: 100, Hi: 600}, {Lo: 512, Hi: 515}}
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			for name, kind := range kinds {
+				cc, err := core.NewClient(kind, cover.Domain{Bits: 10}, core.Options{
+					SSE:       sse.Basic{},
+					MasterKey: bytes.Repeat([]byte{9}, 32),
+				})
+				if err != nil {
+					t.Errorf("client: %v", err)
+					return
+				}
+				handle := conn.Index(name)
+				for rep := 0; rep < queriesPerClient; rep++ {
+					q := queries[(i+rep)%len(queries)]
+					res, err := cc.QueryServer(handle, q)
+					if err != nil {
+						t.Errorf("client %d %s: %v", i, name, err)
+						return
+					}
+					got := append([]core.ID(nil), res.Matches...)
+					sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+					want := exact(tuplesOf[name], q)
+					if len(got) != len(want) {
+						t.Errorf("client %d %s: %d matches, want %d", i, name, len(got), len(want))
+						return
+					}
+					for j := range got {
+						if got[j] != want[j] {
+							t.Errorf("client %d %s: result mismatch", i, name)
+							return
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// slowIndex wraps a core.Server and delays Meta — for shutdown draining.
+type slowIndex struct {
+	core.Server
+	delay time.Duration
+}
+
+func (s *slowIndex) Meta() (core.IndexMeta, error) {
+	time.Sleep(s.delay)
+	return s.Server.Meta()
+}
+
+// TestGracefulShutdown: a request in flight when Shutdown begins still
+// completes and its response arrives; afterwards the listener is closed.
+func TestGracefulShutdown(t *testing.T) {
+	_, idx, _ := testClientIndex(t, core.LogarithmicBRC)
+	reg := NewRegistry()
+	if err := reg.Register(DefaultIndex, &slowIndex{Server: idx, delay: 200 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	conn, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	metaDone := make(chan error, 1)
+	go func() {
+		_, err := conn.Default().Meta()
+		metaDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the server
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-metaDone; err != nil {
+		t.Errorf("in-flight request dropped during shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+	if _, err := Dial("tcp", l.Addr().String()); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+	if err := srv.Serve(l); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("serve after shutdown = %v", err)
+	}
+}
+
+// TestLSMEpochsOverTransport serves every epoch of an update manager as
+// a named index from one process and runs the owner's fan-out query
+// through the connection — the multi-index deployment of Section 7.
+func TestLSMEpochsOverTransport(t *testing.T) {
+	dom := cover.Domain{Bits: 10}
+	m, err := lsm.NewManager(core.LogarithmicBRC, dom, 4, core.Options{SSE: sse.Basic{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := mrand.New(mrand.NewSource(5))
+	next := uint64(1)
+	for batch := 0; batch < 3; batch++ {
+		for i := 0; i < 40; i++ {
+			m.Insert(next, rnd.Uint64()%1024, nil)
+			next++
+		}
+		if err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochs := m.ActiveEpochs()
+	if len(epochs) < 2 {
+		t.Fatalf("want ≥ 2 active epochs, got %d", len(epochs))
+	}
+	reg := NewRegistry()
+	for _, e := range epochs {
+		if err := reg.Register(e.Name, e.Index); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn := pipeRegistry(t, reg)
+
+	q := core.Range{Lo: 100, Hi: 900}
+	local, _, err := m.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, stats, err := m.QueryOn(conn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Indexes != len(epochs) {
+		t.Errorf("fanned out to %d indexes, want %d", stats.Indexes, len(epochs))
+	}
+	key := func(ts []core.Tuple) []core.ID {
+		out := make([]core.ID, len(ts))
+		for i, tu := range ts {
+			out[i] = tu.ID
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	a, b := key(local), key(remote)
+	if len(a) != len(b) {
+		t.Fatalf("remote returned %d tuples, local %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("remote and local LSM results differ")
+		}
+	}
+}
+
+func TestServerRejectsGarbageRequests(t *testing.T) {
 	_, idx, _ := testClientIndex(t, core.LogarithmicBRC)
 	serverEnd, clientEnd := net.Pipe()
 	go func() { _ = ServeConn(serverEnd, idx) }()
 	defer serverEnd.Close()
 	defer clientEnd.Close()
 
-	// Unknown request type → statusErr response, connection stays up.
-	if err := writeFrame(clientEnd, 77, []byte("junk")); err != nil {
+	// Unknown op → statusErr response routed by request id, connection
+	// stays up.
+	if err := writeFrame(clientEnd, appendRequest(42, 77, DefaultIndex, []byte("junk"))); err != nil {
 		t.Fatal(err)
 	}
-	status, payload, err := readFrame(clientEnd)
+	body, err := readFrame(clientEnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if status != statusErr || !strings.Contains(string(payload), "unknown request") {
-		t.Errorf("status=%d payload=%q", status, payload)
+	if len(body) < responseHeader || body[4] != statusErr ||
+		!strings.Contains(string(body[responseHeader:]), "unknown request") {
+		t.Errorf("response = %x", body)
 	}
 	// The connection still answers valid requests afterwards.
 	conn := NewConn(clientEnd)
-	meta, err := conn.Meta()
+	meta, err := conn.Default().Meta()
 	if err != nil || meta.Kind != core.LogarithmicBRC {
 		t.Errorf("meta after garbage: %+v, %v", meta, err)
 	}
@@ -221,16 +528,12 @@ func TestServerRejectsGarbageFrames(t *testing.T) {
 
 func TestFrameLimits(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, typeMeta, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized write error = %v", err)
 	}
 	// A forged oversized header must be rejected on read.
-	var hdr [4]byte
-	hdr[0] = 0xFF
-	hdr[1] = 0xFF
-	hdr[2] = 0xFF
-	hdr[3] = 0xFF
-	if _, _, err := readFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := readFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized read error = %v", err)
 	}
 }

@@ -6,12 +6,14 @@ import (
 
 	"rsse/internal/core"
 	"rsse/internal/sse"
+	"rsse/internal/storage"
 )
 
 // config collects the functional options before they are lowered onto the
 // scheme layer.
 type config struct {
 	sseName      string
+	storageName  string
 	tsetCapacity int
 	tsetExpand   float64
 	packedBlock  int
@@ -38,6 +40,21 @@ func WithSSE(name string) Option {
 			return err
 		}
 		c.sseName = name
+		return nil
+	}
+}
+
+// WithStorage selects the physical layout of the encrypted dictionaries
+// and the tuple store: "map" (hash tables, the default — fastest to
+// build) or "sorted" (flat sorted arrays with a radix directory — the
+// read-optimized layout servers prefer). The layout is a server-local
+// choice: it never changes the wire format or the leakage profile.
+func WithStorage(name string) Option {
+	return func(c *config) error {
+		if _, err := storage.ByName(name); err != nil {
+			return err
+		}
+		c.storageName = name
 		return nil
 	}
 }
@@ -143,6 +160,13 @@ func (c *config) lower() (core.Options, error) {
 		opts.SSE = sse.TwoLevel{}
 	default:
 		return opts, fmt.Errorf("rsse: unknown SSE construction %q", name)
+	}
+	if c.storageName != "" {
+		eng, err := storage.ByName(c.storageName)
+		if err != nil {
+			return opts, err
+		}
+		opts.Storage = eng
 	}
 	if c.seed != nil {
 		opts.Rand = mrand.New(mrand.NewSource(*c.seed))

@@ -1,15 +1,78 @@
 package rsse
 
 import (
+	"context"
+	"errors"
 	"io"
 	"net"
 
 	"rsse/internal/transport"
 )
 
-// Serve serves an encrypted index to remote owners until the listener is
-// closed. The server side holds no keys: everything it can learn is the
-// scheme's formal leakage. Each connection is handled concurrently.
+// DefaultIndexName is the name single-index deployments serve under.
+// Serve and Dial use it implicitly; multi-index servers pick their own
+// names per Registry.Register.
+const DefaultIndexName = transport.DefaultIndex
+
+// Registry is a collection of named encrypted indexes served together by
+// one process: independent tables, LSM epochs, or any mix. It is safe
+// for concurrent use and stays live while served — indexes registered or
+// deregistered later are picked up per request.
+type Registry struct {
+	inner *transport.Registry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{inner: transport.NewRegistry()}
+}
+
+// Register serves index under name (1..255 bytes, unique).
+func (r *Registry) Register(name string, index *Index) error {
+	if index == nil {
+		// Checked here while the concrete type is known: a nil *Index
+		// boxed into the interface would pass the transport layer's nil
+		// check and panic on first request.
+		return errors.New("rsse: cannot register a nil index")
+	}
+	return r.inner.Register(name, index)
+}
+
+// Deregister stops serving name, reporting whether it was present.
+func (r *Registry) Deregister(name string) bool {
+	return r.inner.Deregister(name)
+}
+
+// Names lists the registered index names in sorted order.
+func (r *Registry) Names() []string { return r.inner.Names() }
+
+// Server serves a Registry to remote owners over any number of
+// listeners. The server side holds no keys: everything it can learn is
+// the schemes' formal leakage plus which named index each request
+// addresses. Requests on every connection are dispatched concurrently —
+// one slow search does not block a connection's other requests.
+type Server struct {
+	inner *transport.Server
+}
+
+// NewServer creates a server over reg.
+func NewServer(reg *Registry) *Server {
+	return &Server{inner: transport.NewServer(reg.inner)}
+}
+
+// Serve accepts and serves connections on l until the listener closes or
+// Shutdown is called (returning nil in both cases).
+func (s *Server) Serve(l net.Listener) error { return s.inner.Serve(l) }
+
+// Shutdown gracefully stops the server: listeners close immediately,
+// in-flight requests finish and their responses are flushed before the
+// connections are closed. If ctx expires first, remaining connections
+// are closed anyway and ctx's error returned.
+func (s *Server) Shutdown(ctx context.Context) error { return s.inner.Shutdown(ctx) }
+
+// Serve serves one encrypted index under the default name until the
+// listener is closed — the single-table deployment. Use NewServer with a
+// Registry for multiple named indexes and graceful shutdown.
 func Serve(l net.Listener, index *Index) error {
 	return transport.Serve(l, index)
 }
@@ -22,34 +85,51 @@ func ServeConn(conn io.ReadWriter, index *Index) error {
 
 // RemoteIndex is the owner-side handle to an index served elsewhere. It
 // satisfies the same role as a local *Index in Client.QueryRemote and
-// Client.FetchTupleRemote. Requests on one RemoteIndex are serialized;
-// open one per goroutine for parallel querying.
+// Client.FetchTupleRemote, and it is safe for concurrent use: requests
+// are multiplexed by id over the connection, so parallel queries from
+// many goroutines interleave without corrupting the stream (and without
+// waiting on each other's responses).
 type RemoteIndex struct {
-	conn *transport.Conn
+	conn   *transport.Conn
+	handle *transport.IndexHandle
 }
 
-// Dial connects to a remote index server, e.g.
-// Dial("tcp", "search.internal:7070").
+// Dial connects to a remote index server and addresses its default
+// index, e.g. Dial("tcp", "search.internal:7070").
 func Dial(network, addr string) (*RemoteIndex, error) {
+	return DialIndex(network, addr, DefaultIndexName)
+}
+
+// DialIndex connects to a remote multi-index server and addresses the
+// index served under name.
+func DialIndex(network, addr, name string) (*RemoteIndex, error) {
 	c, err := transport.Dial(network, addr)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteIndex{conn: c}, nil
+	return &RemoteIndex{conn: c, handle: c.Index(name)}, nil
 }
 
 // NewRemoteIndex wraps an established stream connection (TCP, unix
-// socket, net.Pipe, TLS — anything io.ReadWriteCloser).
+// socket, net.Pipe, TLS — anything io.ReadWriteCloser), addressing the
+// default index.
 func NewRemoteIndex(conn io.ReadWriteCloser) *RemoteIndex {
-	return &RemoteIndex{conn: transport.NewConn(conn)}
+	c := transport.NewConn(conn)
+	return &RemoteIndex{conn: c, handle: c.Default()}
 }
 
 // Close closes the connection.
 func (r *RemoteIndex) Close() error { return r.conn.Close() }
 
+// Name returns the served-index name this handle addresses.
+func (r *RemoteIndex) Name() string { return r.handle.Name() }
+
+// ServedIndexes asks the server which index names it serves.
+func (r *RemoteIndex) ServedIndexes() ([]string, error) { return r.conn.Names() }
+
 // N returns the number of tuples in the remote index (its L1 leakage).
 func (r *RemoteIndex) N() (int, error) {
-	meta, err := r.conn.Meta()
+	meta, err := r.handle.Meta()
 	if err != nil {
 		return 0, err
 	}
@@ -58,7 +138,7 @@ func (r *RemoteIndex) N() (int, error) {
 
 // Kind returns the scheme of the remote index.
 func (r *RemoteIndex) Kind() (Kind, error) {
-	meta, err := r.conn.Meta()
+	meta, err := r.handle.Meta()
 	if err != nil {
 		return 0, err
 	}
@@ -68,10 +148,10 @@ func (r *RemoteIndex) Kind() (Kind, error) {
 // QueryRemote runs the full query protocol against a remote index — the
 // same rounds as Query, with each round crossing the connection.
 func (c *Client) QueryRemote(r *RemoteIndex, q Range) (*Result, error) {
-	return c.inner.QueryServer(r.conn, q)
+	return c.inner.QueryServer(r.handle, q)
 }
 
 // FetchTupleRemote retrieves and decrypts one tuple from a remote index.
 func (c *Client) FetchTupleRemote(r *RemoteIndex, id ID) (Tuple, error) {
-	return c.inner.FetchTuple(r.conn, id)
+	return c.inner.FetchTuple(r.handle, id)
 }

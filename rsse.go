@@ -3,6 +3,7 @@ package rsse
 import (
 	"rsse/internal/core"
 	"rsse/internal/cover"
+	"rsse/internal/storage"
 )
 
 // Core data types, shared with the scheme implementations.
@@ -81,6 +82,29 @@ var (
 // Index.MarshalBinary — how a server restores persisted state. The blob
 // contains no key material; only the matching client can query it.
 func UnmarshalIndex(data []byte) (*Index, error) { return core.UnmarshalIndex(data) }
+
+// UnmarshalIndexWith reconstructs a serialized Index onto a named
+// storage engine — "map" (hash tables, the default) or "sorted" (the
+// read-optimized flat layout; servers loading read-mostly indexes want
+// this one). The engine is a local representation choice and never
+// affects the wire format.
+func UnmarshalIndexWith(data []byte, engine string) (*Index, error) {
+	eng, err := storage.ByName(engine)
+	if err != nil {
+		return nil, err
+	}
+	return core.UnmarshalIndexWith(data, eng)
+}
+
+// StorageEngines lists the available storage engine names for
+// UnmarshalIndexWith and WithStorage.
+func StorageEngines() []string {
+	out := make([]string, 0, 2)
+	for _, e := range storage.Engines() {
+		out = append(out, e.Name())
+	}
+	return out
+}
 
 // NewDomain returns the domain {0..2^bits-1}; bits at most 62.
 func NewDomain(bits uint8) (Domain, error) { return cover.NewDomain(bits) }
