@@ -9,6 +9,8 @@ package rsse_test
 import (
 	"fmt"
 	mrand "math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -240,6 +242,58 @@ func BenchmarkUpdates_Flush(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(d.ActiveIndexes()), "active_indexes")
+}
+
+// BenchmarkOpenIndex is the acceptance benchmark for the disk engine's
+// lazy serving path: it serializes a 100k-tuple index once, then
+// measures what a server pays to bring it online. The map and sorted
+// engines rebuild every record through a Builder (O(index size) with
+// per-record copies); the disk engine opens the same bytes in place —
+// header parsing plus one sequential checksum pass — whether from a
+// heap blob or a memory-mapped file.
+func BenchmarkOpenIndex(b *testing.B) {
+	const openN = 100000
+	tuples := dataset.Uniform(openN, 20, 21)
+	c, err := rsse.NewClient(rsse.ConstantBRC, 20, rsse.WithSeed(22))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := c.BuildIndex(tuples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.idx")
+	if err := os.WriteFile(path, blob, 0o600); err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range []string{"map", "sorted", "disk"} {
+		b.Run(engine+"/blob", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(blob)))
+			for i := 0; i < b.N; i++ {
+				if _, err := rsse.UnmarshalIndexWith(blob, engine); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(engine+"/file", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(blob)))
+			for i := 0; i < b.N; i++ {
+				x, err := rsse.OpenIndexFile(path, engine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := x.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkQuadratic_Build exercises the naive baseline at its natural

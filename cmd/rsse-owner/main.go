@@ -19,6 +19,15 @@
 //
 //	rsse-owner query -addr 127.0.0.1:7070 -keyfile table.key \
 //	    -scheme Logarithmic-SRC-i -bits 20 -lo 100 -hi 500
+//
+// Inspect an index file's operational profile (no key needed — these are
+// exactly the stats the server can see anyway):
+//
+//	rsse-owner stats -index table.idx [-storage disk]
+//
+// With -storage disk the index is memory-mapped and served in place, so
+// "resident" shows near zero — the number to compare against "file" when
+// sizing a deployment.
 package main
 
 import (
@@ -44,14 +53,43 @@ func main() {
 		build(os.Args[2:])
 	case "query":
 		query(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query [flags] (see package docs)")
+	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query|stats [flags] (see package docs)")
 	os.Exit(2)
+}
+
+// stats opens an index file on the chosen storage engine and prints its
+// operational profile.
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file (required)")
+	engine := fs.String("storage", "sorted",
+		"storage engine to load onto: "+strings.Join(rsse.StorageEngines(), "|"))
+	_ = fs.Parse(args)
+	if *indexPath == "" {
+		fatal(fmt.Errorf("-index is required"))
+	}
+	index, err := rsse.OpenIndexFile(*indexPath, *engine)
+	if err != nil {
+		fatal(err)
+	}
+	defer index.Close()
+	s := index.Stats()
+	fmt.Printf("scheme:    %v\n", s.Kind)
+	fmt.Printf("tuples:    %d\n", s.N)
+	fmt.Printf("postings:  %d\n", s.Postings)
+	fmt.Printf("index:     %.2f MB serialized\n", float64(s.IndexBytes)/(1<<20))
+	fmt.Printf("store:     %.2f MB serialized\n", float64(s.StoreBytes)/(1<<20))
+	fmt.Printf("engine:    %s\n", s.Engine)
+	fmt.Printf("resident:  %.2f MB heap\n", float64(s.Resident)/(1<<20))
+	fmt.Printf("file:      %.2f MB on disk\n", float64(s.FileBytes)/(1<<20))
 }
 
 func build(args []string) {

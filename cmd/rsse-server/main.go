@@ -13,10 +13,20 @@
 //
 //	rsse-server -dir ./indexes -listen 127.0.0.1:7070
 //
+// A corrupt or unreadable file in the directory is logged and skipped —
+// one bad index never takes the others down.
+//
 // Indexes load onto the read-optimized "sorted" storage engine by
-// default (-storage map restores hash tables). SIGINT/SIGTERM trigger a
-// graceful shutdown: listeners close immediately, in-flight requests
-// finish and flush before connections drop.
+// default. With -storage disk the server memory-maps v2 index files and
+// serves them in place: directory mode then defers each file's open to
+// its first query (-preload forces everything up front), so a multi-GB
+// directory starts serving instantly and pays memory only for the
+// indexes traffic actually touches. Per-index resident vs. file bytes
+// are logged at load time.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners close
+// immediately, in-flight requests finish and flush before connections
+// drop.
 package main
 
 import (
@@ -38,7 +48,9 @@ func main() {
 	indexPath := flag.String("index", "", "serialized index file, served as \"default\"")
 	dir := flag.String("dir", "", "directory of .idx files, each served under its basename")
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
-	engine := flag.String("storage", "sorted", "storage engine for loaded indexes: map|sorted")
+	engine := flag.String("storage", "sorted",
+		"storage engine for loaded indexes: "+strings.Join(rsse.StorageEngines(), "|"))
+	preload := flag.Bool("preload", false, "with -dir -storage disk: open every index at startup instead of on first query")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	flag.Parse()
 	if (*indexPath == "") == (*dir == "") {
@@ -56,17 +68,28 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// The disk engine serves files by mmap, so deferring each open to
+		// the first query costs nothing but a page fault later; rebuild
+		// engines load eagerly so a bad file surfaces at startup.
+		lazy := *engine == "disk" && !*preload
 		for _, e := range entries {
 			if e.IsDir() || !strings.HasSuffix(e.Name(), ".idx") {
 				continue
 			}
 			name := strings.TrimSuffix(e.Name(), ".idx")
-			if err := load(reg, name, filepath.Join(*dir, e.Name()), *engine); err != nil {
-				fatal(err)
+			path := filepath.Join(*dir, e.Name())
+			if lazy {
+				err = registerLazy(reg, name, path, *engine)
+			} else {
+				err = load(reg, name, path, *engine)
+			}
+			if err != nil {
+				// One corrupt index must not take down the server.
+				fmt.Fprintf(os.Stderr, "rsse-server: skipping %s: %v\n", path, err)
 			}
 		}
 		if len(reg.Names()) == 0 {
-			fatal(fmt.Errorf("no .idx files in %s", *dir))
+			fatal(fmt.Errorf("no loadable .idx files in %s", *dir))
 		}
 	}
 
@@ -100,22 +123,50 @@ func main() {
 	}
 }
 
-// load reads, parses and registers one index file.
+// load reads, parses and registers one index file eagerly.
 func load(reg *rsse.Registry, name, path, engine string) error {
-	blob, err := os.ReadFile(path)
+	index, err := rsse.OpenIndexFile(path, engine)
 	if err != nil {
 		return err
-	}
-	index, err := rsse.UnmarshalIndexWith(blob, engine)
-	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
 	}
 	if err := reg.Register(name, index); err != nil {
+		index.Close()
 		return err
 	}
-	fmt.Printf("rsse-server: %-20q %v  %d tuples  %.1f MB index\n",
-		name, index.Kind(), index.N(), float64(index.Size())/(1<<20))
+	logLoaded(name, index.Stats())
 	return nil
+}
+
+// registerLazy validates the file's header now but defers the real open
+// — an mmap plus checksum pass — to the first query addressing name.
+func registerLazy(reg *rsse.Registry, name, path, engine string) error {
+	meta, err := rsse.PeekIndexFile(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.RegisterLazy(name, func() (*rsse.Index, error) {
+		index, err := rsse.OpenIndexFile(path, engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsse-server: lazy open %s: %v\n", path, err)
+			return nil, err
+		}
+		logLoaded(name, index.Stats())
+		return index, nil
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("rsse-server: %-20q %v  %d tuples  registered lazily (opens on first query)\n",
+		name, meta.Kind, meta.N)
+	return nil
+}
+
+// logLoaded prints one loaded index's operational profile: name, scheme,
+// tuple count, and where its bytes live (resident heap vs. backing file).
+func logLoaded(name string, s rsse.IndexStats) {
+	fmt.Printf("rsse-server: %-20q %v  %d tuples  %.1f MB index  %.1f MB store  [%s: %.1f MB resident, %.1f MB file]\n",
+		name, s.Kind, s.N,
+		float64(s.IndexBytes)/(1<<20), float64(s.StoreBytes)/(1<<20),
+		s.Engine, float64(s.Resident)/(1<<20), float64(s.FileBytes)/(1<<20))
 }
 
 func fatal(err error) {

@@ -45,4 +45,26 @@
 // Dynamic. The underlying single-keyword SSE construction is pluggable
 // via WithSSE; experiments use the TSet construction with the paper's
 // parameters.
+//
+// # Storage engines and serving from disk
+//
+// The physical layout of an index's records is a server-local choice,
+// independent of the wire format and the leakage profile: "map" (hash
+// tables, the default), "sorted" (flat arrays with a radix directory,
+// read-optimized) or "disk" (checksummed sealed segments answered by
+// binary search over the raw bytes). Select with WithStorage at build
+// time or UnmarshalIndexWith at load time.
+//
+// Serialized indexes (Index.MarshalBinary, wire format v2; v1 blobs
+// load transparently) are containers of in-place-readable segments:
+// OpenIndexFile(path, "disk") memory-maps a file and serves it with
+// near-constant open cost and near-zero resident memory —
+//
+//	index, err := rsse.OpenIndexFile("users.idx", "disk")
+//	defer index.Close()
+//
+// and Registry.RegisterLazy defers even that until the first query, so
+// one process can front a directory holding far more index bytes than
+// RAM. Index.Stats and Registry.Stats report per-index sizing for
+// operators.
 package rsse

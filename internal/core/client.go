@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"io"
 	mrand "math/rand"
 	"time"
 
@@ -140,6 +141,16 @@ type Index struct {
 	primary sse.Index
 	aux     sse.Index // Logarithmic-SRC-i's I1
 	store   *TupleStore
+
+	// Provenance, for Stats and Close: the storage engine the index was
+	// built or loaded onto, the serialized blob it aliases (v2 loads onto
+	// an in-place engine), and the file mapping it serves from (indexes
+	// opened with OpenIndexFile).
+	engine    string
+	retained  []byte
+	closer    io.Closer
+	fileBytes int64
+	mapped    bool
 }
 
 // Server is the interface the query protocol runs against: a local
@@ -211,6 +222,72 @@ func (x *Index) Postings() int {
 // separately because the paper's index-size metric excludes it.
 func (x *Index) StoreSize() int { return x.store.Size() }
 
+// IndexStats is the operational profile of a served index — what an
+// operator needs to size a deployment: the scheme, the logical sizes,
+// the storage engine, and where the bytes actually live (heap vs mapped
+// file).
+type IndexStats struct {
+	// Kind is the scheme that built the index.
+	Kind Kind
+	// N is the number of indexed tuples.
+	N int
+	// Postings is the replicated-dataset size across the index(es).
+	Postings int
+	// IndexBytes is the serialized size of the encrypted index(es) — the
+	// paper's index-size metric.
+	IndexBytes int
+	// StoreBytes is the encrypted tuple store's serialized footprint.
+	StoreBytes int
+	// Engine names the storage engine the records live on.
+	Engine string
+	// Resident approximates the heap bytes the index pins. A disk-engine
+	// index served from a mapped file pins almost nothing — its records
+	// page in from FileBytes on demand.
+	Resident int64
+	// FileBytes is the size of the backing file for indexes opened with
+	// OpenIndexFile, zero otherwise.
+	FileBytes int64
+}
+
+// Stats reports the index's operational profile.
+func (x *Index) Stats() IndexStats {
+	s := IndexStats{
+		Kind:       x.kind,
+		N:          x.n,
+		Postings:   x.Postings(),
+		IndexBytes: x.Size(),
+		StoreBytes: x.store.Size(),
+		Engine:     x.engine,
+		FileBytes:  x.fileBytes,
+	}
+	if s.Engine == "" {
+		s.Engine = storage.Default().Name()
+	}
+	res := int64(x.primary.Resident()) + int64(x.store.cts.Resident())
+	if x.aux != nil {
+		res += int64(x.aux.Resident())
+	}
+	if x.retained != nil {
+		// A v2 blob served in place from the heap: the whole blob stays
+		// pinned by the aliasing backends.
+		res += int64(len(x.retained))
+	}
+	s.Resident = res
+	return s
+}
+
+// Close releases the file mapping behind an index opened with
+// OpenIndexFile; it is a no-op (and always safe) for any other index.
+// The index must not be searched after Close.
+func (x *Index) Close() error {
+	if x.closer == nil {
+		return nil
+	}
+	c := x.closer
+	x.closer = nil
+	return c.Close()
+}
+
 // Store exposes the encrypted tuple collection (ids and ciphertexts are
 // server-visible by design).
 func (x *Index) Store() *TupleStore { return x.store }
@@ -227,7 +304,13 @@ func (c *Client) BuildIndex(tuples []Tuple) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	x := &Index{kind: c.kind, dom: c.dom, n: len(tuples), store: store}
+	x := &Index{
+		kind:   c.kind,
+		dom:    c.dom,
+		n:      len(tuples),
+		store:  store,
+		engine: storage.OrDefault(c.storage).Name(),
+	}
 	switch c.kind {
 	case Quadratic:
 		err = c.buildQuadratic(x, tuples)

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"rsse/internal/cover"
+	"rsse/internal/storage"
 )
 
 // Fuzz targets for every parser that consumes server- or disk-originated
@@ -35,6 +37,60 @@ func FuzzUnmarshalIndex(f *testing.F) {
 		}
 		if _, err := x.MarshalBinary(); err != nil {
 			t.Fatalf("re-marshal of accepted index failed: %v", err)
+		}
+	})
+}
+
+// FuzzOpenIndex drives the v2 segment-container parser (and, via the
+// version byte, the v1 path) with corrupt input on every engine,
+// including the zero-copy disk engine whose backends alias the fuzzed
+// bytes directly. Any failure must be the typed ErrCorruptIndex — never
+// a panic, and never an allocation proportional to a lying length field.
+func FuzzOpenIndex(f *testing.F) {
+	c, err := NewClient(LogarithmicSRCi, cover.Domain{Bits: 6}, testOptions(95))
+	if err != nil {
+		f.Fatal(err)
+	}
+	idx, err := c.BuildIndex(uniformTuples(20, 6, 96))
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2, err := idx.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := idx.MarshalBinaryV1()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2)
+	f.Add(v1)
+	f.Add(v2[:len(v2)/2])
+	flipped := append([]byte(nil), v2...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, eng := range append([]storage.Engine{nil}, storage.Engines()...) {
+			x, err := UnmarshalIndexWith(data, eng)
+			if err != nil {
+				if !errors.Is(err, ErrCorruptIndex) {
+					t.Fatalf("untyped parse error: %v", err)
+				}
+				continue
+			}
+			// Accepted input must survive a re-marshal cycle and a probe
+			// query without panicking.
+			if _, err := x.MarshalBinary(); err != nil {
+				t.Fatalf("re-marshal of accepted index failed: %v", err)
+			}
+			if x.Kind() == LogarithmicSRCi && x.Domain().Bits == 6 {
+				qc, err := NewClient(LogarithmicSRCi, cover.Domain{Bits: 6}, testOptions(95))
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, _ = qc.Query(x, Range{1, 9}) // errors fine, panics not
+			}
 		}
 	})
 }

@@ -2,6 +2,7 @@ package sse
 
 import (
 	"encoding/binary"
+	"fmt"
 	mrand "math/rand"
 
 	"rsse/internal/storage"
@@ -56,6 +57,7 @@ type basicIndex struct {
 func (x *basicIndex) Width() int    { return x.width }
 func (x *basicIndex) Postings() int { return x.postings }
 func (x *basicIndex) Size() int     { return x.size }
+func (x *basicIndex) Resident() int { return x.cells.Resident() }
 
 func (x *basicIndex) Search(stag Stag) ([][]byte, error) {
 	keys := deriveStagKeys(stag, 0)
@@ -65,6 +67,11 @@ func (x *basicIndex) Search(stag Stag) ([][]byte, error) {
 		cell, ok := x.cells.Get(lab[:])
 		if !ok {
 			return out, nil
+		}
+		if len(cell) != x.width {
+			// Unreachable through the fixed-record v1 format; guards
+			// crafted v2 segments with lying offset tables.
+			return nil, fmt.Errorf("sse: corrupt basic cell (%d bytes, want %d)", len(cell), x.width)
 		}
 		out = append(out, decryptCell(keys.enc, i, cell))
 	}

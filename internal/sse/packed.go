@@ -91,15 +91,20 @@ type packedIndex struct {
 func (x *packedIndex) Width() int    { return x.width }
 func (x *packedIndex) Postings() int { return x.postings }
 func (x *packedIndex) Size() int     { return x.size }
+func (x *packedIndex) Resident() int { return x.cells.Resident() }
 
 func (x *packedIndex) Search(stag Stag) ([][]byte, error) {
 	keys := deriveStagKeys(stag, 0)
+	blockLen := 1 + x.blockSize*x.width
 	var out [][]byte
 	for b := uint64(0); ; b++ {
 		lab := cellLabel(keys.loc, b)
 		cell, ok := x.cells.Get(lab[:])
 		if !ok {
 			return out, nil
+		}
+		if len(cell) != blockLen {
+			return nil, fmt.Errorf("sse: corrupt packed block (%d bytes, want %d)", len(cell), blockLen)
 		}
 		plain := decryptCell(keys.enc, b, cell)
 		n := int(plain[0])

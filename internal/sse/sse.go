@@ -84,6 +84,10 @@ type Index interface {
 	// Size returns the serialized size of the index in bytes — the
 	// storage cost a server pays, padding included.
 	Size() int
+	// Resident approximates the heap bytes the index pins for its
+	// dictionaries — near zero when the cells are served in place from a
+	// serialized segment (the disk engine's zero-copy load path).
+	Resident() int
 	// MarshalBinary serializes the index (self-describing; see Unmarshal).
 	MarshalBinary() ([]byte, error)
 }

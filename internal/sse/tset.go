@@ -198,6 +198,7 @@ type tsetIndex struct {
 func (x *tsetIndex) Width() int    { return x.width }
 func (x *tsetIndex) Postings() int { return x.postings }
 func (x *tsetIndex) Size() int     { return x.size }
+func (x *tsetIndex) Resident() int { return x.lookup.Resident() + LabelSize*len(x.order) }
 
 // Buckets reports the bucket count; exposed for tests and stats.
 func (x *tsetIndex) Buckets() int { return x.numBuckets }
@@ -213,6 +214,9 @@ func (x *tsetIndex) Search(stag Stag) ([][]byte, error) {
 		cell, ok := x.lookup.Get(lab[:])
 		if !ok {
 			return out, nil
+		}
+		if len(cell) != x.width {
+			return nil, fmt.Errorf("sse: corrupt tset cell (%d bytes, want %d)", len(cell), x.width)
 		}
 		out = append(out, decryptCell(keys.enc, i, cell))
 	}
@@ -232,6 +236,13 @@ func (x *tsetIndex) MarshalBinary() ([]byte, error) {
 	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
 	out = binary.BigEndian.AppendUint64(out, uint64(x.numBuckets))
 	out = binary.BigEndian.AppendUint32(out, uint32(x.capacity))
+	if x.order == nil {
+		// Indexes loaded from a v2 section carry no slot order; ascending
+		// label order is an equally valid physical layout (labels are
+		// pseudorandom, searches only ever probe by label).
+		out = appendCells(out, x.lookup)
+		return out, nil
+	}
 	for _, lab := range x.order {
 		cell, ok := x.lookup.Get(lab[:])
 		if !ok {

@@ -175,6 +175,7 @@ func (s TwoLevel) Build(entries []Entry, width int, rnd *mrand.Rand, eng storage
 		return nil, errLabelCollision(err)
 	}
 	x.cells = cells
+	x.blocksResident = len(x.blocks) * blockLen
 	x.size = x.serializedSize()
 	return x, nil
 }
@@ -188,11 +189,15 @@ type twoLevelIndex struct {
 	// positional spill array, addressed by slot number rather than label.
 	cells  storage.Backend
 	blocks [][]byte
+	// blocksResident is the heap bytes the spill array owns — zero when
+	// the blocks alias a serialized v2 section in place.
+	blocksResident int
 }
 
 func (x *twoLevelIndex) Width() int    { return 8 }
 func (x *twoLevelIndex) Postings() int { return x.postings }
 func (x *twoLevelIndex) Size() int     { return x.size }
+func (x *twoLevelIndex) Resident() int { return x.cells.Resident() + x.blocksResident }
 
 // BlockCount reports the array size; exposed for tests.
 func (x *twoLevelIndex) BlockCount() int { return len(x.blocks) }
@@ -203,6 +208,9 @@ func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
 	cellCT, ok := x.cells.Get(lab[:])
 	if !ok {
 		return nil, nil
+	}
+	if cellLen := 1 + 4 + x.inlineCap*8; len(cellCT) != cellLen {
+		return nil, fmt.Errorf("sse: corrupt 2lev cell (%d bytes, want %d)", len(cellCT), cellLen)
 	}
 	cell := decryptCell(keys.enc, 0, cellCT)
 	mode := cell[0]
@@ -342,6 +350,7 @@ func unmarshalTwoLevel(data []byte, eng storage.Engine) (Index, error) {
 		x.blocks[i] = b
 		off += blockLen
 	}
+	x.blocksResident = int(blockCount * blockLen)
 	x.size = x.serializedSize()
 	return x, nil
 }

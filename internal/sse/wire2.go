@@ -1,0 +1,407 @@
+package sse
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rsse/internal/storage"
+)
+
+// Index wire format v2: every construction serializes as a "section" —
+// a small fixed header followed by 8-aligned, length-prefixed storage
+// segments (storage.EncodeSegment's format). Unlike the v1 record
+// streams, every variable-length part of a section can be sliced in
+// place: OpenSection onto an engine implementing storage.Opener (the
+// Disk engine) builds indexes whose dictionaries answer queries directly
+// over the serialized bytes, with zero per-record copies. Rebuilding
+// engines (map, sorted) still get a single linear pass, since segments
+// store records in ascending label order.
+//
+// Section layouts (integers big-endian, pad bytes zero):
+//
+//	basic:    tag(1) pad(3) width(4) | seg
+//	packed:   tag(1) blockSize(1) pad(2) width(4) postings(8) | seg
+//	tset:     tag(1) pad(3) width(4) salt(8) postings(8) buckets(8)
+//	          capacity(4) pad(4) | seg
+//	twolevel: tag(1) pad(3) inlineCap(4) blockSize(4) pad(4) postings(8)
+//	          | cellSeg | blockCount(8) blocks(blockCount*blockSize*8)
+//
+// where "| seg" is a uint64 length prefix, the segment bytes, then zero
+// padding to the next 8-byte boundary. Sections therefore always have
+// 8-aligned total length, which keeps every segment 8-aligned inside the
+// enclosing index container.
+
+// MarshalSection serializes idx in the v2 section format.
+func MarshalSection(idx Index) ([]byte, error) {
+	switch x := idx.(type) {
+	case *basicIndex:
+		return x.appendSection(nil)
+	case *packedIndex:
+		return x.appendSection(nil)
+	case *tsetIndex:
+		return x.appendSection(nil)
+	case *twoLevelIndex:
+		return x.appendSection(nil)
+	default:
+		return nil, fmt.Errorf("sse: cannot serialize index type %T as a v2 section", idx)
+	}
+}
+
+// OpenSection reconstructs a v2 section onto eng (nil selects the
+// default engine). When eng can serve segments in place
+// (storage.Opener), the returned index aliases data, which must then
+// stay valid and unmodified for the index's lifetime.
+func OpenSection(data []byte, eng storage.Engine) (Index, error) {
+	if len(data) == 0 {
+		return nil, ErrCorrupt
+	}
+	switch data[0] {
+	case tagBasic:
+		return openBasicSection(data, eng)
+	case tagPacked:
+		return openPackedSection(data, eng)
+	case tagTSet:
+		return openTSetSection(data, eng)
+	case tagTwoLevel:
+		return openTwoLevelSection(data, eng)
+	default:
+		return nil, fmt.Errorf("sse: unknown section tag %d: %w", data[0], ErrCorrupt)
+	}
+}
+
+// appendSeg appends a length-prefixed segment and pads to 8 bytes.
+func appendSeg(out, seg []byte) []byte {
+	out = binary.BigEndian.AppendUint64(out, uint64(len(seg)))
+	out = append(out, seg...)
+	for len(out)%8 != 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// sectionReader is a bounds-checked, aliasing cursor over section bytes.
+type sectionReader struct {
+	data []byte
+	off  int
+}
+
+// take returns the next n bytes without copying.
+func (r *sectionReader) take(n int) ([]byte, error) {
+	if n < 0 || n > len(r.data)-r.off {
+		return nil, ErrCorrupt
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *sectionReader) uint64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// seg reads one length-prefixed segment and its trailing 8-alignment
+// padding, returning the segment bytes in place.
+func (r *sectionReader) seg() ([]byte, error) {
+	n, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.off) {
+		return nil, ErrCorrupt
+	}
+	seg, err := r.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	for r.off%8 != 0 {
+		if r.off >= len(r.data) {
+			return nil, ErrCorrupt
+		}
+		r.off++
+	}
+	return seg, nil
+}
+
+// done reports an error unless the section was consumed exactly.
+func (r *sectionReader) done() error {
+	if r.off != len(r.data) {
+		return fmt.Errorf("%w: %d trailing section bytes", ErrCorrupt, len(r.data)-r.off)
+	}
+	return nil
+}
+
+// loadCells rebuilds (or aliases) a label→cell segment and validates its
+// shape against the construction's expectations.
+func loadCells(seg []byte, eng storage.Engine, wantLen int) (storage.Backend, error) {
+	cells, err := storage.Load(seg, eng)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if cells.KeyLen() != LabelSize {
+		return nil, fmt.Errorf("%w: segment key length %d, want %d", ErrCorrupt, cells.KeyLen(), LabelSize)
+	}
+	if wantLen >= 0 && cells.Len() != wantLen {
+		return nil, fmt.Errorf("%w: segment holds %d records, want %d", ErrCorrupt, cells.Len(), wantLen)
+	}
+	return cells, nil
+}
+
+// ----- basic -----
+
+func (x *basicIndex) appendSection(out []byte) ([]byte, error) {
+	seg, err := storage.EncodeSegment(x.cells)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tagBasic, 0, 0, 0)
+	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
+	return appendSeg(out, seg), nil
+}
+
+func openBasicSection(data []byte, eng storage.Engine) (Index, error) {
+	r := sectionReader{data: data, off: 4}
+	wb, err := r.take(4)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	width := int(binary.BigEndian.Uint32(wb))
+	if width <= 0 {
+		return nil, ErrCorrupt
+	}
+	seg, err := r.seg()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	cells, err := loadCells(seg, eng, -1)
+	if err != nil {
+		return nil, err
+	}
+	x := &basicIndex{width: width, postings: cells.Len(), cells: cells}
+	x.size = x.serializedSize()
+	return x, nil
+}
+
+// ----- packed -----
+
+func (x *packedIndex) appendSection(out []byte) ([]byte, error) {
+	seg, err := storage.EncodeSegment(x.cells)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tagPacked, byte(x.blockSize), 0, 0)
+	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
+	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
+	return appendSeg(out, seg), nil
+}
+
+func openPackedSection(data []byte, eng storage.Engine) (Index, error) {
+	if len(data) < 8 {
+		return nil, ErrCorrupt
+	}
+	blockSize := int(data[1])
+	r := sectionReader{data: data, off: 4}
+	wb, err := r.take(4)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	width := int(binary.BigEndian.Uint32(wb))
+	postings, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if width <= 0 || blockSize < 1 {
+		return nil, ErrCorrupt
+	}
+	seg, err := r.seg()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	cells, err := loadCells(seg, eng, -1)
+	if err != nil {
+		return nil, err
+	}
+	if postings > uint64(cells.Len())*uint64(blockSize) {
+		return nil, fmt.Errorf("%w: %d postings exceed %d blocks of %d", ErrCorrupt, postings, cells.Len(), blockSize)
+	}
+	x := &packedIndex{width: width, blockSize: blockSize, postings: int(postings), cells: cells}
+	x.size = x.serializedSize()
+	return x, nil
+}
+
+// ----- tset -----
+
+func (x *tsetIndex) appendSection(out []byte) ([]byte, error) {
+	seg, err := storage.EncodeSegment(x.lookup)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tagTSet, 0, 0, 0)
+	out = binary.BigEndian.AppendUint32(out, uint32(x.width))
+	out = binary.BigEndian.AppendUint64(out, x.salt)
+	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
+	out = binary.BigEndian.AppendUint64(out, uint64(x.numBuckets))
+	out = binary.BigEndian.AppendUint32(out, uint32(x.capacity))
+	out = append(out, 0, 0, 0, 0)
+	return appendSeg(out, seg), nil
+}
+
+func openTSetSection(data []byte, eng storage.Engine) (Index, error) {
+	r := sectionReader{data: data, off: 4}
+	wb, err := r.take(4)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	width := int(binary.BigEndian.Uint32(wb))
+	salt, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	postings, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	buckets, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	cb, err := r.take(8) // capacity(4) + pad(4)
+	if err != nil {
+		return nil, err
+	}
+	capacity := int(binary.BigEndian.Uint32(cb))
+	if width <= 0 || capacity < 1 {
+		return nil, ErrCorrupt
+	}
+	// Bound the slot product by what the section could possibly hold
+	// before multiplying, so it cannot overflow.
+	maxSlots := uint64(len(data)) / LabelSize
+	if buckets > maxSlots/uint64(capacity) {
+		return nil, ErrCorrupt
+	}
+	slots := buckets * uint64(capacity)
+	seg, err := r.seg()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	lookup, err := loadCells(seg, eng, int(slots))
+	if err != nil {
+		return nil, err
+	}
+	if postings > slots {
+		// Every real posting occupies a slot, so a larger claim is a lie
+		// (and would wrap the int stats below).
+		return nil, fmt.Errorf("%w: %d postings exceed %d slots", ErrCorrupt, postings, slots)
+	}
+	x := &tsetIndex{
+		width:      width,
+		postings:   int(postings),
+		salt:       salt,
+		capacity:   capacity,
+		numBuckets: int(buckets),
+		lookup:     lookup,
+		// order stays nil: the padded-bucket slot order is a build-time
+		// artifact the v2 format does not carry. Search never needs it,
+		// and MarshalBinary falls back to label order.
+	}
+	x.size = x.serializedSize()
+	return x, nil
+}
+
+// ----- twolevel -----
+
+func (x *twoLevelIndex) appendSection(out []byte) ([]byte, error) {
+	seg, err := storage.EncodeSegment(x.cells)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tagTwoLevel, 0, 0, 0)
+	out = binary.BigEndian.AppendUint32(out, uint32(x.inlineCap))
+	out = binary.BigEndian.AppendUint32(out, uint32(x.blockSize))
+	out = append(out, 0, 0, 0, 0)
+	out = binary.BigEndian.AppendUint64(out, uint64(x.postings))
+	out = appendSeg(out, seg)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(x.blocks)))
+	for _, b := range x.blocks {
+		out = append(out, b...)
+	}
+	// blockLen = blockSize*8 is a multiple of 8, so out stays aligned.
+	return out, nil
+}
+
+func openTwoLevelSection(data []byte, eng storage.Engine) (Index, error) {
+	r := sectionReader{data: data, off: 4}
+	hb, err := r.take(12) // inlineCap(4) blockSize(4) pad(4)
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	x := &twoLevelIndex{
+		inlineCap: int(binary.BigEndian.Uint32(hb[0:4])),
+		blockSize: int(binary.BigEndian.Uint32(hb[4:8])),
+	}
+	if x.inlineCap < 1 || x.blockSize < 2 {
+		return nil, ErrCorrupt
+	}
+	postings, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	x.postings = int(postings)
+	seg, err := r.seg()
+	if err != nil {
+		return nil, err
+	}
+	if x.cells, err = loadCells(seg, eng, -1); err != nil {
+		return nil, err
+	}
+	blockCount, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	blockLen := uint64(x.blockSize * 8)
+	if blockCount > uint64(len(r.data)-r.off)/blockLen {
+		return nil, ErrCorrupt
+	}
+	raw, err := r.take(int(blockCount * blockLen))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	// Postings live either inline (at most inlineCap per cell) or in the
+	// spill blocks (at most blockSize ids each); a claim beyond that is a
+	// lie and would wrap the int stats. All factors are bounded by the
+	// section length, so the products cannot overflow.
+	if postings > uint64(x.cells.Len())*uint64(x.inlineCap)+blockCount*uint64(x.blockSize) {
+		return nil, fmt.Errorf("%w: %d postings exceed section capacity", ErrCorrupt, postings)
+	}
+	x.blocks = make([][]byte, blockCount)
+	if storage.OpensInPlace(eng) {
+		// Zero-copy: each block is a view into the section bytes.
+		for i := range x.blocks {
+			x.blocks[i] = raw[uint64(i)*blockLen : uint64(i+1)*blockLen : uint64(i+1)*blockLen]
+		}
+	} else {
+		heap := make([]byte, len(raw))
+		copy(heap, raw)
+		for i := range x.blocks {
+			x.blocks[i] = heap[uint64(i)*blockLen : uint64(i+1)*blockLen : uint64(i+1)*blockLen]
+		}
+		x.blocksResident = len(heap)
+	}
+	x.size = x.serializedSize()
+	return x, nil
+}

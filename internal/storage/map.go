@@ -45,12 +45,17 @@ func (b *mapBuilder) Seal() (Backend, error) {
 		return nil, ErrSealed
 	}
 	b.sealed = true
-	return &mapBackend{keyLen: b.keyLen, m: b.m}, nil
+	x := &mapBackend{keyLen: b.keyLen, m: b.m}
+	for k, v := range b.m {
+		x.resident += len(k) + len(v) + 48
+	}
+	return x, nil
 }
 
 type mapBackend struct {
-	keyLen int
-	m      map[string][]byte
+	keyLen   int
+	m        map[string][]byte
+	resident int
 }
 
 func (x *mapBackend) Get(key []byte) ([]byte, bool) {
@@ -61,7 +66,13 @@ func (x *mapBackend) Get(key []byte) ([]byte, bool) {
 	return v, ok
 }
 
-func (x *mapBackend) Len() int { return len(x.m) }
+func (x *mapBackend) Len() int    { return len(x.m) }
+func (x *mapBackend) KeyLen() int { return x.keyLen }
+
+// Resident reports the heap footprint estimated once at Seal: key and
+// value bytes plus Go's per-entry map overhead (header, hash cell,
+// string header — ~48 bytes).
+func (x *mapBackend) Resident() int { return x.resident }
 
 func (x *mapBackend) Iterate(fn func(key, value []byte) bool) {
 	keys := make([]string, 0, len(x.m))

@@ -1,0 +1,18 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package storage
+
+import "os"
+
+// mapFileBytes reads the whole file on platforms without a wired-up
+// mmap: the segment still opens with zero per-record work, it just lives
+// on the heap instead of the page cache.
+func mapFileBytes(f *os.File, size int) ([]byte, bool, error) {
+	buf, err := os.ReadFile(f.Name())
+	if err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func unmapBytes([]byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFileBytes memory-maps size bytes of f read-only. The mapping
+// outlives the file descriptor, so callers may close f immediately.
+func mapFileBytes(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fall back to a heap read — some filesystems refuse mmap.
+		buf, rerr := os.ReadFile(f.Name())
+		if rerr != nil {
+			return nil, false, err
+		}
+		return buf, false, nil
+	}
+	return data, true, nil
+}
+
+func unmapBytes(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	mrand "math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// sortedKeys returns recs' keys in ascending order.
+func sortedKeys(recs map[string][]byte) []string {
+	keys := make([]string, 0, len(recs))
+	for k := range recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func encodeRecords(t *testing.T, keyLen int, recs map[string][]byte) []byte {
+	t.Helper()
+	seg, err := EncodeSegment(fill(t, Sorted{}, keyLen, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestSegmentRoundtrip(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(11))
+	for _, keyLen := range []int{2, 8, 16} {
+		for _, n := range []int{0, 1, 500} {
+			recs := randomRecords(rnd, n, keyLen)
+			seg := encodeRecords(t, keyLen, recs)
+			x, err := OpenSegment(seg)
+			if err != nil {
+				t.Fatalf("keyLen=%d n=%d: open: %v", keyLen, n, err)
+			}
+			if x.Len() != n || x.KeyLen() != keyLen {
+				t.Fatalf("shape = (%d, %d), want (%d, %d)", x.Len(), x.KeyLen(), n, keyLen)
+			}
+			for k, v := range recs {
+				got, ok := x.Get([]byte(k))
+				if !ok || !bytes.Equal(got, v) {
+					t.Fatalf("get %x = %x, %v; want %x", k, got, ok, v)
+				}
+			}
+			if _, ok := x.Get(make([]byte, keyLen+1)); ok {
+				t.Fatal("wrong-length key found")
+			}
+			var iterated []string
+			x.Iterate(func(k, v []byte) bool {
+				if !bytes.Equal(v, recs[string(k)]) {
+					t.Fatalf("iterate value mismatch at %x", k)
+				}
+				iterated = append(iterated, string(k))
+				return true
+			})
+			want := sortedKeys(recs)
+			if len(iterated) != len(want) {
+				t.Fatalf("iterated %d, want %d", len(iterated), len(want))
+			}
+			for i := range want {
+				if iterated[i] != want[i] {
+					t.Fatalf("iterate order broken at %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentRejectsCorruption flips every byte of a small segment in
+// turn: each mutation must either fail OpenSegment with
+// ErrCorruptSegment or (never, given the checksums) open cleanly — and
+// must never panic.
+func TestSegmentRejectsCorruption(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(12))
+	seg := encodeRecords(t, 8, randomRecords(rnd, 40, 8))
+	for i := range seg {
+		mut := append([]byte(nil), seg...)
+		mut[i] ^= 0x41
+		if _, err := OpenSegment(mut); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", i)
+		} else if !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("bit flip at offset %d: untyped error %v", i, err)
+		}
+	}
+	// Truncations at every length.
+	for n := 0; n < len(seg); n += 7 {
+		if _, err := OpenSegment(seg[:n]); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("truncation to %d: %v", n, err)
+		}
+	}
+}
+
+func TestSegmentStats(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(13))
+	recs := randomRecords(rnd, 25, 16)
+	want := 0
+	for _, v := range recs {
+		want += len(v)
+	}
+	seg := encodeRecords(t, 16, recs)
+	n, keyLen, valueBytes, err := SegmentStats(seg)
+	if err != nil || n != 25 || keyLen != 16 || valueBytes != int64(want) {
+		t.Fatalf("SegmentStats = (%d, %d, %d, %v), want (25, 16, %d, nil)", n, keyLen, valueBytes, err, want)
+	}
+	if _, _, _, err := SegmentStats(seg[:20]); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("short stats err = %v", err)
+	}
+}
+
+// TestLoadAcrossEngines rebuilds (or aliases) a segment onto every
+// engine and checks the results agree.
+func TestLoadAcrossEngines(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(14))
+	recs := randomRecords(rnd, 300, 16)
+	seg := encodeRecords(t, 16, recs)
+	for _, e := range append([]Engine{nil}, Engines()...) {
+		name := "nil"
+		if e != nil {
+			name = e.Name()
+		}
+		x, err := Load(seg, e)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if x.Len() != len(recs) || x.KeyLen() != 16 {
+			t.Fatalf("%s: shape (%d, %d)", name, x.Len(), x.KeyLen())
+		}
+		for k, v := range recs {
+			if got, ok := x.Get([]byte(k)); !ok || !bytes.Equal(got, v) {
+				t.Fatalf("%s: get %x mismatch", name, k)
+			}
+		}
+	}
+}
+
+// TestSealToMatchesSeal checks the builder-to-file seam: for every
+// engine, SealTo writes bytes that reopen (via OpenSegment) to the same
+// records the sealed backend holds.
+func TestSealToMatchesSeal(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(15))
+	recs := randomRecords(rnd, 200, 8)
+	for _, e := range Engines() {
+		b := e.NewBuilder(8, len(recs))
+		for k, v := range recs {
+			if err := b.Put([]byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		x, err := SealTo(b, &buf)
+		if err != nil {
+			t.Fatalf("%s: SealTo: %v", e.Name(), err)
+		}
+		if x.Len() != len(recs) {
+			t.Fatalf("%s: sealed %d records", e.Name(), x.Len())
+		}
+		reopened, err := OpenSegment(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", e.Name(), err)
+		}
+		for k, v := range recs {
+			if got, ok := reopened.Get([]byte(k)); !ok || !bytes.Equal(got, v) {
+				t.Fatalf("%s: reopened get %x mismatch", e.Name(), k)
+			}
+		}
+	}
+}
+
+func TestOpenSegmentFile(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(16))
+	recs := randomRecords(rnd, 150, 16)
+	seg := encodeRecords(t, 16, recs)
+	path := filepath.Join(t.TempDir(), "space.seg")
+	if err := os.WriteFile(path, seg, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenSegmentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FileBytes() != int64(len(seg)) {
+		t.Fatalf("FileBytes = %d, want %d", f.FileBytes(), len(seg))
+	}
+	for k, v := range recs {
+		if got, ok := f.Get([]byte(k)); !ok || !bytes.Equal(got, v) {
+			t.Fatalf("get %x mismatch", k)
+		}
+	}
+	if f.Resident() != 0 {
+		t.Fatalf("file-backed segment reports %d resident bytes", f.Resident())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal("second close not idempotent:", err)
+	}
+
+	if _, err := OpenSegmentFile(filepath.Join(t.TempDir(), "missing.seg")); err == nil {
+		t.Fatal("opened a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.seg")
+	if err := os.WriteFile(bad, []byte("not a segment"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegmentFile(bad); !errors.Is(err, ErrCorruptSegment) {
+		t.Fatalf("bad file err = %v", err)
+	}
+}
+
+// FuzzOpenSegment hammers the raw segment parser: corrupt bytes must be
+// rejected with ErrCorruptSegment, and anything accepted must survive a
+// full probe without panicking.
+func FuzzOpenSegment(f *testing.F) {
+	rnd := mrand.New(mrand.NewSource(17))
+	for _, n := range []int{0, 3, 64} {
+		b := Sorted{}.NewBuilder(8, n)
+		recs := randomRecords(rnd, n, 8)
+		for k, v := range recs {
+			if err := b.Put([]byte(k), v); err != nil {
+				f.Fatal(err)
+			}
+		}
+		x, err := b.Seal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		seg, err := EncodeSegment(x)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seg)
+	}
+	f.Add([]byte("RSG1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := OpenSegment(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSegment) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		probe := make([]byte, x.KeyLen())
+		x.Get(probe)
+		count := 0
+		x.Iterate(func(k, v []byte) bool {
+			if got, ok := x.Get(k); !ok || !bytes.Equal(got, v) {
+				t.Fatalf("iterated record not gettable: %x", k)
+			}
+			count++
+			return count < 64
+		})
+	})
+}

@@ -148,32 +148,45 @@ func loadPrefix(key []byte) uint64 {
 	return v
 }
 
-// buildDirectory sizes the radix directory to ~one record per bucket and
-// fills dir[p] with the first record index whose key prefix reaches p.
+// dirBitsFor sizes a radix directory to ~one record per bucket, capped
+// at maxDirBits and at the key's own bit length.
+func dirBitsFor(n, keyLen int) uint {
+	bits := uint(1)
+	for 1<<bits < n && bits < maxDirBits {
+		bits++
+	}
+	if max := uint(8 * keyLen); keyLen < 8 && bits > max {
+		bits = max
+	}
+	return bits
+}
+
+// buildDir fills a ((1<<bits)+1)-entry directory over n sorted keys at a
+// keyLen stride: dir[p] is the first record whose key prefix reaches p,
+// dir[1<<bits] is n. Shared by the Sorted engine and the segment writer.
+func buildDir(keys []byte, keyLen, n int, bits uint) []uint32 {
+	dir := make([]uint32, (1<<bits)+1)
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		p := loadPrefix(keys[i*keyLen:(i+1)*keyLen]) >> (64 - bits)
+		for q := prev + 1; q <= p; q++ {
+			dir[q] = uint32(i)
+		}
+		prev = p
+	}
+	for q := prev + 1; q < uint64(len(dir)); q++ {
+		dir[q] = uint32(n)
+	}
+	return dir
+}
+
+// buildDirectory attaches the radix directory to a sealed backend.
 func (x *sortedBackend) buildDirectory() {
 	if x.n == 0 {
 		return
 	}
-	bits := uint(1)
-	for 1<<bits < x.n && bits < maxDirBits {
-		bits++
-	}
-	if max := uint(8 * x.keyLen); x.keyLen < 8 && bits > max {
-		bits = max
-	}
-	x.dirBits = bits
-	x.dir = make([]uint32, (1<<bits)+1)
-	prev := uint64(0)
-	for i := 0; i < x.n; i++ {
-		p := loadPrefix(x.key(i)) >> (64 - bits)
-		for q := prev + 1; q <= p; q++ {
-			x.dir[q] = uint32(i)
-		}
-		prev = p
-	}
-	for q := prev + 1; q < uint64(len(x.dir)); q++ {
-		x.dir[q] = uint32(x.n)
-	}
+	x.dirBits = dirBitsFor(x.n, x.keyLen)
+	x.dir = buildDir(x.keys, x.keyLen, x.n, x.dirBits)
 }
 
 func (x *sortedBackend) Get(key []byte) ([]byte, bool) {
@@ -210,7 +223,13 @@ func (x *sortedBackend) Get(key []byte) ([]byte, bool) {
 	return nil, false
 }
 
-func (x *sortedBackend) Len() int { return x.n }
+func (x *sortedBackend) Len() int    { return x.n }
+func (x *sortedBackend) KeyLen() int { return x.keyLen }
+
+// Resident reports the heap bytes the flat arrays pin.
+func (x *sortedBackend) Resident() int {
+	return len(x.keys) + len(x.vals) + 8*len(x.offs) + 4*len(x.dir)
+}
 
 func (x *sortedBackend) Iterate(fn func(key, value []byte) bool) {
 	for i := 0; i < x.n; i++ {

@@ -6,17 +6,21 @@
 // here. Schemes choose an Engine at build/unmarshal time; nothing above
 // this package knows (or cares) how the records are laid out.
 //
-// Two engines ship today: Map, a hash table preserving the original
-// in-memory behavior, and Sorted, a read-optimized flat-array layout
-// built for the server's load path. The seam is what later work plugs
-// into: sharded, disk-backed, or workload-adaptive representations (in
-// the spirit of biased range trees) slot in as new Engines without
+// Three engines ship today: Map, a hash table preserving the original
+// in-memory behavior; Sorted, a read-optimized flat-array layout built
+// for the server's load path; and Disk, which seals records into the
+// checksummed segment format of segment.go and answers queries by binary
+// search directly over the raw (typically memory-mapped) bytes, with
+// zero per-record copies between file and query path. The seam is what
+// later work plugs into: sharded or workload-adaptive representations
+// (in the spirit of biased range trees) slot in as new Engines without
 // touching scheme code.
 package storage
 
 import (
 	"errors"
 	"fmt"
+	"io"
 )
 
 // Errors reported by builders.
@@ -33,7 +37,7 @@ var (
 
 // Engine names a physical record layout and creates builders for it.
 type Engine interface {
-	// Name identifies the engine ("map", "sorted").
+	// Name identifies the engine ("map", "sorted", "disk").
 	Name() string
 	// NewBuilder starts a key space whose keys are exactly keyLen bytes.
 	// capacityHint sizes internal allocations; zero is allowed.
@@ -51,6 +55,32 @@ type Builder interface {
 	Seal() (Backend, error)
 }
 
+// FileSealer is the optional Builder extension for sealing straight into
+// a segment file: SealTo freezes the records, writes them to w in the
+// segment format, and returns the sealed Backend. The package-level
+// SealTo helper falls back to Seal plus WriteSegment for builders that
+// do not implement it.
+type FileSealer interface {
+	SealTo(w io.Writer) (Backend, error)
+}
+
+// Opener is the optional Engine extension for serving the segment format
+// in place: Open returns a Backend answering queries directly over the
+// serialized bytes, which must stay valid (and unmodified) while the
+// backend is in use. Load consults it before falling back to a
+// record-by-record rebuild.
+type Opener interface {
+	Open(segment []byte) (Backend, error)
+}
+
+// OpensInPlace reports whether loading serialized bytes onto eng serves
+// them in place (the engine implements Opener) — in which case the bytes
+// must outlive the loaded structures. nil means the default engine.
+func OpensInPlace(eng Engine) bool {
+	_, ok := OrDefault(eng).(Opener)
+	return ok
+}
+
 // Backend is an immutable keyed record space. Implementations are safe
 // for concurrent readers — the multi-index server relies on this to let
 // every connection search shared indexes without locking.
@@ -60,6 +90,8 @@ type Backend interface {
 	Get(key []byte) (value []byte, ok bool)
 	// Len returns the number of records.
 	Len() int
+	// KeyLen returns the fixed key length of the space.
+	KeyLen() int
 	// Iterate visits every record in ascending lexicographic key order —
 	// the deterministic order the wire formats serialize in — until fn
 	// returns false. Visited slices must not be modified or retained.
@@ -67,6 +99,11 @@ type Backend interface {
 	// Snapshot returns a read view that remains valid while the original
 	// keeps serving. Backends are immutable, so this is cheap.
 	Snapshot() Backend
+	// Resident approximates the heap bytes the backend pins for its
+	// records. Backends that alias caller-owned buffers (segment views
+	// over a blob or a memory-mapped file) report zero — the buffer is
+	// accounted for by whoever opened it.
+	Resident() int
 }
 
 // Default returns the engine used when a caller passes nil: the hash-map
@@ -82,7 +119,7 @@ func OrDefault(e Engine) Engine {
 }
 
 // Engines lists the built-in engines.
-func Engines() []Engine { return []Engine{Map{}, Sorted{}} }
+func Engines() []Engine { return []Engine{Map{}, Sorted{}, Disk{}} }
 
 // ByName returns the built-in engine registered under name.
 func ByName(name string) (Engine, error) {

@@ -29,41 +29,101 @@ var (
 // after build), because the server dispatches requests from every
 // connection against them in parallel.
 //
+// Indexes register either eagerly (Register, with a live core.Server) or
+// lazily (RegisterLazy, with an opener the registry invokes on the first
+// request that addresses the name). Lazy registration is what lets one
+// server front a directory holding far more index bytes than RAM: names
+// appear immediately, files open — typically as zero-copy mmaps via
+// core.OpenIndexFile — only when traffic arrives.
+//
 // Registry implements the owner-side Directory notion of the lsm package
 // via Lookup, so a local manager can query its registered epochs through
 // exactly the interface a remote connection offers.
 type Registry struct {
 	mu sync.RWMutex
-	m  map[string]core.Server
+	m  map[string]*regEntry
+}
+
+// regEntry is one served name: either a live server, or an opener that
+// resolves to one on first use. The open result (or error) is cached, so
+// each name's file is opened at most once.
+type regEntry struct {
+	mu   sync.Mutex
+	open func() (core.Server, error)
+	s    core.Server
+	err  error
+}
+
+// resolve returns the entry's server, invoking a pending opener once.
+func (e *regEntry) resolve() (core.Server, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.open != nil {
+		e.s, e.err = e.open()
+		if e.err == nil && e.s == nil {
+			e.err = errors.New("transport: lazy opener returned a nil index")
+		}
+		e.open = nil // open exactly once; the outcome is cached either way
+	}
+	return e.s, e.err
+}
+
+// loaded reports the resolved server without triggering an open and
+// without waiting on one: if an opener holds the entry locked right
+// now, the entry simply reports as not-yet-loaded.
+func (e *regEntry) loaded() (core.Server, error, bool) {
+	if !e.mu.TryLock() {
+		return nil, nil, false
+	}
+	defer e.mu.Unlock()
+	return e.s, e.err, e.open == nil
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]core.Server)}
+	return &Registry{m: make(map[string]*regEntry)}
 }
 
-// Register adds an index under name. Names are 1..255 bytes and must be
-// unique; registering a live registry is safe at any time, including
-// while serving.
-func (r *Registry) Register(name string, s core.Server) error {
+func (r *Registry) add(name string, e *regEntry) error {
 	if len(name) == 0 || len(name) > maxNameLen {
 		return fmt.Errorf("%w: %q", ErrBadIndexName, name)
-	}
-	if s == nil {
-		return errors.New("transport: cannot register a nil index")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.m[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateIndex, name)
 	}
-	r.m[name] = s
+	r.m[name] = e
 	return nil
+}
+
+// Register adds an index under name. Names are 1..255 bytes and must be
+// unique; registering on a live registry is safe at any time, including
+// while serving.
+func (r *Registry) Register(name string, s core.Server) error {
+	if s == nil {
+		return errors.New("transport: cannot register a nil index")
+	}
+	return r.add(name, &regEntry{s: s})
+}
+
+// RegisterLazy adds a name whose index opens on first use: the first
+// request addressing it invokes open (concurrent requests wait), and the
+// result — server or error — is cached for every later request. A failed
+// open therefore marks the name broken rather than hammering the opener;
+// Deregister and re-register to retry after repairing the underlying
+// file.
+func (r *Registry) RegisterLazy(name string, open func() (core.Server, error)) error {
+	if open == nil {
+		return errors.New("transport: cannot register a nil opener")
+	}
+	return r.add(name, &regEntry{open: open})
 }
 
 // Deregister removes name, reporting whether it was present. In-flight
 // requests against the index complete; new requests fail with
-// ErrUnknownIndex.
+// ErrUnknownIndex. The registry never closes served indexes — owners of
+// file-backed indexes close them once in-flight use is done.
 func (r *Registry) Deregister(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -72,18 +132,24 @@ func (r *Registry) Deregister(name string) bool {
 	return ok
 }
 
-// Lookup resolves a served index by name.
+// Lookup resolves a served index by name, opening it first if it was
+// registered lazily.
 func (r *Registry) Lookup(name string) (core.Server, error) {
 	r.mu.RLock()
-	s, ok := r.m[name]
+	e, ok := r.m[name]
 	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, name)
 	}
+	s, err := e.resolve()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownIndex, name, err)
+	}
 	return s, nil
 }
 
-// Names lists the registered names in sorted order.
+// Names lists the registered names in sorted order, lazy entries
+// included.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	out := make([]string, 0, len(r.m))
@@ -100,6 +166,45 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.m)
+}
+
+// IndexStat is one registry entry's serving state: whether it has been
+// opened, the cached open error if opening failed, and — for servers
+// that expose them (a *core.Index does) — the index's operational stats.
+type IndexStat struct {
+	Name   string
+	Loaded bool
+	Err    error
+	Stats  core.IndexStats // zero unless Loaded and the server reports stats
+}
+
+// Stats reports every registered index's serving state, sorted by name.
+// It never triggers a lazy open and never waits on one in flight —
+// observing a fleet must stay free; an index mid-open reports as not
+// yet loaded.
+func (r *Registry) Stats() []IndexStat {
+	r.mu.RLock()
+	entries := make(map[string]*regEntry, len(r.m))
+	for name, e := range r.m {
+		entries[name] = e
+	}
+	r.mu.RUnlock()
+	out := make([]IndexStat, 0, len(entries))
+	for name, e := range entries {
+		st := IndexStat{Name: name}
+		if s, err, done := e.loaded(); done {
+			st.Err = err
+			if err == nil {
+				st.Loaded = true
+				if xs, ok := s.(interface{ Stats() core.IndexStats }); ok {
+					st.Stats = xs.Stats()
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // singleRegistry wraps one index under the default name, for the

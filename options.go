@@ -46,9 +46,11 @@ func WithSSE(name string) Option {
 
 // WithStorage selects the physical layout of the encrypted dictionaries
 // and the tuple store: "map" (hash tables, the default — fastest to
-// build) or "sorted" (flat sorted arrays with a radix directory — the
-// read-optimized layout servers prefer). The layout is a server-local
-// choice: it never changes the wire format or the leakage profile.
+// build), "sorted" (flat sorted arrays with a radix directory — the
+// read-optimized layout servers prefer) or "disk" (sealed checksummed
+// segments, the layout OpenIndexFile serves in place from a memory-
+// mapped file). The layout is a server-local choice: it never changes
+// the wire format or the leakage profile.
 func WithStorage(name string) Option {
 	return func(c *config) error {
 		if _, err := storage.ByName(name); err != nil {

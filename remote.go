@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 
+	"rsse/internal/core"
 	"rsse/internal/transport"
 )
 
@@ -38,6 +39,28 @@ func (r *Registry) Register(name string, index *Index) error {
 	return r.inner.Register(name, index)
 }
 
+// RegisterLazy serves name without loading anything yet: the first
+// request addressing the name invokes open — typically an OpenIndexFile
+// call — and the result (index or error) is cached for all later
+// requests. This is how one process fronts a directory holding more
+// index bytes than RAM: every name is routable immediately, files open
+// on demand.
+func (r *Registry) RegisterLazy(name string, open func() (*Index, error)) error {
+	if open == nil {
+		return errors.New("rsse: cannot register a nil opener")
+	}
+	return r.inner.RegisterLazy(name, func() (core.Server, error) {
+		idx, err := open()
+		if err != nil {
+			return nil, err
+		}
+		if idx == nil {
+			return nil, errors.New("rsse: opener returned a nil index")
+		}
+		return idx, nil
+	})
+}
+
 // Deregister stops serving name, reporting whether it was present.
 func (r *Registry) Deregister(name string) bool {
 	return r.inner.Deregister(name)
@@ -45,6 +68,15 @@ func (r *Registry) Deregister(name string) bool {
 
 // Names lists the registered index names in sorted order.
 func (r *Registry) Names() []string { return r.inner.Names() }
+
+// ServedIndexStat is one registry entry's serving state: whether a
+// lazily registered index has been opened yet, its cached open error if
+// opening failed, and its operational stats once loaded.
+type ServedIndexStat = transport.IndexStat
+
+// Stats reports every registered index's serving state, sorted by name.
+// It never triggers a lazy open.
+func (r *Registry) Stats() []ServedIndexStat { return r.inner.Stats() }
 
 // Server serves a Registry to remote owners over any number of
 // listeners. The server side holds no keys: everything it can learn is

@@ -1,6 +1,10 @@
 package rsse
 
 import (
+	"fmt"
+	"io"
+	"os"
+
 	"rsse/internal/core"
 	"rsse/internal/cover"
 	"rsse/internal/storage"
@@ -78,16 +82,28 @@ var (
 	ErrDomainTooLarge = core.ErrDomainTooLarge
 )
 
+// IndexStats is the operational profile of an index: scheme, logical
+// sizes, storage engine, and where the bytes live (heap vs mapped file).
+// Obtained from Index.Stats and Registry.Stats.
+type IndexStats = core.IndexStats
+
+// IndexMeta is an index's public metadata (scheme, domain, tuple count)
+// — exactly the L1 leakage plus protocol bookkeeping.
+type IndexMeta = core.IndexMeta
+
 // UnmarshalIndex reconstructs an Index serialized with
 // Index.MarshalBinary — how a server restores persisted state. The blob
-// contains no key material; only the matching client can query it.
+// contains no key material; only the matching client can query it. Both
+// the current v2 segment-container format and v1 blobs written before it
+// load transparently.
 func UnmarshalIndex(data []byte) (*Index, error) { return core.UnmarshalIndex(data) }
 
 // UnmarshalIndexWith reconstructs a serialized Index onto a named
-// storage engine — "map" (hash tables, the default) or "sorted" (the
-// read-optimized flat layout; servers loading read-mostly indexes want
-// this one). The engine is a local representation choice and never
-// affects the wire format.
+// storage engine — "map" (hash tables, the default), "sorted" (the
+// read-optimized flat layout) or "disk" (serves v2 blobs in place with
+// zero per-record copies; the returned index then aliases data, which
+// must stay valid and unmodified while the index is in use). The engine
+// is a local representation choice and never affects the wire format.
 func UnmarshalIndexWith(data []byte, engine string) (*Index, error) {
 	eng, err := storage.ByName(engine)
 	if err != nil {
@@ -96,10 +112,45 @@ func UnmarshalIndexWith(data []byte, engine string) (*Index, error) {
 	return core.UnmarshalIndexWith(data, eng)
 }
 
+// OpenIndexFile memory-maps (or, where mmap is unavailable, reads) an
+// index file and reconstructs it onto the named storage engine. With
+// "disk" and a v2 file this is the lazy-serving path: open cost is
+// near-constant regardless of index size — section headers plus one
+// sequential checksum pass — and queries answer straight from the
+// mapping, so resident memory stays near zero until data pages in.
+// Close the returned index to release the mapping when done.
+func OpenIndexFile(path, engine string) (*Index, error) {
+	eng, err := storage.ByName(engine)
+	if err != nil {
+		return nil, err
+	}
+	return core.OpenIndexFile(path, eng)
+}
+
+// PeekIndexFile reads an index file's public metadata from its fixed
+// header without loading the body — cheap enough to run over a whole
+// directory before deciding what to serve.
+func PeekIndexFile(path string) (IndexMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return IndexMeta{}, err
+	}
+	defer f.Close()
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return IndexMeta{}, fmt.Errorf("%s: %w", path, core.ErrCorruptIndex)
+	}
+	meta, err := core.PeekMeta(hdr)
+	if err != nil {
+		return IndexMeta{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return meta, nil
+}
+
 // StorageEngines lists the available storage engine names for
-// UnmarshalIndexWith and WithStorage.
+// UnmarshalIndexWith, OpenIndexFile and WithStorage.
 func StorageEngines() []string {
-	out := make([]string, 0, 2)
+	out := make([]string, 0, 3)
 	for _, e := range storage.Engines() {
 		out = append(out, e.Name())
 	}
