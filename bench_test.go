@@ -296,6 +296,94 @@ func BenchmarkOpenIndex(b *testing.B) {
 	}
 }
 
+// Cluster benchmark state: one 100k-tuple dataset, clusters cached per
+// shard count so the expensive builds happen once per bench binary run.
+const (
+	clusterBenchBits = 20
+	clusterBenchN    = 100000
+)
+
+var (
+	clusterBenchOnce   sync.Once
+	clusterBenchTuples []rsse.Tuple
+	clustersMu         sync.Mutex
+	clusters           = map[int]*rsse.Cluster{}
+)
+
+func benchCluster(b *testing.B, shards int) *rsse.Cluster {
+	b.Helper()
+	clusterBenchOnce.Do(func() {
+		clusterBenchTuples = dataset.Uniform(clusterBenchN, clusterBenchBits, 41)
+	})
+	clustersMu.Lock()
+	defer clustersMu.Unlock()
+	if c, ok := clusters[shards]; ok {
+		return c
+	}
+	c, err := rsse.BuildCluster(rsse.LogarithmicBRC, clusterBenchBits, shards,
+		clusterBenchTuples, rsse.WithShardOptions(rsse.WithSeed(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clusters[shards] = c
+	return c
+}
+
+// BenchmarkClusterQuery sweeps the shard count on a fixed 100k-tuple
+// workload. ns/op is the merged-result latency of one scatter-gather
+// query over a 10%-of-domain range; tokens/shard is the per-sub-query
+// token cost. Latency drops as shards grow for two stacked reasons:
+// partition pruning (a query touches only the shards its range
+// intersects — see shards/query — and each holds 1/k of the data), and,
+// on multi-core hosts, the intersected shards searching in parallel.
+func BenchmarkClusterQuery(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := benchCluster(b, shards)
+			queries := dataset.PercentQueries(64, c.Domain(), 10, 43)
+			var tokens, subQueries int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Query(queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				tokens += res.Stats.Tokens
+				subQueries += len(res.Shards)
+			}
+			b.StopTimer()
+			if subQueries > 0 {
+				b.ReportMetric(float64(tokens)/float64(subQueries), "tokens/shard")
+			}
+			b.ReportMetric(float64(subQueries)/float64(b.N), "shards/query")
+		})
+	}
+}
+
+// BenchmarkClusterQueryParallel is the throughput view of the same
+// sweep: many owner goroutines query the cluster at once, so per-shard
+// serialization (one mutex per shard client) is the contention point —
+// more shards, more parallelism.
+func BenchmarkClusterQueryParallel(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := benchCluster(b, shards)
+			queries := dataset.PercentQueries(64, c.Domain(), 10, 44)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := c.Query(queries[i%len(queries)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkQuadratic_Build exercises the naive baseline at its natural
 // (tiny) scale for completeness.
 func BenchmarkQuadratic_Build(b *testing.B) {

@@ -3,6 +3,7 @@ package rsse
 import (
 	"errors"
 	"sort"
+	"sync"
 )
 
 // ErrNotCached is returned by CachedClient.Query when an intersecting
@@ -21,8 +22,16 @@ var ErrNotCached = errors.New("rsse: intersecting query not covered by cached an
 // covered by the union of cached ranges is answered locally, contacting
 // the server zero times. An intersecting query that is not fully covered
 // fails with ErrNotCached — by design, it must never reach the server.
+//
+// A CachedClient is safe for concurrent use (unlike the bare Client it
+// wraps): it sits in front of concurrent callers — a scatter-gather
+// executor, a request fan-in — and serializes cache inspection, the
+// wrapped client's query, and cache fill as one atomic step, so the
+// non-intersection guarantee holds under concurrency too.
 type CachedClient struct {
 	client *Client
+
+	mu     sync.Mutex
 	ranges []Range       // disjoint, sorted, queried ranges
 	values map[ID]Value  // decrypted values of cached matches
 	byVal  []cachedTuple // matches sorted by value for range lookup
@@ -46,6 +55,8 @@ func NewCachedClient(client *Client) (*CachedClient, error) {
 // when q is fully covered by earlier answers. The returned Result's stats
 // have Rounds == 0 for cache hits.
 func (cc *CachedClient) Query(index *Index, q Range) (*Result, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
 	if cc.covered(q) {
 		ids := cc.lookup(q)
 		return &Result{
@@ -78,6 +89,8 @@ func (cc *CachedClient) Query(index *Index, q Range) (*Result, error) {
 
 // CachedRanges returns the merged, sorted ranges answerable locally.
 func (cc *CachedClient) CachedRanges() []Range {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
 	out := make([]Range, len(cc.ranges))
 	copy(out, cc.ranges)
 	return out

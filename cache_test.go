@@ -2,6 +2,7 @@ package rsse_test
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"rsse"
@@ -119,6 +120,58 @@ func TestCachedClientExactRepeat(t *testing.T) {
 	}
 	if !equal(sorted(res.Matches), oracle(tuples, q)) {
 		t.Error("repeated answer wrong")
+	}
+}
+
+// TestCachedClientConcurrent hammers one CachedClient from many
+// goroutines — the shape it has when fronting a concurrent scatter-
+// gather executor. Run under -race, this is the concurrency-safety
+// check; functionally, every answer must match the plaintext oracle and
+// repeated rounds must be served from cache.
+func TestCachedClientConcurrent(t *testing.T) {
+	cc, index, tuples := cachedSetup(t)
+	// Disjoint stripes, one per goroutine, so the Constant schemes' non-
+	// intersection rule holds no matter how the queries interleave; each
+	// goroutine then re-queries sub-ranges expecting cache hits.
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stripe := rsse.Range{Lo: uint64(g * 128), Hi: uint64(g*128 + 127)}
+			if _, err := cc.Query(index, stripe); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 10; i++ {
+				sub := rsse.Range{Lo: stripe.Lo + uint64(i), Hi: stripe.Hi - uint64(i)}
+				res, err := cc.Query(index, sub)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Stats.Rounds != 0 {
+					// The stripe was cached by this goroutine already.
+					errs <- errors.New("covered sub-range reached the server")
+					return
+				}
+				if !equal(sorted(res.Matches), oracle(tuples, sub)) {
+					errs <- errors.New("concurrent cached answer wrong")
+					return
+				}
+				_ = cc.CachedRanges()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := len(cc.CachedRanges()); got != 1 {
+		t.Errorf("adjacent stripes did not merge: %v", cc.CachedRanges())
 	}
 }
 

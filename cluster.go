@@ -1,0 +1,452 @@
+package rsse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+	"rsse/internal/prf"
+	"rsse/internal/shard"
+)
+
+// Cluster is a range-partitioned deployment of one scheme: the domain
+// {0..2^bits-1} is split into k contiguous shards, each shard is an
+// independent index built under an independently derived key, and a
+// query is answered by splitting the range at shard boundaries, running
+// the per-shard sub-queries concurrently, and merging their results.
+//
+// Sharding buys three things at once: datasets larger than one machine
+// (shards resolve to registry names and may live on different servers —
+// see DialCluster), build and query parallelism, and a smaller leakage
+// scope per key — a compromised shard key exposes only that shard's
+// slice of the domain.
+//
+// A Cluster is safe for concurrent use: each shard's owner-side state is
+// serialized internally, and concurrent queries over different shards
+// proceed in parallel.
+type Cluster struct {
+	kind    Kind
+	m       shard.Map
+	master  prf.Key
+	clients []*core.Client
+	mus     []sync.Mutex // one per shard: core.Client is not concurrent-safe
+	targets []core.Server
+	indexes []*Index // local clusters only; nil entries when remote
+	exec    shard.Executor
+	closers []io.Closer
+}
+
+// clusterConfig collects the cluster-level options.
+type clusterConfig struct {
+	workers   int
+	policy    shard.Policy
+	quantile  bool
+	masterKey []byte
+	shardOpts []Option
+}
+
+// ClusterOption customizes a Cluster.
+type ClusterOption func(*clusterConfig) error
+
+// WithClusterWorkers bounds how many shard sub-queries run concurrently
+// per Query call; 0 (the default) runs every intersected shard at once.
+func WithClusterWorkers(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if n < 0 {
+			return fmt.Errorf("rsse: cluster workers %d must not be negative", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithPartialResults switches a failing shard sub-query from the default
+// first-error policy (cancel the rest, fail the query) to a
+// partial-result policy: the other shards finish, the merged result
+// covers the reachable slices, and the per-shard errors are reported in
+// ClusterResult.Shards. Queries still fail when every shard fails.
+func WithPartialResults() ClusterOption {
+	return func(c *clusterConfig) error {
+		c.policy = shard.Partial
+		return nil
+	}
+}
+
+// WithQuantileSplit splits the domain on the dataset's k-quantiles
+// instead of equal-width slices, so each shard holds a near-equal number
+// of tuples even under heavy skew (salary- or Zipf-shaped data). Heavy
+// ties may collapse adjacent cut points, yielding fewer shards than
+// requested; Cluster.Shards reports the actual count.
+func WithQuantileSplit() ClusterOption {
+	return func(c *clusterConfig) error {
+		c.quantile = true
+		return nil
+	}
+}
+
+// WithClusterKey fixes the cluster's 32-byte master key instead of
+// drawing a random one. Every shard key derives deterministically from
+// it, so the same key re-creates every shard client — required when
+// dialing a cluster built earlier.
+func WithClusterKey(key []byte) ClusterOption {
+	return func(c *clusterConfig) error {
+		if len(key) != prf.KeySize {
+			return fmt.Errorf("rsse: cluster master key must be %d bytes, got %d", prf.KeySize, len(key))
+		}
+		c.masterKey = append([]byte(nil), key...)
+		return nil
+	}
+}
+
+// WithShardOptions passes client options (WithSSE, WithStorage, WithSeed,
+// AllowIntersectingQueries, ...) through to every per-shard client.
+// WithMasterKey is rejected here: shard keys always derive from the
+// cluster master key (set it with WithClusterKey).
+func WithShardOptions(opts ...Option) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.shardOpts = append(c.shardOpts, opts...)
+		return nil
+	}
+}
+
+// applyClusterOptions folds the options and resolves the master key.
+func applyClusterOptions(opts []ClusterOption) (clusterConfig, prf.Key, error) {
+	var cfg clusterConfig
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return cfg, prf.Key{}, err
+		}
+	}
+	if cfg.masterKey != nil {
+		master, err := prf.KeyFromBytes(cfg.masterKey)
+		return cfg, master, err
+	}
+	master, err := prf.NewKey(nil)
+	return cfg, master, err
+}
+
+// newCluster wires the owner-side state every construction path shares:
+// the shard map, one derived-key client per shard, and the executor.
+func newCluster(kind Kind, m shard.Map, master prf.Key, cfg clusterConfig) (*Cluster, error) {
+	c := &Cluster{
+		kind:    kind,
+		m:       m,
+		master:  master,
+		clients: make([]*core.Client, m.K()),
+		mus:     make([]sync.Mutex, m.K()),
+		targets: make([]core.Server, m.K()),
+		indexes: make([]*Index, m.K()),
+		exec:    shard.Executor{Workers: cfg.workers, Policy: cfg.policy},
+	}
+	for i := range c.clients {
+		opts := append([]Option{WithMasterKey(shard.ClientKey(master, i))}, cfg.shardOpts...)
+		lowered, err := applyOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		if string(lowered.MasterKey) != string(shard.ClientKey(master, i)) {
+			return nil, errors.New("rsse: WithMasterKey is not a shard option; use WithClusterKey")
+		}
+		client, err := core.NewClient(kind, m.Domain(), lowered)
+		if err != nil {
+			return nil, err
+		}
+		c.clients[i] = client
+	}
+	return c, nil
+}
+
+// BuildCluster partitions the domain into the requested number of shards
+// (equal-width, or on dataset quantiles with WithQuantileSplit), builds
+// each shard as an independent index under its derived key, and returns
+// the cluster with every shard attached locally. Shard indexes are
+// retrievable with ShardIndex for serving or persisting; tuple ids must
+// be unique across the whole cluster, exactly as in a single index.
+func BuildCluster(kind Kind, domainBits uint8, shards int, tuples []Tuple, opts ...ClusterOption) (*Cluster, error) {
+	dom, err := cover.NewDomain(domainBits)
+	if err != nil {
+		return nil, err
+	}
+	cfg, master, err := applyClusterOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[ID]struct{}, len(tuples))
+	for _, t := range tuples {
+		if !dom.Contains(t.Value) {
+			return nil, fmt.Errorf("%w: value %d, domain size %d", ErrValueOutsideDomain, t.Value, dom.Size())
+		}
+		if _, dup := seen[t.ID]; dup {
+			return nil, fmt.Errorf("%w: id %d", ErrDuplicateID, t.ID)
+		}
+		seen[t.ID] = struct{}{}
+	}
+	var m shard.Map
+	if cfg.quantile {
+		values := make([]Value, len(tuples))
+		for i, t := range tuples {
+			values[i] = t.Value
+		}
+		m, err = shard.Quantiles(dom, shards, values)
+	} else {
+		m, err = shard.EqualWidth(dom, shards)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c, err := newCluster(kind, m, master, cfg)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]Tuple, m.K())
+	for _, t := range tuples {
+		s := m.Owner(t.Value)
+		parts[s] = append(parts[s], t)
+	}
+	for i := range parts {
+		idx, err := c.clients[i].BuildIndex(parts[i])
+		if err != nil {
+			return nil, fmt.Errorf("rsse: building shard %d: %w", i, err)
+		}
+		c.indexes[i] = idx
+		c.targets[i] = idx
+	}
+	return c, nil
+}
+
+// OpenCluster re-creates a cluster from its manifest and master key,
+// resolving each shard's index through open — typically an OpenIndexFile
+// call over the manifest's conventional file names. Use DialCluster when
+// the shards are served remotely.
+func OpenCluster(man ClusterManifest, masterKey []byte, open func(shardIndex int, info ClusterShardInfo) (*Index, error), opts ...ClusterOption) (*Cluster, error) {
+	if open == nil {
+		return nil, errors.New("rsse: OpenCluster requires an open function")
+	}
+	c, err := clusterFromManifest(man, masterKey, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, info := range man.Shards {
+		idx, err := open(i, info)
+		if err != nil {
+			c.Close() // release the shards opened so far
+			return nil, fmt.Errorf("rsse: opening shard %d (%s): %w", i, info.Name, err)
+		}
+		if idx == nil {
+			c.Close()
+			return nil, fmt.Errorf("rsse: opening shard %d (%s): nil index", i, info.Name)
+		}
+		c.indexes[i] = idx
+		c.targets[i] = idx
+		c.closers = append(c.closers, idx)
+	}
+	return c, nil
+}
+
+// clusterFromManifest builds the owner-side cluster state (map, derived
+// clients) described by a manifest, leaving the shard targets unset.
+func clusterFromManifest(man ClusterManifest, masterKey []byte, opts []ClusterOption) (*Cluster, error) {
+	kind, err := man.KindValue()
+	if err != nil {
+		return nil, err
+	}
+	m, err := man.MapValue()
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, WithClusterKey(masterKey))
+	cfg, master, err := applyClusterOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newCluster(kind, m, master, cfg)
+}
+
+// ClusterManifest is the serializable topology of a cluster: scheme,
+// domain, and per shard the served-index name, the owned value interval
+// and optionally a server address. It contains no key material.
+type ClusterManifest = shard.Manifest
+
+// ClusterShardInfo is one shard's entry in a ClusterManifest.
+type ClusterShardInfo = shard.ShardInfo
+
+// ReadClusterManifest loads a manifest written with
+// ClusterManifest.WriteFile — the "<base>.cluster.json" file rsse-owner
+// writes next to the shard index files.
+func ReadClusterManifest(path string) (ClusterManifest, error) {
+	return shard.ReadManifest(path)
+}
+
+// ShardIndexName is the conventional served-index name of shard i of a
+// cluster: "<base>-shard-<i>". An rsse-server serving a directory of
+// files written under this convention needs no cluster configuration.
+func ShardIndexName(base string, i int) string { return shard.ShardName(base, i) }
+
+// Manifest records the cluster's topology, naming shard i
+// ShardIndexName(base, i). Write it next to the shard index files (or
+// hand it to DialCluster) to reconnect later.
+func (c *Cluster) Manifest(base string) ClusterManifest {
+	return shard.NewManifest(c.kind, c.m, base)
+}
+
+// Kind returns the scheme every shard instantiates.
+func (c *Cluster) Kind() Kind { return c.kind }
+
+// Domain returns the full (pre-split) query-attribute domain.
+func (c *Cluster) Domain() Domain { return c.m.Domain() }
+
+// Shards returns the number of shards in the cluster.
+func (c *Cluster) Shards() int { return c.m.K() }
+
+// ShardRange returns the closed value interval shard i owns.
+func (c *Cluster) ShardRange(i int) Range { return c.m.ShardRange(i) }
+
+// ShardOf returns the shard that owns value v.
+func (c *Cluster) ShardOf(v Value) int { return c.m.Owner(v) }
+
+// MasterKey returns a copy of the cluster master key — persist it (not
+// the k derived shard keys) to re-create the cluster's clients later.
+func (c *Cluster) MasterKey() []byte { return append([]byte(nil), c.master[:]...) }
+
+// ShardIndex returns shard i's index when the cluster holds it locally
+// (built with BuildCluster or opened with OpenCluster), or nil for a
+// dialed cluster. Serialize it with Index.MarshalBinary to ship the
+// shard to a server.
+func (c *Cluster) ShardIndex(i int) *Index { return c.indexes[i] }
+
+// ResetHistory clears the Constant schemes' intersecting-query guard on
+// every shard client.
+func (c *Cluster) ResetHistory() {
+	for i, cl := range c.clients {
+		c.mus[i].Lock()
+		cl.ResetHistory()
+		c.mus[i].Unlock()
+	}
+}
+
+// Close releases every resource the cluster owns: connections of a
+// dialed cluster, file mappings of an opened one. A built cluster has
+// nothing to release; Close is always safe.
+func (c *Cluster) Close() error {
+	var first error
+	for _, cl := range c.closers {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.closers = nil
+	return first
+}
+
+// ShardQueryStat is one shard's share of a cluster query: the sub-range
+// it was asked, its cost/leakage stats, and its error if the sub-query
+// failed (possible only under WithPartialResults, where the merged
+// result then misses that shard's slice).
+type ShardQueryStat struct {
+	Shard int
+	Range Range
+	Err   error
+	Stats QueryStats
+}
+
+// ClusterResult is a merged scatter-gather query outcome. The embedded
+// Result aggregates every shard exactly as a single index would have
+// answered (counters sum; Rounds is the per-shard maximum; ServerTime
+// and OwnerTime sum across shards, so they measure total work, not wall
+// clock). Shards reports the per-shard breakdown in ascending shard
+// order — one entry per shard the query intersected.
+type ClusterResult struct {
+	Result
+	Shards []ShardQueryStat
+}
+
+// Query answers a range query across the cluster: the range splits at
+// shard boundaries, each intersected shard is queried concurrently with
+// its own trapdoors, and the per-shard results merge into one. A range
+// inside one shard touches exactly that shard.
+func (c *Cluster) Query(q Range) (*ClusterResult, error) {
+	return c.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation: cancelling ctx aborts the
+// scatter and fails the query.
+func (c *Cluster) QueryContext(ctx context.Context, q Range) (*ClusterResult, error) {
+	if err := c.m.Domain().CheckRange(q.Lo, q.Hi); err != nil {
+		return nil, err
+	}
+	tasks := c.m.Split(q)
+	outcomes, err := shard.Run(ctx, c.exec, tasks, func(ctx context.Context, t shard.Task) (*core.Result, error) {
+		c.mus[t.Shard].Lock()
+		defer c.mus[t.Shard].Unlock()
+		if err := ctx.Err(); err != nil {
+			return nil, err // cancelled while waiting on the shard's turn
+		}
+		return c.clients[t.Shard].QueryServer(c.targets[t.Shard], t.Range)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{Result: *shard.Merge(outcomes)}
+	res.Shards = make([]ShardQueryStat, len(outcomes))
+	for i, o := range outcomes {
+		st := ShardQueryStat{Shard: o.Task.Shard, Range: o.Task.Range, Err: o.Err}
+		if o.Res != nil {
+			st.Stats = o.Res.Stats
+		}
+		res.Shards[i] = st
+	}
+	return res, nil
+}
+
+// FetchTuple retrieves and decrypts one tuple by id. The owning shard is
+// not derivable from an id alone, so shards are probed in order; with
+// the tuple's value at hand, ShardOf(value) names the owner directly. A
+// shard that fails to answer (a dead connection, say) surfaces as an
+// error rather than masquerading as an absent tuple.
+func (c *Cluster) FetchTuple(id ID) (Tuple, error) {
+	var firstErr error
+	for i := range c.clients {
+		c.mus[i].Lock()
+		_, ok, err := c.targets[i].Fetch(id)
+		if err == nil && ok {
+			// Present on this shard: decrypt under its client's keys.
+			var tup Tuple
+			tup, err = c.clients[i].FetchTuple(c.targets[i], id)
+			c.mus[i].Unlock()
+			return tup, err
+		}
+		c.mus[i].Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rsse: fetching tuple %d from shard %d: %w", id, i, err)
+		}
+	}
+	if firstErr != nil {
+		return Tuple{}, firstErr
+	}
+	return Tuple{}, fmt.Errorf("rsse: no tuple with id %d in any shard", id)
+}
+
+// ClusterShardStat is one shard's operational profile: its value
+// interval and its index stats (zero for dialed clusters, whose indexes
+// live on remote servers).
+type ClusterShardStat struct {
+	Shard int
+	Range Range
+	Stats IndexStats
+}
+
+// Stats reports every shard's operational profile, in shard order.
+func (c *Cluster) Stats() []ClusterShardStat {
+	out := make([]ClusterShardStat, c.m.K())
+	for i := range out {
+		out[i] = ClusterShardStat{Shard: i, Range: c.m.ShardRange(i)}
+		if c.indexes[i] != nil {
+			out[i].Stats = c.indexes[i].Stats()
+		}
+	}
+	return out
+}

@@ -1,0 +1,560 @@
+package rsse_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rsse"
+	"rsse/internal/dataset"
+)
+
+// clusterRanges generates the differential-test query mix over a domain
+// partitioned by bounds: fully random ranges, ranges forced to span a
+// shard boundary, degenerate ranges inside a single shard, single-value
+// ranges, and the full domain.
+func clusterRanges(n int, size uint64, c *rsse.Cluster, seed int64) []rsse.Range {
+	rnd := mrand.New(mrand.NewSource(seed))
+	out := make([]rsse.Range, 0, n)
+	for len(out) < n {
+		switch len(out) % 4 {
+		case 0: // fully random
+			lo := rnd.Uint64() % size
+			out = append(out, rsse.Range{Lo: lo, Hi: lo + rnd.Uint64()%(size-lo)})
+		case 1: // spans at least one shard boundary (when the cluster has one)
+			if c.Shards() == 1 {
+				out = append(out, rsse.Range{Lo: 0, Hi: size - 1})
+				continue
+			}
+			b := c.ShardRange(1 + rnd.Intn(c.Shards()-1)).Lo
+			lo := rnd.Uint64() % b
+			hi := b + rnd.Uint64()%(size-b)
+			out = append(out, rsse.Range{Lo: lo, Hi: hi})
+		case 2: // degenerate: inside one shard
+			sr := c.ShardRange(rnd.Intn(c.Shards()))
+			w := sr.Size()
+			lo := sr.Lo + rnd.Uint64()%w
+			out = append(out, rsse.Range{Lo: lo, Hi: lo + rnd.Uint64()%(sr.Hi-lo+1)})
+		case 3: // single value
+			v := rnd.Uint64() % size
+			out = append(out, rsse.Range{Lo: v, Hi: v})
+		}
+	}
+	out[0] = rsse.Range{Lo: 0, Hi: size - 1} // always include the full domain
+	return out
+}
+
+// TestClusterDifferential is the acceptance test: for every scheme kind
+// and k ∈ {2, 4}, a k-shard cluster must return exactly the matches of a
+// single-index baseline over 100+ randomized ranges, including
+// boundary-spanning and degenerate single-shard ones.
+func TestClusterDifferential(t *testing.T) {
+	for _, kind := range rsse.Kinds() {
+		for _, k := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%v/k=%d", kind, k), func(t *testing.T) {
+				t.Parallel()
+				bits := uint8(12)
+				n := 300
+				if kind == rsse.Quadratic {
+					bits, n = 8, 120 // keep the O(n m^2) baseline tractable
+				}
+				tuples := genTuples(n, bits, int64(10*int(kind)+k))
+				shardOpts := []rsse.Option{rsse.WithSeed(1)}
+				baseOpts := []rsse.Option{rsse.WithSeed(2)}
+				if kind == rsse.ConstantBRC || kind == rsse.ConstantURC {
+					// Randomized ranges intersect; lift the schemes' guard
+					// identically on both sides.
+					shardOpts = append(shardOpts, rsse.AllowIntersectingQueries())
+					baseOpts = append(baseOpts, rsse.AllowIntersectingQueries())
+				}
+				cluster, err := rsse.BuildCluster(kind, bits, k, tuples,
+					rsse.WithShardOptions(shardOpts...))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cluster.Shards() != k {
+					t.Fatalf("Shards = %d, want %d", cluster.Shards(), k)
+				}
+				baseline, err := rsse.NewClient(kind, bits, baseOpts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseIdx, err := baseline.BuildIndex(tuples)
+				if err != nil {
+					t.Fatal(err)
+				}
+				queries := clusterRanges(110, uint64(1)<<bits, cluster, int64(k))
+				for _, q := range queries {
+					want, err := baseline.Query(baseIdx, q)
+					if err != nil {
+						t.Fatalf("baseline %v: %v", q, err)
+					}
+					got, err := cluster.Query(q)
+					if err != nil {
+						t.Fatalf("cluster %v: %v", q, err)
+					}
+					if !equal(sorted(got.Matches), sorted(want.Matches)) {
+						t.Fatalf("%v: cluster %v != baseline %v", q, sorted(got.Matches), sorted(want.Matches))
+					}
+					if !equal(sorted(got.Matches), oracle(tuples, q)) {
+						t.Fatalf("%v: cluster disagrees with plaintext oracle", q)
+					}
+					if got.Stats.Matches != len(got.Matches) {
+						t.Fatalf("%v: merged stats count %d != %d matches", q, got.Stats.Matches, len(got.Matches))
+					}
+					if len(got.Shards) == 0 || len(got.Shards) > k {
+						t.Fatalf("%v: %d per-shard stats", q, len(got.Shards))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClusterShardIndependence checks the leakage-scope claim mechanics:
+// shards are separate indexes under distinct derived keys, and a range
+// inside one shard touches exactly one shard.
+func TestClusterShardIndependence(t *testing.T) {
+	tuples := genTuples(200, 10, 31)
+	cluster, err := rsse.BuildCluster(rsse.LogarithmicBRC, 10, 4, tuples,
+		rsse.WithShardOptions(rsse.WithSeed(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cluster.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("Stats len %d", len(stats))
+	}
+	total := 0
+	for i, s := range stats {
+		if s.Shard != i || s.Range != cluster.ShardRange(i) {
+			t.Fatalf("stat %d: %+v", i, s)
+		}
+		total += s.Stats.N
+	}
+	if total != len(tuples) {
+		t.Fatalf("shard tuple counts sum to %d, want %d", total, len(tuples))
+	}
+	// One-shard query → exactly one per-shard entry, on the owner.
+	sr := cluster.ShardRange(2)
+	res, err := cluster.Query(rsse.Range{Lo: sr.Lo, Hi: sr.Lo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 1 || res.Shards[0].Shard != 2 {
+		t.Fatalf("single-shard query touched %+v", res.Shards)
+	}
+	if cluster.ShardOf(sr.Lo) != 2 {
+		t.Fatalf("ShardOf(%d) = %d", sr.Lo, cluster.ShardOf(sr.Lo))
+	}
+	// A shard client cannot decrypt another shard's tuples: keys differ.
+	k0 := cluster.ShardIndex(0)
+	other, err := rsse.NewClient(rsse.LogarithmicBRC, 10,
+		rsse.WithMasterKey(cluster.MasterKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Query(k0, rsse.Range{Lo: 0, Hi: 10}); err == nil {
+		// The cluster master key must not be a shard key directly. A
+		// query under it may error or return garbage, but must not
+		// silently succeed with correct plaintext matches.
+		t.Log("cluster-master query succeeded (acceptable only if matches are wrong)")
+	}
+}
+
+func TestClusterQuantileSplit(t *testing.T) {
+	// Zipf-skewed data: quantile splitting must spread tuples while
+	// staying differentially correct.
+	tuples := dataset.ZipfPool(4000, 14, 200, 1.2, 5)
+	cluster, err := rsse.BuildCluster(rsse.LogarithmicSRCi, 14, 4, tuples,
+		rsse.WithQuantileSplit(), rsse.WithShardOptions(rsse.WithSeed(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Shards() < 2 {
+		t.Fatalf("quantile split collapsed to %d shards", cluster.Shards())
+	}
+	for _, s := range cluster.Stats() {
+		if s.Stats.N > len(tuples)*2/cluster.Shards() {
+			t.Fatalf("shard %d holds %d of %d tuples after quantile split", s.Shard, s.Stats.N, len(tuples))
+		}
+	}
+	baseline, err := rsse.NewClient(rsse.LogarithmicSRCi, 14, rsse.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseIdx, err := baseline.BuildIndex(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range clusterRanges(40, 1<<14, cluster, 6) {
+		want, err := baseline.Query(baseIdx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cluster.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal(sorted(got.Matches), sorted(want.Matches)) {
+			t.Fatalf("%v: quantile cluster diverged", q)
+		}
+	}
+}
+
+// serveCluster registers the cluster's shards (by manifest name) into
+// registries spread across addrs and serves each on a loopback listener.
+// Returns the manifest with per-shard addresses filled in round-robin.
+func serveCluster(t *testing.T, cluster *rsse.Cluster, base string, servers int) rsse.ClusterManifest {
+	t.Helper()
+	man := cluster.Manifest(base)
+	regs := make([]*rsse.Registry, servers)
+	addrs := make([]string, servers)
+	for i := range regs {
+		regs[i] = rsse.NewRegistry()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		srv := rsse.NewServer(regs[i])
+		go srv.Serve(l)
+		t.Cleanup(func() {
+			srv.Shutdown(context.Background())
+			l.Close()
+		})
+	}
+	for i := range man.Shards {
+		s := i % servers
+		if err := regs[s].Register(man.Shards[i].Name, cluster.ShardIndex(i)); err != nil {
+			t.Fatal(err)
+		}
+		man.Shards[i].Addr = addrs[s]
+	}
+	return man
+}
+
+// TestClusterRemoteScatterGather serves a built cluster's shards across
+// two real TCP servers and checks that a dialed cluster (static
+// shard→addr table) returns baseline-identical results.
+func TestClusterRemoteScatterGather(t *testing.T) {
+	tuples := genTuples(400, 12, 41)
+	built, err := rsse.BuildCluster(rsse.LogarithmicSRCi, 12, 4, tuples,
+		rsse.WithShardOptions(rsse.WithSeed(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := serveCluster(t, built, "users", 2)
+
+	dialed, err := rsse.DialCluster("tcp", "", man, built.MasterKey(),
+		rsse.WithShardOptions(rsse.WithSeed(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialed.Close()
+	for _, q := range clusterRanges(30, 1<<12, built, 7) {
+		want := oracle(tuples, q)
+		res, err := dialed.Query(q)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		if !equal(sorted(res.Matches), want) {
+			t.Fatalf("%v: remote cluster diverged", q)
+		}
+	}
+	// Payload fetch routes across shards.
+	tup, err := dialed.FetchTuple(tuples[7].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tup.Value != tuples[7].Value {
+		t.Fatalf("FetchTuple value %d, want %d", tup.Value, tuples[7].Value)
+	}
+	// A missing default address for an address-less shard must fail fast.
+	bare := built.Manifest("users") // no addrs
+	if _, err := rsse.DialCluster("tcp", "", bare, built.MasterKey()); err == nil {
+		t.Fatal("dial without addresses accepted")
+	}
+}
+
+// TestClusterPartialResults kills one shard of a served cluster and
+// checks both policies: fail-fast rejects the query, partial returns the
+// reachable slices and reports the dead shard's error.
+func TestClusterPartialResults(t *testing.T) {
+	tuples := genTuples(300, 12, 51)
+	built, err := rsse.BuildCluster(rsse.LogarithmicBRC, 12, 4, tuples,
+		rsse.WithShardOptions(rsse.WithSeed(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := serveCluster(t, built, "t", 1)
+
+	strict, err := rsse.DialCluster("tcp", "", man, built.MasterKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+
+	full := rsse.Range{Lo: 0, Hi: (1 << 12) - 1}
+	if _, err := strict.Query(full); err != nil {
+		t.Fatalf("healthy strict query: %v", err)
+	}
+
+	t.Run("dead address", func(t *testing.T) {
+		// A shard pinned to an unreachable address fails at dial time.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadAddr := l.Addr().String()
+		l.Close()
+		man3 := man
+		man3.Shards = append([]rsse.ClusterShardInfo(nil), man.Shards...)
+		man3.Shards[2].Addr = deadAddr
+
+		if _, err := rsse.DialCluster("tcp", "", man3, built.MasterKey()); err == nil {
+			t.Fatal("dialing a dead shard address must fail at dial time")
+		}
+	})
+
+	// An unknown served name: dialing succeeds (name resolution is lazy),
+	// the sub-query fails at first use.
+	t.Run("deregistered name", func(t *testing.T) {
+		man4 := man
+		man4.Shards = append([]rsse.ClusterShardInfo(nil), man.Shards...)
+		man4.Shards[2].Name = "no-such-index"
+
+		strict2, err := rsse.DialCluster("tcp", "", man4, built.MasterKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer strict2.Close()
+		if _, err := strict2.Query(full); err == nil {
+			t.Fatal("strict query over a dead shard succeeded")
+		}
+
+		part2, err := rsse.DialCluster("tcp", "", man4, built.MasterKey(),
+			rsse.WithPartialResults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer part2.Close()
+		res, err := part2.Query(full)
+		if err != nil {
+			t.Fatalf("partial query: %v", err)
+		}
+		deadRange := built.ShardRange(2)
+		var live []rsse.ID
+		for _, tup := range tuples {
+			if !deadRange.Contains(tup.Value) {
+				live = append(live, tup.ID)
+			}
+		}
+		if !equal(sorted(res.Matches), sorted(live)) {
+			t.Fatalf("partial result wrong: %d matches, want %d", len(res.Matches), len(live))
+		}
+		failed := 0
+		for _, s := range res.Shards {
+			if s.Err != nil {
+				if s.Shard != 2 {
+					t.Fatalf("wrong shard failed: %+v", s)
+				}
+				failed++
+			}
+		}
+		if failed != 1 {
+			t.Fatalf("%d shards failed, want 1", failed)
+		}
+	})
+}
+
+func TestClusterContextCancel(t *testing.T) {
+	tuples := genTuples(100, 10, 61)
+	cluster, err := rsse.BuildCluster(rsse.LogarithmicBRC, 10, 2, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cluster.QueryContext(ctx, rsse.Range{Lo: 0, Hi: 1023}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query error = %v", err)
+	}
+}
+
+func TestClusterConcurrentQueries(t *testing.T) {
+	tuples := genTuples(500, 12, 71)
+	cluster, err := rsse.BuildCluster(rsse.LogarithmicURC, 12, 4, tuples,
+		rsse.WithShardOptions(rsse.WithSeed(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := mrand.New(mrand.NewSource(int64(g)))
+			for i := 0; i < 20; i++ {
+				lo := rnd.Uint64() % (1 << 12)
+				hi := lo + rnd.Uint64()%((1<<12)-lo)
+				q := rsse.Range{Lo: lo, Hi: hi}
+				res, err := cluster.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !equal(sorted(res.Matches), oracle(tuples, q)) {
+					errs <- fmt.Errorf("goroutine %d: %v wrong matches", g, q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterPersistReopen writes a built cluster's shards to disk under
+// the manifest's conventional names, reopens the cluster from the files,
+// and checks differential equality — the owner restart path.
+func TestClusterPersistReopen(t *testing.T) {
+	tuples := genTuples(250, 12, 81)
+	built, err := rsse.BuildCluster(rsse.LogarithmicSRC, 12, 3, tuples,
+		rsse.WithShardOptions(rsse.WithSeed(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	man := built.Manifest("demo")
+	for i := 0; i < built.Shards(); i++ {
+		blob, err := built.ShardIndex(i).MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, man.Shards[i].Name+".idx"), blob, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := man.WriteFile(filepath.Join(dir, "demo.cluster.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	reread, err := rsse.OpenCluster(man, built.MasterKey(),
+		func(i int, info rsse.ClusterShardInfo) (*rsse.Index, error) {
+			return rsse.OpenIndexFile(filepath.Join(dir, info.Name+".idx"), "disk")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reread.Close()
+	for _, q := range clusterRanges(30, 1<<12, reread, 11) {
+		res, err := reread.Query(q)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		if !equal(sorted(res.Matches), oracle(tuples, q)) {
+			t.Fatalf("%v: reopened cluster diverged", q)
+		}
+	}
+	if reread.ShardIndex(0).Stats().Engine != "disk" {
+		t.Fatalf("reopened engine %q", reread.ShardIndex(0).Stats().Engine)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	tuples := []rsse.Tuple{{ID: 1, Value: 1}, {ID: 1, Value: 2}}
+	if _, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 2, tuples); !errors.Is(err, rsse.ErrDuplicateID) {
+		t.Fatalf("duplicate ids across shards: %v", err)
+	}
+	if _, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 2,
+		[]rsse.Tuple{{ID: 1, Value: 1 << 20}}); !errors.Is(err, rsse.ErrValueOutsideDomain) {
+		t.Fatal("out-of-domain value accepted")
+	}
+	if _, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 0, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 1000, nil); err == nil {
+		t.Fatal("k > domain accepted")
+	}
+	if _, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 2, nil,
+		rsse.WithClusterKey([]byte("short"))); err == nil {
+		t.Fatal("short cluster key accepted")
+	}
+	if _, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 2, nil,
+		rsse.WithShardOptions(rsse.WithMasterKey(make([]byte, 32)))); err == nil {
+		t.Fatal("WithMasterKey smuggled through shard options")
+	}
+	if _, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 2, nil,
+		rsse.WithClusterWorkers(-1)); err == nil {
+		t.Fatal("negative worker bound accepted")
+	}
+	// k=1 degenerates to a single index and still answers queries.
+	one, err := rsse.BuildCluster(rsse.LogarithmicBRC, 8, 1, genTuples(50, 8, 91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.Query(rsse.Range{Lo: 0, Hi: 255}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterKeyDeterminism: the same cluster key re-creates clients
+// that can query shard indexes built earlier.
+func TestClusterKeyDeterminism(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	tuples := genTuples(200, 10, 92)
+	built, err := rsse.BuildCluster(rsse.LogarithmicBRC, 10, 3, tuples,
+		rsse.WithClusterKey(key), rsse.WithShardOptions(rsse.WithSeed(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := built.Manifest("d")
+	reopened, err := rsse.OpenCluster(man, key,
+		func(i int, info rsse.ClusterShardInfo) (*rsse.Index, error) {
+			blob, err := built.ShardIndex(i).MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			return rsse.UnmarshalIndex(blob)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rsse.Range{Lo: 100, Hi: 900}
+	res, err := reopened.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sorted(res.Matches), oracle(tuples, q)) {
+		t.Fatal("re-keyed cluster cannot read its own shards")
+	}
+	// A wrong key must not produce correct results.
+	bad := make([]byte, 32)
+	wrongKeyCluster, err := rsse.OpenCluster(man, bad,
+		func(i int, info rsse.ClusterShardInfo) (*rsse.Index, error) {
+			blob, err := built.ShardIndex(i).MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			return rsse.UnmarshalIndex(blob)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := wrongKeyCluster.Query(q); err == nil && equal(sorted(res.Matches), oracle(tuples, q)) {
+		t.Fatal("wrong cluster key still decrypts")
+	}
+}

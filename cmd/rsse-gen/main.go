@@ -10,6 +10,13 @@
 //	rsse-gen -kind zipf -n 10000 -bits 20 -distinct 500 -s 1.3
 //	rsse-gen -kind uniform -n 10000 -bits 16
 //	rsse-gen -kind clustered -n 10000 -bits 16 -clusters 8 -spread 100
+//
+// -dist selects the value distribution directly (overriding -kind):
+// `-dist zipf` is the skewed workload for sharded-cluster experiments —
+// equal-width shards go heavily imbalanced under it, which
+// `rsse-owner shard build -split quantile` corrects:
+//
+//	rsse-gen -dist zipf -n 100000 -bits 20 -s 1.2 > skewed.csv
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 func main() {
 	var (
 		kind     = flag.String("kind", "gowalla", "gowalla|usps|zipf|uniform|clustered")
+		dist     = flag.String("dist", "", "value distribution; overrides -kind when set. `-dist zipf` generates the skewed workload that exposes shard imbalance (equal-width shards concentrate Zipf mass on few shards; rsse-owner shard build -split quantile rebalances it)")
 		n        = flag.Int("n", 10000, "number of tuples")
 		bits     = flag.Uint("bits", 20, "domain exponent (zipf/uniform/clustered)")
 		distinct = flag.Int("distinct", 0, "distinct values (zipf; default n/20)")
@@ -35,6 +43,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if *dist != "" {
+		*kind = *dist
+	}
 	var tuples []core.Tuple
 	switch *kind {
 	case "gowalla":

@@ -28,6 +28,25 @@
 // With -storage disk the index is memory-mapped and served in place, so
 // "resident" shows near zero — the number to compare against "file" when
 // sizing a deployment.
+//
+// Build a sharded cluster: the domain splits into -shards contiguous
+// slices (equal-width, or on dataset quantiles with -split quantile),
+// each shard becomes an independent index under an independently derived
+// key, and the output directory receives one .idx per shard plus a
+// cluster manifest:
+//
+//	rsse-owner shard build -scheme Logarithmic-SRC-i -csv data.csv \
+//	    -shards 4 -outdir ./cluster -name users -keyfile cluster.key
+//
+// Serve the directory with rsse-server -dir ./cluster; every shard is
+// then addressable under its manifest name. Query the cluster — the
+// range splits at shard boundaries and the sub-queries run concurrently:
+//
+//	rsse-owner shard query -manifest ./cluster/users.cluster.json \
+//	    -keyfile cluster.key -addr 127.0.0.1:7070 -lo 100 -hi 500
+//
+// Without -addr the shards are opened from the manifest's directory
+// locally.
 package main
 
 import (
@@ -37,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -55,14 +75,179 @@ func main() {
 		query(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
+	case "shard":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		switch os.Args[2] {
+		case "build":
+			shardBuild(os.Args[3:])
+		case "query":
+			shardQuery(os.Args[3:])
+		default:
+			usage()
+		}
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query|stats [flags] (see package docs)")
+	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query|stats|shard build|shard query [flags] (see package docs)")
 	os.Exit(2)
+}
+
+// shardBuild partitions the CSV across -shards independent indexes and
+// writes them with the cluster manifest and master key.
+func shardBuild(args []string) {
+	fs := flag.NewFlagSet("shard build", flag.ExitOnError)
+	scheme := fs.String("scheme", "Logarithmic-SRC-i", "scheme name (see rsse.Kinds)")
+	csvPath := fs.String("csv", "", "input CSV: id,value[,payload] with header (required)")
+	shards := fs.Int("shards", 4, "number of shards to split the domain into")
+	split := fs.String("split", "equal", "domain split policy: equal|quantile")
+	outdir := fs.String("outdir", ".", "output directory for shard .idx files and the manifest")
+	name := fs.String("name", "table", "cluster base name (shards serve as <name>-shard-<i>)")
+	keyfile := fs.String("keyfile", "cluster.key", "output cluster master key file (hex)")
+	bits := fs.Uint("bits", 0, "domain bits; 0 = fit to max value")
+	sseName := fs.String("sse", "tset", "SSE construction: basic|packed|tset")
+	_ = fs.Parse(args)
+	if *csvPath == "" {
+		fatal(fmt.Errorf("-csv is required"))
+	}
+	kind, err := rsse.KindByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	tuples, maxValue, err := readCSV(*csvPath)
+	if err != nil {
+		fatal(err)
+	}
+	domBits := uint8(*bits)
+	if domBits == 0 {
+		domBits = rsse.FitDomain(maxValue).Bits
+	}
+	opts := []rsse.ClusterOption{rsse.WithShardOptions(rsse.WithSSE(*sseName))}
+	switch *split {
+	case "equal":
+	case "quantile":
+		opts = append(opts, rsse.WithQuantileSplit())
+	default:
+		fatal(fmt.Errorf("unknown -split %q (equal|quantile)", *split))
+	}
+	cluster, err := rsse.BuildCluster(kind, domBits, *shards, tuples, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	man := cluster.Manifest(*name)
+	var totalMB float64
+	for i := 0; i < cluster.Shards(); i++ {
+		blob, err := cluster.ShardIndex(i).MarshalBinary()
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outdir, man.Shards[i].Name+".idx")
+		if err := os.WriteFile(path, blob, 0o600); err != nil {
+			fatal(err)
+		}
+		s := cluster.ShardIndex(i).Stats()
+		totalMB += float64(s.IndexBytes) / (1 << 20)
+		fmt.Printf("rsse-owner: shard %d %v  %6d tuples → %s\n",
+			i, cluster.ShardRange(i), s.N, path)
+	}
+	manPath := filepath.Join(*outdir, *name+".cluster.json")
+	if err := man.WriteFile(manPath); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*keyfile, []byte(hex.EncodeToString(cluster.MasterKey())+"\n"), 0o600); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rsse-owner: %d tuples → %d shards (%s, domain 2^%d, %s split, %.1f MB total); manifest %s, key %s\n",
+		len(tuples), cluster.Shards(), kind, domBits, *split, totalMB, manPath, *keyfile)
+}
+
+// shardQuery runs a scatter-gather range query over a cluster, either
+// against a remote server fleet (-addr and/or per-shard manifest addrs)
+// or over the shard files next to the manifest.
+func shardQuery(args []string) {
+	fs := flag.NewFlagSet("shard query", flag.ExitOnError)
+	manifest := fs.String("manifest", "", "cluster manifest file (required)")
+	keyfile := fs.String("keyfile", "cluster.key", "cluster master key file (hex)")
+	addr := fs.String("addr", "", "default rsse-server address for shards without a pinned addr; empty = open shard files locally")
+	engine := fs.String("storage", "sorted", "storage engine for locally opened shards: "+strings.Join(rsse.StorageEngines(), "|"))
+	lo := fs.Uint64("lo", 0, "range lower bound")
+	hi := fs.Uint64("hi", 0, "range upper bound")
+	workers := fs.Int("workers", 0, "max concurrent shard sub-queries; 0 = all at once")
+	partial := fs.Bool("partial", false, "return partial results when a shard fails instead of failing the query")
+	payloads := fs.Bool("payloads", false, "fetch and print decrypted payloads")
+	_ = fs.Parse(args)
+	if *manifest == "" {
+		fatal(fmt.Errorf("-manifest is required"))
+	}
+	man, err := rsse.ReadClusterManifest(*manifest)
+	if err != nil {
+		fatal(err)
+	}
+	keyHex, err := os.ReadFile(*keyfile)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(keyHex)))
+	if err != nil {
+		fatal(fmt.Errorf("keyfile: %w", err))
+	}
+	opts := []rsse.ClusterOption{rsse.WithClusterWorkers(*workers)}
+	if *partial {
+		opts = append(opts, rsse.WithPartialResults())
+	}
+
+	var cluster *rsse.Cluster
+	remote := *addr != ""
+	for _, s := range man.Shards {
+		remote = remote || s.Addr != ""
+	}
+	if remote {
+		cluster, err = rsse.DialCluster("tcp", *addr, man, key, opts...)
+	} else {
+		dir := filepath.Dir(*manifest)
+		cluster, err = rsse.OpenCluster(man, key, func(i int, info rsse.ClusterShardInfo) (*rsse.Index, error) {
+			return rsse.OpenIndexFile(filepath.Join(dir, info.Name+".idx"), *engine)
+		}, opts...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+
+	q := rsse.Range{Lo: *lo, Hi: *hi}
+	res, err := cluster.Query(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query %v over %d shards: %d matches (%d sub-queries, %d tokens, %d token bytes, %d false positives dropped)\n",
+		q, cluster.Shards(), len(res.Matches), len(res.Shards),
+		res.Stats.Tokens, res.Stats.TokenBytes, res.Stats.FalsePositives)
+	for _, s := range res.Shards {
+		status := "ok"
+		if s.Err != nil {
+			status = "FAILED: " + s.Err.Error()
+		}
+		fmt.Printf("  shard %d %v: %d matches, %d tokens  [%s]\n",
+			s.Shard, s.Range, s.Stats.Matches, s.Stats.Tokens, status)
+	}
+	for _, id := range res.Matches {
+		if *payloads {
+			tup, err := cluster.FetchTuple(id)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %d\t%d\t%s\n", tup.ID, tup.Value, tup.Payload)
+		} else {
+			fmt.Printf("  %d\n", id)
+		}
+	}
 }
 
 // stats opens an index file on the chosen storage engine and prints its

@@ -16,6 +16,13 @@
 // A corrupt or unreadable file in the directory is logged and skipped —
 // one bad index never takes the others down.
 //
+// A directory produced by rsse-owner shard build serves a whole cluster:
+// each shard file loads as an ordinary named index (users-shard-0, ...),
+// and any *.cluster.json manifest found alongside is summarized at
+// startup — including shards the manifest pins to other servers, which
+// is how one cluster spreads across a fleet. The server needs no shard
+// configuration; the owner's manifest carries the topology.
+//
 // Indexes load onto the read-optimized "sorted" storage engine by
 // default. With -storage disk the server memory-maps v2 index files and
 // serves them in place: directory mode then defers each file's open to
@@ -91,6 +98,7 @@ func main() {
 		if len(reg.Names()) == 0 {
 			fatal(fmt.Errorf("no loadable .idx files in %s", *dir))
 		}
+		logClusters(*dir, reg)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -158,6 +166,50 @@ func registerLazy(reg *rsse.Registry, name, path, engine string) error {
 	fmt.Printf("rsse-server: %-20q %v  %d tuples  registered lazily (opens on first query)\n",
 		name, meta.Kind, meta.N)
 	return nil
+}
+
+// logClusters reports the sharded-cluster topology of a served
+// directory: every *.cluster.json manifest written by rsse-owner shard
+// build is summarized, noting shards whose index files are missing
+// locally (they may legitimately live on another server of the fleet —
+// the manifest's shard→addr table routes owners there). The server
+// needs no cluster configuration to serve shards: each shard is an
+// ordinary named index.
+func logClusters(dir string, reg *rsse.Registry) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	served := make(map[string]bool)
+	for _, name := range reg.Names() {
+		served[name] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".cluster.json") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		man, err := rsse.ReadClusterManifest(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsse-server: ignoring manifest %s: %v\n", path, err)
+			continue
+		}
+		local := 0
+		var missing []string
+		for _, s := range man.Shards {
+			if served[s.Name] {
+				local++
+			} else if s.Addr == "" {
+				missing = append(missing, s.Name)
+			}
+		}
+		fmt.Printf("rsse-server: cluster %-14q %s  domain 2^%d  %d shards (%d served here)\n",
+			strings.TrimSuffix(e.Name(), ".cluster.json"), man.Kind, man.DomainBits, len(man.Shards), local)
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "rsse-server: cluster %s: shards not served here and not pinned elsewhere: %s\n",
+				e.Name(), strings.Join(missing, ", "))
+		}
+	}
 }
 
 // logLoaded prints one loaded index's operational profile: name, scheme,

@@ -67,4 +67,25 @@
 // one process can front a directory holding far more index bytes than
 // RAM. Index.Stats and Registry.Stats report per-index sizing for
 // operators.
+//
+// # Sharded clusters
+//
+// Past one machine's capacity, a Cluster range-partitions the domain
+// into k contiguous shards — each an independent index under an
+// independently derived key, so a compromised shard key exposes only
+// its slice of the domain. Queries split at shard boundaries, run
+// concurrently, and merge into one result:
+//
+//	cluster, err := rsse.BuildCluster(rsse.LogarithmicSRCi, 20, 4, tuples)
+//	res, err := cluster.Query(rsse.Range{Lo: 500, Hi: 1500})
+//
+// BuildCluster accepts WithQuantileSplit (skew-aware shard boundaries),
+// WithPartialResults (degrade instead of failing when a shard is down),
+// WithClusterWorkers, WithClusterKey and WithShardOptions. The cluster
+// round-trips through a key-free ClusterManifest: OpenCluster reopens
+// shards from files, DialCluster connects to remotely served shards via
+// a static shard→address table, and ShardedDynamic routes forward-
+// private updates to the shard owning each value. QueryContext cancels
+// an in-flight scatter; ClusterResult reports per-shard cost, leakage
+// and errors alongside the merged Result.
 package rsse

@@ -1,8 +1,13 @@
 package rsse
 
 import (
+	"context"
+	"fmt"
+
 	"rsse/internal/cover"
 	"rsse/internal/lsm"
+	"rsse/internal/prf"
+	"rsse/internal/shard"
 )
 
 // Dynamic is the updatable store of Section 7: updates are buffered into
@@ -46,6 +51,23 @@ func NewDynamic(kind Kind, domainBits uint8, consolidationStep int, opts ...Opti
 		return nil, err
 	}
 	inner, err := lsm.NewManager(kind, dom, consolidationStep, lowered)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{inner: inner}, nil
+}
+
+// newDynamicWithMaster is NewDynamic with the epoch-key master fixed —
+// the sharded store derives one master per shard from its cluster key.
+func newDynamicWithMaster(kind Kind, dom cover.Domain, consolidationStep int, master prf.Key, opts []Option) (*Dynamic, error) {
+	if consolidationStep == 0 {
+		consolidationStep = DefaultConsolidationStep
+	}
+	lowered, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := lsm.NewManagerWithMaster(kind, dom, consolidationStep, master, lowered)
 	if err != nil {
 		return nil, err
 	}
@@ -96,3 +118,172 @@ func (d *Dynamic) Batches() uint64 { return d.inner.Batches() }
 
 // TotalIndexSize sums the serialized sizes of all active indexes.
 func (d *Dynamic) TotalIndexSize() int { return d.inner.TotalIndexSize() }
+
+// ShardedDynamic range-partitions an updatable store: each shard runs
+// its own Dynamic LSM (own epochs, own derived keys), and every update
+// routes to the shard owning the tuple's value. A modification whose old
+// and new values live on different shards splits into a tombstone on the
+// old owner and an insertion on the new one — the cross-shard move is
+// two ordinary single-shard updates, so per-shard forward privacy is
+// untouched.
+//
+// Like Dynamic, a ShardedDynamic is not safe for concurrent use; its
+// queries still fan out over the shards in parallel internally.
+type ShardedDynamic struct {
+	m      shard.Map
+	stores []*Dynamic
+}
+
+// NewShardedDynamic creates a sharded updatable store with the given
+// number of equal-width shards. consolidationStep and opts apply to
+// every shard's LSM; each shard's epoch keys derive from its own master,
+// itself derived from a fresh cluster key.
+func NewShardedDynamic(kind Kind, domainBits uint8, shards, consolidationStep int, opts ...Option) (*ShardedDynamic, error) {
+	dom, err := cover.NewDomain(domainBits)
+	if err != nil {
+		return nil, err
+	}
+	m, err := shard.EqualWidth(dom, shards)
+	if err != nil {
+		return nil, err
+	}
+	master, err := prf.NewKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	d := &ShardedDynamic{m: m, stores: make([]*Dynamic, m.K())}
+	for i := range d.stores {
+		shardMaster := prf.DeriveN(master, "cluster/dynamic", uint64(i))
+		d.stores[i], err = newDynamicWithMaster(kind, dom, consolidationStep, shardMaster, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Shards returns the number of shards.
+func (d *ShardedDynamic) Shards() int { return d.m.K() }
+
+// ShardRange returns the closed value interval shard i owns.
+func (d *ShardedDynamic) ShardRange(i int) Range { return d.m.ShardRange(i) }
+
+// ShardOf returns the shard that owns value v.
+func (d *ShardedDynamic) ShardOf(v Value) int { return d.m.Owner(v) }
+
+// Insert buffers a tuple insertion on the shard owning value.
+func (d *ShardedDynamic) Insert(id ID, value Value, payload []byte) {
+	d.stores[d.m.Owner(value)].Insert(id, value, payload)
+}
+
+// Delete buffers a deletion on the shard owning the victim's current
+// value (the tombstone must land where the insertion lives).
+func (d *ShardedDynamic) Delete(id ID, value Value) {
+	d.stores[d.m.Owner(value)].Delete(id, value)
+}
+
+// Modify buffers a value/payload change. When both values belong to one
+// shard this is that shard's ordinary modify; across shards it becomes a
+// tombstone on the old owner plus an insertion on the new one.
+func (d *ShardedDynamic) Modify(id ID, oldValue, newValue Value, payload []byte) {
+	oldShard, newShard := d.m.Owner(oldValue), d.m.Owner(newValue)
+	if oldShard == newShard {
+		d.stores[oldShard].Modify(id, oldValue, newValue, payload)
+		return
+	}
+	d.stores[oldShard].Delete(id, oldValue)
+	d.stores[newShard].Insert(id, newValue, payload)
+}
+
+// Flush seals every shard's pending batch. Shards with nothing pending
+// are untouched — flushing is per shard, so a hot shard's epochs grow
+// independently of a cold one's.
+func (d *ShardedDynamic) Flush() error {
+	for i, s := range d.stores {
+		if err := s.Flush(); err != nil {
+			return fmt.Errorf("rsse: flushing shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FullConsolidate rebuilds every shard into a single index each.
+func (d *ShardedDynamic) FullConsolidate() error {
+	for i, s := range d.stores {
+		if err := s.FullConsolidate(); err != nil {
+			return fmt.Errorf("rsse: consolidating shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Query splits the range at shard boundaries, runs the per-shard LSM
+// fan-out queries concurrently through the same scatter-gather engine
+// cluster queries use (each shard's stores are independent), and merges
+// the live tuples and stats.
+func (d *ShardedDynamic) Query(q Range) ([]Tuple, UpdateStats, error) {
+	if err := d.m.Domain().CheckRange(q.Lo, q.Hi); err != nil {
+		return nil, UpdateStats{}, err
+	}
+	type answer struct {
+		tuples []Tuple
+		stats  UpdateStats
+	}
+	outcomes, err := shard.Run(context.Background(), shard.Executor{}, d.m.Split(q),
+		func(_ context.Context, t shard.Task) (answer, error) {
+			tuples, stats, err := d.stores[t.Shard].Query(t.Range)
+			return answer{tuples: tuples, stats: stats}, err
+		})
+	if err != nil {
+		return nil, UpdateStats{}, fmt.Errorf("rsse: sharded query: %w", err)
+	}
+	var (
+		out   []Tuple
+		stats UpdateStats
+	)
+	for _, o := range outcomes {
+		out = append(out, o.Res.tuples...)
+		stats.Indexes += o.Res.stats.Indexes
+		stats.Tokens += o.Res.stats.Tokens
+		stats.TokenBytes += o.Res.stats.TokenBytes
+		stats.Raw += o.Res.stats.Raw
+		stats.FalsePositives += o.Res.stats.FalsePositives
+	}
+	return out, stats, nil
+}
+
+// Pending sums the buffered, unflushed operations across shards.
+func (d *ShardedDynamic) Pending() int {
+	n := 0
+	for _, s := range d.stores {
+		n += s.Pending()
+	}
+	return n
+}
+
+// ActiveIndexes sums the active indexes across shards.
+func (d *ShardedDynamic) ActiveIndexes() int {
+	n := 0
+	for _, s := range d.stores {
+		n += s.ActiveIndexes()
+	}
+	return n
+}
+
+// Batches sums the flushed batches across shards.
+func (d *ShardedDynamic) Batches() uint64 {
+	var n uint64
+	for _, s := range d.stores {
+		n += s.Batches()
+	}
+	return n
+}
+
+// TotalIndexSize sums the serialized index sizes across shards.
+func (d *ShardedDynamic) TotalIndexSize() int {
+	n := 0
+	for _, s := range d.stores {
+		n += s.TotalIndexSize()
+	}
+	return n
+}

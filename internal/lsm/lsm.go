@@ -78,12 +78,21 @@ type Manager struct {
 // merge); opts configures every per-epoch client (its MasterKey field is
 // ignored — each epoch derives a fresh key from the manager's master).
 func NewManager(kind core.Kind, dom cover.Domain, step int, opts core.Options) (*Manager, error) {
-	if step < 2 {
-		return nil, ErrBadStep
-	}
 	master, err := prf.NewKey(nil)
 	if err != nil {
 		return nil, err
+	}
+	return NewManagerWithMaster(kind, dom, step, master, opts)
+}
+
+// NewManagerWithMaster is NewManager with the manager's master key fixed
+// by the caller instead of drawn at random. A sharded deployment derives
+// one master per shard from a cluster key, so every shard's epochs are
+// independently keyed yet the whole cluster's update state re-creates
+// from a single secret.
+func NewManagerWithMaster(kind core.Kind, dom cover.Domain, step int, master prf.Key, opts core.Options) (*Manager, error) {
+	if step < 2 {
+		return nil, ErrBadStep
 	}
 	return &Manager{kind: kind, dom: dom, step: step, master: master, opts: opts}, nil
 }

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrAllShardsFailed is returned by a Partial-policy run in which not a
+// single shard produced a result.
+var ErrAllShardsFailed = errors.New("shard: every shard query failed")
+
+// Policy selects how a scatter-gather run reacts to a failing shard.
+type Policy int
+
+const (
+	// FailFast cancels the remaining sub-queries on the first error and
+	// reports it — the default, right for strict-consistency callers.
+	FailFast Policy = iota
+	// Partial lets the other sub-queries finish and reports per-shard
+	// errors alongside the partial results — right for callers that
+	// prefer a degraded answer over none (the caller can see exactly
+	// which domain slices are missing).
+	Partial
+)
+
+// Outcome is one sub-query's result: the task it ran, and either a
+// result or an error (a task cancelled before running carries the
+// context's error).
+type Outcome[T any] struct {
+	Task Task
+	Res  T
+	Err  error
+}
+
+// Executor configures a scatter-gather run (see Run). The zero value
+// runs every task in its own goroutine with the FailFast policy.
+type Executor struct {
+	// Workers bounds the number of concurrently running sub-queries;
+	// 0 means one worker per task.
+	Workers int
+	// Policy selects the error handling (FailFast or Partial).
+	Policy Policy
+}
+
+// Run executes every task via run over e's bounded worker pool and
+// returns the outcomes in task order. Under FailFast the first
+// sub-query error cancels the rest and is returned; under Partial all
+// tasks run and the error is nil unless every shard failed.
+//
+// Cancelling ctx aborts the run either way, and Run returns promptly
+// with ctx's error even if a sub-query is blocked inside run (stuck on
+// network I/O, say): the stragglers are abandoned to their goroutines,
+// which drain in the background, and the partially written outcomes are
+// discarded.
+func Run[T any](ctx context.Context, e Executor, tasks []Task, run func(context.Context, Task) (T, error)) ([]Outcome[T], error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.Workers
+	if workers <= 0 || workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	outcomes := make([]Outcome[T], len(tasks))
+	next := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t := tasks[i]
+				if err := ctx.Err(); err != nil {
+					outcomes[i] = Outcome[T]{Task: t, Err: err}
+					continue
+				}
+				res, err := run(ctx, t)
+				outcomes[i] = Outcome[T]{Task: t, Res: res, Err: err}
+				if err != nil && e.Policy == FailFast {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer wg.Wait()
+		defer close(next)
+		for i := range tasks {
+			select {
+			case next <- i:
+			case <-parent.Done():
+				return // undispatched tasks are dropped; outcomes discarded below
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-parent.Done():
+		// The caller's context expired while sub-queries were still in
+		// flight. Do not wait for them — a hung shard must not pin the
+		// caller — and do not hand back outcomes the stragglers may still
+		// be writing.
+		return nil, parent.Err()
+	}
+
+	if firstErr != nil {
+		return outcomes, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	if e.Policy == Partial {
+		failed := 0
+		for _, o := range outcomes {
+			if o.Err != nil {
+				failed++
+			}
+		}
+		if failed == len(outcomes) {
+			return outcomes, ErrAllShardsFailed
+		}
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,15 @@
+package shard
+
+import "rsse/internal/prf"
+
+// ClientKey derives shard i's 32-byte master key from the cluster master
+// key. Every shard's index is built and queried under its own derived
+// key: compromising one shard's key (or the server holding its index)
+// exposes at most that shard's slice of the domain, and the derivation
+// is deterministic, so an owner holding only the cluster master key can
+// re-create every shard client — for building, for dialing a remote
+// cluster, or for disaster recovery — without storing k keys.
+func ClientKey(master prf.Key, shard int) []byte {
+	k := prf.DeriveN(master, "cluster/shard", uint64(shard))
+	return k[:]
+}

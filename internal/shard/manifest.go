@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+)
+
+// Manifest is the serializable topology of a sharded cluster: which
+// scheme and domain it was built for and, per shard, the registry name
+// its index is served under, the value interval it owns, and optionally
+// the address of the server holding it. The manifest contains no key
+// material — it is exactly what an operator may write to disk next to
+// the shard index files and hand to a server fleet.
+type Manifest struct {
+	// Kind is the scheme name as printed by core.Kind.String.
+	Kind string `json:"kind"`
+	// DomainBits is the exponent of the full (pre-split) domain.
+	DomainBits uint8 `json:"domain_bits"`
+	// Shards lists the shards in ascending value order.
+	Shards []ShardInfo `json:"shards"`
+}
+
+// ShardInfo describes one shard of a cluster.
+type ShardInfo struct {
+	// Name is the registry name the shard's index is served under (and,
+	// by the CLI convention, its file basename: <name>.idx).
+	Name string `json:"name"`
+	// Lo and Hi bound the closed value interval the shard owns.
+	Lo core.Value `json:"lo"`
+	Hi core.Value `json:"hi"`
+	// Addr optionally pins the shard to a specific server address;
+	// empty means "wherever the caller's default server is".
+	Addr string `json:"addr,omitempty"`
+}
+
+// NewManifest records a cluster's topology, naming shard i
+// ShardName(base, i).
+func NewManifest(kind core.Kind, m Map, base string) Manifest {
+	man := Manifest{Kind: kind.String(), DomainBits: m.Domain().Bits}
+	for i := 0; i < m.K(); i++ {
+		r := m.ShardRange(i)
+		man.Shards = append(man.Shards, ShardInfo{Name: ShardName(base, i), Lo: r.Lo, Hi: r.Hi})
+	}
+	return man
+}
+
+// ShardName is the conventional registry name of shard i of a cluster:
+// "<base>-shard-<i>". rsse-server's directory mode serves a file named
+// "<base>-shard-<i>.idx" under exactly this name, so a manifest written
+// next to the shard files resolves against it with no extra wiring.
+func ShardName(base string, i int) string { return fmt.Sprintf("%s-shard-%d", base, i) }
+
+// KindValue parses the manifest's scheme name.
+func (m Manifest) KindValue() (core.Kind, error) { return core.KindByName(m.Kind) }
+
+// MapValue reconstructs the shard map the manifest describes, validating
+// that the shards tile the domain contiguously.
+func (m Manifest) MapValue() (Map, error) {
+	dom, err := cover.NewDomain(m.DomainBits)
+	if err != nil {
+		return Map{}, err
+	}
+	starts := make([]core.Value, len(m.Shards))
+	for i, s := range m.Shards {
+		starts[i] = s.Lo
+	}
+	sm, err := FromStarts(dom, starts)
+	if err != nil {
+		return Map{}, err
+	}
+	for i, s := range m.Shards {
+		if got := sm.ShardRange(i); got != (core.Range{Lo: s.Lo, Hi: s.Hi}) {
+			return Map{}, fmt.Errorf("shard: manifest shard %d interval %v does not tile the domain (want %v)", i, core.Range{Lo: s.Lo, Hi: s.Hi}, got)
+		}
+	}
+	return sm, nil
+}
+
+// WriteFile serializes the manifest as indented JSON to path.
+func (m Manifest) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (Manifest, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return Manifest{}, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	if len(m.Shards) == 0 {
+		return Manifest{}, fmt.Errorf("shard: manifest %s lists no shards", path)
+	}
+	return m, nil
+}

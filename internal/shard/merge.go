@@ -1,0 +1,42 @@
+package shard
+
+import "rsse/internal/core"
+
+// Merge folds per-shard query outcomes into one result, exactly as if a
+// single index had answered the whole range. Shards partition the value
+// domain, so match sets are disjoint and concatenation (in ascending
+// shard order — the outcomes' order) is the correct union.
+//
+// Stats aggregate as: token/response/match counters sum; Rounds is the
+// maximum over shards (rounds overlap in time); Groups and TokenLevels
+// concatenate (the structural leakage of the whole scatter); ServerTime
+// and OwnerTime sum, giving total work rather than wall clock — the
+// executor overlaps shards, so wall clock is roughly the slowest shard.
+// Outcomes with no result (failed or cancelled shards) contribute
+// nothing; callers choosing the Partial policy surface them separately.
+func Merge(outcomes []Outcome[*core.Result]) *core.Result {
+	merged := &core.Result{}
+	for _, o := range outcomes {
+		if o.Res == nil {
+			continue
+		}
+		r := o.Res
+		merged.Matches = append(merged.Matches, r.Matches...)
+		merged.Raw = append(merged.Raw, r.Raw...)
+		s, t := &merged.Stats, r.Stats
+		if t.Rounds > s.Rounds {
+			s.Rounds = t.Rounds
+		}
+		s.Tokens += t.Tokens
+		s.TokenBytes += t.TokenBytes
+		s.ResponseItems += t.ResponseItems
+		s.Raw += t.Raw
+		s.Matches += t.Matches
+		s.FalsePositives += t.FalsePositives
+		s.Groups = append(s.Groups, t.Groups...)
+		s.TokenLevels = append(s.TokenLevels, t.TokenLevels...)
+		s.ServerTime += t.ServerTime
+		s.OwnerTime += t.OwnerTime
+	}
+	return merged
+}

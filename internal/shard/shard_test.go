@@ -1,0 +1,454 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	mrand "math/rand"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+	"rsse/internal/prf"
+)
+
+func dom(t *testing.T, bits uint8) cover.Domain {
+	t.Helper()
+	d, err := cover.NewDomain(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEqualWidthTilesDomain(t *testing.T) {
+	for _, bits := range []uint8{1, 4, 10, 20} {
+		d := dom(t, bits)
+		for _, k := range []int{1, 2, 3, 4, 7} {
+			if uint64(k) > d.Size() {
+				continue
+			}
+			m, err := EqualWidth(d, k)
+			if err != nil {
+				t.Fatalf("bits=%d k=%d: %v", bits, k, err)
+			}
+			if m.K() != k {
+				t.Fatalf("bits=%d k=%d: K=%d", bits, k, m.K())
+			}
+			// Shards tile the domain contiguously from 0 to size-1.
+			want := core.Value(0)
+			for i := 0; i < k; i++ {
+				r := m.ShardRange(i)
+				if r.Lo != want {
+					t.Fatalf("bits=%d k=%d shard %d: Lo=%d want %d", bits, k, i, r.Lo, want)
+				}
+				if r.Hi < r.Lo {
+					t.Fatalf("bits=%d k=%d shard %d: empty range %v", bits, k, i, r)
+				}
+				want = r.Hi + 1
+			}
+			if want != d.Size() {
+				t.Fatalf("bits=%d k=%d: shards end at %d, domain size %d", bits, k, want, d.Size())
+			}
+			// Widths are near-equal: max-min <= 1.
+			minW, maxW := uint64(1)<<62, uint64(0)
+			for i := 0; i < k; i++ {
+				w := m.ShardRange(i).Size()
+				if w < minW {
+					minW = w
+				}
+				if w > maxW {
+					maxW = w
+				}
+			}
+			if maxW-minW > 1 {
+				t.Fatalf("bits=%d k=%d: widths %d..%d", bits, k, minW, maxW)
+			}
+		}
+	}
+	if _, err := EqualWidth(dom(t, 2), 5); err == nil {
+		t.Fatal("k > domain size accepted")
+	}
+	if _, err := EqualWidth(dom(t, 2), 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}
+
+func TestOwnerMatchesShardRange(t *testing.T) {
+	d := dom(t, 12)
+	rnd := mrand.New(mrand.NewSource(1))
+	for _, k := range []int{1, 2, 5, 16} {
+		m, _ := EqualWidth(d, k)
+		for trial := 0; trial < 500; trial++ {
+			v := rnd.Uint64() % d.Size()
+			s := m.Owner(v)
+			if r := m.ShardRange(s); !r.Contains(v) {
+				t.Fatalf("k=%d: Owner(%d)=%d but shard range %v", k, v, s, r)
+			}
+		}
+		// Boundary values.
+		for i := 0; i < k; i++ {
+			r := m.ShardRange(i)
+			if m.Owner(r.Lo) != i || m.Owner(r.Hi) != i {
+				t.Fatalf("k=%d shard %d: boundary ownership wrong", k, i)
+			}
+		}
+	}
+}
+
+func TestSplitCoversQueryExactly(t *testing.T) {
+	d := dom(t, 10)
+	rnd := mrand.New(mrand.NewSource(2))
+	for _, k := range []int{1, 3, 8} {
+		m, _ := EqualWidth(d, k)
+		for trial := 0; trial < 300; trial++ {
+			lo := rnd.Uint64() % d.Size()
+			hi := lo + rnd.Uint64()%(d.Size()-lo)
+			q := core.Range{Lo: lo, Hi: hi}
+			tasks := m.Split(q)
+			if len(tasks) == 0 {
+				t.Fatalf("k=%d: no tasks for %v", k, q)
+			}
+			// Sub-ranges tile q exactly, each inside its shard.
+			want := q.Lo
+			for _, task := range tasks {
+				if task.Range.Lo != want {
+					t.Fatalf("k=%d q=%v: gap before %v", k, q, task.Range)
+				}
+				sr := m.ShardRange(task.Shard)
+				if task.Range.Lo < sr.Lo || task.Range.Hi > sr.Hi {
+					t.Fatalf("k=%d: task %v outside shard range %v", k, task, sr)
+				}
+				want = task.Range.Hi + 1
+			}
+			if want != q.Hi+1 {
+				t.Fatalf("k=%d q=%v: tasks end at %d", k, q, want-1)
+			}
+		}
+		// A degenerate single-value query yields exactly one task.
+		if got := m.Split(core.Range{Lo: 17, Hi: 17}); len(got) != 1 {
+			t.Fatalf("k=%d: single-value query split into %d tasks", k, len(got))
+		}
+	}
+}
+
+func TestQuantilesBalancesSkew(t *testing.T) {
+	d := dom(t, 16)
+	// Heavily skewed data: 90% of values in the bottom 1% of the domain.
+	rnd := mrand.New(mrand.NewSource(3))
+	values := make([]core.Value, 10000)
+	for i := range values {
+		if i%10 != 0 {
+			values[i] = rnd.Uint64() % (d.Size() / 100)
+		} else {
+			values[i] = rnd.Uint64() % d.Size()
+		}
+	}
+	m, err := Quantiles(d, 4, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() < 2 {
+		t.Fatalf("quantile split collapsed to %d shards", m.K())
+	}
+	counts := make([]int, m.K())
+	for _, v := range values {
+		counts[m.Owner(v)]++
+	}
+	for i, c := range counts {
+		if c > 2*len(values)/m.K() {
+			t.Fatalf("shard %d holds %d of %d tuples despite quantile split (counts %v)", i, c, len(values), counts)
+		}
+	}
+	// Equal-width on the same data concentrates nearly everything in
+	// shard 0 — the imbalance quantile splitting exists to fix.
+	ew, _ := EqualWidth(d, 4)
+	ewCounts := make([]int, 4)
+	for _, v := range values {
+		ewCounts[ew.Owner(v)]++
+	}
+	if ewCounts[0] < 8*len(values)/10 {
+		t.Fatalf("test premise broken: equal-width counts %v not skewed", ewCounts)
+	}
+}
+
+func TestQuantilesCollapsesTies(t *testing.T) {
+	d := dom(t, 8)
+	values := make([]core.Value, 100) // all zero
+	m, err := Quantiles(d, 4, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Fatalf("all-equal values split into %d shards", m.K())
+	}
+}
+
+func TestFromStartsValidation(t *testing.T) {
+	d := dom(t, 8)
+	if _, err := FromStarts(d, nil); err == nil {
+		t.Fatal("empty starts accepted")
+	}
+	if _, err := FromStarts(d, []core.Value{1, 5}); err == nil {
+		t.Fatal("nonzero first start accepted")
+	}
+	if _, err := FromStarts(d, []core.Value{0, 5, 5}); err == nil {
+		t.Fatal("non-increasing starts accepted")
+	}
+	if _, err := FromStarts(d, []core.Value{0, 300}); err == nil {
+		t.Fatal("out-of-domain start accepted")
+	}
+	m, err := FromStarts(d, []core.Value{0, 100, 200})
+	if err != nil || m.K() != 3 {
+		t.Fatalf("valid starts rejected: %v", err)
+	}
+	if r := m.ShardRange(2); r.Hi != d.Size()-1 {
+		t.Fatalf("last shard ends at %d", r.Hi)
+	}
+}
+
+func TestExecutorRunsAllTasks(t *testing.T) {
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		tasks[i] = Task{Shard: i}
+	}
+	var ran atomic.Int32
+	out, err := Run(context.Background(), Executor{Workers: 4}, tasks,
+		func(ctx context.Context, tk Task) (*core.Result, error) {
+			ran.Add(1)
+			return &core.Result{Matches: []core.ID{core.ID(tk.Shard)}}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(ran.Load()) != len(tasks) || len(out) != len(tasks) {
+		t.Fatalf("ran %d of %d", ran.Load(), len(tasks))
+	}
+	for i, o := range out {
+		if o.Task.Shard != i || o.Res == nil || o.Res.Matches[0] != core.ID(i) {
+			t.Fatalf("outcome %d out of order: %+v", i, o)
+		}
+	}
+}
+
+func TestExecutorBoundsConcurrency(t *testing.T) {
+	tasks := make([]Task, 16)
+	var cur, peak atomic.Int32
+	_, err := Run(context.Background(), Executor{Workers: 3}, tasks,
+		func(ctx context.Context, tk Task) (*core.Result, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return &core.Result{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestExecutorFailFastCancels(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := make([]Task, 50)
+	for i := range tasks {
+		tasks[i] = Task{Shard: i}
+	}
+	var ran atomic.Int32
+	out, err := Run(context.Background(), Executor{Workers: 2, Policy: FailFast}, tasks,
+		func(ctx context.Context, tk Task) (*core.Result, error) {
+			ran.Add(1)
+			if tk.Shard == 0 {
+				return nil, boom
+			}
+			time.Sleep(time.Millisecond)
+			return &core.Result{}, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cancellation must have spared most of the tail.
+	if int(ran.Load()) == len(tasks) {
+		t.Error("fail-fast ran every task")
+	}
+	cancelled := 0
+	for _, o := range out {
+		if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no outcome records the cancellation")
+	}
+}
+
+func TestExecutorPartialCollects(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []Task{{Shard: 0}, {Shard: 1}, {Shard: 2}}
+	out, err := Run(context.Background(), Executor{Policy: Partial}, tasks,
+		func(ctx context.Context, tk Task) (*core.Result, error) {
+			if tk.Shard == 1 {
+				return nil, boom
+			}
+			return &core.Result{Matches: []core.ID{core.ID(tk.Shard)}}, nil
+		})
+	if err != nil {
+		t.Fatalf("partial run failed: %v", err)
+	}
+	if out[0].Err != nil || out[2].Err != nil || !errors.Is(out[1].Err, boom) {
+		t.Fatalf("outcomes %+v", out)
+	}
+	merged := Merge(out)
+	if len(merged.Matches) != 2 {
+		t.Fatalf("merged matches %v", merged.Matches)
+	}
+	// All shards failing is an error even under Partial.
+	_, err = Run(context.Background(), Executor{Policy: Partial}, tasks,
+		func(ctx context.Context, tk Task) (*core.Result, error) { return nil, boom })
+	if !errors.Is(err, ErrAllShardsFailed) {
+		t.Fatalf("all-failed error = %v", err)
+	}
+}
+
+func TestExecutorHonorsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tasks := []Task{{Shard: 0}, {Shard: 1}}
+	_, err := Run(ctx, Executor{}, tasks,
+		func(ctx context.Context, tk Task) (*core.Result, error) { return &core.Result{}, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestExecutorAbandonsHungTask: an expired caller context must free the
+// caller promptly even when a sub-query is stuck inside run (network
+// I/O that ignores cancellation); the straggler drains in the
+// background.
+func TestExecutorAbandonsHungTask(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	block := make(chan struct{})
+	defer close(block) // release the straggler goroutine at test end
+	tasks := []Task{{Shard: 0}, {Shard: 1}}
+	start := time.Now()
+	_, err := Run(ctx, Executor{}, tasks,
+		func(ctx context.Context, tk Task) (*core.Result, error) {
+			if tk.Shard == 0 {
+				<-block
+			}
+			return &core.Result{}, nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("Run pinned the caller for %v behind a hung sub-query", waited)
+	}
+}
+
+func TestMergeAggregatesStats(t *testing.T) {
+	outcomes := []Outcome[*core.Result]{
+		{Res: &core.Result{
+			Matches: []core.ID{1, 2}, Raw: []core.ID{1, 2, 9},
+			Stats: core.QueryStats{Rounds: 1, Tokens: 3, TokenBytes: 96, Raw: 3,
+				Matches: 2, FalsePositives: 1, Groups: []int{2, 1}, ResponseItems: 3},
+		}},
+		{Err: errors.New("down")}, // contributes nothing
+		{Res: &core.Result{
+			Matches: []core.ID{7}, Raw: []core.ID{7},
+			Stats: core.QueryStats{Rounds: 2, Tokens: 2, TokenBytes: 64, Raw: 1,
+				Matches: 1, Groups: []int{1}, ResponseItems: 2},
+		}},
+	}
+	m := Merge(outcomes)
+	if len(m.Matches) != 3 || len(m.Raw) != 4 {
+		t.Fatalf("merged sets: %v / %v", m.Matches, m.Raw)
+	}
+	s := m.Stats
+	if s.Rounds != 2 || s.Tokens != 5 || s.TokenBytes != 160 || s.Raw != 4 ||
+		s.Matches != 3 || s.FalsePositives != 1 || s.ResponseItems != 5 {
+		t.Fatalf("merged stats: %+v", s)
+	}
+	if len(s.Groups) != 3 {
+		t.Fatalf("merged groups: %v", s.Groups)
+	}
+}
+
+func TestClientKeyDerivation(t *testing.T) {
+	master, err := prf.NewKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k0b := ClientKey(master, 0), ClientKey(master, 0)
+	k1 := ClientKey(master, 1)
+	if len(k0) != 32 {
+		t.Fatalf("key length %d", len(k0))
+	}
+	if string(k0) != string(k0b) {
+		t.Fatal("derivation not deterministic")
+	}
+	if string(k0) == string(k1) {
+		t.Fatal("distinct shards share a key")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	d := dom(t, 16)
+	m, _ := EqualWidth(d, 4)
+	man := NewManifest(core.LogarithmicBRC, m, "users")
+	if len(man.Shards) != 4 || man.Shards[2].Name != "users-shard-2" {
+		t.Fatalf("manifest %+v", man)
+	}
+	path := filepath.Join(t.TempDir(), "users.cluster.json")
+	if err := man.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := got.KindValue()
+	if err != nil || kind != core.LogarithmicBRC {
+		t.Fatalf("kind %v %v", kind, err)
+	}
+	gotMap, err := got.MapValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMap.K() != 4 {
+		t.Fatalf("round-tripped K = %d", gotMap.K())
+	}
+	for i := 0; i < 4; i++ {
+		if gotMap.ShardRange(i) != m.ShardRange(i) {
+			t.Fatalf("shard %d range drifted", i)
+		}
+	}
+	// A manifest whose intervals do not tile the domain is rejected.
+	bad := man
+	bad.Shards = append([]ShardInfo(nil), man.Shards...)
+	bad.Shards[1].Hi += 5
+	if _, err := bad.MapValue(); err == nil {
+		t.Fatal("non-tiling manifest accepted")
+	}
+}
+
+func TestManifestShardNames(t *testing.T) {
+	for i, want := range []string{"t-shard-0", "t-shard-1"} {
+		if got := ShardName("t", i); got != want {
+			t.Fatalf("ShardName = %q, want %q", got, want)
+		}
+	}
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package transport
+
+import "sync"
+
+// Pool hands out one shared Conn per server address, dialing on first
+// use. A sharded cluster resolves its shards to (addr, index name)
+// pairs; shards co-located on one server then multiplex over a single
+// connection instead of opening k sockets to the same process. Pool is
+// safe for concurrent use.
+type Pool struct {
+	network string
+	dial    func(network, addr string) (*Conn, error)
+
+	mu    sync.Mutex
+	conns map[string]*Conn
+}
+
+// NewPool creates a pool dialing over the given network ("tcp", "unix").
+func NewPool(network string) *Pool {
+	return &Pool{network: network, dial: Dial, conns: make(map[string]*Conn)}
+}
+
+// NewPoolFunc creates a pool with a custom dialer — for tests and
+// in-process pipes.
+func NewPoolFunc(network string, dial func(network, addr string) (*Conn, error)) *Pool {
+	return &Pool{network: network, dial: dial, conns: make(map[string]*Conn)}
+}
+
+// Get returns the shared connection to addr, dialing it the first time.
+// A failed dial is not cached; the next Get retries.
+func (p *Pool) Get(addr string) (*Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := p.dial(p.network, addr)
+	if err != nil {
+		return nil, err
+	}
+	p.conns[addr] = c
+	return c, nil
+}
+
+// Close closes every pooled connection, returning the first error.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for addr, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(p.conns, addr)
+	}
+	return first
+}

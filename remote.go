@@ -3,6 +3,7 @@ package rsse
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 
@@ -175,6 +176,47 @@ func (r *RemoteIndex) Kind() (Kind, error) {
 		return 0, err
 	}
 	return meta.Kind, nil
+}
+
+// DialCluster connects a cluster built earlier (BuildCluster) to its
+// remotely served shards. Every shard resolves to a served-index name on
+// some server: the shard's Addr in the manifest when set, defaultAddr
+// otherwise — so one address serves a co-located cluster, and a static
+// shard→addr table spreads shards across machines. Shards sharing an
+// address multiplex over one connection. The master key must be the one
+// the cluster was built with (Cluster.MasterKey); the manifest itself
+// carries no secrets.
+//
+// Close the returned cluster to drop the connections.
+func DialCluster(network, defaultAddr string, man ClusterManifest, masterKey []byte, opts ...ClusterOption) (*Cluster, error) {
+	return dialCluster(man, masterKey, opts, transport.NewPool(network), defaultAddr)
+}
+
+// dialCluster resolves every shard through the pool — shared with tests,
+// which dial in-process pipes instead of TCP.
+func dialCluster(man ClusterManifest, masterKey []byte, opts []ClusterOption, pool *transport.Pool, defaultAddr string) (*Cluster, error) {
+	c, err := clusterFromManifest(man, masterKey, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.closers = append(c.closers, pool)
+	for i, info := range man.Shards {
+		addr := info.Addr
+		if addr == "" {
+			addr = defaultAddr
+		}
+		if addr == "" {
+			c.Close()
+			return nil, fmt.Errorf("rsse: shard %d (%s) has no address and no default was given", i, info.Name)
+		}
+		conn, err := pool.Get(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("rsse: dialing shard %d (%s) at %s: %w", i, info.Name, addr, err)
+		}
+		c.targets[i] = conn.Index(info.Name)
+	}
+	return c, nil
 }
 
 // QueryRemote runs the full query protocol against a remote index — the

@@ -309,6 +309,109 @@ func TestDynamicThroughPublicAPI(t *testing.T) {
 	}
 }
 
+func TestShardedDynamicThroughPublicAPI(t *testing.T) {
+	d, err := rsse.NewShardedDynamic(rsse.LogarithmicBRC, 12, 4, 0, rsse.WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Shards() != 4 {
+		t.Fatalf("Shards = %d", d.Shards())
+	}
+	// One tuple per shard, ids 1..4.
+	for i := 0; i < 4; i++ {
+		r := d.ShardRange(i)
+		d.Insert(uint64(i+1), r.Lo+1, []byte{byte(i)})
+	}
+	if d.Pending() != 4 {
+		t.Fatalf("Pending = %d", d.Pending())
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := rsse.Range{Lo: 0, Hi: 4095}
+	tuples, stats, err := d.Query(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 4 {
+		t.Fatalf("query = %d tuples", len(tuples))
+	}
+	if stats.Indexes != d.ActiveIndexes() {
+		t.Errorf("stats.Indexes = %d, active = %d", stats.Indexes, d.ActiveIndexes())
+	}
+
+	// Cross-shard modify: tuple 1 moves from shard 0 to shard 3.
+	oldVal := d.ShardRange(0).Lo + 1
+	newVal := d.ShardRange(3).Lo + 7
+	if d.ShardOf(oldVal) == d.ShardOf(newVal) {
+		t.Fatal("test premise: values on distinct shards")
+	}
+	d.Modify(1, oldVal, newVal, []byte("moved"))
+	// Same-shard modify: tuple 2 moves within shard 1.
+	d.Modify(2, d.ShardRange(1).Lo+1, d.ShardRange(1).Hi, []byte("stayed"))
+	// Delete tuple 3 on its own shard.
+	d.Delete(3, d.ShardRange(2).Lo+1)
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tuples, _, err = d.Query(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[uint64]rsse.Tuple{}
+	for _, tup := range tuples {
+		byID[tup.ID] = tup
+	}
+	if len(byID) != 3 {
+		t.Fatalf("after updates: %d live tuples (%v)", len(byID), byID)
+	}
+	if got := byID[1]; got.Value != newVal || string(got.Payload) != "moved" {
+		t.Fatalf("cross-shard move: %+v", got)
+	}
+	if got := byID[2]; got.Value != d.ShardRange(1).Hi || string(got.Payload) != "stayed" {
+		t.Fatalf("same-shard modify: %+v", got)
+	}
+	if _, dead := byID[3]; dead {
+		t.Fatal("deleted tuple still live")
+	}
+	// A query clipped to the old shard must not resurrect the mover.
+	sr0 := d.ShardRange(0)
+	tuples, _, err = d.Query(rsse.Range{Lo: sr0.Lo, Hi: sr0.Hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range tuples {
+		if tup.ID == 1 {
+			t.Fatal("moved tuple still answered by old shard")
+		}
+	}
+
+	if err := d.FullConsolidate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only shards that ever flushed hold an index; none holds more than one.
+	if d.ActiveIndexes() > d.Shards() {
+		t.Fatalf("ActiveIndexes = %d after consolidation", d.ActiveIndexes())
+	}
+	tuples, _, err = d.Query(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 3 {
+		t.Fatalf("after consolidation: %d tuples", len(tuples))
+	}
+	if d.TotalIndexSize() <= 0 || d.Batches() == 0 {
+		t.Error("size/batch accounting wrong")
+	}
+
+	if _, err := rsse.NewShardedDynamic(rsse.LogarithmicBRC, 12, 0, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := rsse.NewShardedDynamic(rsse.LogarithmicBRC, 12, 4, 1); err == nil {
+		t.Error("step 1 accepted")
+	}
+}
+
 func TestDomainHelpers(t *testing.T) {
 	d, err := rsse.NewDomain(16)
 	if err != nil || d.Size() != 65536 {
