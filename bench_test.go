@@ -9,6 +9,7 @@ package rsse_test
 import (
 	"fmt"
 	mrand "math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"sync"
@@ -382,6 +383,101 @@ func BenchmarkClusterQueryParallel(b *testing.B) {
 			})
 		})
 	}
+}
+
+// batchBenchRanges returns 64 heavily overlapping 10%-of-domain windows
+// sliding across a hot region — the correlated-burst workload the batch
+// pipeline exists for.
+func batchBenchRanges() []rsse.Range {
+	const (
+		m     = uint64(1) << benchBits
+		width = m / 10
+	)
+	out := make([]rsse.Range, 64)
+	for i := range out {
+		lo := m/8 + uint64(i)*(m/1024)
+		out[i] = rsse.Range{Lo: lo, Hi: lo + width - 1}
+	}
+	return out
+}
+
+// BenchmarkBatchQuery is the acceptance benchmark for the batched query
+// pipeline: a batch of 64 overlapping ranges executed as a sequential
+// per-range loop vs one QueryBatch, against a local index and over a TCP
+// loopback connection. One op = all 64 ranges answered. The batch
+// sub-benchmarks report dedup_x (cover nodes demanded per unique token
+// actually sent) and tokens_sent; sequential sub-benchmarks report
+// tokens_sent for comparison. On the remote path the sequential loop
+// pays 64 search frames where the batch pays one, searched concurrently
+// server-side.
+func BenchmarkBatchQuery(b *testing.B) {
+	c, idx := benchClient(b, rsse.LogarithmicBRC, false)
+	ranges := batchBenchRanges()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = rsse.Serve(l, idx) }()
+	remote, err := rsse.Dial("tcp", l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer remote.Close()
+
+	b.Run("local/sequential", func(b *testing.B) {
+		var tokens int
+		for i := 0; i < b.N; i++ {
+			tokens = 0
+			for _, q := range ranges {
+				res, err := c.Query(idx, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tokens += res.Stats.Tokens
+			}
+		}
+		b.ReportMetric(float64(tokens), "tokens_sent")
+	})
+	b.Run("local/batch", func(b *testing.B) {
+		var stats rsse.BatchStats
+		for i := 0; i < b.N; i++ {
+			br, err := c.QueryBatch(idx, ranges)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats = br.Stats
+		}
+		b.ReportMetric(stats.DedupRatio(), "dedup_x")
+		b.ReportMetric(float64(stats.UniqueTokens), "tokens_sent")
+	})
+	b.Run("remote/sequential", func(b *testing.B) {
+		var tokens int
+		for i := 0; i < b.N; i++ {
+			tokens = 0
+			for _, q := range ranges {
+				res, err := c.QueryRemote(remote, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tokens += res.Stats.Tokens
+			}
+		}
+		b.ReportMetric(float64(tokens), "tokens_sent")
+	})
+	b.Run("remote/batch", func(b *testing.B) {
+		var stats rsse.BatchStats
+		for i := 0; i < b.N; i++ {
+			br, err := c.QueryBatchRemote(remote, ranges)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats = br.Stats
+		}
+		b.ReportMetric(stats.DedupRatio(), "dedup_x")
+		b.ReportMetric(float64(stats.UniqueTokens), "tokens_sent")
+	})
 }
 
 // BenchmarkQuadratic_Build exercises the naive baseline at its natural

@@ -1,6 +1,7 @@
 package rsse
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -55,36 +56,124 @@ func NewCachedClient(client *Client) (*CachedClient, error) {
 // when q is fully covered by earlier answers. The returned Result's stats
 // have Rounds == 0 for cache hits.
 func (cc *CachedClient) Query(index *Index, q Range) (*Result, error) {
+	return cc.QueryContext(context.Background(), index, q)
+}
+
+// QueryContext is Query with cancellation (cache hits never block on
+// ctx; only server-bound queries do).
+func (cc *CachedClient) QueryContext(ctx context.Context, index *Index, q Range) (*Result, error) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	if cc.covered(q) {
-		ids := cc.lookup(q)
-		return &Result{
-			Matches: ids,
-			Raw:     ids,
-			Stats:   QueryStats{Matches: len(ids), Raw: len(ids)},
-		}, nil
+		return cc.localResult(q), nil
 	}
 	if cc.intersectsHistory(q) {
 		return nil, ErrNotCached
 	}
-	res, err := cc.client.Query(index, q)
+	res, err := cc.client.QueryContext(ctx, index, q)
 	if err != nil {
 		return nil, err
 	}
-	// Cache the answer with decrypted values so future sub-ranges can be
-	// filtered locally.
-	for _, id := range res.Matches {
+	if err := cc.warm(ctx, index, res.Matches, q); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryBatch answers a batch of ranges, serving every range already
+// covered by earlier answers from the cache and sending the misses to
+// the server as one batched query (whose covers are deduplicated across
+// the misses). The server-answered ranges then warm the cache, so later
+// sub-ranges of any batch member are answered locally. A miss that
+// intersects the cached history fails the whole batch with ErrNotCached,
+// exactly as Query would; intersections *between* misses surface as the
+// underlying client's ErrIntersectingQuery.
+func (cc *CachedClient) QueryBatch(index *Index, qs []Range) ([]*Result, error) {
+	return cc.QueryBatchContext(context.Background(), index, qs)
+}
+
+// QueryBatchContext is QueryBatch with cancellation.
+func (cc *CachedClient) QueryBatchContext(ctx context.Context, index *Index, qs []Range) ([]*Result, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	results := make([]*Result, len(qs))
+	var missIdx []int
+	for i, q := range qs {
+		if cc.covered(q) {
+			results[i] = cc.localResult(q)
+			continue
+		}
+		if cc.intersectsHistory(q) {
+			return nil, ErrNotCached
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return results, nil
+	}
+	misses := make([]Range, len(missIdx))
+	for j, i := range missIdx {
+		misses[j] = qs[i]
+	}
+	br, err := cc.client.QueryBatchContext(ctx, index, misses)
+	if err != nil {
+		return nil, err
+	}
+	var newIDs []ID
+	for _, res := range br.Results {
+		newIDs = append(newIDs, res.Matches...)
+	}
+	if err := cc.warm(ctx, index, newIDs, misses...); err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		results[i] = br.Results[j]
+	}
+	return results, nil
+}
+
+// localResult assembles a cache-hit result (Rounds == 0).
+func (cc *CachedClient) localResult(q Range) *Result {
+	ids := cc.lookup(q)
+	return &Result{
+		Matches: ids,
+		Raw:     ids,
+		Stats:   QueryStats{Matches: len(ids), Raw: len(ids)},
+	}
+}
+
+// warm caches the decrypted values of newly matched ids and extends the
+// covered-range set — the caller must hold cc.mu. Values already cached
+// are not re-fetched. The cache commits atomically: a fetch failure (or
+// ctx expiry) mid-warm leaves every invariant intact — in particular
+// byVal stays sorted, which lookup's binary searches depend on.
+func (cc *CachedClient) warm(ctx context.Context, index *Index, ids []ID, ranges ...Range) error {
+	var staged []cachedTuple
+	seen := make(map[ID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, ok := cc.values[id]; ok {
+			continue
+		}
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tup, err := cc.client.FetchTuple(index, id)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		cc.values[id] = tup.Value
-		cc.byVal = append(cc.byVal, cachedTuple{value: tup.Value, id: id})
+		staged = append(staged, cachedTuple{value: tup.Value, id: id})
 	}
+	for _, ct := range staged {
+		cc.values[ct.id] = ct.value
+	}
+	cc.byVal = append(cc.byVal, staged...)
 	sort.Slice(cc.byVal, func(i, j int) bool { return cc.byVal[i].value < cc.byVal[j].value })
-	cc.ranges = mergeRanges(append(cc.ranges, q))
-	return res, nil
+	cc.ranges = mergeRanges(append(cc.ranges, ranges...))
+	return nil
 }
 
 // CachedRanges returns the merged, sorted ranges answerable locally.
@@ -134,16 +223,24 @@ func (cc *CachedClient) lookup(q Range) []ID {
 }
 
 // mergeRanges merges overlapping or adjacent ranges into a minimal
-// disjoint sorted set.
+// disjoint sorted set. The input is never mutated: the caller's slice
+// (and backing array) are left exactly as passed — earlier versions
+// sorted in place and wrote merged bounds through an aliasing output
+// slice, corrupting the caller's data.
 func mergeRanges(rs []Range) []Range {
 	if len(rs) == 0 {
-		return rs
+		return nil
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
-	out := rs[:1]
-	for _, r := range rs[1:] {
+	sorted := make([]Range, len(rs))
+	copy(sorted, rs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	out := make([]Range, 0, len(sorted))
+	out = append(out, sorted[0])
+	for _, r := range sorted[1:] {
 		last := &out[len(out)-1]
-		if r.Lo <= last.Hi+1 && r.Lo >= last.Lo {
+		// Sorted by Lo, so r.Lo >= last.Lo always holds; r either extends
+		// the last merged range (overlap or adjacency) or starts a new one.
+		if r.Lo <= last.Hi+1 {
 			if r.Hi > last.Hi {
 				last.Hi = r.Hi
 			}

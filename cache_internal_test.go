@@ -1,0 +1,64 @@
+package rsse
+
+import "testing"
+
+// TestMergeRanges covers the merge semantics table-wise: overlap,
+// adjacency, nesting, duplicates and single points.
+func TestMergeRanges(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Range
+		want []Range
+	}{
+		{"empty", nil, nil},
+		{"single", []Range{{Lo: 5, Hi: 10}}, []Range{{Lo: 5, Hi: 10}}},
+		{"disjoint", []Range{{Lo: 20, Hi: 30}, {Lo: 0, Hi: 10}}, []Range{{Lo: 0, Hi: 10}, {Lo: 20, Hi: 30}}},
+		{"overlapping", []Range{{Lo: 0, Hi: 10}, {Lo: 5, Hi: 20}}, []Range{{Lo: 0, Hi: 20}}},
+		{"adjacent", []Range{{Lo: 0, Hi: 10}, {Lo: 11, Hi: 20}}, []Range{{Lo: 0, Hi: 20}}},
+		{"gap-of-one", []Range{{Lo: 0, Hi: 10}, {Lo: 12, Hi: 20}}, []Range{{Lo: 0, Hi: 10}, {Lo: 12, Hi: 20}}},
+		{"nested", []Range{{Lo: 0, Hi: 100}, {Lo: 10, Hi: 20}, {Lo: 30, Hi: 40}}, []Range{{Lo: 0, Hi: 100}}},
+		{"duplicate", []Range{{Lo: 5, Hi: 10}, {Lo: 5, Hi: 10}}, []Range{{Lo: 5, Hi: 10}}},
+		{"single-points", []Range{{Lo: 3, Hi: 3}, {Lo: 5, Hi: 5}, {Lo: 4, Hi: 4}}, []Range{{Lo: 3, Hi: 5}}},
+		{"point-inside", []Range{{Lo: 0, Hi: 10}, {Lo: 7, Hi: 7}}, []Range{{Lo: 0, Hi: 10}}},
+		{"same-lo-different-hi", []Range{{Lo: 5, Hi: 8}, {Lo: 5, Hi: 30}, {Lo: 5, Hi: 10}}, []Range{{Lo: 5, Hi: 30}}},
+		{"chain", []Range{{Lo: 40, Hi: 50}, {Lo: 0, Hi: 10}, {Lo: 10, Hi: 25}, {Lo: 26, Hi: 39}}, []Range{{Lo: 0, Hi: 50}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Snapshot the input: mergeRanges must be copy-on-write.
+			orig := append([]Range(nil), tc.in...)
+			got := mergeRanges(tc.in)
+			if len(got) != len(tc.want) {
+				t.Fatalf("mergeRanges(%v) = %v, want %v", orig, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("mergeRanges(%v) = %v, want %v", orig, got, tc.want)
+				}
+			}
+			for i := range tc.in {
+				if tc.in[i] != orig[i] {
+					t.Fatalf("mergeRanges mutated its input: %v, originally %v", tc.in, orig)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeRangesDoesNotAliasInput: the returned slice must not share a
+// backing array with the input — writes through one must not corrupt the
+// other (the regression the copy-on-write rewrite fixes).
+func TestMergeRangesDoesNotAliasInput(t *testing.T) {
+	in := []Range{{Lo: 20, Hi: 30}, {Lo: 0, Hi: 10}, {Lo: 5, Hi: 15}}
+	got := mergeRanges(in)
+	want := []Range{{Lo: 0, Hi: 15}, {Lo: 20, Hi: 30}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeRanges = %v, want %v", got, want)
+		}
+	}
+	got[0].Hi = 999
+	if in[0] != (Range{Lo: 20, Hi: 30}) || in[1] != (Range{Lo: 0, Hi: 10}) || in[2] != (Range{Lo: 5, Hi: 15}) {
+		t.Fatalf("writing to the result mutated the input: %v", in)
+	}
+}

@@ -1,6 +1,8 @@
 package rsse
 
 import (
+	"context"
+
 	"rsse/internal/core"
 	"rsse/internal/cover"
 )
@@ -56,7 +58,30 @@ func (c *Client) BuildIndex(tuples []Tuple) (*Index, error) {
 // Logarithmic-SRC-i — against the index, filters any false positives
 // owner-side, and returns matches with cost/leakage accounting.
 func (c *Client) Query(index *Index, q Range) (*Result, error) {
-	return c.inner.Query(index, q)
+	return c.QueryContext(context.Background(), index, q)
+}
+
+// QueryContext is Query with cancellation: the protocol aborts between
+// (and inside) rounds when ctx is done.
+func (c *Client) QueryContext(ctx context.Context, index *Index, q Range) (*Result, error) {
+	return c.inner.QueryServerContext(ctx, index, q)
+}
+
+// QueryBatch answers several ranges in one batched protocol run: all
+// covers are planned together, cover nodes shared across the ranges are
+// deduplicated into a single multi-trapdoor per round, and the shared
+// response is demultiplexed (and false-positive filtered, each id
+// fetched once) back into one Result per range, in input order. For the
+// Constant schemes the batch's ranges must be mutually non-intersecting
+// as well as non-intersecting with history; the batch enters the history
+// only on success.
+func (c *Client) QueryBatch(index *Index, ranges []Range) (*BatchResult, error) {
+	return c.QueryBatchContext(context.Background(), index, ranges)
+}
+
+// QueryBatchContext is QueryBatch with cancellation.
+func (c *Client) QueryBatchContext(ctx context.Context, index *Index, ranges []Range) (*BatchResult, error) {
+	return c.inner.QueryBatchContext(ctx, index, ranges)
 }
 
 // FetchTuple retrieves and decrypts one tuple by id — the final,

@@ -402,6 +402,90 @@ func (c *Cluster) QueryContext(ctx context.Context, q Range) (*ClusterResult, er
 	return res, nil
 }
 
+// ShardBatchStat is one shard's share of a batched cluster query: how
+// many range slices it answered, its batch-level accounting, and its
+// error if the sub-batch failed (possible only under
+// WithPartialResults).
+type ShardBatchStat struct {
+	Shard  int
+	Ranges int
+	Err    error
+	Stats  BatchStats
+}
+
+// ClusterBatchResult is a batched scatter-gather outcome: one merged
+// Result per input range (in input order), the aggregated batch
+// accounting, and the per-shard breakdown.
+type ClusterBatchResult struct {
+	Results []*Result
+	Stats   BatchStats
+	Shards  []ShardBatchStat
+}
+
+// QueryBatch answers several ranges across the cluster in one batched
+// scatter: every range splits at shard boundaries, the slices group by
+// owning shard, and each intersected shard receives a single batched
+// sub-query — one batch frame per shard on remote clusters, instead of
+// one frame per (range, shard) pair. Within each shard the covers of
+// that shard's slices are deduplicated exactly as in Client.QueryBatch.
+func (c *Cluster) QueryBatch(ranges []Range) (*ClusterBatchResult, error) {
+	return c.QueryBatchContext(context.Background(), ranges)
+}
+
+// QueryBatchContext is QueryBatch with cancellation: cancelling ctx
+// aborts the scatter and fails the batch.
+func (c *Cluster) QueryBatchContext(ctx context.Context, ranges []Range) (*ClusterBatchResult, error) {
+	for _, q := range ranges {
+		if err := c.m.Domain().CheckRange(q.Lo, q.Hi); err != nil {
+			return nil, err
+		}
+	}
+	out := &ClusterBatchResult{Results: make([]*Result, len(ranges))}
+	for i := range out.Results {
+		out.Results[i] = &Result{}
+	}
+	out.Stats.Ranges = len(ranges)
+	if len(ranges) == 0 {
+		return out, nil
+	}
+	tasks := c.m.SplitBatch(ranges)
+	outcomes, err := shard.Run(ctx, c.exec, tasks,
+		func(ctx context.Context, t shard.BatchTask) (*core.BatchResult, error) {
+			c.mus[t.Shard].Lock()
+			defer c.mus[t.Shard].Unlock()
+			if err := ctx.Err(); err != nil {
+				return nil, err // cancelled while waiting on the shard's turn
+			}
+			return c.clients[t.Shard].QueryBatchContext(ctx, c.targets[t.Shard], t.Ranges)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out.Shards = make([]ShardBatchStat, len(outcomes))
+	for i, o := range outcomes {
+		st := ShardBatchStat{Shard: o.Task.Shard, Ranges: len(o.Task.Ranges), Err: o.Err}
+		if o.Res != nil {
+			st.Stats = o.Res.Stats
+			s, t := &out.Stats, o.Res.Stats
+			if t.Rounds > s.Rounds {
+				s.Rounds = t.Rounds
+			}
+			s.CoverNodes += t.CoverNodes
+			s.UniqueTokens += t.UniqueTokens
+			s.TokenBytes += t.TokenBytes
+			s.ResponseItems += t.ResponseItems
+			s.FetchedTuples += t.FetchedTuples
+			s.ServerTime += t.ServerTime
+			s.OwnerTime += t.OwnerTime
+			for j, sub := range o.Res.Results {
+				shard.MergeInto(out.Results[o.Task.Sources[j]], sub)
+			}
+		}
+		out.Shards[i] = st
+	}
+	return out, nil
+}
+
 // FetchTuple retrieves and decrypts one tuple by id. The owning shard is
 // not derivable from an id alone, so shards are probed in order; with
 // the tuple's value at hand, ShardOf(value) names the owner directly. A

@@ -6,8 +6,11 @@
 //	rsse-bench [-scale small|medium|paper] [experiment...]
 //
 // Experiments: fig5, table2, fig6, fig7, fig8, table1, ablation, updates,
-// all (default all). The "paper" scale mirrors the paper's dataset sizes
-// and can take hours; "small" (default) completes in minutes.
+// batch, all (default all). The "paper" scale mirrors the paper's dataset
+// sizes and can take hours; "small" (default) completes in minutes. The
+// -batch flag is shorthand for the batch experiment alone: the
+// sequential-vs-batched multi-range pipeline with its token dedup
+// ratios.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small|medium|paper")
+	batchOnly := flag.Bool("batch", false, "run only the batched-query pipeline experiment")
 	flag.Parse()
 	scale, err := benchutil.ScaleByName(*scaleName)
 	if err != nil {
@@ -29,6 +33,9 @@ func main() {
 	}
 
 	wanted := flag.Args()
+	if *batchOnly {
+		wanted = append(wanted, "batch")
+	}
 	if len(wanted) == 0 {
 		wanted = []string{"all"}
 	}
@@ -78,6 +85,11 @@ func main() {
 	}
 	if runAll || want["ablation"] {
 		exp, err := benchutil.AblationSRC(scale)
+		exitOn(err)
+		exp.Print(out)
+	}
+	if runAll || want["batch"] {
+		exp, err := benchutil.BatchPipeline(scale)
 		exitOn(err)
 		exp.Print(out)
 	}

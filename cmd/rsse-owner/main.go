@@ -20,6 +20,16 @@
 //	rsse-owner query -addr 127.0.0.1:7070 -keyfile table.key \
 //	    -scheme Logarithmic-SRC-i -bits 20 -lo 100 -hi 500
 //
+// Run many ranges as ONE batched query — covers shared across the ranges
+// are deduplicated into a single multi-trapdoor, and on a remote server
+// the whole batch costs one round trip per round:
+//
+//	rsse-owner query -addr 127.0.0.1:7070 -keyfile table.key \
+//	    -scheme Logarithmic-SRC-i -bits 20 -ranges queries.txt
+//
+// where queries.txt holds one "lo,hi" per line (a bare value is a point
+// query; blank lines and #-comments are skipped).
+//
 // Inspect an index file's operational profile (no key needed — these are
 // exactly the stats the server can see anyway):
 //
@@ -338,6 +348,7 @@ func query(args []string) {
 	bits := fs.Uint("bits", 20, "domain bits the index was built with")
 	lo := fs.Uint64("lo", 0, "range lower bound")
 	hi := fs.Uint64("hi", 0, "range upper bound")
+	rangesPath := fs.String("ranges", "", "file of \"lo,hi\" lines: run all ranges as one batched query (overrides -lo/-hi)")
 	payloads := fs.Bool("payloads", false, "fetch and print decrypted payloads")
 	_ = fs.Parse(args)
 	kind, err := rsse.KindByName(*scheme)
@@ -356,19 +367,20 @@ func query(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	q := rsse.Range{Lo: *lo, Hi: *hi}
 
-	var res *rsse.Result
-	fetch := func(id rsse.ID) (rsse.Tuple, error) { return rsse.Tuple{}, nil }
+	var (
+		runOne   func(q rsse.Range) (*rsse.Result, error)
+		runBatch func(qs []rsse.Range) (*rsse.BatchResult, error)
+		fetch    func(id rsse.ID) (rsse.Tuple, error)
+	)
 	if *addr != "" {
 		remote, err := rsse.DialIndex("tcp", *addr, *name)
 		if err != nil {
 			fatal(err)
 		}
 		defer remote.Close()
-		if res, err = client.QueryRemote(remote, q); err != nil {
-			fatal(err)
-		}
+		runOne = func(q rsse.Range) (*rsse.Result, error) { return client.QueryRemote(remote, q) }
+		runBatch = func(qs []rsse.Range) (*rsse.BatchResult, error) { return client.QueryBatchRemote(remote, qs) }
 		fetch = func(id rsse.ID) (rsse.Tuple, error) { return client.FetchTupleRemote(remote, id) }
 	} else if *indexPath != "" {
 		blob, err := os.ReadFile(*indexPath)
@@ -379,27 +391,92 @@ func query(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		if res, err = client.Query(index, q); err != nil {
-			fatal(err)
-		}
+		runOne = func(q rsse.Range) (*rsse.Result, error) { return client.Query(index, q) }
+		runBatch = func(qs []rsse.Range) (*rsse.BatchResult, error) { return client.QueryBatch(index, qs) }
 		fetch = func(id rsse.ID) (rsse.Tuple, error) { return client.FetchTuple(index, id) }
 	} else {
 		fatal(fmt.Errorf("one of -index or -addr is required"))
 	}
 
-	fmt.Printf("query %v: %d matches (%d rounds, %d token bytes, %d false positives dropped)\n",
-		q, len(res.Matches), res.Stats.Rounds, res.Stats.TokenBytes, res.Stats.FalsePositives)
-	for _, id := range res.Matches {
-		if *payloads {
-			tup, err := fetch(id)
-			if err != nil {
-				fatal(err)
+	printMatches := func(ids []rsse.ID) {
+		for _, id := range ids {
+			if *payloads {
+				tup, err := fetch(id)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("  %d\t%d\t%s\n", tup.ID, tup.Value, tup.Payload)
+			} else {
+				fmt.Printf("  %d\n", id)
 			}
-			fmt.Printf("  %d\t%d\t%s\n", tup.ID, tup.Value, tup.Payload)
-		} else {
-			fmt.Printf("  %d\n", id)
 		}
 	}
+
+	if *rangesPath != "" {
+		ranges, err := readRanges(*rangesPath)
+		if err != nil {
+			fatal(err)
+		}
+		br, err := runBatch(ranges)
+		if err != nil {
+			fatal(err)
+		}
+		s := br.Stats
+		fmt.Printf("batch of %d ranges: %d cover nodes deduped to %d tokens (%.2fx), %d rounds, %d token bytes, %d tuples fetched for filtering\n",
+			s.Ranges, s.CoverNodes, s.UniqueTokens, s.DedupRatio(), s.Rounds, s.TokenBytes, s.FetchedTuples)
+		for i, res := range br.Results {
+			fmt.Printf("range %v: %d matches (%d false positives dropped)\n",
+				ranges[i], len(res.Matches), res.Stats.FalsePositives)
+			printMatches(res.Matches)
+		}
+		return
+	}
+
+	q := rsse.Range{Lo: *lo, Hi: *hi}
+	res, err := runOne(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query %v: %d matches (%d rounds, %d token bytes, %d false positives dropped)\n",
+		q, len(res.Matches), res.Stats.Rounds, res.Stats.TokenBytes, res.Stats.FalsePositives)
+	printMatches(res.Matches)
+}
+
+// readRanges parses a batch file: one "lo,hi" (or "lo hi", or a bare
+// value for a point query) per line; blank lines and #-comments skipped.
+func readRanges(path string) ([]rsse.Range, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []rsse.Range
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.FieldsFunc(line, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		if len(parts) != 1 && len(parts) != 2 {
+			return nil, fmt.Errorf("bad range line %q (want \"lo,hi\")", line)
+		}
+		lo, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound in %q: %w", line, err)
+		}
+		hi := lo
+		if len(parts) == 2 {
+			if hi, err = strconv.ParseUint(parts[1], 10, 64); err != nil {
+				return nil, fmt.Errorf("bad bound in %q: %w", line, err)
+			}
+		}
+		out = append(out, rsse.Range{Lo: lo, Hi: hi})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no ranges", path)
+	}
+	return out, sc.Err()
 }
 
 // readCSV parses "id,value[,payload]" lines after a header row.

@@ -88,4 +88,39 @@
 // private updates to the shard owning each value. QueryContext cancels
 // an in-flight scatter; ClusterResult reports per-shard cost, leakage
 // and errors alongside the merged Result.
+//
+// # Batched queries
+//
+// Correlated bursts of range queries share most of their dyadic cover
+// nodes. QueryBatch plans all covers together, deduplicates the shared
+// nodes into one multi-trapdoor per round, and demultiplexes the shared
+// response into one Result per range — identical results to a
+// sequential loop, a fraction of the tokens, frames and searches:
+//
+//	br, err := client.QueryBatch(index, []rsse.Range{{0, 99}, {50, 199}})
+//	// br.Results[0], br.Results[1]; br.Stats.DedupRatio()
+//
+// The batch rides one wire frame per round against a remote index
+// (Client.QueryBatchRemote), one frame per intersected shard across a
+// cluster (Cluster.QueryBatch), one batched sub-query per LSM epoch
+// (Dynamic.QueryBatch, ShardedDynamic.QueryBatch), and through the
+// cache (CachedClient.QueryBatch answers covered ranges locally and
+// batches the misses). WithBatchWorkers bounds the owner-side parallel
+// false-positive fetches. The server sees only the deduplicated,
+// jointly permuted token union plus the batch size — strictly less than
+// the equivalent sequential queries reveal.
+//
+// # Context-aware variants
+//
+// Every query layer has a context form — Client.QueryContext,
+// Client.QueryBatchContext, Client.QueryRemoteContext,
+// Client.QueryBatchRemoteContext, Cluster.QueryContext,
+// Cluster.QueryBatchContext, Dynamic.QueryContext,
+// Dynamic.QueryBatchContext, ShardedDynamic.QueryContext,
+// ShardedDynamic.QueryBatchContext, CachedClient.QueryContext and
+// CachedClient.QueryBatchContext — so cancellation and deadlines work
+// uniformly: an expired context aborts in-flight round trips
+// immediately and the late responses are discarded without corrupting
+// the connection. The plain methods delegate to their context variants
+// with context.Background().
 package rsse

@@ -103,6 +103,26 @@ func (d *Dynamic) Query(q Range) ([]Tuple, UpdateStats, error) {
 	return d.inner.Query(q)
 }
 
+// QueryContext is Query with cancellation: the per-epoch fan-out aborts
+// when ctx is done.
+func (d *Dynamic) QueryContext(ctx context.Context, q Range) ([]Tuple, UpdateStats, error) {
+	return d.inner.QueryContext(ctx, q)
+}
+
+// QueryBatch answers several ranges in one pass over the active indexes:
+// every epoch receives a single batched sub-query with the ranges'
+// covers deduplicated, so the LSM's per-epoch fan-out cost is paid once
+// per batch instead of once per range. Results are per input range, in
+// input order.
+func (d *Dynamic) QueryBatch(qs []Range) ([][]Tuple, UpdateStats, error) {
+	return d.QueryBatchContext(context.Background(), qs)
+}
+
+// QueryBatchContext is QueryBatch with cancellation.
+func (d *Dynamic) QueryBatchContext(ctx context.Context, qs []Range) ([][]Tuple, UpdateStats, error) {
+	return d.inner.QueryBatchOnContext(ctx, d.inner.LocalEpochs(), qs)
+}
+
 // FullConsolidate merges every active index into one and drops
 // tombstones — the periodic global rebuild.
 func (d *Dynamic) FullConsolidate() error { return d.inner.FullConsolidate() }
@@ -222,6 +242,12 @@ func (d *ShardedDynamic) FullConsolidate() error {
 // cluster queries use (each shard's stores are independent), and merges
 // the live tuples and stats.
 func (d *ShardedDynamic) Query(q Range) ([]Tuple, UpdateStats, error) {
+	return d.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation: cancelling ctx aborts the
+// scatter.
+func (d *ShardedDynamic) QueryContext(ctx context.Context, q Range) ([]Tuple, UpdateStats, error) {
 	if err := d.m.Domain().CheckRange(q.Lo, q.Hi); err != nil {
 		return nil, UpdateStats{}, err
 	}
@@ -229,9 +255,9 @@ func (d *ShardedDynamic) Query(q Range) ([]Tuple, UpdateStats, error) {
 		tuples []Tuple
 		stats  UpdateStats
 	}
-	outcomes, err := shard.Run(context.Background(), shard.Executor{}, d.m.Split(q),
-		func(_ context.Context, t shard.Task) (answer, error) {
-			tuples, stats, err := d.stores[t.Shard].Query(t.Range)
+	outcomes, err := shard.Run(ctx, shard.Executor{}, d.m.Split(q),
+		func(ctx context.Context, t shard.Task) (answer, error) {
+			tuples, stats, err := d.stores[t.Shard].QueryContext(ctx, t.Range)
 			return answer{tuples: tuples, stats: stats}, err
 		})
 	if err != nil {
@@ -243,13 +269,57 @@ func (d *ShardedDynamic) Query(q Range) ([]Tuple, UpdateStats, error) {
 	)
 	for _, o := range outcomes {
 		out = append(out, o.Res.tuples...)
-		stats.Indexes += o.Res.stats.Indexes
-		stats.Tokens += o.Res.stats.Tokens
-		stats.TokenBytes += o.Res.stats.TokenBytes
-		stats.Raw += o.Res.stats.Raw
-		stats.FalsePositives += o.Res.stats.FalsePositives
+		mergeUpdateStats(&stats, o.Res.stats)
 	}
 	return out, stats, nil
+}
+
+// QueryBatch answers several ranges across the sharded store: the
+// ranges' slices group by owning shard and each shard runs one batched
+// LSM sub-query over its slices (covers deduplicated per epoch), all
+// shards concurrently. Results are per input range, in input order.
+func (d *ShardedDynamic) QueryBatch(qs []Range) ([][]Tuple, UpdateStats, error) {
+	return d.QueryBatchContext(context.Background(), qs)
+}
+
+// QueryBatchContext is QueryBatch with cancellation.
+func (d *ShardedDynamic) QueryBatchContext(ctx context.Context, qs []Range) ([][]Tuple, UpdateStats, error) {
+	for _, q := range qs {
+		if err := d.m.Domain().CheckRange(q.Lo, q.Hi); err != nil {
+			return nil, UpdateStats{}, err
+		}
+	}
+	type answer struct {
+		perRange [][]Tuple
+		stats    UpdateStats
+	}
+	outcomes, err := shard.Run(ctx, shard.Executor{}, d.m.SplitBatch(qs),
+		func(ctx context.Context, t shard.BatchTask) (answer, error) {
+			tuples, stats, err := d.stores[t.Shard].QueryBatchContext(ctx, t.Ranges)
+			return answer{perRange: tuples, stats: stats}, err
+		})
+	if err != nil {
+		return nil, UpdateStats{}, fmt.Errorf("rsse: sharded batch query: %w", err)
+	}
+	out := make([][]Tuple, len(qs))
+	var stats UpdateStats
+	for _, o := range outcomes {
+		for j, tuples := range o.Res.perRange {
+			src := o.Task.Sources[j]
+			out[src] = append(out[src], tuples...)
+		}
+		mergeUpdateStats(&stats, o.Res.stats)
+	}
+	return out, stats, nil
+}
+
+// mergeUpdateStats folds one shard's update-query stats into the total.
+func mergeUpdateStats(dst *UpdateStats, s UpdateStats) {
+	dst.Indexes += s.Indexes
+	dst.Tokens += s.Tokens
+	dst.TokenBytes += s.TokenBytes
+	dst.Raw += s.Raw
+	dst.FalsePositives += s.FalsePositives
 }
 
 // Pending sums the buffered, unflushed operations across shards.

@@ -1,0 +1,81 @@
+package benchutil
+
+import (
+	"time"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+	"rsse/internal/dataset"
+)
+
+// BatchPipeline measures the batched query pipeline against the
+// sequential baseline: B overlapping ranges answered by a per-range
+// Query loop vs one QueryBatch, sweeping the batch size. This is the
+// experiment behind the repository's cost-model extension — the paper's
+// Figure 8 charges every query its full cover cost, while correlated
+// bursts pay per *unique* cover node under batching.
+func BatchPipeline(s Scale) (*Experiment, error) {
+	exp := &Experiment{
+		Name:   "Batch pipeline",
+		Title:  "Sequential vs batched multi-range queries (Logarithmic-BRC)",
+		XLabel: "batch size",
+		YLabel: "total ms per batch (lower is better)",
+	}
+	bits := s.GowallaBits
+	n := s.GowallaNs[len(s.GowallaNs)-1]
+	tuples := dataset.Uniform(n, bits, 97)
+	client, err := buildClient(s, core.LogarithmicBRC, bits, 98)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := client.BuildIndex(tuples)
+	if err != nil {
+		return nil, err
+	}
+
+	dom := cover.Domain{Bits: bits}
+	m := dom.Size()
+	sizes := []int{4, 8, 16, 32, 64}
+	seq := Series{Label: "sequential (ms)"}
+	bat := Series{Label: "batched (ms)"}
+	speedup := Series{Label: "speedup (x)"}
+	dedup := Series{Label: "token dedup (x)"}
+	for _, b := range sizes {
+		// b sliding 10%-of-domain windows over a hot region.
+		ranges := make([]core.Range, b)
+		for i := range ranges {
+			lo := m/8 + uint64(i)*(m/1024)
+			ranges[i] = core.Range{Lo: lo, Hi: lo + m/10 - 1}
+		}
+		start := time.Now()
+		for _, q := range ranges {
+			if _, err := client.Query(idx, q); err != nil {
+				return nil, err
+			}
+		}
+		seqTime := time.Since(start)
+
+		start = time.Now()
+		br, err := client.QueryBatch(idx, ranges)
+		if err != nil {
+			return nil, err
+		}
+		batTime := time.Since(start)
+
+		x := float64(b)
+		seq.X = append(seq.X, x)
+		seq.Y = append(seq.Y, float64(seqTime.Microseconds())/1000)
+		bat.X = append(bat.X, x)
+		bat.Y = append(bat.Y, float64(batTime.Microseconds())/1000)
+		speedup.X = append(speedup.X, x)
+		if batTime > 0 {
+			speedup.Y = append(speedup.Y, float64(seqTime)/float64(batTime))
+		} else {
+			speedup.Y = append(speedup.Y, 0)
+		}
+		dedup.X = append(dedup.X, x)
+		dedup.Y = append(dedup.Y, br.Stats.DedupRatio())
+	}
+	exp.Series = []Series{seq, bat, speedup, dedup}
+	return exp, nil
+}

@@ -1,0 +1,693 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"rsse/internal/cover"
+	"rsse/internal/dprf"
+	"rsse/internal/prf"
+	"rsse/internal/sse"
+)
+
+// Batched query pipeline. Correlated range workloads produce covers that
+// overlap heavily, yet the one-range-at-a-time protocol pays full
+// token-generation, transfer and search cost per range. QueryBatch plans
+// all covers at once, derives one token per *unique* cover node, ships a
+// single multi-trapdoor per round, and demultiplexes the per-token result
+// groups back into every requesting range — so a node shared by k ranges
+// is tokenized, transferred and searched exactly once.
+//
+// Leakage note: a batch reveals strictly less than the equivalent
+// sequential queries. The server sees the union of the per-range token
+// sets (deduplicated and permuted together, so per-range token counts are
+// hidden) plus the batch size; sequential queries reveal every per-range
+// token multiset separately, with timing.
+
+// defaultBatchWorkers bounds the owner-side concurrency of a batched
+// query (parallel false-positive fetches) when Options.BatchWorkers is 0.
+const defaultBatchWorkers = 8
+
+// BatchSearcher is the optional Server extension the batch pipeline
+// prefers: executing several trapdoors in one exchange. A local *Index
+// implements it with concurrent token search; the transport layer
+// implements it as a single batch frame.
+type BatchSearcher interface {
+	SearchBatch(ts []*Trapdoor) ([]*Response, error)
+}
+
+// ContextSearcher is the optional context-aware form of Server.Search.
+type ContextSearcher interface {
+	SearchContext(ctx context.Context, t *Trapdoor) (*Response, error)
+}
+
+// ContextBatchSearcher is the optional context-aware form of SearchBatch.
+type ContextBatchSearcher interface {
+	SearchBatchContext(ctx context.Context, ts []*Trapdoor) ([]*Response, error)
+}
+
+// ContextFetcher is the optional context-aware form of Server.Fetch.
+type ContextFetcher interface {
+	FetchContext(ctx context.Context, id ID) ([]byte, bool, error)
+}
+
+// searchCtx runs one search round, honouring ctx as far as the server
+// implementation allows (a plain Server is checked before the call).
+func searchCtx(ctx context.Context, s Server, t *Trapdoor) (*Response, error) {
+	if cs, ok := s.(ContextSearcher); ok {
+		return cs.SearchContext(ctx, t)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Search(t)
+}
+
+// searchBatchCtx executes a batch of trapdoors through the richest
+// interface the server offers, falling back to per-trapdoor rounds.
+func searchBatchCtx(ctx context.Context, s Server, ts []*Trapdoor) ([]*Response, error) {
+	switch v := s.(type) {
+	case ContextBatchSearcher:
+		return v.SearchBatchContext(ctx, ts)
+	case BatchSearcher:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return v.SearchBatch(ts)
+	}
+	out := make([]*Response, len(ts))
+	for i, t := range ts {
+		r, err := searchCtx(ctx, s, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// fetchCtx fetches one ciphertext, honouring ctx where possible.
+func fetchCtx(ctx context.Context, s Server, id ID) ([]byte, bool, error) {
+	if cf, ok := s.(ContextFetcher); ok {
+		return cf.FetchContext(ctx, id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	return s.Fetch(id)
+}
+
+// SearchContext implements ContextSearcher for a local index (the search
+// itself is not interruptible; the context gates entry).
+func (x *Index) SearchContext(ctx context.Context, t *Trapdoor) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return x.Search(t)
+}
+
+// FetchContext implements ContextFetcher for a local index.
+func (x *Index) FetchContext(ctx context.Context, id ID) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	return x.Fetch(id)
+}
+
+// SearchBatch executes several trapdoors in one exchange, searching
+// tokens concurrently across the batch. This is the server side of the
+// batch pipeline: the transport layer calls it for every batch frame.
+func (x *Index) SearchBatch(ts []*Trapdoor) ([]*Response, error) {
+	return x.SearchBatchContext(context.Background(), ts)
+}
+
+// searchToken resolves token j of trapdoor t into resp.Groups[j],
+// dispatching exactly as Search would.
+func (x *Index) searchToken(t *Trapdoor, j int, resp *Response) error {
+	if len(t.GGM) > 0 {
+		g, err := x.searchConstantToken(t.GGM[j])
+		if err != nil {
+			return err
+		}
+		resp.Groups[j] = g
+		return nil
+	}
+	idx := x.primary
+	if t.round != 2 && x.kind == LogarithmicSRCi {
+		idx = x.aux
+	}
+	g, err := idx.Search(t.Stags[j])
+	if err != nil {
+		return err
+	}
+	resp.Groups[j] = g
+	return nil
+}
+
+// searchConstantToken expands one GGM token into its leaf DPRF values and
+// searches each — one result group, exactly as searchConstant produces.
+func (x *Index) searchConstantToken(tok dprf.Token) ([][]byte, error) {
+	var group [][]byte
+	for _, leaf := range dprf.Expand(tok) {
+		g, err := x.primary.Search(sse.Stag(leaf))
+		if err != nil {
+			return nil, err
+		}
+		group = append(group, g...)
+	}
+	return group, nil
+}
+
+// runJobs fans n index-addressed jobs out over up to `workers`
+// goroutines. Dispatch stops at the first job error or when ctx is
+// done; the first error is returned, with ctx's taking precedence.
+// Jobs must write to disjoint state (slots indexed by their job index).
+func runJobs(ctx context.Context, workers, n int, job func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed() || ctx.Err() != nil {
+					continue
+				}
+				if err := job(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if failed() || ctx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// SearchBatchContext implements ContextBatchSearcher: every (trapdoor,
+// token) pair is an independent search job, fanned out over up to
+// GOMAXPROCS workers. Group order within each response matches token
+// order, as the demultiplexing owner requires.
+func (x *Index) SearchBatchContext(ctx context.Context, ts []*Trapdoor) ([]*Response, error) {
+	type job struct{ ti, tj int }
+	out := make([]*Response, len(ts))
+	var jobs []job
+	for i, t := range ts {
+		out[i] = &Response{Groups: make([][][]byte, t.Tokens())}
+		for j := 0; j < t.Tokens(); j++ {
+			jobs = append(jobs, job{ti: i, tj: j})
+		}
+	}
+	err := runJobs(ctx, runtime.GOMAXPROCS(0), len(jobs), func(i int) error {
+		return x.searchToken(ts[jobs[i].ti], jobs[i].tj, out[jobs[i].ti])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchStats aggregates the cost and leakage accounting of one batched
+// query that the per-range stats cannot express: how many tokens the
+// covers demanded, how many actually crossed the wire after dedup, and
+// the wall-clock split (per-range ServerTime/OwnerTime stay zero in a
+// batch — rounds are shared, so only the batch-level split is
+// meaningful).
+type BatchStats struct {
+	// Ranges is the batch size (the only batch-shape fact the server
+	// learns beyond the token union).
+	Ranges int
+	// Rounds is the number of owner↔server exchanges (2 when any range
+	// needed SRC-i round 2).
+	Rounds int
+	// CoverNodes sums the per-range cover sizes — the tokens a sequential
+	// execution would have generated and shipped.
+	CoverNodes int
+	// UniqueTokens counts the tokens actually sent after deduplication.
+	UniqueTokens int
+	// TokenBytes is the serialized size of the deduplicated trapdoors.
+	TokenBytes int
+	// ResponseItems counts every item the server shipped back.
+	ResponseItems int
+	// FetchedTuples counts the distinct ids fetched during shared
+	// false-positive filtering (each id fetched once however many ranges
+	// returned it).
+	FetchedTuples int
+	// ServerTime and OwnerTime split the batch's wall-clock cost.
+	ServerTime time.Duration
+	OwnerTime  time.Duration
+}
+
+// DedupRatio reports CoverNodes / UniqueTokens: how many times each sent
+// token was reused across the batch (1 means no sharing).
+func (s BatchStats) DedupRatio() float64 {
+	if s.UniqueTokens == 0 {
+		return 1
+	}
+	return float64(s.CoverNodes) / float64(s.UniqueTokens)
+}
+
+// BatchResult is the outcome of one batched query: one Result per input
+// range, in input order, plus batch-level accounting.
+type BatchResult struct {
+	Results []*Result
+	Stats   BatchStats
+}
+
+// tokenPlan is one round's planned multi-trapdoor: the deduplicated
+// tokens laid into a permuted trapdoor, plus the owner-side maps that
+// route each response group back to the ranges that asked for its node.
+type tokenPlan struct {
+	trap *Trapdoor
+	// slot[u] is the trapdoor position of unique token u; the permutation
+	// hides per-range structure from the server while the owner keeps the
+	// inverse.
+	slot []int
+	// perRange[i] lists the unique-token indices of range i's cover, in
+	// the cover's own order.
+	perRange [][]int
+	// levels[u] is unique GGM token u's disclosed level (Constant only).
+	levels []uint8
+	// total is the pre-dedup cover size across the batch.
+	total int
+	// perTokenBytes is the serialized size of one token of this plan.
+	perTokenBytes int
+}
+
+// permutedStags lays unique stags into a trapdoor in c.rnd order,
+// returning the slot map.
+func (c *Client) permutedStags(round int, stags []sse.Stag) (*Trapdoor, []int) {
+	slot := c.rnd.Perm(len(stags))
+	out := make([]sse.Stag, len(stags))
+	for u, s := range slot {
+		out[s] = stags[u]
+	}
+	return &Trapdoor{round: round, Stags: out}, slot
+}
+
+// planBatchRound1 builds the first-round multi-trapdoor for the batch.
+func (c *Client) planBatchRound1(ranges []Range) (*tokenPlan, error) {
+	ivs := make([]cover.Interval, len(ranges))
+	for i, q := range ranges {
+		ivs[i] = cover.Interval{Lo: q.Lo, Hi: q.Hi}
+	}
+	switch c.kind {
+	case Quadratic:
+		// Each range is one keyword; only identical ranges dedupe.
+		seen := make(map[string]int)
+		var stags []sse.Stag
+		perRange := make([][]int, len(ranges))
+		for i, q := range ranges {
+			kw := rangeKeyword(q.Lo, q.Hi)
+			u, ok := seen[kw]
+			if !ok {
+				u = len(stags)
+				seen[kw] = u
+				stags = append(stags, c.stagFor(kw))
+			}
+			perRange[i] = []int{u}
+		}
+		trap, slot := c.permutedStags(1, stags)
+		return &tokenPlan{trap: trap, slot: slot, perRange: perRange,
+			total: len(ranges), perTokenBytes: sse.StagSize}, nil
+	case ConstantBRC, ConstantURC:
+		p, err := cover.PlanBatch(c.dom, ivs, c.technique())
+		if err != nil {
+			return nil, err
+		}
+		tokens := make([]dprf.Token, len(p.Nodes))
+		levels := make([]uint8, len(p.Nodes))
+		for u, n := range p.Nodes {
+			if tokens[u], err = c.kDPRF.NodeToken(n); err != nil {
+				return nil, err
+			}
+			levels[u] = n.Level
+		}
+		slot := c.rnd.Perm(len(tokens))
+		out := make([]dprf.Token, len(tokens))
+		for u, s := range slot {
+			out[s] = tokens[u]
+		}
+		return &tokenPlan{trap: &Trapdoor{round: 1, GGM: out}, slot: slot,
+			perRange: p.PerRange, levels: levels, total: p.Total,
+			perTokenBytes: dprf.TokenSize}, nil
+	case LogarithmicBRC, LogarithmicURC:
+		p, err := cover.PlanBatch(c.dom, ivs, c.technique())
+		if err != nil {
+			return nil, err
+		}
+		return c.stagPlanFromNodes(p, c.kSSE, 1)
+	case LogarithmicSRC, LogarithmicSRCi:
+		p, err := cover.PlanBatchSRC(cover.NewTDAG(c.dom), ivs)
+		if err != nil {
+			return nil, err
+		}
+		return c.stagPlanFromNodes(p, c.kSSE, 1)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme kind %d", int(c.kind))
+	}
+}
+
+// stagPlanFromNodes derives one stag per unique cover node under key and
+// wraps the plan into a permuted trapdoor.
+func (c *Client) stagPlanFromNodes(p *cover.BatchPlan, key prf.Key, round int) (*tokenPlan, error) {
+	stags := make([]sse.Stag, len(p.Nodes))
+	for u, n := range p.Nodes {
+		stags[u] = sse.StagFromPRF(key, n.Keyword())
+	}
+	trap, slot := c.permutedStags(round, stags)
+	return &tokenPlan{trap: trap, slot: slot, perRange: p.PerRange,
+		total: p.Total, perTokenBytes: sse.StagSize}, nil
+}
+
+// groupFor returns the response group of unique token u.
+func (p *tokenPlan) groupFor(resp *Response, u int) [][]byte {
+	return resp.Groups[p.slot[u]]
+}
+
+// demuxRange flattens range i's groups (in cover order) into raw ids,
+// recording group sizes into stats.
+func (p *tokenPlan) demuxRange(resp *Response, i int, stats *QueryStats) []ID {
+	var out []ID
+	for _, u := range p.perRange[i] {
+		g := p.groupFor(resp, u)
+		stats.Groups = append(stats.Groups, len(g))
+		for _, item := range g {
+			out = append(out, sse.PayloadU64(item))
+		}
+	}
+	return out
+}
+
+// QueryBatch runs the batched query protocol for several ranges against
+// any Server, deduplicating cover nodes shared across the ranges. See
+// QueryBatchContext.
+func (c *Client) QueryBatch(s Server, ranges []Range) (*BatchResult, error) {
+	return c.QueryBatchContext(context.Background(), s, ranges)
+}
+
+// QueryBatchContext is QueryBatch with cancellation: the batch aborts
+// between (and, against context-aware servers, during) protocol steps
+// when ctx is done. Results are per input range, in input order, and
+// identical to what a sequential Query loop would return. For the
+// Constant schemes every range in the batch must be non-intersecting —
+// with the other batch ranges and with history — and the batch is
+// recorded in history only if it succeeds.
+func (c *Client) QueryBatchContext(ctx context.Context, s Server, ranges []Range) (*BatchResult, error) {
+	br := &BatchResult{Results: make([]*Result, len(ranges))}
+	br.Stats.Ranges = len(ranges)
+	if len(ranges) == 0 {
+		return br, nil
+	}
+	meta, err := s.Meta()
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind != c.kind {
+		return nil, fmt.Errorf("%w: client %v, index %v", ErrKindMismatch, c.kind, meta.Kind)
+	}
+	if meta.DomainBits != c.dom.Bits {
+		return nil, fmt.Errorf("%w: client domain 2^%d, index domain 2^%d",
+			ErrKindMismatch, c.dom.Bits, meta.DomainBits)
+	}
+	for _, q := range ranges {
+		if err := c.dom.CheckRange(q.Lo, q.Hi); err != nil {
+			return nil, err
+		}
+	}
+	constant := c.kind == ConstantBRC || c.kind == ConstantURC
+	if constant && !c.allowIntersect {
+		for i, q := range ranges {
+			for _, prev := range c.history {
+				if q.Intersects(prev) {
+					return nil, fmt.Errorf("%w: %v intersects earlier %v", ErrIntersectingQuery, q, prev)
+				}
+			}
+			for j := 0; j < i; j++ {
+				if q.Intersects(ranges[j]) {
+					return nil, fmt.Errorf("%w: %v intersects %v in the same batch", ErrIntersectingQuery, q, ranges[j])
+				}
+			}
+		}
+	}
+
+	ownerStart := time.Now()
+	plan1, err := c.planBatchRound1(ranges)
+	if err != nil {
+		return nil, err
+	}
+	br.Stats.OwnerTime += time.Since(ownerStart)
+	br.Stats.Rounds = 1
+	br.Stats.CoverNodes = plan1.total
+	br.Stats.UniqueTokens = plan1.trap.Tokens()
+	br.Stats.TokenBytes = plan1.trap.Bytes()
+
+	serverStart := time.Now()
+	resps, err := searchBatchCtx(ctx, s, []*Trapdoor{plan1.trap})
+	if err != nil {
+		return nil, err
+	}
+	br.Stats.ServerTime += time.Since(serverStart)
+	resp1 := resps[0]
+	if len(resp1.Groups) != plan1.trap.Tokens() {
+		return nil, fmt.Errorf("core: batch response has %d groups for %d tokens",
+			len(resp1.Groups), plan1.trap.Tokens())
+	}
+	br.Stats.ResponseItems += resp1.Items()
+
+	for i := range ranges {
+		res := &Result{}
+		res.Stats.Rounds = 1
+		res.Stats.Tokens = len(plan1.perRange[i])
+		res.Stats.TokenBytes = len(plan1.perRange[i]) * plan1.perTokenBytes
+		if plan1.levels != nil {
+			for _, u := range plan1.perRange[i] {
+				res.Stats.TokenLevels = append(res.Stats.TokenLevels, plan1.levels[u])
+			}
+		}
+		br.Results[i] = res
+	}
+
+	ownerStart = time.Now()
+	if c.kind == LogarithmicSRCi {
+		if err := c.batchSRCiRound2(ctx, s, meta, ranges, plan1, resp1, br); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range ranges {
+			res := br.Results[i]
+			res.Raw = plan1.demuxRange(resp1, i, &res.Stats)
+			res.Stats.Raw = len(res.Raw)
+		}
+		br.Stats.OwnerTime += time.Since(ownerStart)
+	}
+
+	ownerStart = time.Now()
+	if c.kind.HasFalsePositives() {
+		if err := c.batchFilter(ctx, s, ranges, br); err != nil {
+			return nil, err
+		}
+	}
+	for _, res := range br.Results {
+		if !c.kind.HasFalsePositives() {
+			res.Matches = res.Raw
+		}
+		res.Stats.Matches = len(res.Matches)
+		res.Stats.FalsePositives = res.Stats.Raw - res.Stats.Matches
+	}
+	br.Stats.OwnerTime += time.Since(ownerStart)
+
+	if constant {
+		c.history = append(c.history, ranges...)
+	}
+	return br, nil
+}
+
+// batchSRCiRound2 runs the interactive second round of a batched SRC-i
+// query: per-range pair merges from the shared round-1 response, then one
+// deduplicated round-2 multi-trapdoor over TDAG2.
+func (c *Client) batchSRCiRound2(ctx context.Context, s Server, meta IndexMeta, ranges []Range, plan1 *tokenPlan, resp1 *Response, br *BatchResult) error {
+	ownerStart := time.Now()
+	var (
+		live []int // indices of ranges with a non-empty round 2
+		ivs  []cover.Interval
+	)
+	for i := range ranges {
+		// Round-1 pair groups feed the owner-side merge only; like the
+		// sequential path, Stats.Groups records round-2 groups alone.
+		sub := &Response{Groups: make([][][]byte, 0, len(plan1.perRange[i]))}
+		for _, u := range plan1.perRange[i] {
+			sub.Groups = append(sub.Groups, plan1.groupFor(resp1, u))
+		}
+		posRange, any, err := c.mergePairs(sub, ranges[i])
+		if err != nil {
+			return err
+		}
+		if !any {
+			continue // no distinct value in range: done after round 1
+		}
+		live = append(live, i)
+		ivs = append(ivs, cover.Interval{Lo: posRange.Lo, Hi: posRange.Hi})
+	}
+	br.Stats.OwnerTime += time.Since(ownerStart)
+	if len(live) == 0 {
+		return nil
+	}
+
+	ownerStart = time.Now()
+	p2, err := cover.PlanBatchSRC(cover.NewTDAG(cover.Domain{Bits: meta.PosBits}), ivs)
+	if err != nil {
+		return err
+	}
+	plan2, err := c.stagPlanFromNodes(p2, c.kSSE2, 2)
+	if err != nil {
+		return err
+	}
+	br.Stats.OwnerTime += time.Since(ownerStart)
+	br.Stats.Rounds = 2
+	br.Stats.CoverNodes += plan2.total
+	br.Stats.UniqueTokens += plan2.trap.Tokens()
+	br.Stats.TokenBytes += plan2.trap.Bytes()
+
+	serverStart := time.Now()
+	resps, err := searchBatchCtx(ctx, s, []*Trapdoor{plan2.trap})
+	if err != nil {
+		return err
+	}
+	br.Stats.ServerTime += time.Since(serverStart)
+	resp2 := resps[0]
+	if len(resp2.Groups) != plan2.trap.Tokens() {
+		return fmt.Errorf("core: batch response has %d groups for %d tokens",
+			len(resp2.Groups), plan2.trap.Tokens())
+	}
+	br.Stats.ResponseItems += resp2.Items()
+
+	ownerStart = time.Now()
+	for j, i := range live {
+		res := br.Results[i]
+		res.Stats.Rounds = 2
+		res.Stats.Tokens += len(plan2.perRange[j])
+		res.Stats.TokenBytes += len(plan2.perRange[j]) * plan2.perTokenBytes
+		res.Raw = plan2.demuxRange(resp2, j, &res.Stats)
+		res.Stats.Raw = len(res.Raw)
+	}
+	br.Stats.OwnerTime += time.Since(ownerStart)
+	return nil
+}
+
+// batchFilter removes the SRC schemes' false positives from every range,
+// fetching each distinct raw id exactly once across the whole batch (the
+// shared cover nodes mean the same ids recur in many ranges' raw sets).
+func (c *Client) batchFilter(ctx context.Context, s Server, ranges []Range, br *BatchResult) error {
+	seen := make(map[ID]struct{})
+	var distinct []ID
+	for _, res := range br.Results {
+		for _, id := range res.Raw {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				distinct = append(distinct, id)
+			}
+		}
+	}
+	values, err := c.prefetchValues(ctx, s, distinct)
+	if err != nil {
+		return err
+	}
+	br.Stats.FetchedTuples = len(distinct)
+	for i, res := range br.Results {
+		res.Matches = make([]ID, 0, len(res.Raw))
+		for _, id := range res.Raw {
+			if ranges[i].Contains(values[id]) {
+				res.Matches = append(res.Matches, id)
+			}
+		}
+	}
+	return nil
+}
+
+// prefetchValues fetches and decrypts the values of the given ids with up
+// to BatchWorkers concurrent fetches (the owner-side counterpart of the
+// server's concurrent token search — on a remote target each fetch is a
+// round trip).
+func (c *Client) prefetchValues(ctx context.Context, s Server, ids []ID) (map[ID]Value, error) {
+	values := make([]Value, len(ids))
+	err := runJobs(ctx, c.numBatchWorkers(), len(ids), func(i int) error {
+		v, err := c.fetchValue(ctx, s, ids[i])
+		if err != nil {
+			return err
+		}
+		values[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[ID]Value, len(ids))
+	for i, id := range ids {
+		out[id] = values[i]
+	}
+	return out, nil
+}
+
+// fetchValue fetches one tuple and decrypts just its value.
+func (c *Client) fetchValue(ctx context.Context, s Server, id ID) (Value, error) {
+	ct, ok, err := fetchCtx(ctx, s, id)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("core: server returned unknown id %d", id)
+	}
+	v, _, err := openTuple(c.kStore, ct)
+	return v, err
+}
+
+// numBatchWorkers resolves the owner-side batch concurrency.
+func (c *Client) numBatchWorkers() int {
+	if c.batchWorkers > 0 {
+		return c.batchWorkers
+	}
+	return defaultBatchWorkers
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -45,6 +46,10 @@ type Options struct {
 	// domains; Build fails if the domain exponent exceeds it. Zero
 	// selects 12 (m = 4096, i.e. ~8.4M possible subranges).
 	QuadraticMaxBits uint8
+	// BatchWorkers bounds the owner-side concurrency of batched queries
+	// (parallel false-positive fetches during QueryBatch filtering);
+	// 0 selects a small default.
+	BatchWorkers int
 }
 
 // Client is the data owner: it holds the secret keys of one scheme
@@ -66,6 +71,7 @@ type Client struct {
 	padQuadratic   bool
 	allowIntersect bool
 	quadMaxBits    uint8
+	batchWorkers   int
 
 	history []Range // issued queries (Constant schemes' guard)
 }
@@ -84,6 +90,7 @@ func NewClient(kind Kind, dom cover.Domain, opts Options) (*Client, error) {
 		padQuadratic:   opts.PadQuadratic,
 		allowIntersect: opts.AllowIntersecting,
 		quadMaxBits:    opts.QuadraticMaxBits,
+		batchWorkers:   opts.BatchWorkers,
 	}
 	if c.sse == nil {
 		c.sse = sse.Basic{}
@@ -438,6 +445,16 @@ func (c *Client) Query(x *Index, q Range) (*Result, error) {
 // QueryServer runs the query protocol against any Server — a local
 // *Index or a transport-layer connection to a remote one.
 func (c *Client) QueryServer(s Server, q Range) (*Result, error) {
+	return c.QueryServerContext(context.Background(), s, q)
+}
+
+// QueryServerContext is QueryServer with cancellation: the protocol
+// aborts between rounds when ctx is done, and context-aware servers
+// (transport handles, local indexes) honour ctx inside each round too.
+// The Constant schemes record q in the intersection history only when
+// the whole protocol succeeds, so a failed query (network error, bad
+// trapdoor) never poisons a later retry of the same range.
+func (c *Client) QueryServerContext(ctx context.Context, s Server, q Range) (*Result, error) {
 	meta, err := s.Meta()
 	if err != nil {
 		return nil, err
@@ -452,15 +469,12 @@ func (c *Client) QueryServer(s Server, q Range) (*Result, error) {
 	if err := c.dom.CheckRange(q.Lo, q.Hi); err != nil {
 		return nil, err
 	}
-	if c.kind == ConstantBRC || c.kind == ConstantURC {
-		if !c.allowIntersect {
-			for _, prev := range c.history {
-				if q.Intersects(prev) {
-					return nil, fmt.Errorf("%w: %v intersects earlier %v", ErrIntersectingQuery, q, prev)
-				}
+	if (c.kind == ConstantBRC || c.kind == ConstantURC) && !c.allowIntersect {
+		for _, prev := range c.history {
+			if q.Intersects(prev) {
+				return nil, fmt.Errorf("%w: %v intersects earlier %v", ErrIntersectingQuery, q, prev)
 			}
 		}
-		c.history = append(c.history, q)
 	}
 
 	res := &Result{}
@@ -480,7 +494,7 @@ func (c *Client) QueryServer(s Server, q Range) (*Result, error) {
 	}
 
 	serverStart := time.Now()
-	resp1, err := s.Search(t1)
+	resp1, err := searchCtx(ctx, s, t1)
 	if err != nil {
 		return nil, err
 	}
@@ -509,7 +523,7 @@ func (c *Client) QueryServer(s Server, q Range) (*Result, error) {
 		res.Stats.Tokens += t2.Tokens()
 		res.Stats.TokenBytes += t2.Bytes()
 		serverStart = time.Now()
-		resp2, err := s.Search(t2)
+		resp2, err := searchCtx(ctx, s, t2)
 		if err != nil {
 			return nil, err
 		}
@@ -524,7 +538,7 @@ func (c *Client) QueryServer(s Server, q Range) (*Result, error) {
 	res.Stats.Raw = len(raw)
 	ownerStart = time.Now()
 	if c.kind.HasFalsePositives() {
-		res.Matches, err = c.filterMatches(s, raw, q)
+		res.Matches, err = c.filterMatches(ctx, s, raw, q)
 		if err != nil {
 			return nil, err
 		}
@@ -534,6 +548,9 @@ func (c *Client) QueryServer(s Server, q Range) (*Result, error) {
 	res.Stats.OwnerTime += time.Since(ownerStart)
 	res.Stats.Matches = len(res.Matches)
 	res.Stats.FalsePositives = len(raw) - len(res.Matches)
+	if c.kind == ConstantBRC || c.kind == ConstantURC {
+		c.history = append(c.history, q)
+	}
 	return res, nil
 }
 
@@ -582,17 +599,10 @@ func idsOf(resp *Response, stats *QueryStats) []ID {
 // filterMatches fetches and decrypts the returned tuples and keeps those
 // inside the query range — the owner-side refinement step that removes
 // the SRC schemes' false positives.
-func (c *Client) filterMatches(s Server, raw []ID, q Range) ([]ID, error) {
+func (c *Client) filterMatches(ctx context.Context, s Server, raw []ID, q Range) ([]ID, error) {
 	out := make([]ID, 0, len(raw))
 	for _, id := range raw {
-		ct, ok, err := s.Fetch(id)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("core: server returned unknown id %d", id)
-		}
-		v, _, err := openTuple(c.kStore, ct)
+		v, err := c.fetchValue(ctx, s, id)
 		if err != nil {
 			return nil, err
 		}

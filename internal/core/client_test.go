@@ -355,6 +355,59 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
+// flakyServer wraps a Server and fails the first `failures` searches —
+// the network-error shape that used to poison the Constant schemes'
+// intersection history.
+type flakyServer struct {
+	Server
+	failures int
+}
+
+var errFlaky = errors.New("simulated transport failure")
+
+func (s *flakyServer) Search(t *Trapdoor) (*Response, error) {
+	if s.failures > 0 {
+		s.failures--
+		return nil, errFlaky
+	}
+	return s.Server.Search(t)
+}
+
+// TestRetryAfterFailedQuery: a query that fails mid-protocol must not
+// enter the intersection history, so retrying the same range succeeds.
+// (The old code recorded history before running the query, making every
+// transient failure permanent.)
+func TestRetryAfterFailedQuery(t *testing.T) {
+	dom := cover.Domain{Bits: 10}
+	tuples := uniformTuples(50, 10, 13)
+	for _, kind := range []Kind{ConstantBRC, ConstantURC} {
+		c, err := NewClient(kind, dom, testOptions(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := c.BuildIndex(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flaky := &flakyServer{Server: idx, failures: 1}
+		q := Range{100, 200}
+		if _, err := c.QueryServer(flaky, q); !errors.Is(err, errFlaky) {
+			t.Fatalf("%v: first query error = %v, want simulated failure", kind, err)
+		}
+		res, err := c.QueryServer(flaky, q)
+		if err != nil {
+			t.Fatalf("%v: retry of the failed range rejected: %v", kind, err)
+		}
+		if len(res.Matches) == 0 {
+			t.Fatalf("%v: retry returned no matches", kind)
+		}
+		// The successful retry IS recorded: an intersecting query fails.
+		if _, err := c.QueryServer(flaky, Range{150, 160}); !errors.Is(err, ErrIntersectingQuery) {
+			t.Fatalf("%v: intersecting query after successful retry = %v", kind, err)
+		}
+	}
+}
+
 func TestConstantIntersectionGuard(t *testing.T) {
 	dom := cover.Domain{Bits: 10}
 	tuples := uniformTuples(50, 10, 11)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	mrand "math/rand"
 	"reflect"
 	"sync"
@@ -200,7 +201,7 @@ func TestServerReturnsUnknownID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.filterMatches(&Index{store: &TupleStore{cts: empty}}, []ID{42}, Range{0, 10}); err == nil {
+	if _, err := c.filterMatches(context.Background(), &Index{store: &TupleStore{cts: empty}}, []ID{42}, Range{0, 10}); err == nil {
 		t.Error("unknown id accepted by filter")
 	}
 }

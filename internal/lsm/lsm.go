@@ -13,6 +13,7 @@
 package lsm
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -153,6 +154,10 @@ func (m *Manager) ActiveEpochs() []NamedIndex {
 type Directory interface {
 	Lookup(name string) (core.Server, error)
 }
+
+// LocalEpochs returns the Directory that resolves epoch names against
+// the manager's own indexes — the all-in-one-process deployment.
+func (m *Manager) LocalEpochs() Directory { return localEpochs{m} }
 
 // localEpochs resolves epoch names against the manager's own indexes —
 // the all-in-one-process deployment.
@@ -388,12 +393,24 @@ func (m *Manager) Query(q core.Range) ([]core.Tuple, QueryStats, error) {
 	return m.QueryOn(localEpochs{m}, q)
 }
 
+// QueryContext is Query with cancellation.
+func (m *Manager) QueryContext(ctx context.Context, q core.Range) ([]core.Tuple, QueryStats, error) {
+	return m.QueryOnContext(ctx, localEpochs{m}, q)
+}
+
 // QueryOn runs the same fan-out query with every epoch resolved through
 // dir — pass a transport.Conn to query epochs served by a remote
 // multi-index server, or a transport.Registry to query served-in-process
 // indexes. Each epoch keeps its own keys, so every per-epoch round runs
 // under that epoch's client.
 func (m *Manager) QueryOn(dir Directory, q core.Range) ([]core.Tuple, QueryStats, error) {
+	return m.QueryOnContext(context.Background(), dir, q)
+}
+
+// QueryOnContext is QueryOn with cancellation: the fan-out aborts
+// between (and, against context-aware servers, inside) per-epoch rounds
+// when ctx is done.
+func (m *Manager) QueryOnContext(ctx context.Context, dir Directory, q core.Range) ([]core.Tuple, QueryStats, error) {
 	var stats QueryStats
 	latest := make(map[core.ID]Op)
 	for _, lvl := range m.levels {
@@ -403,7 +420,7 @@ func (m *Manager) QueryOn(dir Directory, q core.Range) ([]core.Tuple, QueryStats
 			if err != nil {
 				return nil, stats, err
 			}
-			res, err := e.client.QueryServer(srv, q)
+			res, err := e.client.QueryServerContext(ctx, srv, q)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -412,6 +429,9 @@ func (m *Manager) QueryOn(dir Directory, q core.Range) ([]core.Tuple, QueryStats
 			stats.Raw += res.Stats.Raw
 			stats.FalsePositives += res.Stats.FalsePositives
 			for _, storeID := range res.Matches {
+				if err := ctx.Err(); err != nil {
+					return nil, stats, err
+				}
 				t, err := e.client.FetchTuple(srv, storeID)
 				if err != nil {
 					return nil, stats, err
@@ -432,6 +452,82 @@ func (m *Manager) QueryOn(dir Directory, q core.Range) ([]core.Tuple, QueryStats
 			continue
 		}
 		out = append(out, core.Tuple{ID: op.ID, Value: op.Value, Payload: op.Payload})
+	}
+	return out, stats, nil
+}
+
+// QueryBatch answers several ranges against every active index with one
+// batched sub-query per epoch: each epoch's covers are deduplicated
+// across the whole batch, so the per-epoch round cost — the multiplier
+// an LSM pays on every query — is paid once per unique cover node
+// instead of once per range. Results are per input range, in input
+// order.
+func (m *Manager) QueryBatch(qs []core.Range) ([][]core.Tuple, QueryStats, error) {
+	return m.QueryBatchOnContext(context.Background(), localEpochs{m}, qs)
+}
+
+// QueryBatchOn is QueryBatch with every epoch resolved through dir —
+// one batch frame per epoch when dir is a remote connection.
+func (m *Manager) QueryBatchOn(dir Directory, qs []core.Range) ([][]core.Tuple, QueryStats, error) {
+	return m.QueryBatchOnContext(context.Background(), dir, qs)
+}
+
+// QueryBatchOnContext is QueryBatchOn with cancellation.
+func (m *Manager) QueryBatchOnContext(ctx context.Context, dir Directory, qs []core.Range) ([][]core.Tuple, QueryStats, error) {
+	var stats QueryStats
+	latest := make([]map[core.ID]Op, len(qs))
+	for i := range latest {
+		latest[i] = make(map[core.ID]Op)
+	}
+	for _, lvl := range m.levels {
+		for _, e := range lvl {
+			stats.Indexes++
+			srv, err := dir.Lookup(epochName(e))
+			if err != nil {
+				return nil, stats, err
+			}
+			br, err := e.client.QueryBatchContext(ctx, srv, qs)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Tokens += br.Stats.UniqueTokens
+			stats.TokenBytes += br.Stats.TokenBytes
+			// The shared covers return the same store ids for several
+			// ranges; fetch and decode each id once per epoch.
+			ops := make(map[core.ID]Op)
+			for i, res := range br.Results {
+				stats.Raw += res.Stats.Raw
+				stats.FalsePositives += res.Stats.FalsePositives
+				for _, storeID := range res.Matches {
+					op, ok := ops[storeID]
+					if !ok {
+						if err := ctx.Err(); err != nil {
+							return nil, stats, err
+						}
+						t, err := e.client.FetchTuple(srv, storeID)
+						if err != nil {
+							return nil, stats, err
+						}
+						if op, err = decodeOp(t.Value, t.Payload); err != nil {
+							return nil, stats, err
+						}
+						ops[storeID] = op
+					}
+					if cur, dup := latest[i][op.ID]; !dup || op.seq > cur.seq {
+						latest[i][op.ID] = op
+					}
+				}
+			}
+		}
+	}
+	out := make([][]core.Tuple, len(qs))
+	for i, l := range latest {
+		for _, op := range l {
+			if op.Kind != OpInsert {
+				continue
+			}
+			out[i] = append(out[i], core.Tuple{ID: op.ID, Value: op.Value, Payload: op.Payload})
+		}
 	}
 	return out, stats, nil
 }

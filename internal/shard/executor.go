@@ -26,9 +26,10 @@ const (
 
 // Outcome is one sub-query's result: the task it ran, and either a
 // result or an error (a task cancelled before running carries the
-// context's error).
-type Outcome[T any] struct {
-	Task Task
+// context's error). The task type is generic: single-range scatters use
+// Task, batched scatters use BatchTask.
+type Outcome[Tk, T any] struct {
+	Task Tk
 	Res  T
 	Err  error
 }
@@ -53,7 +54,7 @@ type Executor struct {
 // network I/O, say): the stragglers are abandoned to their goroutines,
 // which drain in the background, and the partially written outcomes are
 // discarded.
-func Run[T any](ctx context.Context, e Executor, tasks []Task, run func(context.Context, Task) (T, error)) ([]Outcome[T], error) {
+func Run[Tk, T any](ctx context.Context, e Executor, tasks []Tk, run func(context.Context, Tk) (T, error)) ([]Outcome[Tk, T], error) {
 	if len(tasks) == 0 {
 		return nil, nil
 	}
@@ -66,7 +67,7 @@ func Run[T any](ctx context.Context, e Executor, tasks []Task, run func(context.
 		workers = len(tasks)
 	}
 
-	outcomes := make([]Outcome[T], len(tasks))
+	outcomes := make([]Outcome[Tk, T], len(tasks))
 	next := make(chan int)
 	var (
 		wg       sync.WaitGroup
@@ -80,11 +81,11 @@ func Run[T any](ctx context.Context, e Executor, tasks []Task, run func(context.
 			for i := range next {
 				t := tasks[i]
 				if err := ctx.Err(); err != nil {
-					outcomes[i] = Outcome[T]{Task: t, Err: err}
+					outcomes[i] = Outcome[Tk, T]{Task: t, Err: err}
 					continue
 				}
 				res, err := run(ctx, t)
-				outcomes[i] = Outcome[T]{Task: t, Res: res, Err: err}
+				outcomes[i] = Outcome[Tk, T]{Task: t, Res: res, Err: err}
 				if err != nil && e.Policy == FailFast {
 					errOnce.Do(func() {
 						firstErr = err

@@ -14,29 +14,35 @@ import "rsse/internal/core"
 // executor overlaps shards, so wall clock is roughly the slowest shard.
 // Outcomes with no result (failed or cancelled shards) contribute
 // nothing; callers choosing the Partial policy surface them separately.
-func Merge(outcomes []Outcome[*core.Result]) *core.Result {
+func Merge(outcomes []Outcome[Task, *core.Result]) *core.Result {
 	merged := &core.Result{}
 	for _, o := range outcomes {
 		if o.Res == nil {
 			continue
 		}
-		r := o.Res
-		merged.Matches = append(merged.Matches, r.Matches...)
-		merged.Raw = append(merged.Raw, r.Raw...)
-		s, t := &merged.Stats, r.Stats
-		if t.Rounds > s.Rounds {
-			s.Rounds = t.Rounds
-		}
-		s.Tokens += t.Tokens
-		s.TokenBytes += t.TokenBytes
-		s.ResponseItems += t.ResponseItems
-		s.Raw += t.Raw
-		s.Matches += t.Matches
-		s.FalsePositives += t.FalsePositives
-		s.Groups = append(s.Groups, t.Groups...)
-		s.TokenLevels = append(s.TokenLevels, t.TokenLevels...)
-		s.ServerTime += t.ServerTime
-		s.OwnerTime += t.OwnerTime
+		MergeInto(merged, o.Res)
 	}
 	return merged
+}
+
+// MergeInto folds one shard's sub-result into an accumulating result,
+// with Merge's stat semantics. The batched query path uses it to merge
+// each input range's per-shard slices individually.
+func MergeInto(dst, r *core.Result) {
+	dst.Matches = append(dst.Matches, r.Matches...)
+	dst.Raw = append(dst.Raw, r.Raw...)
+	s, t := &dst.Stats, r.Stats
+	if t.Rounds > s.Rounds {
+		s.Rounds = t.Rounds
+	}
+	s.Tokens += t.Tokens
+	s.TokenBytes += t.TokenBytes
+	s.ResponseItems += t.ResponseItems
+	s.Raw += t.Raw
+	s.Matches += t.Matches
+	s.FalsePositives += t.FalsePositives
+	s.Groups = append(s.Groups, t.Groups...)
+	s.TokenLevels = append(s.TokenLevels, t.TokenLevels...)
+	s.ServerTime += t.ServerTime
+	s.OwnerTime += t.OwnerTime
 }

@@ -147,3 +147,42 @@ func (m Map) Split(q core.Range) []Task {
 	}
 	return tasks
 }
+
+// BatchTask is one shard's share of a multi-range batch: every slice of
+// every input range that falls inside the shard, with the provenance
+// needed to merge the per-slice results back into per-input-range
+// results.
+type BatchTask struct {
+	Shard int
+	// Ranges are the sub-ranges this shard answers, in input-range order.
+	Ranges []core.Range
+	// Sources[j] is the index of the input range Ranges[j] was cut from.
+	Sources []int
+}
+
+// SplitBatch plans a batched query: every input range is cut at shard
+// boundaries and the slices are grouped by owning shard, one BatchTask
+// per intersected shard in ascending shard order. Executing one batched
+// sub-query per task — instead of one sub-query per (range, shard) pair —
+// is what turns a k-shard, n-range scatter from k·n frames into at most
+// k frames.
+func (m Map) SplitBatch(qs []core.Range) []BatchTask {
+	perShard := make(map[int]*BatchTask)
+	for i, q := range qs {
+		for _, t := range m.Split(q) {
+			bt, ok := perShard[t.Shard]
+			if !ok {
+				bt = &BatchTask{Shard: t.Shard}
+				perShard[t.Shard] = bt
+			}
+			bt.Ranges = append(bt.Ranges, t.Range)
+			bt.Sources = append(bt.Sources, i)
+		}
+	}
+	out := make([]BatchTask, 0, len(perShard))
+	for _, bt := range perShard {
+		out = append(out, *bt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}

@@ -357,7 +357,7 @@ func TestExecutorAbandonsHungTask(t *testing.T) {
 }
 
 func TestMergeAggregatesStats(t *testing.T) {
-	outcomes := []Outcome[*core.Result]{
+	outcomes := []Outcome[Task, *core.Result]{
 		{Res: &core.Result{
 			Matches: []core.ID{1, 2}, Raw: []core.ID{1, 2, 9},
 			Stats: core.QueryStats{Rounds: 1, Tokens: 3, TokenBytes: 96, Raw: 3,

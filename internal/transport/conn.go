@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -25,7 +26,11 @@ type Conn struct {
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]chan rpcResult
-	readErr error // sticky: set once the read loop dies
+	// abandoned holds ids whose caller gave up (context expired) before
+	// the response arrived: the late response is expected and discarded.
+	// Any other unknown id is protocol corruption and kills the conn.
+	abandoned map[uint32]struct{}
+	readErr   error // sticky: set once the read loop dies
 }
 
 type rpcResult struct {
@@ -37,9 +42,10 @@ type rpcResult struct {
 // demultiplexer.
 func NewConn(conn io.ReadWriteCloser) *Conn {
 	c := &Conn{
-		conn:    conn,
-		bw:      bufio.NewWriter(conn),
-		pending: make(map[uint32]chan rpcResult),
+		conn:      conn,
+		bw:        bufio.NewWriter(conn),
+		pending:   make(map[uint32]chan rpcResult),
+		abandoned: make(map[uint32]struct{}),
 	}
 	go c.readLoop()
 	return c
@@ -75,8 +81,15 @@ func (c *Conn) readLoop() {
 		c.mu.Lock()
 		ch, ok := c.pending[id]
 		delete(c.pending, id)
+		_, wasAbandoned := c.abandoned[id]
+		delete(c.abandoned, id)
 		c.mu.Unlock()
 		if !ok {
+			if wasAbandoned {
+				// The caller's context expired before this response
+				// arrived: the server did the work, nobody is waiting.
+				continue
+			}
 			err = fmt.Errorf("transport: response for unknown request %d", id)
 			break
 		}
@@ -94,8 +107,19 @@ func (c *Conn) readLoop() {
 // roundTrip sends one request and waits for its response. Concurrent
 // callers interleave freely.
 func (c *Conn) roundTrip(op byte, name string, payload []byte) ([]byte, error) {
+	return c.roundTripContext(context.Background(), op, name, payload)
+}
+
+// roundTripContext is roundTrip with cancellation: when ctx expires
+// before the response arrives, the pending slot is abandoned (a late
+// response for it is discarded by the read loop) and ctx's error is
+// returned immediately.
+func (c *Conn) roundTripContext(ctx context.Context, op byte, name string, payload []byte) ([]byte, error) {
 	if len(name) > maxNameLen {
 		return nil, fmt.Errorf("%w: %q", ErrBadIndexName, name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ch := make(chan rpcResult, 1)
 	c.mu.Lock()
@@ -123,7 +147,30 @@ func (c *Conn) roundTrip(op byte, name string, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 
-	res, ok := <-ch
+	var (
+		res rpcResult
+		ok  bool
+	)
+	select {
+	case res, ok = <-ch:
+	case <-ctx.Done():
+		c.mu.Lock()
+		if _, still := c.pending[id]; still {
+			delete(c.pending, id)
+			c.abandoned[id] = struct{}{}
+		}
+		c.mu.Unlock()
+		// The response may have been delivered in the race window above;
+		// prefer it so the abandoned set only holds truly unanswered ids.
+		select {
+		case res, ok = <-ch:
+			c.mu.Lock()
+			delete(c.abandoned, id)
+			c.mu.Unlock()
+		default:
+			return nil, ctx.Err()
+		}
+	}
 	if !ok {
 		c.mu.Lock()
 		err := c.readErr
@@ -209,22 +256,60 @@ func (h *IndexHandle) Meta() (core.IndexMeta, error) {
 
 // Search implements core.Server.
 func (h *IndexHandle) Search(t *core.Trapdoor) (*core.Response, error) {
+	return h.SearchContext(context.Background(), t)
+}
+
+// SearchContext implements core.ContextSearcher: the round trip aborts
+// as soon as ctx is done.
+func (h *IndexHandle) SearchContext(ctx context.Context, t *core.Trapdoor) (*core.Response, error) {
 	payload, err := t.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := h.conn.roundTrip(opSearch, h.name, payload)
+	resp, err := h.conn.roundTripContext(ctx, opSearch, h.name, payload)
 	if err != nil {
 		return nil, err
 	}
 	return core.UnmarshalResponse(resp)
 }
 
+// SearchBatch implements core.BatchSearcher: all trapdoors cross the
+// wire in one batch-query frame, the server searches their tokens
+// concurrently, and all responses return in one frame.
+func (h *IndexHandle) SearchBatch(ts []*core.Trapdoor) ([]*core.Response, error) {
+	return h.SearchBatchContext(context.Background(), ts)
+}
+
+// SearchBatchContext implements core.ContextBatchSearcher.
+func (h *IndexHandle) SearchBatchContext(ctx context.Context, ts []*core.Trapdoor) ([]*core.Response, error) {
+	payload, err := core.MarshalTrapdoors(ts)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.conn.roundTripContext(ctx, opBatchQuery, h.name, payload)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := core.UnmarshalResponses(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(ts) {
+		return nil, fmt.Errorf("transport: batch response carries %d responses for %d trapdoors", len(rs), len(ts))
+	}
+	return rs, nil
+}
+
 // Fetch implements core.Server.
 func (h *IndexHandle) Fetch(id core.ID) ([]byte, bool, error) {
+	return h.FetchContext(context.Background(), id)
+}
+
+// FetchContext implements core.ContextFetcher.
+func (h *IndexHandle) FetchContext(ctx context.Context, id core.ID) ([]byte, bool, error) {
 	var payload [8]byte
 	binary.BigEndian.PutUint64(payload[:], id)
-	resp, err := h.conn.roundTrip(opFetch, h.name, payload[:])
+	resp, err := h.conn.roundTripContext(ctx, opFetch, h.name, payload[:])
 	if err != nil {
 		return nil, false, err
 	}

@@ -14,8 +14,15 @@
 //	frame    := len(u32, big-endian) body          (len counts the body)
 //	request  := reqID(u32) op(u8) nameLen(u8) name payload
 //	response := reqID(u32) status(u8) payload
-//	ops:      meta(1), search(trapdoor wire, 2), fetch(id, 3), names(4)
+//	ops:      meta(1), search(trapdoor wire, 2), fetch(id, 3), names(4),
+//	          batch-query(trapdoor batch wire, 5)
 //	status:   ok(0) payload | err(1) message
+//
+// The batch-query op carries several trapdoors in one frame and answers
+// with the matching responses in one frame; the server searches the
+// batch's tokens concurrently. It is how a whole multi-range batch (see
+// core.Client.QueryBatch) costs one round trip per round instead of one
+// per range.
 //
 // Exactly the protocol messages of the paper cross the wire: trapdoors
 // owner→server, opaque result groups and encrypted tuples server→owner.
@@ -38,10 +45,11 @@ const MaxFrame = 1 << 28 // 256 MiB
 
 // Request op codes and response status codes.
 const (
-	opMeta   byte = 1
-	opSearch byte = 2
-	opFetch  byte = 3
-	opNames  byte = 4
+	opMeta       byte = 1
+	opSearch     byte = 2
+	opFetch      byte = 3
+	opNames      byte = 4
+	opBatchQuery byte = 5
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -166,6 +174,28 @@ func handleRequest(reg *Registry, req request) ([]byte, error) {
 			return nil, err
 		}
 		return resp.MarshalBinary()
+	case opBatchQuery:
+		ts, err := core.UnmarshalTrapdoors(req.payload)
+		if err != nil {
+			return nil, err
+		}
+		var resps []*core.Response
+		if bs, ok := idx.(core.BatchSearcher); ok {
+			// A served *core.Index searches the batch's tokens
+			// concurrently.
+			resps, err = bs.SearchBatch(ts)
+		} else {
+			resps = make([]*core.Response, len(ts))
+			for i, t := range ts {
+				if resps[i], err = idx.Search(t); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return core.MarshalResponses(resps)
 	case opFetch:
 		if len(req.payload) != 8 {
 			return nil, fmt.Errorf("transport: fetch payload must be 8 bytes")

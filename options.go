@@ -22,6 +22,7 @@ type config struct {
 	padQuadratic bool
 	allowInter   bool
 	quadMaxBits  uint8
+	batchWorkers int
 }
 
 // Option customizes a Client or Dynamic store.
@@ -133,6 +134,21 @@ func WithQuadraticMaxBits(bits uint8) Option {
 	}
 }
 
+// WithBatchWorkers bounds the owner-side concurrency of batched queries
+// (QueryBatch and friends): how many false-positive filter fetches run
+// in parallel against the server. 0 (the default) selects a small
+// built-in bound. Server-side batch search concurrency is the server's
+// own choice and is not affected.
+func WithBatchWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rsse: batch workers %d must not be negative", n)
+		}
+		c.batchWorkers = n
+		return nil
+	}
+}
+
 // AllowIntersectingQueries disables the Constant schemes' client-side
 // guard against intersecting queries. The schemes are then no longer
 // covered by their adaptive-security argument (Section 5) — intended for
@@ -177,6 +193,7 @@ func (c *config) lower() (core.Options, error) {
 	opts.PadQuadratic = c.padQuadratic
 	opts.AllowIntersecting = c.allowInter
 	opts.QuadraticMaxBits = c.quadMaxBits
+	opts.BatchWorkers = c.batchWorkers
 	return opts, nil
 }
 

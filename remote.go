@@ -222,7 +222,28 @@ func dialCluster(man ClusterManifest, masterKey []byte, opts []ClusterOption, po
 // QueryRemote runs the full query protocol against a remote index — the
 // same rounds as Query, with each round crossing the connection.
 func (c *Client) QueryRemote(r *RemoteIndex, q Range) (*Result, error) {
-	return c.inner.QueryServer(r.handle, q)
+	return c.QueryRemoteContext(context.Background(), r, q)
+}
+
+// QueryRemoteContext is QueryRemote with cancellation: an expired ctx
+// aborts the in-flight round trip immediately (the server's late
+// response is discarded).
+func (c *Client) QueryRemoteContext(ctx context.Context, r *RemoteIndex, q Range) (*Result, error) {
+	return c.inner.QueryServerContext(ctx, r.handle, q)
+}
+
+// QueryBatchRemote answers several ranges against a remote index in one
+// batched protocol run: the deduplicated multi-trapdoor crosses the
+// connection as a single batch frame per round (instead of one frame per
+// range), the server searches the batch's tokens concurrently, and
+// false-positive filtering fetches each distinct id once, in parallel.
+func (c *Client) QueryBatchRemote(r *RemoteIndex, ranges []Range) (*BatchResult, error) {
+	return c.QueryBatchRemoteContext(context.Background(), r, ranges)
+}
+
+// QueryBatchRemoteContext is QueryBatchRemote with cancellation.
+func (c *Client) QueryBatchRemoteContext(ctx context.Context, r *RemoteIndex, ranges []Range) (*BatchResult, error) {
+	return c.inner.QueryBatchContext(ctx, r.handle, ranges)
 }
 
 // FetchTupleRemote retrieves and decrypts one tuple from a remote index.

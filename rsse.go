@@ -28,6 +28,13 @@ type (
 	Result = core.Result
 	// QueryStats carries per-query cost and leakage accounting.
 	QueryStats = core.QueryStats
+	// BatchResult is a batched query outcome: one Result per input range
+	// plus batch-level dedup and cost accounting.
+	BatchResult = core.BatchResult
+	// BatchStats carries the batch-level accounting of one QueryBatch:
+	// cover-node demand vs unique tokens sent (DedupRatio), rounds, bytes
+	// and the wall-clock split.
+	BatchStats = core.BatchStats
 	// Trapdoor is a single round's encrypted query message. Advanced use
 	// only (benchmarks, protocol inspection); normal callers use Query.
 	Trapdoor = core.Trapdoor
