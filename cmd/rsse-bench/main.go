@@ -6,11 +6,13 @@
 //	rsse-bench [-scale small|medium|paper] [experiment...]
 //
 // Experiments: fig5, table2, fig6, fig7, fig8, table1, ablation, updates,
-// batch, all (default all). The "paper" scale mirrors the paper's dataset
-// sizes and can take hours; "small" (default) completes in minutes. The
-// -batch flag is shorthand for the batch experiment alone: the
-// sequential-vs-batched multi-range pipeline with its token dedup
-// ratios.
+// batch, durable, all (default all). The "paper" scale mirrors the
+// paper's dataset sizes and can take hours; "small" (default) completes
+// in minutes. The -batch flag is shorthand for the batch experiment
+// alone: the sequential-vs-batched multi-range pipeline with its token
+// dedup ratios. The -updates flag is shorthand for the durable-updates
+// benchmark alone: sustained insert throughput under WAL fsync policies
+// WithSyncEvery ∈ {1, 64, 1024}, plus recovery time vs WAL length.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small|medium|paper")
 	batchOnly := flag.Bool("batch", false, "run only the batched-query pipeline experiment")
+	updatesOnly := flag.Bool("updates", false, "run only the durable-updates benchmark (WAL fsync sweep + recovery time)")
 	flag.Parse()
 	scale, err := benchutil.ScaleByName(*scaleName)
 	if err != nil {
@@ -35,6 +38,9 @@ func main() {
 	wanted := flag.Args()
 	if *batchOnly {
 		wanted = append(wanted, "batch")
+	}
+	if *updatesOnly {
+		wanted = append(wanted, "durable")
 	}
 	if len(wanted) == 0 {
 		wanted = []string{"all"}
@@ -103,6 +109,20 @@ func main() {
 				s.Step, s.ActiveIndexes, s.FlushTotal.Seconds(),
 				float64(s.QueryTime.Microseconds())/1000, s.QueryTokens,
 				float64(s.TotalSize)/(1<<20))
+		}
+	}
+	if runAll || want["durable"] {
+		throughput, recovery, err := benchutil.DurableUpdates(scale)
+		exitOn(err)
+		fmt.Fprintf(out, "\nDurable updates — sustained insert throughput by WAL fsync policy\n")
+		for _, r := range throughput {
+			fmt.Fprintf(out, "  sync every %4d: %6.0f inserts/s  (%d inserts in %.2fs, WAL %.1f MB)\n",
+				r.SyncEvery, r.PerSecond, r.Inserts, r.Elapsed.Seconds(), float64(r.WALBytes)/(1<<20))
+		}
+		fmt.Fprintf(out, "\nDurable updates — recovery time vs WAL length\n")
+		for _, r := range recovery {
+			fmt.Fprintf(out, "  %6d pending records (%.1f MB WAL): reopened in %.1fms\n",
+				r.WALRecords, float64(r.WALBytes)/(1<<20), float64(r.Recovery.Microseconds())/1000)
 		}
 	}
 	fmt.Fprintf(out, "\ncompleted in %.1fs\n", time.Since(start).Seconds())

@@ -57,6 +57,22 @@
 //
 // Without -addr the shards are opened from the manifest's directory
 // locally.
+//
+// Mutate a writable server (rsse-server -writable) remotely — each
+// update is acknowledged only once the server has it in its write-ahead
+// log, so an acknowledged put survives even kill -9 of the server:
+//
+//	rsse-owner put    -addr 127.0.0.1:7070 -id 42 -value 1200 -payload "alice"
+//	rsse-owner del    -addr 127.0.0.1:7070 -id 42 -value 1200
+//	rsse-owner modify -addr 127.0.0.1:7070 -id 42 -old 1200 -new 1500
+//	rsse-owner flush  -addr 127.0.0.1:7070
+//	rsse-owner get    -addr 127.0.0.1:7070 -lo 1000 -hi 2000
+//
+// put/del/modify buffer on the server; flush seals the pending batch
+// into a fresh forward-private epoch (put -flush does both). get
+// queries the flushed epochs and prints decrypted live tuples — the
+// writable server holds the store's keys (it is the owner's durable
+// write gateway), which is why no keyfile appears here.
 package main
 
 import (
@@ -85,6 +101,8 @@ func main() {
 		query(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
+	case "put", "del", "modify", "flush", "get":
+		dynamic(os.Args[1], os.Args[2:])
 	case "shard":
 		if len(os.Args) < 3 {
 			usage()
@@ -103,8 +121,70 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query|stats|shard build|shard query [flags] (see package docs)")
+	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query|stats|put|del|modify|flush|get|shard build|shard query [flags] (see package docs)")
 	os.Exit(2)
+}
+
+// dynamic runs one remote-update subcommand against a writable server.
+func dynamic(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "writable rsse-server address")
+	name := fs.String("name", rsse.DefaultDynamicName, "writable store name on the server")
+	id := fs.Uint64("id", 0, "tuple id (put, del, modify)")
+	value := fs.Uint64("value", 0, "tuple value (put) / current value (del)")
+	oldValue := fs.Uint64("old", 0, "current value (modify)")
+	newValue := fs.Uint64("new", 0, "new value (modify)")
+	payload := fs.String("payload", "", "tuple payload (put, modify)")
+	lo := fs.Uint64("lo", 0, "range lower bound (get)")
+	hi := fs.Uint64("hi", 0, "range upper bound (get)")
+	doFlush := fs.Bool("flush", false, "also seal the pending batch after the update")
+	_ = fs.Parse(args)
+
+	remote, err := rsse.DialDynamic("tcp", *addr, *name)
+	if err != nil {
+		fatal(err)
+	}
+	defer remote.Close()
+
+	switch cmd {
+	case "put":
+		err = remote.Insert(*id, *value, []byte(*payload))
+		if err == nil {
+			fmt.Printf("rsse-owner: put id %d value %d (durably logged)\n", *id, *value)
+		}
+	case "del":
+		err = remote.Delete(*id, *value)
+		if err == nil {
+			fmt.Printf("rsse-owner: del id %d value %d (durably logged)\n", *id, *value)
+		}
+	case "modify":
+		err = remote.Modify(*id, *oldValue, *newValue, []byte(*payload))
+		if err == nil {
+			fmt.Printf("rsse-owner: modify id %d: %d → %d (durably logged)\n", *id, *oldValue, *newValue)
+		}
+	case "flush":
+		err = remote.Flush()
+		if err == nil {
+			fmt.Println("rsse-owner: flushed pending batch into a fresh epoch")
+		}
+	case "get":
+		var tuples []rsse.Tuple
+		if tuples, err = remote.Query(rsse.Range{Lo: *lo, Hi: *hi}); err == nil {
+			fmt.Printf("get [%d, %d]: %d live tuples\n", *lo, *hi, len(tuples))
+			for _, t := range tuples {
+				fmt.Printf("  %d\t%d\t%s\n", t.ID, t.Value, t.Payload)
+			}
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *doFlush && cmd != "flush" && cmd != "get" {
+		if err := remote.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("rsse-owner: flushed pending batch into a fresh epoch")
+	}
 }
 
 // shardBuild partitions the CSV across -shards independent indexes and

@@ -23,6 +23,23 @@
 // is how one cluster spreads across a fleet. The server needs no shard
 // configuration; the owner's manifest carries the topology.
 //
+// With -writable the server additionally hosts a durable dynamic store
+// (Section 7 updates with forward privacy) that remote owners mutate
+// via rsse-owner put/del/modify — every update is fsynced into the
+// store's write-ahead log before it is acknowledged (tune with -sync),
+// and SIGKILL at any moment loses nothing acknowledged: restarting the
+// server on the same directory replays the log and resumes exactly.
+//
+//	rsse-server -writable ./dyn -scheme Logarithmic-BRC -bits 16 \
+//	    -listen 127.0.0.1:7070
+//
+// An existing directory's parameters are adopted from its manifest, so
+// restarts need only -writable. NOTE the trust model: a writable
+// directory holds the store's master key, so a writable server is an
+// owner-side durable write gateway, not the untrusted query server of
+// the paper — deploy it with the owner's infrastructure (see
+// ARCHITECTURE.md).
+//
 // Indexes load onto the read-optimized "sorted" storage engine by
 // default. With -storage disk the server memory-maps v2 index files and
 // serves them in place: directory mode then defers each file's open to
@@ -59,18 +76,38 @@ func main() {
 		"storage engine for loaded indexes: "+strings.Join(rsse.StorageEngines(), "|"))
 	preload := flag.Bool("preload", false, "with -dir -storage disk: open every index at startup instead of on first query")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
+	writable := flag.String("writable", "", "durable dynamic store directory to host for remote updates")
+	writableName := flag.String("writable-name", rsse.DefaultDynamicName, "update-namespace name the writable store serves under")
+	scheme := flag.String("scheme", "Logarithmic-BRC", "with -writable on a fresh directory: scheme of the dynamic store")
+	bits := flag.Uint("bits", 16, "with -writable on a fresh directory: domain bits of the dynamic store")
+	step := flag.Int("step", 0, "with -writable on a fresh directory: consolidation step (0 = default)")
+	syncEvery := flag.Int("sync", 1, "with -writable: fsync the WAL every N updates (1 = every acknowledged update is durable)")
 	flag.Parse()
-	if (*indexPath == "") == (*dir == "") {
-		fmt.Fprintln(os.Stderr, "rsse-server: exactly one of -index and -dir is required")
+	if *indexPath != "" && *dir != "" {
+		fmt.Fprintln(os.Stderr, "rsse-server: -index and -dir are mutually exclusive")
+		os.Exit(2)
+	}
+	if *indexPath == "" && *dir == "" && *writable == "" {
+		fmt.Fprintln(os.Stderr, "rsse-server: one of -index, -dir or -writable is required")
 		os.Exit(2)
 	}
 
 	reg := rsse.NewRegistry()
+	var dyn *rsse.Dynamic
+	if *writable != "" {
+		var err error
+		if dyn, err = openWritable(*writable, *scheme, uint8(*bits), *step, *syncEvery); err != nil {
+			fatal(err)
+		}
+		if err := reg.RegisterWritable(*writableName, dyn); err != nil {
+			fatal(err)
+		}
+	}
 	if *indexPath != "" {
 		if err := load(reg, rsse.DefaultIndexName, *indexPath, *engine); err != nil {
 			fatal(err)
 		}
-	} else {
+	} else if *dir != "" {
 		entries, err := os.ReadDir(*dir)
 		if err != nil {
 			fatal(err)
@@ -107,6 +144,9 @@ func main() {
 	}
 	fmt.Printf("rsse-server: serving %d index(es) on %s (%s storage)\n",
 		len(reg.Names()), l.Addr(), *engine)
+	if dyn != nil {
+		fmt.Printf("rsse-server: writable store %q ready on %s\n", *writableName, l.Addr())
+	}
 
 	srv := rsse.NewServer(reg)
 	done := make(chan error, 1)
@@ -123,12 +163,46 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rsse-server: forced shutdown:", err)
 			os.Exit(1)
 		}
+		if dyn != nil {
+			// Pending updates stay pending: they are durable in the WAL
+			// and recover exactly on the next start.
+			if err := dyn.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rsse-server: closing writable store:", err)
+				os.Exit(1)
+			}
+		}
 		fmt.Println("rsse-server: drained, bye")
 	case err := <-done:
 		if err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// openWritable opens (creating if fresh) the durable dynamic store. An
+// existing directory's manifest parameters win over the flags, so
+// restarts need only -writable.
+func openWritable(dir, scheme string, bits uint8, step, syncEvery int) (*rsse.Dynamic, error) {
+	kind, err := rsse.KindByName(scheme)
+	if err != nil {
+		return nil, err
+	}
+	if meta, err := rsse.PeekDynamicDir(dir); err == nil {
+		kind, bits, step = meta.Kind, meta.DomainBits, meta.Step
+		fmt.Printf("rsse-server: writable %s: adopting %v, domain 2^%d, step %d from manifest\n",
+			dir, kind, bits, step)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	} else {
+		fmt.Printf("rsse-server: writable %s: fresh store (%v, domain 2^%d)\n", dir, kind, bits)
+	}
+	dyn, err := rsse.OpenDynamic(dir, kind, bits, step, rsse.WithSyncEvery(syncEvery))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("rsse-server: writable %s: %d active epochs, %d pending recovered updates (fsync every %d)\n",
+		dir, dyn.ActiveIndexes(), dyn.Pending(), syncEvery)
+	return dyn, nil
 }
 
 // load reads, parses and registers one index file eagerly.

@@ -42,8 +42,9 @@
 //	// res.Matches == []rsse.ID{1}
 //
 // For batched updates with forward privacy (Section 7 of the paper), see
-// Dynamic. The underlying single-keyword SSE construction is pluggable
-// via WithSSE; experiments use the TSet construction with the paper's
+// Dynamic — and OpenDynamic for the durable, crash-recoverable variant.
+// The underlying single-keyword SSE construction is pluggable via
+// WithSSE; experiments use the TSet construction with the paper's
 // parameters.
 //
 // # Storage engines and serving from disk
@@ -88,6 +89,37 @@
 // private updates to the shard owning each value. QueryContext cancels
 // an in-flight scatter; ClusterResult reports per-shard cost, leakage
 // and errors alongside the merged Result.
+//
+// # Durable dynamic indexes
+//
+// A Dynamic created with NewDynamic lives in memory; OpenDynamic roots
+// the same forward-private LSM in a directory and makes it a
+// restartable service. Every Insert/Delete/Modify is appended to a
+// checksummed write-ahead log before it is buffered; Flush seals the
+// pending batch into an epoch file and commits via an atomic manifest
+// rename; reopening the directory — after a clean Close or a SIGKILL —
+// recovers the exact pre-crash state, replaying the WAL tail and
+// resuming consolidation:
+//
+//	d, err := rsse.OpenDynamic("./dyn", rsse.LogarithmicBRC, 16, 0)
+//	err = d.Insert(42, 1200, []byte("alice")) // durable once nil is returned
+//	err = d.Flush()
+//
+// WithSyncEvery(n) tunes the WAL fsync policy: n=1 (default) makes
+// every acknowledged update durable; larger n raises ingestion
+// throughput by orders of magnitude at the cost of the last n-1
+// acknowledged updates in a crash. A Modify is one atomic WAL record,
+// and OpenShardedDynamic persists per-shard directories whose
+// cross-shard modifications are ordered (tombstone fsynced before the
+// insertion is logged), so recovery never resurrects a moved value.
+//
+// Remote updates: Registry.RegisterWritable serves a writable store,
+// rsse.DialDynamic mutates it from another process, and rsse-server
+// -writable / rsse-owner put|del|modify|flush|get speak the same
+// protocol from the command line. The serving process holds the
+// store's keys — it is an owner-side durable write gateway, not the
+// untrusted query server; see ARCHITECTURE.md for the trust model and
+// the per-epoch leakage note.
 //
 // # Batched queries
 //

@@ -1,0 +1,390 @@
+package rsse_test
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rsse"
+	"rsse/internal/wal"
+)
+
+// durableDomainBits mirrors batchDomainBits for the dynamic stores.
+func durableDomainBits(kind rsse.Kind) uint8 {
+	if kind == rsse.Quadratic {
+		return 6
+	}
+	return 10
+}
+
+// dynOptions are the construction options every durable-test store and
+// its oracle share (intersecting queries allowed so randomized ranges
+// apply to the Constant schemes too).
+func dynOptions(extra ...rsse.Option) []rsse.Option {
+	return append([]rsse.Option{rsse.AllowIntersectingQueries()}, extra...)
+}
+
+// driveUpdates streams a deterministic mixed workload — inserts,
+// deletes, modifies, periodic flushes — into every given store (the
+// durable one and its never-crashed oracle get identical histories).
+// It leaves a tail of pending (unflushed) operations.
+func driveUpdates(t *testing.T, bits uint8, stores ...rsse.WritableStore) {
+	t.Helper()
+	m := uint64(1) << bits
+	val := func(id uint64) uint64 { return (id * 37) % m }
+	apply := func(f func(s rsse.WritableStore) error) {
+		t.Helper()
+		for _, s := range stores {
+			if err := f(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	id := uint64(1)
+	for batch := 0; batch < 4; batch++ {
+		for i := 0; i < 9; i++ {
+			cur := id
+			apply(func(s rsse.WritableStore) error {
+				return s.Insert(cur, val(cur), []byte{byte(cur), byte(cur >> 8)})
+			})
+			if cur%4 == 0 {
+				apply(func(s rsse.WritableStore) error {
+					return s.Modify(cur, val(cur), (val(cur)+m/2)%m, []byte("moved"))
+				})
+			}
+			if cur%5 == 0 && cur > 3 {
+				victim := cur - 3
+				v := val(victim)
+				if victim%4 == 0 {
+					v = (v + m/2) % m
+				}
+				apply(func(s rsse.WritableStore) error { return s.Delete(victim, v) })
+			}
+			id++
+		}
+		apply(func(s rsse.WritableStore) error { return s.Flush() })
+	}
+	// Pending tail: acknowledged, WAL-only, never flushed before the
+	// simulated crash.
+	tail := id
+	apply(func(s rsse.WritableStore) error {
+		if err := s.Insert(tail, val(tail), []byte("tail")); err != nil {
+			return err
+		}
+		return s.Delete(1, val(1))
+	})
+}
+
+func sortedTuples(ts []rsse.Tuple) []rsse.Tuple {
+	out := append([]rsse.Tuple(nil), ts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func assertTuplesEqual(t *testing.T, label string, got, want []rsse.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tuples, want %d\n got: %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.Value != w.Value || string(g.Payload) != string(w.Payload) {
+			t.Fatalf("%s: tuple %d: got %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// randomRanges draws n randomized query ranges including degenerate
+// points and the full domain.
+func randomRanges(bits uint8, n int) []rsse.Range {
+	m := uint64(1) << bits
+	out := make([]rsse.Range, 0, n+2)
+	out = append(out, rsse.Range{Lo: 0, Hi: m - 1}, rsse.Range{Lo: m / 2, Hi: m / 2})
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < n; i++ {
+		a, b := next()%m, next()%m
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, rsse.Range{Lo: a, Hi: b})
+	}
+	return out
+}
+
+// TestDurableRecoveryDifferential is the acceptance proof: for all 7
+// schemes, a durable Dynamic that crashes (abandoned without Close)
+// with sealed epochs AND a pending WAL tail must, after reopening,
+// answer 100 randomized ranges byte-identically to a never-crashed
+// store fed the identical update stream — before and after the
+// recovered tail is flushed.
+func TestDurableRecoveryDifferential(t *testing.T) {
+	for _, kind := range rsse.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			bits := durableDomainBits(kind)
+			dir := t.TempDir()
+			d, err := rsse.OpenDynamic(dir, kind, bits, 2, dynOptions()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := rsse.NewDynamic(kind, bits, 2, dynOptions()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveUpdates(t, bits, d, oracle)
+			// Crash: d is dropped without Close or final Flush (the hook
+			// releases the WAL's advisory lock without syncing, leaving
+			// on-disk state exactly as SIGKILL would).
+			rsse.Crash(d)
+
+			d2, err := rsse.OpenDynamic(dir, kind, bits, 2, dynOptions()...)
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer d2.Close()
+			if d2.Pending() != oracle.Pending() {
+				t.Fatalf("recovered %d pending ops, oracle has %d", d2.Pending(), oracle.Pending())
+			}
+			ranges := randomRanges(bits, 100)
+			compare := func(phase string) {
+				t.Helper()
+				for _, q := range ranges {
+					got, _, err := d2.Query(q)
+					if err != nil {
+						t.Fatalf("%s: recovered query %v: %v", phase, q, err)
+					}
+					want, _, err := oracle.Query(q)
+					if err != nil {
+						t.Fatalf("%s: oracle query %v: %v", phase, q, err)
+					}
+					assertTuplesEqual(t, phase+" "+q.String(), sortedTuples(got), sortedTuples(want))
+				}
+			}
+			compare("pre-flush")
+			if err := d2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			compare("post-flush")
+		})
+	}
+}
+
+// TestShardedDynamicDurableReopen round-trips a sharded durable store
+// through a crash and checks per-shard recovery plus topology
+// validation.
+func TestShardedDynamicDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	const bits, shards = 10, 4
+	d, err := rsse.OpenShardedDynamic(dir, rsse.LogarithmicBRC, bits, shards, 2, dynOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := rsse.NewShardedDynamic(rsse.LogarithmicBRC, bits, shards, 2, dynOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveUpdates(t, bits, d, oracle)
+	// Crash without Close.
+	rsse.CrashSharded(d)
+
+	if _, err := rsse.OpenShardedDynamic(dir, rsse.LogarithmicBRC, bits, shards+1, 2, dynOptions()...); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+	d2, err := rsse.OpenShardedDynamic(dir, rsse.LogarithmicBRC, bits, shards, 2, dynOptions()...)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer d2.Close()
+	if err := d2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range randomRanges(bits, 40) {
+		got, _, err := d2.Query(q)
+		if err != nil {
+			t.Fatalf("recovered query %v: %v", q, err)
+		}
+		want, _, err := oracle.Query(q)
+		if err != nil {
+			t.Fatalf("oracle query %v: %v", q, err)
+		}
+		assertTuplesEqual(t, q.String(), sortedTuples(got), sortedTuples(want))
+	}
+}
+
+// TestCrossShardModifyCrashNeverResurrects is the regression test for
+// the cross-shard modify ordering: the tombstone is durably logged on
+// the old shard BEFORE the insertion is logged on the new one, so a
+// crash between the two — simulated by wiping the new shard's WAL tail
+// — may lose the new value but can never bring the old value back.
+func TestCrossShardModifyCrashNeverResurrects(t *testing.T) {
+	dir := t.TempDir()
+	const bits, shards = 10, 2
+	d, err := rsse.OpenShardedDynamic(dir, rsse.LogarithmicBRC, bits, shards, 2, dynOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uint64(1) << bits
+	oldValue := m / 4     // shard 0
+	newValue := 3 * m / 4 // shard 1
+	if d.ShardOf(oldValue) == d.ShardOf(newValue) {
+		t.Fatal("test values landed on one shard")
+	}
+	if err := d.Insert(1, oldValue, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The cross-shard move: tombstone on shard 0 (synced), insertion on
+	// shard 1.
+	if err := d.Modify(1, oldValue, newValue, []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash between the two records: abandon d and erase the NEW shard's
+	// WAL — the insertion is gone, the tombstone must already be durable
+	// on the old shard. (Truncating to any prefix behaves the same; empty
+	// is the worst case.)
+	rsse.CrashSharded(d)
+	newShardWAL := filepath.Join(dir, "shard-001", "wal.log")
+	blob, err := os.ReadFile(newShardWAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) <= 8 {
+		t.Fatal("test setup: new shard's WAL does not hold the insertion")
+	}
+	if err := os.Truncate(newShardWAL, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := rsse.OpenShardedDynamic(dir, rsse.LogarithmicBRC, bits, shards, 2, dynOptions()...)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer d2.Close()
+	if err := d2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tuples, _, err := d2.Query(rsse.Range{Lo: 0, Hi: m - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range tuples {
+		if tup.ID == 1 && tup.Value == oldValue {
+			t.Fatalf("crash between cross-shard records resurrected the old value: %+v", tup)
+		}
+	}
+	// The reverse order would fail exactly this way: verify the old
+	// shard's WAL held a synced tombstone by checking the old value is
+	// gone even though the insertion never made it.
+	if len(tuples) != 0 {
+		t.Fatalf("expected no live tuples (insertion lost, tombstone applied), got %+v", tuples)
+	}
+}
+
+// TestRemoteUpdatesDurable drives the full remote path: rsse-owner-style
+// updates over a connection into a served durable Dynamic, a simulated
+// server crash, and a restart that recovers everything acknowledged.
+func TestRemoteUpdatesDurable(t *testing.T) {
+	dir := t.TempDir()
+	const bits = 10
+	open := func() *rsse.Dynamic {
+		d, err := rsse.OpenDynamic(dir, rsse.LogarithmicBRC, bits, 2, dynOptions()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	serve := func(d *rsse.Dynamic) (*rsse.RemoteDynamic, func()) {
+		reg := rsse.NewRegistry()
+		if err := reg.RegisterWritable(rsse.DefaultDynamicName, d); err != nil {
+			t.Fatal(err)
+		}
+		srv := rsse.NewServer(reg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(l) }()
+		remote, err := rsse.DialDynamic("tcp", l.Addr().String(), rsse.DefaultDynamicName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return remote, func() { remote.Close(); l.Close() }
+	}
+
+	d := open()
+	remote, stop := serve(d)
+	if err := remote.Insert(1, 100, []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Insert(2, 200, []byte("bob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Modify(1, 100, 150, []byte("alice-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Delete(2, 200); err != nil {
+		t.Fatal(err)
+	}
+	// The acknowledged-but-unflushed updates must already be durable:
+	// the WAL on disk holds both records BEFORE any flush.
+	recs := replayWALFile(t, filepath.Join(dir, "wal.log"))
+	if len(recs) != 2 {
+		t.Fatalf("WAL holds %d records after 2 acknowledged updates, want 2", len(recs))
+	}
+	if recs[0].Kind != wal.Modify || recs[1].Kind != wal.Delete {
+		t.Fatalf("WAL records out of order: %v, %v", recs[0].Kind, recs[1].Kind)
+	}
+	stop()        // crash: the server process dies...
+	rsse.Crash(d) // ...taking the un-Closed store with it
+
+	d2 := open()
+	remote2, stop2 := serve(d2)
+	defer stop2()
+	if err := remote2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := remote2.Query(rsse.Range{Lo: 0, Hi: (1 << bits) - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 {
+		t.Fatalf("recovered store holds %d live tuples, want 1: %+v", len(tuples), tuples)
+	}
+	if tuples[0].ID != 1 || tuples[0].Value != 150 || string(tuples[0].Payload) != "alice-v2" {
+		t.Fatalf("recovered tuple %+v", tuples[0])
+	}
+	d2.Close()
+}
+
+// replayWALFile decodes a WAL file's intact records.
+func replayWALFile(t *testing.T, path string) []wal.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, _, _, err := wal.Replay(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}

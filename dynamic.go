@@ -2,12 +2,18 @@ package rsse
 
 import (
 	"context"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"rsse/internal/cover"
 	"rsse/internal/lsm"
 	"rsse/internal/prf"
 	"rsse/internal/shard"
+	"rsse/internal/wal"
 )
 
 // Dynamic is the updatable store of Section 7: updates are buffered into
@@ -20,7 +26,14 @@ import (
 // static schemes of this module, with at most O(s·log_s b) active indexes
 // after b batches.
 //
-// A Dynamic store is not safe for concurrent use.
+// A Dynamic store created with NewDynamic lives in memory only; one
+// opened with OpenDynamic is durable: every update hits a checksummed
+// write-ahead log before it is buffered, sealed epochs persist as index
+// files, and reopening the directory recovers the exact pre-crash
+// state. See OpenDynamic for the recovery semantics.
+//
+// A Dynamic store is not safe for concurrent use (Registry.
+// RegisterWritable wraps one in a serializing adapter for serving).
 type Dynamic struct {
 	inner *lsm.Manager
 }
@@ -74,22 +87,169 @@ func newDynamicWithMaster(kind Kind, dom cover.Domain, consolidationStep int, ma
 	return &Dynamic{inner: inner}, nil
 }
 
-// Insert buffers a tuple insertion for the next batch.
-func (d *Dynamic) Insert(id ID, value Value, payload []byte) {
-	d.inner.Insert(id, value, payload)
+// MasterKeyFileName is the hex-encoded master secret OpenDynamic keeps
+// inside a durable directory; ClusterKeyFileName is its OpenSharded-
+// Dynamic counterpart at the root. The directory therefore holds key
+// material: it is OWNER-side state (or state of a trusted write
+// gateway), never something to hand to the untrusted query server.
+const (
+	MasterKeyFileName  = "master.key"
+	ClusterKeyFileName = "cluster.key"
+)
+
+// DynamicMeta is the recoverable identity of a durable directory: the
+// parameters it was created with, readable without any key.
+type DynamicMeta struct {
+	Kind       Kind
+	DomainBits uint8
+	Step       int
+}
+
+// PeekDynamicDir reads the parameters a durable Dynamic directory was
+// created with — how rsse-server adopts an existing directory instead
+// of requiring them re-specified. os.IsNotExist(err) distinguishes a
+// fresh directory.
+func PeekDynamicDir(dir string) (DynamicMeta, error) {
+	meta, err := lsm.ReadManagerMeta(dir)
+	if err != nil {
+		return DynamicMeta{}, err
+	}
+	return DynamicMeta{Kind: meta.Kind, DomainBits: meta.DomainBits, Step: meta.Step}, nil
+}
+
+// OpenDynamic opens (creating if fresh) a durable updatable store
+// rooted at dir. Layout: a hex master key (master.key), a checksummed
+// write-ahead log (wal.log), one sealed v2 index container per epoch
+// (epoch-<seq>.idx) and the epoch manifest (epochs.json) whose atomic
+// rename is the commit point of every flush.
+//
+// Recovery is exact: reopening after a crash loads the persisted
+// epochs, replays the WAL tail into the pending buffer (truncating the
+// torn record a mid-append crash may leave), skips records the manifest
+// already covers, and resumes consolidation where it left off — the
+// reopened store answers every query byte-identically to one that
+// never crashed. Updates acknowledged under WithSyncEvery(1), the
+// default, are never lost; under WithSyncEvery(n) at most the last n-1
+// may be.
+//
+// The parameters must match the directory's manifest on reopen
+// (PeekDynamicDir reads them); a mismatch fails rather than corrupting
+// the store. Options must repeat whatever construction options
+// (WithSSE, WithStorage, ...) the directory was created with.
+func OpenDynamic(dir string, kind Kind, domainBits uint8, consolidationStep int, opts ...Option) (*Dynamic, error) {
+	dom, err := cover.NewDomain(domainBits)
+	if err != nil {
+		return nil, err
+	}
+	if consolidationStep == 0 {
+		consolidationStep = DefaultConsolidationStep
+	}
+	cfg, err := collectOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	lowered, err := cfg.lower()
+	if err != nil {
+		return nil, err
+	}
+	master, err := loadOrCreateKey(dir, MasterKeyFileName)
+	if err != nil {
+		return nil, err
+	}
+	syncEvery := cfg.syncEvery
+	if syncEvery == 0 {
+		syncEvery = 1
+	}
+	inner, err := lsm.OpenManager(dir, kind, dom, consolidationStep, master, lowered, syncEvery)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{inner: inner}, nil
+}
+
+// loadOrCreateKey reads the hex key file inside dir, drawing and
+// persisting a fresh one (0600) on first open. Creation is durable
+// (fsynced file and directory entry — a key that evaporates in a power
+// failure would orphan every epoch committed under it) AND exclusive:
+// the key lands via a non-clobbering link, so two processes racing on a
+// fresh directory both end up using the one key that won, never a key
+// on disk that differs from the key epochs were sealed under.
+func loadOrCreateKey(dir, name string) (prf.Key, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return prf.Key{}, err
+	}
+	path := filepath.Join(dir, name)
+	readKey := func() (prf.Key, error) {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return prf.Key{}, err
+		}
+		raw, err := hex.DecodeString(strings.TrimSpace(string(blob)))
+		if err != nil {
+			return prf.Key{}, fmt.Errorf("rsse: %s: %w", path, err)
+		}
+		return prf.KeyFromBytes(raw)
+	}
+	if k, err := readKey(); err == nil {
+		return k, nil
+	} else if !os.IsNotExist(err) {
+		return prf.Key{}, err
+	}
+	key, err := prf.NewKey(nil)
+	if err != nil {
+		return prf.Key{}, err
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return prf.Key{}, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(hex.EncodeToString(key[:]) + "\n"); err != nil {
+		tmp.Close()
+		return prf.Key{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return prf.Key{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return prf.Key{}, err
+	}
+	if err := os.Chmod(tmp.Name(), 0o600); err != nil {
+		return prf.Key{}, err
+	}
+	if err := os.Link(tmp.Name(), path); err != nil {
+		if os.IsExist(err) {
+			return readKey() // another open won the race; use its key
+		}
+		return prf.Key{}, err
+	}
+	if err := wal.SyncDir(dir); err != nil {
+		return prf.Key{}, err
+	}
+	return key, nil
+}
+
+// Insert buffers a tuple insertion for the next batch. On a durable
+// store a nil return means the insertion is in the write-ahead log,
+// synced per the WithSyncEvery policy — it survives a crash.
+func (d *Dynamic) Insert(id ID, value Value, payload []byte) error {
+	return d.inner.Insert(id, value, payload)
 }
 
 // Delete buffers a deletion. value must be the victim's current attribute
 // value: the tombstone is indexed under it so matching range queries
-// retrieve and cancel the victim.
-func (d *Dynamic) Delete(id ID, value Value) {
-	d.inner.Delete(id, value)
+// retrieve and cancel the victim. Durable stores log before buffering,
+// as with Insert.
+func (d *Dynamic) Delete(id ID, value Value) error {
+	return d.inner.Delete(id, value)
 }
 
 // Modify buffers a value/payload change (a tombstone under the old value
-// plus an insertion under the new one).
-func (d *Dynamic) Modify(id ID, oldValue, newValue Value, payload []byte) {
-	d.inner.Modify(id, oldValue, newValue, payload)
+// plus an insertion under the new one). On a durable store the pair is
+// one atomic WAL record: recovery can never keep half a modification.
+func (d *Dynamic) Modify(id ID, oldValue, newValue Value, payload []byte) error {
+	return d.inner.Modify(id, oldValue, newValue, payload)
 }
 
 // Flush seals the pending batch into a fresh encrypted index and runs any
@@ -126,6 +286,22 @@ func (d *Dynamic) QueryBatchContext(ctx context.Context, qs []Range) ([][]Tuple,
 // FullConsolidate merges every active index into one and drops
 // tombstones — the periodic global rebuild.
 func (d *Dynamic) FullConsolidate() error { return d.inner.FullConsolidate() }
+
+// Durable reports whether the store persists to a directory.
+func (d *Dynamic) Durable() bool { return d.inner.Durable() }
+
+// Dir returns the durable directory ("" for a memory-only store).
+func (d *Dynamic) Dir() string { return d.inner.Dir() }
+
+// Close syncs and closes the write-ahead log of a durable store (no-op
+// for a memory-only one). Pending updates are NOT flushed: they are
+// already durable in the WAL and reopen exactly as pending — call Flush
+// first to seal them into an epoch instead.
+func (d *Dynamic) Close() error { return d.inner.Close() }
+
+// sync forces the WAL to stable storage regardless of the fsync policy
+// — the ordering barrier cross-shard modifications use.
+func (d *Dynamic) sync() error { return d.inner.Sync() }
 
 // Pending returns the number of buffered, unflushed operations.
 func (d *Dynamic) Pending() int { return d.inner.Pending() }
@@ -182,6 +358,119 @@ func NewShardedDynamic(kind Kind, domainBits uint8, shards, consolidationStep in
 	return d, nil
 }
 
+// shardedManifestName is the root manifest of a durable sharded store,
+// recording the topology so reopening with different parameters fails
+// instead of mis-deriving shard keys.
+const shardedManifestName = "sharded.json"
+
+// shardedManifest is the JSON body of sharded.json.
+type shardedManifest struct {
+	Version    int    `json:"version"`
+	Kind       string `json:"kind"`
+	DomainBits uint8  `json:"domain_bits"`
+	Shards     int    `json:"shards"`
+	Step       int    `json:"step"`
+}
+
+// shardDirName is the per-shard subdirectory under a sharded root.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// OpenShardedDynamic opens (creating if fresh) a durable sharded
+// updatable store rooted at dir: a cluster key and topology manifest at
+// the root, one durable Dynamic directory per shard underneath
+// (shard-000/, shard-001/, ...), each with its own WAL, epochs and
+// manifest — a hot shard's durability traffic never contends with a
+// cold one's. Every shard's master derives from the root cluster key,
+// so the whole store recovers from one directory tree.
+//
+// Recovery, parameter validation and the WithSyncEvery policy are as
+// for OpenDynamic, applied per shard; the root manifest additionally
+// pins the shard count.
+func OpenShardedDynamic(dir string, kind Kind, domainBits uint8, shards, consolidationStep int, opts ...Option) (*ShardedDynamic, error) {
+	dom, err := cover.NewDomain(domainBits)
+	if err != nil {
+		return nil, err
+	}
+	if consolidationStep == 0 {
+		consolidationStep = DefaultConsolidationStep
+	}
+	m, err := shard.EqualWidth(dom, shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	manPath := filepath.Join(dir, shardedManifestName)
+	if blob, err := os.ReadFile(manPath); err == nil {
+		var man shardedManifest
+		if err := json.Unmarshal(blob, &man); err != nil {
+			return nil, fmt.Errorf("rsse: %s: %w", manPath, err)
+		}
+		if man.Kind != kind.String() || man.DomainBits != domainBits || man.Shards != shards || man.Step != consolidationStep {
+			return nil, fmt.Errorf("%w: root holds %s/2^%d/%d shards/step %d, caller asked %s/2^%d/%d shards/step %d",
+				lsm.ErrManifestMismatch, man.Kind, man.DomainBits, man.Shards, man.Step,
+				kind, domainBits, shards, consolidationStep)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	} else {
+		blob, err := json.MarshalIndent(shardedManifest{
+			Version: 1, Kind: kind.String(), DomainBits: domainBits,
+			Shards: shards, Step: consolidationStep,
+		}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := lsm.WriteFileDurable(dir, shardedManifestName, blob); err != nil {
+			return nil, err
+		}
+	}
+	master, err := loadOrCreateKey(dir, ClusterKeyFileName)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := collectOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	lowered, err := cfg.lower()
+	if err != nil {
+		return nil, err
+	}
+	syncEvery := cfg.syncEvery
+	if syncEvery == 0 {
+		syncEvery = 1
+	}
+	d := &ShardedDynamic{m: m, stores: make([]*Dynamic, m.K())}
+	for i := range d.stores {
+		shardMaster := prf.DeriveN(master, "cluster/dynamic", uint64(i))
+		inner, err := lsm.OpenManager(filepath.Join(dir, shardDirName(i)), kind, dom, consolidationStep, shardMaster, lowered, syncEvery)
+		if err != nil {
+			// Release the WALs (and advisory locks) of the shards that
+			// did open, or a same-process retry after fixing the failed
+			// shard would hit ErrLocked on every earlier one.
+			for _, s := range d.stores[:i] {
+				s.Close()
+			}
+			return nil, fmt.Errorf("rsse: opening shard %d: %w", i, err)
+		}
+		d.stores[i] = &Dynamic{inner: inner}
+	}
+	return d, nil
+}
+
+// Close closes every shard's write-ahead log (see Dynamic.Close).
+func (d *ShardedDynamic) Close() error {
+	var first error
+	for _, s := range d.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Shards returns the number of shards.
 func (d *ShardedDynamic) Shards() int { return d.m.K() }
 
@@ -192,27 +481,41 @@ func (d *ShardedDynamic) ShardRange(i int) Range { return d.m.ShardRange(i) }
 func (d *ShardedDynamic) ShardOf(v Value) int { return d.m.Owner(v) }
 
 // Insert buffers a tuple insertion on the shard owning value.
-func (d *ShardedDynamic) Insert(id ID, value Value, payload []byte) {
-	d.stores[d.m.Owner(value)].Insert(id, value, payload)
+func (d *ShardedDynamic) Insert(id ID, value Value, payload []byte) error {
+	return d.stores[d.m.Owner(value)].Insert(id, value, payload)
 }
 
 // Delete buffers a deletion on the shard owning the victim's current
 // value (the tombstone must land where the insertion lives).
-func (d *ShardedDynamic) Delete(id ID, value Value) {
-	d.stores[d.m.Owner(value)].Delete(id, value)
+func (d *ShardedDynamic) Delete(id ID, value Value) error {
+	return d.stores[d.m.Owner(value)].Delete(id, value)
 }
 
 // Modify buffers a value/payload change. When both values belong to one
-// shard this is that shard's ordinary modify; across shards it becomes a
-// tombstone on the old owner plus an insertion on the new one.
-func (d *ShardedDynamic) Modify(id ID, oldValue, newValue Value, payload []byte) {
+// shard this is that shard's ordinary modify — one atomic WAL record on
+// a durable store. Across shards it becomes a tombstone on the old
+// owner plus an insertion on the new one, and the two are strictly
+// ordered: the tombstone is logged AND forced to stable storage before
+// the insertion is logged. A crash between them can therefore lose the
+// not-yet-acknowledged insertion (the tuple is gone until retried, as
+// for any unacknowledged update), but it can never resurrect the old
+// value — recovery either sees both records or only the tombstone,
+// never only the insertion.
+func (d *ShardedDynamic) Modify(id ID, oldValue, newValue Value, payload []byte) error {
 	oldShard, newShard := d.m.Owner(oldValue), d.m.Owner(newValue)
 	if oldShard == newShard {
-		d.stores[oldShard].Modify(id, oldValue, newValue, payload)
-		return
+		return d.stores[oldShard].Modify(id, oldValue, newValue, payload)
 	}
-	d.stores[oldShard].Delete(id, oldValue)
-	d.stores[newShard].Insert(id, newValue, payload)
+	if err := d.stores[oldShard].Delete(id, oldValue); err != nil {
+		return err
+	}
+	// The ordering barrier: per-shard WALs sync independently, so
+	// without this a lazy fsync policy could make the insertion durable
+	// while the tombstone is still in the page cache.
+	if err := d.stores[oldShard].sync(); err != nil {
+		return err
+	}
+	return d.stores[newShard].Insert(id, newValue, payload)
 }
 
 // Flush seals every shard's pending batch. Shards with nothing pending

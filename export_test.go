@@ -1,0 +1,17 @@
+package rsse
+
+// Test-only crash hooks: recovery tests simulate SIGKILL by dropping a
+// durable store's WAL file descriptor without syncing or flushing —
+// on-disk state stays exactly as a crash would leave it, and the WAL's
+// advisory lock is released so the same test process can reopen the
+// directory.
+
+// Crash abandons a durable Dynamic as a kill would.
+func Crash(d *Dynamic) { d.inner.Abandon() }
+
+// CrashSharded abandons every shard of a durable ShardedDynamic.
+func CrashSharded(d *ShardedDynamic) {
+	for _, s := range d.stores {
+		s.inner.Abandon()
+	}
+}

@@ -1,0 +1,143 @@
+package benchutil
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+	"rsse/internal/lsm"
+	"rsse/internal/prf"
+)
+
+// DurableUpdateSummary is one fsync policy's sustained insert
+// throughput: inserts appended (and policy-synced) into the write-ahead
+// log, no flushes in between — the pure WAL ingestion path.
+type DurableUpdateSummary struct {
+	SyncEvery int
+	Inserts   int
+	Elapsed   time.Duration
+	PerSecond float64
+	WALBytes  int64
+}
+
+// DurableRecoverySummary is one recovery measurement: the time
+// OpenManager takes to reopen a directory whose WAL holds records
+// pending records (one sealed epoch beneath them), versus the log's
+// size.
+type DurableRecoverySummary struct {
+	WALRecords int
+	WALBytes   int64
+	Recovery   time.Duration
+}
+
+// DurableUpdates benchmarks the durability subsystem: sustained insert
+// throughput under WithSyncEvery ∈ {1, 64, 1024}, and recovery time as
+// a function of WAL length. Every run uses a fresh temporary directory
+// removed afterwards.
+func DurableUpdates(s Scale) ([]DurableUpdateSummary, []DurableRecoverySummary, error) {
+	const bits = 16
+	dom := cover.Domain{Bits: bits}
+	master, err := prf.NewKey(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	inserts := 2000
+	if s.Name != "small" {
+		inserts = 20000
+	}
+
+	var throughput []DurableUpdateSummary
+	for _, syncEvery := range []int{1, 64, 1024} {
+		dir, err := os.MkdirTemp("", "rsse-durable-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := lsm.OpenManager(dir, core.LogarithmicBRC, dom, 4, master, s.clientOptions(int64(syncEvery)), syncEvery)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		rnd := newRand(int64(60 + syncEvery))
+		payload := make([]byte, 32)
+		start := time.Now()
+		for i := 0; i < inserts; i++ {
+			if err := m.Insert(uint64(i+1), rnd.Uint64()%(1<<bits), payload); err != nil {
+				m.Close()
+				os.RemoveAll(dir)
+				return nil, nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		walBytes, _ := m.WALSize()
+		m.Close()
+		os.RemoveAll(dir)
+		throughput = append(throughput, DurableUpdateSummary{
+			SyncEvery: syncEvery,
+			Inserts:   inserts,
+			Elapsed:   elapsed,
+			PerSecond: float64(inserts) / elapsed.Seconds(),
+			WALBytes:  walBytes,
+		})
+	}
+
+	// Recovery time vs WAL length: seal one small epoch, leave walLen
+	// records pending in the log, reopen and time the replay.
+	var recovery []DurableRecoverySummary
+	for _, walLen := range []int{1000, 4000, 16000} {
+		dir, err := os.MkdirTemp("", "rsse-recover-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := lsm.OpenManager(dir, core.LogarithmicBRC, dom, 4, master, s.clientOptions(int64(walLen)), 1024)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		rnd := newRand(int64(walLen))
+		if err := m.Insert(0, 0, nil); err == nil {
+			err = m.Flush()
+		}
+		if err != nil {
+			m.Close()
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		payload := make([]byte, 32)
+		for i := 0; i < walLen; i++ {
+			if err := m.Insert(uint64(i+1), rnd.Uint64()%(1<<bits), payload); err != nil {
+				m.Close()
+				os.RemoveAll(dir)
+				return nil, nil, err
+			}
+		}
+		if err := m.Sync(); err != nil {
+			m.Close()
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		walBytes, _ := m.WALSize()
+		m.Close() // recovery replays the WAL either way; Close just releases the fd
+		start := time.Now()
+		m2, err := lsm.OpenManager(dir, core.LogarithmicBRC, dom, 4, master, s.clientOptions(int64(walLen)), 1024)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		elapsed := time.Since(start)
+		if m2.Pending() != walLen {
+			m2.Close()
+			os.RemoveAll(dir)
+			return nil, nil, fmt.Errorf("benchutil: recovery replayed %d records, want %d", m2.Pending(), walLen)
+		}
+		m2.Close()
+		os.RemoveAll(dir)
+		recovery = append(recovery, DurableRecoverySummary{
+			WALRecords: walLen,
+			WALBytes:   walBytes,
+			Recovery:   elapsed,
+		})
+	}
+	return throughput, recovery, nil
+}

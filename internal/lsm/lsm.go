@@ -21,6 +21,7 @@ import (
 	"rsse/internal/core"
 	"rsse/internal/cover"
 	"rsse/internal/prf"
+	"rsse/internal/wal"
 )
 
 // OpKind distinguishes the record types inside a batch.
@@ -48,6 +49,10 @@ type Op struct {
 // Errors returned by the manager.
 var (
 	ErrBadStep = errors.New("lsm: consolidation step must be at least 2")
+	// ErrClosed is returned when a durable manager is mutated after
+	// Close: silently downgrading to memory-only would hand out
+	// durability acknowledgements that mean nothing.
+	ErrClosed = errors.New("lsm: manager is closed")
 )
 
 // epoch is one active static index.
@@ -55,6 +60,9 @@ type epoch struct {
 	seq    uint64 // creation order
 	client *core.Client
 	index  *core.Index
+	// persisted marks epochs whose sealed index file is already on disk
+	// (durable managers only); commit skips re-serializing them.
+	persisted bool
 }
 
 // Manager is the owner-side update coordinator.
@@ -72,6 +80,18 @@ type Manager struct {
 	// oldest first. When a level accumulates `step` epochs they merge
 	// into one epoch at level i+1.
 	levels [][]*epoch
+
+	// Durable state (OpenManager only): the directory epochs persist to
+	// and the write-ahead log updates hit before they are buffered. Both
+	// zero for a memory-only manager.
+	dir string
+	log *wal.Log
+	// dirty marks an in-memory epoch set that has diverged from the
+	// on-disk manifest — set when a flush builds or consolidates epochs,
+	// cleared by a successful commit. A retried Flush with an empty
+	// pending buffer must still commit when dirty, or a commit that
+	// failed once (disk full) would be silently skipped forever.
+	dirty bool
 }
 
 // NewManager creates an update manager for the given scheme and domain.
@@ -98,24 +118,67 @@ func NewManagerWithMaster(kind core.Kind, dom cover.Domain, step int, master prf
 	return &Manager{kind: kind, dom: dom, step: step, master: master, opts: opts}, nil
 }
 
-// Insert buffers a live-tuple insertion.
-func (m *Manager) Insert(id core.ID, v core.Value, payload []byte) {
-	m.pending = append(m.pending, Op{Kind: OpInsert, ID: id, Value: v, Payload: payload})
+// Insert buffers a live-tuple insertion. On a durable manager the
+// operation is appended to the write-ahead log — and, per the fsync
+// policy, synced — before it is buffered, so a nil return means the
+// insert survives a crash.
+func (m *Manager) Insert(id core.ID, v core.Value, payload []byte) error {
+	return m.apply(wal.Record{Kind: wal.Insert, ID: id, Value: v, Payload: payload})
 }
 
 // Delete buffers a deletion tombstone. value must be the victim tuple's
 // current attribute value — the tombstone is indexed under it so that any
-// range query matching the victim also retrieves the tombstone.
-func (m *Manager) Delete(id core.ID, value core.Value) {
-	m.pending = append(m.pending, Op{Kind: OpDelete, ID: id, Value: value})
+// range query matching the victim also retrieves the tombstone. Durable
+// managers log before buffering, as with Insert.
+func (m *Manager) Delete(id core.ID, value core.Value) error {
+	return m.apply(wal.Record{Kind: wal.Delete, ID: id, Value: value})
 }
 
 // Modify buffers a value/payload change: a tombstone under the old value
 // followed by an insertion under the new one, exactly as Section 7
-// treats modifications.
-func (m *Manager) Modify(id core.ID, oldValue, newValue core.Value, payload []byte) {
-	m.Delete(id, oldValue)
-	m.Insert(id, newValue, payload)
+// treats modifications. On a durable manager the pair is ONE atomic WAL
+// record, so recovery can never keep the insertion without its
+// tombstone (or vice versa).
+func (m *Manager) Modify(id core.ID, oldValue, newValue core.Value, payload []byte) error {
+	return m.apply(wal.Record{Kind: wal.Modify, ID: id, Value: oldValue, NewValue: newValue, Payload: payload})
+}
+
+// apply assigns the next operation sequence number(s) to one update
+// record, logs it first when durable, then buffers its operations.
+func (m *Manager) apply(rec wal.Record) error {
+	if m.closed() {
+		return ErrClosed
+	}
+	rec.Seq = m.nextOpSeq
+	if m.log != nil {
+		if err := m.log.Append(rec); err != nil {
+			return fmt.Errorf("lsm: wal append: %w", err)
+		}
+	}
+	m.bufferRecord(rec)
+	return nil
+}
+
+// closed reports a durable manager whose WAL has been closed or
+// abandoned — mutations must fail rather than silently lose their
+// durability guarantee.
+func (m *Manager) closed() bool { return m.dir != "" && m.log == nil }
+
+// bufferRecord buffers the operation(s) of one update record without
+// logging — shared by live updates (already logged by apply) and
+// recovery replay (already in the log).
+func (m *Manager) bufferRecord(rec wal.Record) {
+	switch rec.Kind {
+	case wal.Insert:
+		m.pending = append(m.pending, Op{Kind: OpInsert, ID: rec.ID, Value: rec.Value, Payload: rec.Payload, seq: rec.Seq})
+	case wal.Delete:
+		m.pending = append(m.pending, Op{Kind: OpDelete, ID: rec.ID, Value: rec.Value, seq: rec.Seq})
+	case wal.Modify:
+		m.pending = append(m.pending,
+			Op{Kind: OpDelete, ID: rec.ID, Value: rec.Value, seq: rec.Seq},
+			Op{Kind: OpInsert, ID: rec.ID, Value: rec.NewValue, Payload: rec.Payload, seq: rec.Seq + 1})
+	}
+	m.nextOpSeq = rec.Seq + rec.Span()
 }
 
 // Pending returns the number of buffered operations.
@@ -252,26 +315,46 @@ func (m *Manager) buildEpoch(ops []Op) (*epoch, error) {
 
 // Flush seals the pending batch into a new index and consolidates any
 // level that reached the step threshold. A flush with no pending
-// operations is a no-op.
+// operations is a no-op. On a durable manager the new epoch set is
+// persisted — sealed index files, then the atomic manifest swing — and
+// the write-ahead log resets, its records now dead weight.
 func (m *Manager) Flush() error {
+	if m.closed() {
+		return ErrClosed
+	}
 	if len(m.pending) == 0 {
+		if m.dirty && m.log != nil {
+			// A previous flush built its epochs but failed to commit
+			// (e.g. disk full): the retry has nothing pending yet must
+			// still make the epoch set durable.
+			return m.commit()
+		}
 		return nil
 	}
 	ops := m.pending
 	m.pending = nil
-	for i := range ops {
-		ops[i].seq = m.nextOpSeq
-		m.nextOpSeq++
-	}
 	e, err := m.buildEpoch(ops)
 	if err != nil {
+		// The ops were acknowledged (and, when durable, WAL-logged):
+		// restore them so a failed flush loses nothing and a later flush
+		// retries — dropping them here would let the next commit's
+		// high-water mark bury their WAL records unsealed.
+		m.pending = ops
 		return err
 	}
 	if len(m.levels) == 0 {
 		m.levels = append(m.levels, nil)
 	}
 	m.levels[0] = append(m.levels[0], e)
-	return m.consolidate()
+	m.dirty = true
+	if err := m.consolidate(); err != nil {
+		return err
+	}
+	if m.log != nil {
+		return m.commit()
+	}
+	m.dirty = false
+	return nil
 }
 
 // consolidate merges full levels upward until every level is below step.
@@ -279,11 +362,13 @@ func (m *Manager) consolidate() error {
 	for lvl := 0; lvl < len(m.levels); lvl++ {
 		for len(m.levels[lvl]) >= m.step {
 			group := m.levels[lvl][:m.step]
-			m.levels[lvl] = append([]*epoch(nil), m.levels[lvl][m.step:]...)
 			merged, err := m.merge(group, false)
 			if err != nil {
+				// The group stays in place: a failed merge must not drop
+				// live epochs, and the next flush retries it.
 				return err
 			}
+			m.levels[lvl] = append([]*epoch(nil), m.levels[lvl][m.step:]...)
 			if lvl+1 == len(m.levels) {
 				m.levels = append(m.levels, nil)
 			}
@@ -356,6 +441,9 @@ func (m *Manager) merge(group []*epoch, dropTombstones bool) (*epoch, error) {
 // FullConsolidate merges every active epoch into a single fresh index and
 // discards tombstones — the periodic global rebuild large systems run.
 func (m *Manager) FullConsolidate() error {
+	if m.closed() {
+		return ErrClosed
+	}
 	if len(m.pending) > 0 {
 		if err := m.Flush(); err != nil {
 			return err
@@ -373,6 +461,11 @@ func (m *Manager) FullConsolidate() error {
 		return err
 	}
 	m.levels = [][]*epoch{nil, {merged}}
+	m.dirty = true
+	if m.log != nil {
+		return m.commit()
+	}
+	m.dirty = false
 	return nil
 }
 

@@ -42,6 +42,10 @@ var (
 type Registry struct {
 	mu sync.RWMutex
 	m  map[string]*regEntry
+	// w is the update namespace: writable dynamic stores addressed by
+	// the update wire ops (RegisterUpdatable), independent of the read
+	// indexes in m.
+	w map[string]Updatable
 }
 
 // regEntry is one served name: either a live server, or an opener that

@@ -15,7 +15,8 @@
 //	request  := reqID(u32) op(u8) nameLen(u8) name payload
 //	response := reqID(u32) status(u8) payload
 //	ops:      meta(1), search(trapdoor wire, 2), fetch(id, 3), names(4),
-//	          batch-query(trapdoor batch wire, 5)
+//	          batch-query(trapdoor batch wire, 5), update(6),
+//	          dyn-flush(7), dyn-query(8)
 //	status:   ok(0) payload | err(1) message
 //
 // The batch-query op carries several trapdoors in one frame and answers
@@ -24,10 +25,14 @@
 // core.Client.QueryBatch) costs one round trip per round instead of one
 // per range.
 //
-// Exactly the protocol messages of the paper cross the wire: trapdoors
-// owner→server, opaque result groups and encrypted tuples server→owner.
-// The transport adds no leakage beyond message lengths, timing, and the
-// (public) name of the index each request addresses.
+// For served read indexes, exactly the protocol messages of the paper
+// cross the wire: trapdoors owner→server, opaque result groups and
+// encrypted tuples server→owner. The transport adds no leakage beyond
+// message lengths, timing, and the (public) name of the index each
+// request addresses. The update ops (6-8) are different: they address a
+// writable dynamic store the serving process hosts with its keys — an
+// owner-side durable write gateway, not the paper's untrusted server —
+// so updates and dyn-query results cross in plaintext (see update.go).
 package transport
 
 import (
@@ -50,6 +55,9 @@ const (
 	opFetch      byte = 3
 	opNames      byte = 4
 	opBatchQuery byte = 5
+	opUpdate     byte = 6
+	opDynFlush   byte = 7
+	opDynQuery   byte = 8
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -142,6 +150,10 @@ func appendRequest(id uint32, op byte, name string, payload []byte) []byte {
 // payload is the ok-response body; a non-nil error becomes an
 // err-response, leaving the connection up.
 func handleRequest(reg *Registry, req request) ([]byte, error) {
+	if req.op >= opUpdate && req.op <= opDynQuery {
+		// Update ops route to the writable-store namespace.
+		return handleUpdateRequest(reg, req)
+	}
 	if req.op == opNames {
 		names := reg.Names()
 		out := binary.BigEndian.AppendUint32(nil, uint32(len(names)))

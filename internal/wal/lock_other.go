@@ -1,0 +1,10 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package wal
+
+import "os"
+
+// lockFile is a no-op where flock is not wired up: single-writer
+// discipline is then the operator's responsibility, exactly as it was
+// before locking existed.
+func lockFile(*os.File) error { return nil }

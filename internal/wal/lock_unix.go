@@ -1,0 +1,20 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on the log
+// file, held for the file descriptor's lifetime — two live processes
+// appending to one WAL would interleave records and resets and corrupt
+// the sequence chain, so the second Open fails fast with ErrLocked.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("%w: %v", ErrLocked, err)
+	}
+	return nil
+}

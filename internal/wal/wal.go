@@ -1,0 +1,445 @@
+// Package wal implements the write-ahead log that makes the lsm
+// update manager durable: every Insert/Delete/Modify is appended — and,
+// per the configured fsync policy, synced — to a checksummed log before
+// it is buffered in memory, so a crash between updates and the next
+// flush loses nothing the caller was acknowledged for.
+//
+// The on-disk format is a fixed magic header followed by CRC-framed
+// records:
+//
+//	file    := magic("RSSEWAL1") record*
+//	record  := len(u32, big-endian) crc32c(u32, big-endian) body
+//	body    := kind(u8) seq(u64) id(u64) value(u64) newValue(u64) payload
+//
+// where len counts the body and crc32c covers it (Castagnoli, the same
+// polynomial the storage segments use). Records carry the manager's
+// global operation sequence numbers, which must be contiguous: replay
+// validates the chain, so a record spliced in or dropped from the middle
+// of the log surfaces as ErrCorruptWAL instead of silently reordering
+// history.
+//
+// Replay distinguishes two failure modes deliberately. A torn tail —
+// the file ends mid-record, exactly what a crash during an append
+// leaves behind — is expected: replay returns the intact prefix and
+// Open truncates the tear so the log is clean for new appends. Anything
+// else (checksum mismatch, bad magic, an impossible length or kind, a
+// broken sequence chain) is real corruption and fails with a typed
+// ErrCorruptWAL; an operator must intervene rather than serve from a
+// log with a hole in the middle.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Kind distinguishes the logged operation types.
+type Kind byte
+
+const (
+	// Insert logs a live-tuple insertion (Value, Payload).
+	Insert Kind = 1
+	// Delete logs a deletion tombstone under Value.
+	Delete Kind = 2
+	// Modify logs a value/payload change from Value to NewValue as ONE
+	// atomic record; it expands to a tombstone plus an insertion (two
+	// sequence numbers) when applied, so a crash can never keep one half
+	// of a modification.
+	Modify Kind = 3
+)
+
+// span returns how many operation sequence numbers the record consumes:
+// a Modify expands to tombstone + insertion.
+func (k Kind) span() uint64 {
+	if k == Modify {
+		return 2
+	}
+	return 1
+}
+
+func (k Kind) valid() bool { return k >= Insert && k <= Modify }
+
+// String names the record kind.
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Modify:
+		return "modify"
+	default:
+		return fmt.Sprintf("Kind(%d)", byte(k))
+	}
+}
+
+// Record is one logged update operation.
+type Record struct {
+	// Seq is the global operation sequence number of the record (for a
+	// Modify, of its tombstone half; the insertion half is Seq+1).
+	Seq  uint64
+	Kind Kind
+	// ID is the application-level tuple id.
+	ID uint64
+	// Value is the tuple value (Insert), the victim's current value
+	// (Delete), or the old value (Modify).
+	Value uint64
+	// NewValue is the new value of a Modify; zero otherwise.
+	NewValue uint64
+	// Payload is the application payload (Insert and Modify).
+	Payload []byte
+}
+
+// Span returns how many operation sequence numbers the record consumes.
+func (r Record) Span() uint64 { return r.Kind.span() }
+
+const (
+	// magic identifies a WAL file and its format version.
+	magic = "RSSEWAL1"
+	// frameHeader is the per-record framing overhead: length + CRC.
+	frameHeader = 4 + 4
+	// bodyFixed is the fixed part of a record body before the payload.
+	bodyFixed = 1 + 8 + 8 + 8 + 8
+	// MaxRecord bounds one record body; larger lengths are corruption,
+	// not data (aligned with the transport frame limit).
+	MaxRecord = 1 << 28
+)
+
+// ErrCorruptWAL is the typed error wrapped by every corruption report:
+// bad magic, checksum mismatch, impossible length or kind, or a broken
+// sequence chain. errors.Is(err, ErrCorruptWAL) detects them all. A torn
+// tail is NOT corruption — it is the expected residue of a crash and is
+// truncated silently on open.
+var ErrCorruptWAL = errors.New("wal: corrupt log")
+
+// ErrLocked is returned by Open when another live process holds the
+// log: two writers interleaving appends and resets would corrupt the
+// sequence chain, so the second open fails fast instead.
+var ErrLocked = errors.New("wal: log locked by another process")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord encodes one record onto buf.
+func appendRecord(buf []byte, r Record) []byte {
+	body := make([]byte, 0, bodyFixed+len(r.Payload))
+	body = append(body, byte(r.Kind))
+	body = binary.BigEndian.AppendUint64(body, r.Seq)
+	body = binary.BigEndian.AppendUint64(body, r.ID)
+	body = binary.BigEndian.AppendUint64(body, r.Value)
+	body = binary.BigEndian.AppendUint64(body, r.NewValue)
+	body = append(body, r.Payload...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, crcTable))
+	return append(buf, body...)
+}
+
+// Replay decodes every intact record from r, which must start at the
+// file's magic header. It returns the records, the byte offset just past
+// the last intact record (magic included), and whether the stream ended
+// in a torn tail — a partial record a crash left behind, which the
+// caller should truncate away. Real corruption returns ErrCorruptWAL.
+//
+// An empty stream (zero bytes) replays as a fresh log: no records,
+// offset 0, no tear.
+func Replay(r io.Reader) (recs []Record, good int64, torn bool, err error) {
+	hdr := make([]byte, len(magic))
+	n, err := io.ReadFull(r, hdr)
+	if n == 0 {
+		if err == io.EOF || err == io.ErrUnexpectedEOF || err == nil {
+			return nil, 0, false, nil // fresh, never-written log
+		}
+		return nil, 0, false, err
+	}
+	if err != nil {
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, 0, false, err
+		}
+		// A file shorter than the magic is a tear during creation iff the
+		// bytes present match; otherwise it is not a WAL at all.
+		if string(hdr[:n]) == magic[:n] {
+			return nil, 0, true, nil
+		}
+		return nil, 0, false, fmt.Errorf("%w: bad magic", ErrCorruptWAL)
+	}
+	if string(hdr) != magic {
+		return nil, 0, false, fmt.Errorf("%w: bad magic", ErrCorruptWAL)
+	}
+	good = int64(len(magic))
+	var (
+		nextSeq uint64
+		haveSeq bool
+		frame   [frameHeader]byte
+		body    []byte
+	)
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			if err == io.EOF {
+				return recs, good, false, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return recs, good, true, nil // torn mid-header
+			}
+			return recs, good, false, err
+		}
+		bodyLen := binary.BigEndian.Uint32(frame[:4])
+		if bodyLen > MaxRecord || bodyLen < bodyFixed {
+			return recs, good, false, fmt.Errorf("%w: impossible record length %d", ErrCorruptWAL, bodyLen)
+		}
+		if cap(body) < int(bodyLen) {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
+		if _, err := io.ReadFull(r, body); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, good, true, nil // torn mid-body
+			}
+			return recs, good, false, err
+		}
+		if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(frame[4:8]) {
+			return recs, good, false, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorruptWAL, good)
+		}
+		rec := Record{
+			Kind:     Kind(body[0]),
+			Seq:      binary.BigEndian.Uint64(body[1:9]),
+			ID:       binary.BigEndian.Uint64(body[9:17]),
+			Value:    binary.BigEndian.Uint64(body[17:25]),
+			NewValue: binary.BigEndian.Uint64(body[25:33]),
+		}
+		if len(body) > bodyFixed {
+			rec.Payload = append([]byte(nil), body[bodyFixed:]...)
+		}
+		if !rec.Kind.valid() {
+			return recs, good, false, fmt.Errorf("%w: unknown record kind %d", ErrCorruptWAL, body[0])
+		}
+		if haveSeq && rec.Seq != nextSeq {
+			return recs, good, false, fmt.Errorf("%w: sequence chain broken (want %d, got %d)", ErrCorruptWAL, nextSeq, rec.Seq)
+		}
+		nextSeq = rec.Seq + rec.Span()
+		haveSeq = true
+		recs = append(recs, rec)
+		good += int64(frameHeader) + int64(bodyLen)
+	}
+}
+
+// Log is an append-only write-ahead log backed by one file. It is not
+// safe for concurrent use — the lsm manager that owns it is single-
+// writer by contract; cross-process exclusion is enforced by an
+// advisory lock taken at Open.
+type Log struct {
+	f         *os.File
+	path      string
+	syncEvery int
+	unsynced  int
+	// off is the end offset of the last fully-written record: the
+	// rollback point when an append fails partway (disk full), so the
+	// next successful append never lands after torn bytes.
+	off int64
+	// broken is set when a failed append could not be rolled back — the
+	// file may end in garbage a later append would bury as mid-file
+	// corruption, so every further append is refused.
+	broken error
+}
+
+// Option configures a Log.
+type Option func(*Log)
+
+// WithSyncEvery sets the fsync policy: the log fsyncs after every n-th
+// appended record. n = 1 (the default) makes every acknowledged update
+// durable at the cost of one fsync per append; larger n trades the tail
+// of a crash — at most the last n-1 acknowledged updates — for
+// dramatically higher sustained append throughput. Flush-time commits
+// and explicit Sync calls always reach the platter regardless of n.
+func WithSyncEvery(n int) Option {
+	return func(l *Log) {
+		if n > 0 {
+			l.syncEvery = n
+		}
+	}
+}
+
+// Open opens (creating if absent) the log at path, replays its intact
+// records, truncates any torn tail a crash left behind, and positions
+// the log for appending. The replayed records are returned for the
+// caller to re-buffer. Corruption beyond a torn tail fails with
+// ErrCorruptWAL and leaves the file untouched.
+func Open(path string, opts ...Option) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// Replay through a buffer: two raw read syscalls per record would
+	// dominate the recovery path on long logs. Replay counts consumed
+	// bytes itself, so the file position is re-established by the Seek
+	// below regardless of buffer read-ahead.
+	recs, good, torn, err := Replay(bufio.NewReader(f))
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if good == 0 {
+		// Fresh (or torn-during-creation) log: (re)write the magic and
+		// make the directory entry itself durable — a log whose data is
+		// fsynced but whose name is not survives nothing.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		good = int64(len(magic))
+		torn = false
+	}
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path, syncEvery: 1, off: good}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, recs, nil
+}
+
+// Append logs one record and applies the fsync policy. When Append
+// returns nil under WithSyncEvery(1), the record is on stable storage.
+// A failed append — the write OR the policy fsync — rolls the file
+// back to the record boundary before it, so the caller's view (op not
+// acknowledged, sequence number not consumed) and the log agree and a
+// retried append never writes a duplicate sequence number. If even the
+// rollback fails, the log refuses all further appends rather than bury
+// garbage mid-file.
+func (l *Log) Append(r Record) error {
+	if l.broken != nil {
+		return fmt.Errorf("wal: log unusable after failed append: %w", l.broken)
+	}
+	buf := appendRecord(nil, r)
+	if _, err := l.f.Write(buf); err != nil {
+		l.rollback()
+		return err
+	}
+	l.off += int64(len(buf))
+	l.unsynced++
+	if l.unsynced >= l.syncEvery {
+		if err := l.Sync(); err != nil {
+			// The record is written but its durability is unknown; the
+			// op was NOT acknowledged, so remove it — earlier unsynced
+			// records stay (they were acknowledged under the lazy
+			// policy, which tolerates their loss but not their absence
+			// from the file).
+			l.off -= int64(len(buf))
+			l.unsynced--
+			l.rollback()
+			return err
+		}
+	}
+	return nil
+}
+
+// rollback truncates the file to the last acknowledged record boundary
+// (l.off), marking the log broken if the truncation itself fails.
+func (l *Log) rollback() {
+	if terr := l.f.Truncate(l.off); terr == nil {
+		if _, serr := l.f.Seek(l.off, io.SeekStart); serr != nil {
+			l.broken = serr
+		}
+	} else {
+		l.broken = terr
+	}
+}
+
+// Sync forces every appended record to stable storage regardless of the
+// fsync policy.
+func (l *Log) Sync() error {
+	if l.unsynced == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Reset discards every logged record — called after a flush has sealed
+// them into a persisted, manifest-committed epoch, at which point the
+// log's contents are dead weight for recovery. Reset also clears a
+// failed-append condition: the torn bytes are truncated away with
+// everything else.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(int64(len(magic))); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+		return err
+	}
+	l.off = int64(len(magic))
+	l.unsynced = 0
+	l.broken = nil
+	return l.f.Sync()
+}
+
+// Size returns the log's current size in bytes (header included).
+func (l *Log) Size() (int64, error) {
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close syncs and closes the log file (releasing the advisory lock).
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Abandon closes the file descriptor WITHOUT syncing — the crash
+// simulation used by recovery tests: on-disk state is left exactly as
+// a kill would leave it (modulo the kernel page cache), and the
+// advisory lock is released so the same process can reopen the log.
+func (l *Log) Abandon() {
+	l.f.Close()
+}
+
+// SyncDir fsyncs a directory so entries created or renamed inside it
+// survive a crash. Platforms or filesystems that refuse to fsync a
+// directory weaken only the durability of the entry itself; nothing is
+// actionable for the caller, so that refusal is swallowed.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sample returns a representative mixed-op record chain with contiguous
+// sequence numbers, as the lsm manager would log it.
+func sample() []Record {
+	return []Record{
+		{Seq: 0, Kind: Insert, ID: 1, Value: 100, Payload: []byte("alice")},
+		{Seq: 1, Kind: Insert, ID: 2, Value: 200, Payload: []byte("bob")},
+		{Seq: 2, Kind: Delete, ID: 1, Value: 100},
+		{Seq: 3, Kind: Modify, ID: 2, Value: 200, NewValue: 450, Payload: []byte("bob-v2")},
+		{Seq: 5, Kind: Insert, ID: 3, Value: 300, Payload: nil},
+	}
+}
+
+func openAppend(t *testing.T, path string, recs []Record, opts ...Option) {
+	t.Helper()
+	l, replayed, err := Open(path, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(replayed))
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	want := sample()
+	openAppend(t, path, want)
+
+	l, got, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed records differ:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestAppendAfterReopenContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	openAppend(t, path, sample()[:2])
+
+	l, got, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(got))
+	}
+	if err := l.Append(Record{Seq: 2, Kind: Delete, ID: 1, Value: 100}); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	l.Close()
+
+	_, got, _, err = replayFile(path)
+	if err != nil {
+		t.Fatalf("final replay: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("after reopen+append replayed %d records, want 3", len(got))
+	}
+}
+
+// replayFile replays a log file directly, returning the raw outcome.
+func replayFile(path string) (int64, []Record, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	defer f.Close()
+	recs, good, torn, err := Replay(f)
+	return good, recs, torn, err
+}
+
+// TestKillPointTruncation is the kill-point sweep: a valid log truncated
+// at EVERY byte offset must replay to a clean prefix of its records —
+// never an error, never a record that was not fully appended, and after
+// Open the tear must be gone so appends resume safely.
+func TestKillPointTruncation(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	recs := sample()
+	openAppend(t, full, recs)
+	blob, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offsets of each record's end, to know the expected prefix length.
+	ends := []int64{int64(len(magic))}
+	off := int64(len(magic))
+	for _, r := range recs {
+		off += int64(frameHeader) + int64(bodyFixed) + int64(len(r.Payload))
+		ends = append(ends, off)
+	}
+	if off != int64(len(blob)) {
+		t.Fatalf("frame accounting wrong: computed %d, file is %d", off, len(blob))
+	}
+
+	for cut := 0; cut <= len(blob); cut++ {
+		path := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(path, blob[:cut], 0o600); err != nil {
+			t.Fatal(err)
+		}
+		wantN := 0
+		for i := 1; i < len(ends); i++ {
+			if int64(cut) >= ends[i] {
+				wantN = i
+			}
+		}
+		l, got, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		if len(got) != wantN {
+			t.Fatalf("cut at %d: replayed %d records, want prefix of %d", cut, len(got), wantN)
+		}
+		if wantN > 0 && !reflect.DeepEqual(got, recs[:wantN]) {
+			t.Fatalf("cut at %d: prefix mismatch", cut)
+		}
+		// The tear must have been truncated: appending the next record
+		// and replaying must yield exactly prefix+1 records.
+		next := recs[0]
+		if wantN > 0 {
+			next = Record{Seq: got[wantN-1].Seq + got[wantN-1].Span(), Kind: Insert, ID: 99, Value: 9}
+		}
+		if err := l.Append(next); err != nil {
+			t.Fatalf("cut at %d: append after tear: %v", cut, err)
+		}
+		l.Close()
+		_, after, torn, err := replayFile(path)
+		if err != nil || torn {
+			t.Fatalf("cut at %d: replay after append: torn=%v err=%v", cut, torn, err)
+		}
+		if len(after) != wantN+1 {
+			t.Fatalf("cut at %d: after append got %d records, want %d", cut, len(after), wantN+1)
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	openAppend(t, path, sample())
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bit flip in body", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(magic)+frameHeader+3] ^= 0x40 // inside first record's body
+		_, _, _, err := Replay(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorruptWAL) {
+			t.Fatalf("bit flip: got %v, want ErrCorruptWAL", err)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] = 'X'
+		_, _, _, err := Replay(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorruptWAL) {
+			t.Fatalf("bad magic: got %v, want ErrCorruptWAL", err)
+		}
+	})
+
+	t.Run("impossible length", func(t *testing.T) {
+		bad := append([]byte(nil), blob[:len(magic)]...)
+		bad = append(bad, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0)
+		_, _, _, err := Replay(bytes.NewReader(bad))
+		if !errors.Is(err, ErrCorruptWAL) {
+			t.Fatalf("huge length: got %v, want ErrCorruptWAL", err)
+		}
+	})
+
+	t.Run("open refuses mid-file corruption", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(magic)+frameHeader+3] ^= 0x40
+		p2 := filepath.Join(dir, "corrupt.log")
+		if err := os.WriteFile(p2, bad, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(p2); !errors.Is(err, ErrCorruptWAL) {
+			t.Fatalf("Open on corrupt log: got %v, want ErrCorruptWAL", err)
+		}
+	})
+
+	t.Run("broken sequence chain", func(t *testing.T) {
+		var buf bytes.Buffer
+		buf.WriteString(magic)
+		buf.Write(appendRecord(nil, Record{Seq: 0, Kind: Insert, ID: 1, Value: 1}))
+		buf.Write(appendRecord(nil, Record{Seq: 5, Kind: Insert, ID: 2, Value: 2}))
+		_, _, _, err := Replay(bytes.NewReader(buf.Bytes()))
+		if !errors.Is(err, ErrCorruptWAL) {
+			t.Fatalf("broken chain: got %v, want ErrCorruptWAL", err)
+		}
+	})
+}
+
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sample() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	// Appends after a reset start a new chain at any sequence number.
+	if err := l.Append(Record{Seq: 6, Kind: Insert, ID: 7, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs, torn, err := replayFile(path)
+	if err != nil || torn {
+		t.Fatalf("replay after reset: torn=%v err=%v", torn, err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 6 {
+		t.Fatalf("after reset got %+v, want the single post-reset record", recs)
+	}
+}
+
+// TestSyncEveryPolicy checks the policy bookkeeping: with n=4, three
+// appends leave unsynced records and the fourth syncs.
+func TestSyncEveryPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _, err := Open(path, WithSyncEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Seq: uint64(i), Kind: Insert, ID: uint64(i), Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.unsynced != 3 {
+		t.Fatalf("after 3 appends unsynced=%d, want 3", l.unsynced)
+	}
+	if err := l.Append(Record{Seq: 3, Kind: Insert, ID: 3, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if l.unsynced != 0 {
+		t.Fatalf("after 4th append unsynced=%d, want 0 (policy sync)", l.unsynced)
+	}
+	// Explicit Sync is always available regardless of policy.
+	if err := l.Append(Record{Seq: 4, Kind: Insert, ID: 4, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.unsynced != 0 {
+		t.Fatalf("after explicit Sync unsynced=%d, want 0", l.unsynced)
+	}
+}
+
+func TestEmptyAndFreshLogs(t *testing.T) {
+	dir := t.TempDir()
+	// Zero-byte file: fresh log, magic written on open.
+	path := filepath.Join(dir, "empty.log")
+	if err := os.WriteFile(path, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := Open(path)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty file: recs=%d err=%v", len(recs), err)
+	}
+	l.Close()
+	blob, _ := os.ReadFile(path)
+	if string(blob) != magic {
+		t.Fatalf("empty file not initialized with magic: %q", blob)
+	}
+	// Non-WAL file: refused.
+	bad := filepath.Join(dir, "not-a-wal")
+	if err := os.WriteFile(bad, []byte("hello world"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(bad); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("non-WAL file: got %v, want ErrCorruptWAL", err)
+	}
+}

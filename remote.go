@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"rsse/internal/core"
 	"rsse/internal/transport"
@@ -249,4 +250,149 @@ func (c *Client) QueryBatchRemoteContext(ctx context.Context, r *RemoteIndex, ra
 // FetchTupleRemote retrieves and decrypts one tuple from a remote index.
 func (c *Client) FetchTupleRemote(r *RemoteIndex, id ID) (Tuple, error) {
 	return c.inner.FetchTuple(r.handle, id)
+}
+
+// DefaultDynamicName is the update-namespace name writable deployments
+// serve under when none is chosen (rsse-server -writable uses it).
+const DefaultDynamicName = "dynamic"
+
+// WritableStore is what RegisterWritable serves: the mutation-and-query
+// surface Dynamic and ShardedDynamic share. Implementations need not be
+// concurrent-safe — the registry wraps them in a serializing adapter.
+type WritableStore interface {
+	Insert(id ID, value Value, payload []byte) error
+	Delete(id ID, value Value) error
+	Modify(id ID, oldValue, newValue Value, payload []byte) error
+	Flush() error
+	Query(q Range) ([]Tuple, UpdateStats, error)
+}
+
+// writableTarget adapts a WritableStore to the transport's update ops,
+// serializing access: Dynamic is single-writer by contract, but the
+// server dispatches requests from every connection concurrently.
+type writableTarget struct {
+	mu sync.Mutex
+	s  WritableStore
+}
+
+func (w *writableTarget) ApplyUpdate(u transport.Update) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch u.Kind {
+	case transport.UpdateInsert:
+		return w.s.Insert(u.ID, u.Value, u.Payload)
+	case transport.UpdateDelete:
+		return w.s.Delete(u.ID, u.Value)
+	case transport.UpdateModify:
+		return w.s.Modify(u.ID, u.Value, u.NewValue, u.Payload)
+	default:
+		return fmt.Errorf("rsse: unknown update kind %d", u.Kind)
+	}
+}
+
+func (w *writableTarget) FlushUpdates() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.s.Flush()
+}
+
+func (w *writableTarget) QueryTuples(q core.Range) ([]core.Tuple, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tuples, _, err := w.s.Query(q)
+	return tuples, err
+}
+
+// RegisterWritable serves a writable store — typically a durable
+// Dynamic or ShardedDynamic — under name in the update namespace, so
+// remote owners mutate it through RemoteDynamic. The namespace is
+// independent of read indexes: the same name may serve both.
+//
+// Trust model: the serving process holds the store's keys (updates
+// arrive and query results leave in plaintext on the wire), so a
+// writable server is an owner-side durable write gateway, NOT the
+// paper's untrusted query server. Put it with the owner's
+// infrastructure and front it with transport security; see
+// ARCHITECTURE.md.
+func (r *Registry) RegisterWritable(name string, store WritableStore) error {
+	if store == nil {
+		return errors.New("rsse: cannot register a nil writable store")
+	}
+	return r.inner.RegisterUpdatable(name, &writableTarget{s: store})
+}
+
+// DeregisterWritable stops serving the writable store called name,
+// reporting whether it was present.
+func (r *Registry) DeregisterWritable(name string) bool {
+	return r.inner.DeregisterUpdatable(name)
+}
+
+// WritableNames lists the writable store names served, sorted.
+func (r *Registry) WritableNames() []string { return r.inner.UpdatableNames() }
+
+// RemoteDynamic is the owner-side handle to a writable store served by
+// an rsse-server -writable process: inserts, deletes and modifications
+// cross the wire and are acknowledged once the server has them per its
+// durability policy (with the server's WithSyncEvery(1) default, once
+// they are fsynced into its write-ahead log). It is safe for concurrent
+// use; the server serializes updates per store.
+type RemoteDynamic struct {
+	conn   *transport.Conn
+	handle *transport.UpdateHandle
+}
+
+// DialDynamic connects to a writable server and addresses the writable
+// store served under name (DefaultDynamicName for rsse-server
+// -writable's default).
+func DialDynamic(network, addr, name string) (*RemoteDynamic, error) {
+	c, err := transport.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteDynamic{conn: c, handle: c.Updatable(name)}, nil
+}
+
+// NewRemoteDynamic wraps an established stream connection (TCP, unix
+// socket, net.Pipe — anything io.ReadWriteCloser), addressing the
+// writable store called name.
+func NewRemoteDynamic(conn io.ReadWriteCloser, name string) *RemoteDynamic {
+	c := transport.NewConn(conn)
+	return &RemoteDynamic{conn: c, handle: c.Updatable(name)}
+}
+
+// Close closes the connection.
+func (r *RemoteDynamic) Close() error { return r.conn.Close() }
+
+// Name returns the writable-store name this handle addresses.
+func (r *RemoteDynamic) Name() string { return r.handle.Name() }
+
+// Insert ships a tuple insertion; nil means the server accepted and
+// (per its fsync policy) persisted it.
+func (r *RemoteDynamic) Insert(id ID, value Value, payload []byte) error {
+	return r.handle.Apply(transport.Update{Kind: transport.UpdateInsert, ID: id, Value: value, Payload: payload})
+}
+
+// Delete ships a deletion; value must be the victim's current value.
+func (r *RemoteDynamic) Delete(id ID, value Value) error {
+	return r.handle.Apply(transport.Update{Kind: transport.UpdateDelete, ID: id, Value: value})
+}
+
+// Modify ships an atomic value/payload change.
+func (r *RemoteDynamic) Modify(id ID, oldValue, newValue Value, payload []byte) error {
+	return r.handle.Apply(transport.Update{Kind: transport.UpdateModify, ID: id, Value: oldValue, NewValue: newValue, Payload: payload})
+}
+
+// Flush seals the server-side pending batch into a fresh epoch and
+// commits it durably.
+func (r *RemoteDynamic) Flush() error { return r.handle.Flush() }
+
+// Query runs a range query on the writable store, returning decrypted
+// live tuples (flushed epochs only, like Dynamic.Query).
+func (r *RemoteDynamic) Query(q Range) ([]Tuple, error) {
+	return r.handle.QueryRange(q)
+}
+
+// QueryContext is Query with cancellation.
+func (r *RemoteDynamic) QueryContext(ctx context.Context, q Range) ([]Tuple, error) {
+	return r.handle.QueryRangeContext(ctx, q)
 }
