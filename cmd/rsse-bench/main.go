@@ -6,19 +6,28 @@
 //	rsse-bench [-scale small|medium|paper] [experiment...]
 //
 // Experiments: fig5, table2, fig6, fig7, fig8, table1, ablation, updates,
-// batch, durable, all (default all). The "paper" scale mirrors the
+// batch, durable, perf, all (default all). The "paper" scale mirrors the
 // paper's dataset sizes and can take hours; "small" (default) completes
 // in minutes. The -batch flag is shorthand for the batch experiment
 // alone: the sequential-vs-batched multi-range pipeline with its token
 // dedup ratios. The -updates flag is shorthand for the durable-updates
 // benchmark alone: sustained insert throughput under WAL fsync policies
 // WithSyncEvery ∈ {1, 64, 1024}, plus recovery time vs WAL length.
+//
+// The perf experiment runs the repository's standard query-path
+// workloads (the internal/core BenchmarkQueryPath setups); -json writes
+// its machine-readable report — the format of the BENCH_*.json perf
+// trajectory at the repository root — to a file and implies the perf
+// experiment. -cpuprofile and -memprofile write pprof profiles of
+// whatever experiments run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rsse/internal/benchutil"
@@ -28,11 +37,33 @@ func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small|medium|paper")
 	batchOnly := flag.Bool("batch", false, "run only the batched-query pipeline experiment")
 	updatesOnly := flag.Bool("updates", false, "run only the durable-updates benchmark (WAL fsync sweep + recovery time)")
+	jsonPath := flag.String("json", "", "write the perf experiment's machine-readable report to this file (implies the perf experiment)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
 	scale, err := benchutil.ScaleByName(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			exitOn(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			exitOn(err)
+			runtime.GC()
+			exitOn(pprof.WriteHeapProfile(f))
+			exitOn(f.Close())
+		}()
 	}
 
 	wanted := flag.Args()
@@ -41,6 +72,11 @@ func main() {
 	}
 	if *updatesOnly {
 		wanted = append(wanted, "durable")
+	}
+	if *jsonPath != "" {
+		// -json alone runs just the perf workloads; combined with
+		// explicit experiments it adds them.
+		wanted = append(wanted, "perf")
 	}
 	if len(wanted) == 0 {
 		wanted = []string{"all"}
@@ -109,6 +145,18 @@ func main() {
 				s.Step, s.ActiveIndexes, s.FlushTotal.Seconds(),
 				float64(s.QueryTime.Microseconds())/1000, s.QueryTokens,
 				float64(s.TotalSize)/(1<<20))
+		}
+	}
+	if runAll || want["perf"] {
+		report, err := benchutil.QueryPerf()
+		exitOn(err)
+		report.Print(out)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			exitOn(err)
+			exitOn(report.WriteJSON(f))
+			exitOn(f.Close())
+			fmt.Fprintf(out, "perf report written to %s\n", *jsonPath)
 		}
 	}
 	if runAll || want["durable"] {

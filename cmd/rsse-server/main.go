@@ -50,7 +50,9 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners close
 // immediately, in-flight requests finish and flush before connections
-// drop.
+// drop. -cpuprofile and -memprofile write pprof profiles of the
+// serving process, finalized during graceful shutdown — profile a load,
+// then SIGINT the server and run `go tool pprof` on the files.
 package main
 
 import (
@@ -61,6 +63,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -82,7 +86,10 @@ func main() {
 	bits := flag.Uint("bits", 16, "with -writable on a fresh directory: domain bits of the dynamic store")
 	step := flag.Int("step", 0, "with -writable on a fresh directory: consolidation step (0 = default)")
 	syncEvery := flag.Int("sync", 1, "with -writable: fsync the WAL every N updates (1 = every acknowledged update is durable)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized on graceful shutdown)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on graceful shutdown")
 	flag.Parse()
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	if *indexPath != "" && *dir != "" {
 		fmt.Fprintln(os.Stderr, "rsse-server: -index and -dir are mutually exclusive")
 		os.Exit(2)
@@ -171,10 +178,51 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		stopProfiles()
 		fmt.Println("rsse-server: drained, bye")
 	case err := <-done:
 		if err != nil {
 			fatal(err)
+		}
+		stopProfiles()
+	}
+}
+
+// startProfiles begins the requested pprof captures and returns the
+// finalizer the graceful-shutdown path runs: it stops the CPU profile
+// and snapshots the heap after a final GC, so the files are complete
+// and readable by `go tool pprof`.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
 		}
 	}
 }

@@ -1,0 +1,195 @@
+package benchutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"runtime"
+	"testing"
+
+	"rsse/internal/core"
+	"rsse/internal/cover"
+	"rsse/internal/sse"
+)
+
+// The machine-readable perf trajectory: QueryPerf runs the repository's
+// standard query-path workloads — the same 10k-tuple, 2^16-domain
+// setups as internal/core's BenchmarkQueryPath and
+// BenchmarkQueryBatchPath, so `go test -bench` numbers and rsse-bench
+// -json reports are directly comparable — and returns a JSON-ready
+// report. BENCH_<pr>.json files at the repository root are snapshots of
+// this report; the alloc numbers they record are pinned against
+// regression by internal/core's TestQueryPathAllocs.
+
+const (
+	perfTuples = 10000
+	perfBits   = 16
+)
+
+// PerfResult is one benchmark's measurements.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// QPS is operations per second (queries, or whole 64-range batches
+	// for the batch benchmark).
+	QPS float64 `json:"qps"`
+}
+
+// PerfReport is the machine-readable output of the standard workloads.
+type PerfReport struct {
+	Tool       string       `json:"tool"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Tuples     int          `json:"tuples"`
+	DomainBits uint8        `json:"domain_bits"`
+	Benchmarks []PerfResult `json:"benchmarks"`
+	// BatchDedupRatio is cover-nodes / unique-tokens of the standard
+	// 64-range overlapping batch (see BatchStats.DedupRatio).
+	BatchDedupRatio float64 `json:"batch_dedup_ratio"`
+}
+
+// perfSetup builds the deterministic 10k-tuple index and query workload
+// for kind, mirroring internal/core's benchSetup.
+func perfSetup(kind core.Kind) (*core.Client, *core.Index, []core.Range, error) {
+	opts := core.Options{
+		SSE:               sse.TSet{BucketCapacity: 512, Expansion: 1.4},
+		Rand:              mrand.New(mrand.NewSource(7)),
+		MasterKey:         bytes.Repeat([]byte{7}, 32),
+		AllowIntersecting: true,
+	}
+	client, err := core.NewClient(kind, cover.Domain{Bits: perfBits}, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rnd := mrand.New(mrand.NewSource(42))
+	tuples := make([]core.Tuple, perfTuples)
+	for i := range tuples {
+		tuples[i] = core.Tuple{ID: uint64(i + 1), Value: rnd.Uint64() % (1 << perfBits)}
+	}
+	idx, err := client.BuildIndex(tuples)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := uint64(1) << perfBits
+	width := m / 100
+	ranges := make([]core.Range, 64)
+	for i := range ranges {
+		lo := (uint64(i) * (m / 64)) % (m - width)
+		ranges[i] = core.Range{Lo: lo, Hi: lo + width - 1}
+	}
+	return client, idx, ranges, nil
+}
+
+// batchRanges is the standard 64-range overlapping batch workload.
+func batchRanges() []core.Range {
+	m := uint64(1) << perfBits
+	out := make([]core.Range, 64)
+	for i := range out {
+		lo := m/8 + uint64(i)*(m/1024)
+		out[i] = core.Range{Lo: lo, Hi: lo + m/10 - 1}
+	}
+	return out
+}
+
+// QueryPerf measures the standard query-path workloads.
+func QueryPerf() (*PerfReport, error) {
+	report := &PerfReport{
+		Tool:       "rsse-bench",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Tuples:     perfTuples,
+		DomainBits: perfBits,
+	}
+	for _, tc := range []struct {
+		name string
+		kind core.Kind
+	}{
+		{"QueryPath/LogBRC", core.LogarithmicBRC},
+		{"QueryPath/Constant", core.ConstantBRC},
+	} {
+		client, idx, ranges, err := perfSetup(tc.kind)
+		if err != nil {
+			return nil, err
+		}
+		var qerr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				client.ResetHistory()
+				if _, err := client.Query(idx, ranges[i%len(ranges)]); err != nil {
+					qerr = err
+					b.FailNow()
+				}
+			}
+		})
+		if qerr != nil {
+			return nil, qerr
+		}
+		report.Benchmarks = append(report.Benchmarks, resultOf(tc.name, r))
+	}
+
+	client, idx, _, err := perfSetup(core.LogarithmicBRC)
+	if err != nil {
+		return nil, err
+	}
+	ranges := batchRanges()
+	br, err := client.QueryBatch(idx, ranges)
+	if err != nil {
+		return nil, err
+	}
+	report.BatchDedupRatio = br.Stats.DedupRatio()
+	var qerr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.QueryBatch(idx, ranges); err != nil {
+				qerr = err
+				b.FailNow()
+			}
+		}
+	})
+	if qerr != nil {
+		return nil, qerr
+	}
+	report.Benchmarks = append(report.Benchmarks, resultOf("QueryBatchPath", r))
+	return report, nil
+}
+
+func resultOf(name string, r testing.BenchmarkResult) PerfResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	qps := 0.0
+	if ns > 0 {
+		qps = 1e9 / ns
+	}
+	return PerfResult{
+		Name:        name,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		QPS:         qps,
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Print renders the report as aligned text.
+func (r *PerfReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "\nQuery-path perf — %d tuples, 2^%d domain (%s %s/%s)\n",
+		r.Tuples, r.DomainBits, r.GoVersion, r.GOOS, r.GOARCH)
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(w, "  %-22s %12.0f ns/op  %8d B/op  %6d allocs/op  %10.1f qps\n",
+			b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, b.QPS)
+	}
+	fmt.Fprintf(w, "  batch dedup ratio: %.2f\n", r.BatchDedupRatio)
+}

@@ -150,8 +150,10 @@ func (x *Index) searchToken(t *Trapdoor, j int, resp *Response) error {
 // searchConstantToken expands one GGM token into its leaf DPRF values and
 // searches each — one result group, exactly as searchConstant produces.
 func (x *Index) searchConstantToken(tok dprf.Token) ([][]byte, error) {
+	e := dprf.GetExpander()
+	defer dprf.PutExpander(e)
 	var group [][]byte
-	for _, leaf := range dprf.Expand(tok) {
+	for _, leaf := range e.Leaves(tok) {
 		g, err := x.primary.Search(sse.Stag(leaf))
 		if err != nil {
 			return nil, err
@@ -357,18 +359,22 @@ func (c *Client) planBatchRound1(ranges []Range) (*tokenPlan, error) {
 		if err != nil {
 			return nil, err
 		}
-		tokens := make([]dprf.Token, len(p.Nodes))
-		levels := make([]uint8, len(p.Nodes))
-		for u, n := range p.Nodes {
-			if tokens[u], err = c.kDPRF.NodeToken(n); err != nil {
-				return nil, err
-			}
-			levels[u] = n.Level
+		// One prefix-memoized expander walk over the whole deduplicated
+		// node set: consecutive plan nodes share tree prefixes, so this
+		// is far cheaper than one root walk per node (and byte-identical
+		// to it).
+		e := dprf.GetExpander()
+		tokens, err := e.DelegateNodes(make([]dprf.Token, 0, len(p.Nodes)), c.kDPRF, p.Nodes)
+		dprf.PutExpander(e)
+		if err != nil {
+			return nil, err
 		}
+		levels := make([]uint8, len(p.Nodes))
 		slot := c.rnd.Perm(len(tokens))
 		out := make([]dprf.Token, len(tokens))
 		for u, s := range slot {
 			out[s] = tokens[u]
+			levels[u] = p.Nodes[u].Level
 		}
 		return &tokenPlan{trap: &Trapdoor{round: 1, GGM: out}, slot: slot,
 			perRange: p.PerRange, levels: levels, total: p.Total,
@@ -393,13 +399,19 @@ func (c *Client) planBatchRound1(ranges []Range) (*tokenPlan, error) {
 // stagPlanFromNodes derives one stag per unique cover node under key and
 // wraps the plan into a permuted trapdoor.
 func (c *Client) stagPlanFromNodes(p *cover.BatchPlan, key prf.Key, round int) (*tokenPlan, error) {
-	stags := make([]sse.Stag, len(p.Nodes))
+	// Derive each stag straight into its permuted trapdoor slot: the
+	// permutation depends only on the node count, so drawing it first
+	// skips the intermediate unique-stag slice entirely (and consumes
+	// c.rnd exactly as permutedStags would).
+	slot := c.rnd.Perm(len(p.Nodes))
+	out := make([]sse.Stag, len(p.Nodes))
+	h := prf.GetHasher(key)
 	for u, n := range p.Nodes {
-		stags[u] = sse.StagFromPRF(key, n.Keyword())
+		out[slot[u]] = sse.Stag(h.EvalByteUint64(n.Level, n.Start))
 	}
-	trap, slot := c.permutedStags(round, stags)
-	return &tokenPlan{trap: trap, slot: slot, perRange: p.PerRange,
-		total: p.Total, perTokenBytes: sse.StagSize}, nil
+	prf.PutHasher(h)
+	return &tokenPlan{trap: &Trapdoor{round: round, Stags: out}, slot: slot,
+		perRange: p.PerRange, total: p.Total, perTokenBytes: sse.StagSize}, nil
 }
 
 // groupFor returns the response group of unique token u.

@@ -343,6 +343,28 @@ func (c *Client) stagFor(keyword string) sse.Stag {
 	return sse.StagFromPRF(c.kSSE, keyword)
 }
 
+// nodeStags appends one stag per cover node to dst, derived under key
+// with a single pooled hasher. A node's keyword is exactly its 9-byte
+// label {level, BE(start)}, so the hot query path evaluates the PRF on
+// that label directly instead of materializing a keyword string per
+// node (pinned against StagFromPRF(key, n.Keyword()) by the core tests).
+func nodeStags(dst []sse.Stag, key prf.Key, nodes []cover.Node) []sse.Stag {
+	h := prf.GetHasher(key)
+	for _, n := range nodes {
+		dst = append(dst, sse.Stag(h.EvalByteUint64(n.Level, n.Start)))
+	}
+	prf.PutHasher(h)
+	return dst
+}
+
+// stagForNode is nodeStags for the single-node SRC covers.
+func stagForNode(key prf.Key, n cover.Node) sse.Stag {
+	h := prf.GetHasher(key)
+	s := sse.Stag(h.EvalByteUint64(n.Level, n.Start))
+	prf.PutHasher(h)
+	return s
+}
+
 // entriesFromPostings converts a keyword→ids map into shuffled-order SSE
 // entries with derived stags.
 func (c *Client) entriesFromPostings(postings map[string][]ID, key prf.Key) []sse.Entry {

@@ -54,9 +54,11 @@ func (c *Client) trapdoorConstant(q Range) (*Trapdoor, error) {
 // The expansion is the O(R) term in the scheme's search cost.
 func (x *Index) searchConstant(t *Trapdoor) (*Response, error) {
 	resp := &Response{Groups: make([][][]byte, 0, len(t.GGM))}
+	e := dprf.GetExpander()
+	defer dprf.PutExpander(e)
 	var leaves []dprf.Value
 	for _, tok := range t.GGM {
-		leaves = dprf.ExpandInto(leaves[:0], tok)
+		leaves = e.ExpandInto(leaves[:0], tok)
 		var group [][]byte
 		for _, leaf := range leaves {
 			g, err := x.primary.Search(sse.Stag(leaf))

@@ -37,10 +37,7 @@ func (c *Client) trapdoorLogarithmic(q Range) (*Trapdoor, error) {
 	if err != nil {
 		return nil, err
 	}
-	stags := make([]sse.Stag, len(nodes))
-	for i, n := range nodes {
-		stags[i] = c.stagFor(n.Keyword())
-	}
+	stags := nodeStags(make([]sse.Stag, 0, len(nodes)), c.kSSE, nodes)
 	c.permuteStags(stags)
 	return &Trapdoor{round: 1, Stags: stags}, nil
 }

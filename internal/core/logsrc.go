@@ -36,5 +36,5 @@ func (c *Client) trapdoorLogSRC(q Range) (*Trapdoor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Trapdoor{round: 1, Stags: []sse.Stag{c.stagFor(node.Keyword())}}, nil
+	return &Trapdoor{round: 1, Stags: []sse.Stag{stagForNode(c.kSSE, node)}}, nil
 }

@@ -142,7 +142,7 @@ func (c *Client) trapdoorSRCiRound1(q Range) (*Trapdoor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Trapdoor{round: 1, Stags: []sse.Stag{c.stagFor(node.Keyword())}}, nil
+	return &Trapdoor{round: 1, Stags: []sse.Stag{stagForNode(c.kSSE, node)}}, nil
 }
 
 // mergePairs decrypts the round-1 pair blobs, keeps those whose value
@@ -181,5 +181,5 @@ func (c *Client) trapdoorSRCiRound2(posRange Range, posBits uint8) (*Trapdoor, e
 	if err != nil {
 		return nil, err
 	}
-	return &Trapdoor{round: 2, Stags: []sse.Stag{sse.StagFromPRF(c.kSSE2, node.Keyword())}}, nil
+	return &Trapdoor{round: 2, Stags: []sse.Stag{stagForNode(c.kSSE2, node)}}, nil
 }

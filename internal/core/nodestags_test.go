@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"rsse/internal/cover"
+	"rsse/internal/prf"
+	"rsse/internal/sse"
+)
+
+// TestNodeStagsMatchKeywordPath pins the hot-path stag derivation (PRF
+// over the 9-byte node label via a reused hasher) to the build side's
+// keyword-string derivation, over binary-tree and TDAG nodes alike.
+func TestNodeStagsMatchKeywordPath(t *testing.T) {
+	var seed [prf.KeySize]byte
+	seed[3] = 77
+	key, err := prf.KeyFromBytes(seed[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := cover.Domain{Bits: 12}
+
+	var nodes []cover.Node
+	for _, q := range []struct{ lo, hi uint64 }{{0, 0}, {5, 1000}, {17, 17}, {100, 4095}} {
+		for _, tech := range []cover.Technique{cover.BRCTechnique, cover.URCTechnique} {
+			c, err := cover.Cover(dom, q.lo, q.hi, tech)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, c...)
+		}
+		n, err := cover.NewTDAG(dom).SRC(q.lo, q.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	got := nodeStags(nil, key, nodes)
+	for i, n := range nodes {
+		want := sse.StagFromPRF(key, n.Keyword())
+		if got[i] != want {
+			t.Fatalf("node %v: nodeStags diverges from StagFromPRF(Keyword)", n)
+		}
+		if stagForNode(key, n) != want {
+			t.Fatalf("node %v: stagForNode diverges from StagFromPRF(Keyword)", n)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"rsse/internal/race"
+)
+
+// TestQueryPathAllocs pins the steady-state allocation counts of the
+// standard query-path workloads (the BenchmarkQueryPath setups, also
+// what rsse-bench -json reports into BENCH_*.json). The bounds are
+// roughly 2x the measured numbers — LogBRC ~45, Constant ~800, batch
+// ~2600 allocs/op at the time the guards were set — so normal jitter
+// (GC-evicted sync.Pool entries mid-run) passes, but losing the pooled
+// PRF hashers, GGM expanders or token arenas trips the guard instead of
+// silently regressing the perf trajectory.
+func TestQueryPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard needs the full 10k-tuple workload")
+	}
+	if race.Enabled {
+		t.Skip("race detector perturbs sync.Pool; alloc counts are nondeterministic")
+	}
+	for _, tc := range []struct {
+		name   string
+		kind   Kind
+		maxOps float64
+	}{
+		{"LogBRC", LogarithmicBRC, 90},
+		{"Constant", ConstantBRC, 1600},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			client, idx, ranges := benchSetup(t, tc.kind)
+			i := 0
+			got := testing.AllocsPerRun(10, func() {
+				client.ResetHistory()
+				if _, err := client.Query(idx, ranges[i%len(ranges)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if got > tc.maxOps {
+				t.Errorf("query allocates %.0f objects/op, guard is %.0f — a pooling regression?", got, tc.maxOps)
+			}
+		})
+	}
+	t.Run("Batch", func(t *testing.T) {
+		client, idx, _ := benchSetup(t, LogarithmicBRC)
+		m := uint64(1) << benchBits
+		ranges := make([]Range, 64)
+		for i := range ranges {
+			lo := m/8 + uint64(i)*(m/1024)
+			ranges[i] = Range{Lo: lo, Hi: lo + m/10 - 1}
+		}
+		got := testing.AllocsPerRun(5, func() {
+			if _, err := client.QueryBatch(idx, ranges); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 5200 {
+			t.Errorf("64-range batch allocates %.0f objects/op, guard is 5200 — a pooling regression?", got)
+		}
+	})
+}

@@ -18,9 +18,7 @@
 package dprf
 
 import (
-	"crypto/hmac"
 	"crypto/rand"
-	"crypto/sha512"
 	"fmt"
 	"io"
 
@@ -74,58 +72,22 @@ func KeyFromSeed(d cover.Domain, seed [Size]byte) Key {
 // Bits returns the domain height the key was generated for.
 func (k Key) Bits() uint8 { return k.bits }
 
-// g computes the GGM PRG: G(seed) = HMAC-SHA-512(seed, "rsse/ggm"),
-// split into (G0, G1).
-func g(seed Value) (g0, g1 Value) {
-	mac := hmac.New(sha512.New, seed[:])
-	mac.Write([]byte("rsse/ggm"))
-	sum := mac.Sum(nil)
-	copy(g0[:], sum[:Size])
-	copy(g1[:], sum[Size:2*Size])
-	return g0, g1
-}
-
-// step applies G and selects the branch for one path bit.
-func step(seed Value, bit uint64) Value {
-	g0, g1 := g(seed)
-	if bit == 0 {
-		return g0
-	}
-	return g1
-}
-
-// walk descends `depth` levels following the low `depth` bits of path,
-// most significant first.
-func walk(seed Value, path uint64, depth uint8) Value {
-	for i := int(depth) - 1; i >= 0; i-- {
-		seed = step(seed, (path>>uint(i))&1)
-	}
-	return seed
-}
-
 // Eval computes the leaf DPRF value f_k(a). a must lie in the key's domain.
 func (k Key) Eval(a uint64) (Value, error) {
-	if a >= uint64(1)<<k.bits {
-		return Value{}, fmt.Errorf("dprf: value %d outside %d-bit domain", a, k.bits)
-	}
-	return walk(k.seed, a, k.bits), nil
+	e := GetExpander()
+	v, err := e.Eval(k, a)
+	PutExpander(e)
+	return v, err
 }
 
 // NodeToken computes the delegation token for one dyadic node: the GGM
 // value at the node's position in the tree. The node must be aligned
 // (binary-tree node) and fit the domain.
 func (k Key) NodeToken(n cover.Node) (Token, error) {
-	if n.Level > k.bits {
-		return Token{}, fmt.Errorf("dprf: node level %d above domain height %d", n.Level, k.bits)
-	}
-	if n.Start&(n.Size()-1) != 0 {
-		return Token{}, fmt.Errorf("dprf: node %v is not dyadic-aligned", n)
-	}
-	if n.End() >= uint64(1)<<k.bits {
-		return Token{}, fmt.Errorf("dprf: node %v outside %d-bit domain", n, k.bits)
-	}
-	prefix := n.Start >> n.Level
-	return Token{Level: n.Level, Value: walk(k.seed, prefix, k.bits-n.Level)}, nil
+	e := GetExpander()
+	t, err := e.NodeToken(k, n)
+	PutExpander(e)
+	return t, err
 }
 
 // Delegate implements the token-generation function T of the DPRF: it
@@ -138,13 +100,11 @@ func (k Key) Delegate(lo, hi uint64, tech cover.Technique) ([]Token, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Token, len(nodes))
-	for i, n := range nodes {
-		t, err := k.NodeToken(n)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = t
+	e := GetExpander()
+	out, err := e.DelegateNodes(make([]Token, 0, len(nodes)), k, nodes)
+	PutExpander(e)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -153,35 +113,15 @@ func (k Key) Delegate(lo, hi uint64, tech cover.Technique) ([]Token, error) {
 // the 2^Level leaf DPRF values of the delegated subtree. Anyone holding
 // the token can run it; no secret key is involved.
 func Expand(t Token) []Value {
-	out := make([]Value, 0, 1<<t.Level)
-	var rec func(v Value, depth uint8)
-	rec = func(v Value, depth uint8) {
-		if depth == 0 {
-			out = append(out, v)
-			return
-		}
-		g0, g1 := g(v)
-		rec(g0, depth-1)
-		rec(g1, depth-1)
-	}
-	rec(t.Value, t.Level)
-	return out
+	return ExpandInto(make([]Value, 0, 1<<t.Level), t)
 }
 
 // ExpandInto appends the leaf values of t to dst and returns it, avoiding
 // an allocation per token on the server's search path.
 func ExpandInto(dst []Value, t Token) []Value {
-	var rec func(v Value, depth uint8)
-	rec = func(v Value, depth uint8) {
-		if depth == 0 {
-			dst = append(dst, v)
-			return
-		}
-		g0, g1 := g(v)
-		rec(g0, depth-1)
-		rec(g1, depth-1)
-	}
-	rec(t.Value, t.Level)
+	e := GetExpander()
+	dst = e.ExpandInto(dst, t)
+	PutExpander(e)
 	return dst
 }
 

@@ -244,9 +244,9 @@ func TestGGMPaperExample(t *testing.T) {
 	k := testKey(t, 3)
 	// Manual walk for 6 = 110b.
 	s := k.seed
-	s = step(s, 1)
-	s = step(s, 1)
-	s = step(s, 0)
+	s = refStep(s, 1)
+	s = refStep(s, 1)
+	s = refStep(s, 0)
 	got, _ := k.Eval(6)
 	if got != s {
 		t.Error("Eval(6) does not follow the MSB-first GGM path")

@@ -1,0 +1,234 @@
+package dprf
+
+import (
+	"crypto/hmac"
+	"crypto/sha512"
+	mrand "math/rand"
+	"testing"
+
+	"rsse/internal/cover"
+	"rsse/internal/race"
+)
+
+// refStep is the GGM PRG straight from the spec — a fresh
+// HMAC-SHA-512(seed, "rsse/ggm") per step — used as the oracle the
+// Expander's manual two-pass HMAC must match bit for bit.
+func refStep(seed Value, bit uint64) Value {
+	mac := hmac.New(sha512.New, seed[:])
+	mac.Write([]byte("rsse/ggm"))
+	sum := mac.Sum(nil)
+	var v Value
+	if bit == 0 {
+		copy(v[:], sum[:Size])
+	} else {
+		copy(v[:], sum[Size:2*Size])
+	}
+	return v
+}
+
+func refWalk(seed Value, path uint64, depth uint8) Value {
+	for i := int(depth) - 1; i >= 0; i-- {
+		seed = refStep(seed, (path>>uint(i))&1)
+	}
+	return seed
+}
+
+func TestExpanderGMatchesHMAC(t *testing.T) {
+	e := NewExpander()
+	rnd := mrand.New(mrand.NewSource(2))
+	var g0, g1 Value
+	for trial := 0; trial < 100; trial++ {
+		var seed Value
+		rnd.Read(seed[:])
+		e.g(&seed, &g0, &g1)
+		if g0 != refStep(seed, 0) || g1 != refStep(seed, 1) {
+			t.Fatal("manual HMAC disagrees with crypto/hmac")
+		}
+	}
+}
+
+// TestExpanderGAliasing: ExpandInto writes children over their parent's
+// slot (2i == i at i=0), so g must tolerate its outputs aliasing seed.
+func TestExpanderGAliasing(t *testing.T) {
+	e := NewExpander()
+	var seed Value
+	seed[0] = 42
+	want0, want1 := refStep(seed, 0), refStep(seed, 1)
+	s0, s1 := seed, seed
+	e.g(&s0, &s0, &s1)
+	if s0 != want0 || s1 != want1 {
+		t.Error("g wrong when g0 aliases seed")
+	}
+	s0, s1 = seed, seed
+	e.g(&s1, &s0, &s1)
+	if s0 != want0 || s1 != want1 {
+		t.Error("g wrong when g1 aliases seed")
+	}
+}
+
+func TestExpandIntoMatchesRecursive(t *testing.T) {
+	e := NewExpander()
+	rnd := mrand.New(mrand.NewSource(3))
+	for level := uint8(0); level <= 8; level++ {
+		var seed Value
+		rnd.Read(seed[:])
+		tok := Token{Level: level, Value: seed}
+		got := e.ExpandInto(nil, tok)
+		// Recursive reference, leaves left to right.
+		var want []Value
+		var rec func(v Value, depth uint8)
+		rec = func(v Value, depth uint8) {
+			if depth == 0 {
+				want = append(want, v)
+				return
+			}
+			rec(refStep(v, 0), depth-1)
+			rec(refStep(v, 1), depth-1)
+		}
+		rec(seed, level)
+		if len(got) != len(want) {
+			t.Fatalf("level %d: %d leaves, want %d", level, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("level %d: leaf %d out of order or wrong", level, i)
+			}
+		}
+	}
+}
+
+func TestExpandIntoAppends(t *testing.T) {
+	e := NewExpander()
+	var seed Value
+	seed[3] = 7
+	prefix := []Value{{1}, {2}}
+	out := e.ExpandInto(prefix, Token{Level: 2, Value: seed})
+	if len(out) != 2+4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != prefix[0] || out[1] != prefix[1] {
+		t.Error("existing elements clobbered")
+	}
+	if out[2] != refWalk(seed, 0, 2) || out[5] != refWalk(seed, 3, 2) {
+		t.Error("appended leaves wrong")
+	}
+}
+
+// TestDelegateNodesMatchesNodeToken: the prefix-memoized delegation must
+// produce byte-identical tokens to the one-node-at-a-time walk, across
+// both cover techniques and many random ranges.
+func TestDelegateNodesMatchesNodeToken(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(4))
+	e := NewExpander()
+	for _, bitsN := range []uint8{4, 10, 16} {
+		k := testKey(t, bitsN)
+		d := cover.Domain{Bits: bitsN}
+		m := uint64(1) << bitsN
+		for _, tech := range []cover.Technique{cover.BRCTechnique, cover.URCTechnique} {
+			for trial := 0; trial < 50; trial++ {
+				lo := rnd.Uint64() % m
+				hi := lo + rnd.Uint64()%(m-lo)
+				nodes, err := cover.Cover(d, lo, hi, tech)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.DelegateNodes(nil, k, nodes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(nodes) {
+					t.Fatalf("%d tokens for %d nodes", len(got), len(nodes))
+				}
+				for i, n := range nodes {
+					want, err := k.NodeToken(n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got[i] != want {
+						t.Fatalf("bits=%d tech=%v [%d,%d]: token %d (node %v) diverges from NodeToken",
+							bitsN, tech, lo, hi, i, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDelegateNodesRejectsBadNode(t *testing.T) {
+	k := testKey(t, 8)
+	e := NewExpander()
+	bad := []cover.Node{{Level: 1, Start: 1}} // not dyadic-aligned
+	if _, err := e.DelegateNodes(nil, k, bad); err == nil {
+		t.Error("misaligned node accepted")
+	}
+	if _, err := e.DelegateNodes(nil, k, []cover.Node{{Level: 9, Start: 0}}); err == nil {
+		t.Error("over-deep node accepted")
+	}
+	if _, err := e.DelegateNodes(nil, k, []cover.Node{{Level: 0, Start: 256}}); err == nil {
+		t.Error("out-of-domain node accepted")
+	}
+}
+
+// TestExpanderAllocs pins the zero-allocation property of the GGM hot
+// paths once scratch has grown to steady state.
+func TestExpanderAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race detector perturbs sync.Pool; alloc counts are nondeterministic")
+	}
+	e := NewExpander()
+	k := testKey(t, 16)
+	d := cover.Domain{Bits: 16}
+	nodes, err := cover.Cover(d, 100, 9000, cover.BRCTechnique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := k.NodeToken(cover.Node{Level: 6, Start: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := make([]Value, 0, 64)
+	tokens := make([]Token, 0, len(nodes))
+	checks := []struct {
+		name string
+		f    func()
+	}{
+		{"Expander.Eval", func() { e.Eval(k, 12345) }},
+		{"Expander.ExpandInto", func() { leaves = e.ExpandInto(leaves[:0], tok) }},
+		{"Expander.DelegateNodes", func() {
+			var err error
+			if tokens, err = e.DelegateNodes(tokens[:0], k, nodes); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, c := range checks {
+		c.f() // warm up scratch
+		if n := testing.AllocsPerRun(100, c.f); n > 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, n)
+		}
+	}
+}
+
+func BenchmarkExpanderDelegate16(b *testing.B) {
+	var seed [Size]byte
+	k := KeyFromSeed(cover.Domain{Bits: 16}, seed)
+	d := cover.Domain{Bits: 16}
+	nodes, _ := cover.Cover(d, 1000, 50000, cover.BRCTechnique)
+	e := NewExpander()
+	var tokens []Token
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tokens, _ = e.DelegateNodes(tokens[:0], k, nodes)
+	}
+}
+
+func BenchmarkExpanderExpandLevel10(b *testing.B) {
+	var seed Value
+	tok := Token{Level: 10, Value: seed}
+	e := NewExpander()
+	var leaves []Value
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		leaves = e.ExpandInto(leaves[:0], tok)
+	}
+}

@@ -8,11 +8,8 @@
 package prf
 
 import (
-	"crypto/hmac"
 	"crypto/rand"
-	"crypto/sha512"
 	"crypto/subtle"
-	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -46,42 +43,47 @@ func KeyFromBytes(b []byte) (Key, error) {
 }
 
 // Eval computes PRF_k(data) = HMAC-SHA-512(k, data) truncated to 32 bytes.
+// One-shot convenience over a pooled Hasher; code evaluating many inputs
+// under one key should hold a Hasher directly.
 func Eval(k Key, data []byte) [KeySize]byte {
-	mac := hmac.New(sha512.New, k[:])
-	mac.Write(data)
-	var out [KeySize]byte
-	sum := mac.Sum(nil)
-	copy(out[:], sum[:KeySize])
+	h := GetHasher(k)
+	out := h.Eval(data)
+	PutHasher(h)
 	return out
 }
 
-// EvalString is Eval on the bytes of s.
+// EvalString is Eval on the bytes of s, without heap-copying s.
 func EvalString(k Key, s string) [KeySize]byte {
-	return Eval(k, []byte(s))
+	h := GetHasher(k)
+	out := h.EvalString(s)
+	PutHasher(h)
+	return out
 }
 
 // EvalUint64 evaluates the PRF on the 8-byte big-endian encoding of v.
 func EvalUint64(k Key, v uint64) [KeySize]byte {
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], v)
-	return Eval(k, buf[:])
+	h := GetHasher(k)
+	out := h.EvalUint64(v)
+	PutHasher(h)
+	return out
 }
 
 // Derive derives an independent subkey from k for the given label. Distinct
 // labels yield computationally independent keys.
 func Derive(k Key, label string) Key {
-	return Key(Eval(k, append([]byte("rsse/kdf/"), label...)))
+	h := GetHasher(k)
+	out := h.Derive(label)
+	PutHasher(h)
+	return out
 }
 
 // DeriveN derives an independent subkey bound to both a label and an index,
 // e.g. one key per update batch.
 func DeriveN(k Key, label string, n uint64) Key {
-	buf := make([]byte, 0, len(label)+17)
-	buf = append(buf, "rsse/kdf/"...)
-	buf = append(buf, label...)
-	buf = append(buf, '/')
-	buf = binary.BigEndian.AppendUint64(buf, n)
-	return Key(Eval(k, buf))
+	h := GetHasher(k)
+	out := h.DeriveN(label, n)
+	PutHasher(h)
+	return out
 }
 
 // Equal reports whether two PRF outputs are equal in constant time.

@@ -1,0 +1,6 @@
+//go:build !race
+
+package race
+
+// Enabled is true when the build has the race detector on.
+const Enabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is enabled, so
+// allocation-count guards can skip themselves: the detector randomly
+// drops sync.Pool entries (to catch use-after-Put), which makes
+// allocs/op nondeterministic under -race.
+package race
+
+// Enabled is true when the build has the race detector on.
+const Enabled = true

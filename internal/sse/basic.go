@@ -60,11 +60,11 @@ func (x *basicIndex) Size() int     { return x.size }
 func (x *basicIndex) Resident() int { return x.cells.Resident() }
 
 func (x *basicIndex) Search(stag Stag) ([][]byte, error) {
-	keys := deriveStagKeys(stag, 0)
+	s := getCellSearcher(stag)
+	defer putCellSearcher(s)
 	var out [][]byte
 	for i := uint64(0); ; i++ {
-		lab := cellLabel(keys.loc, i)
-		cell, ok := x.cells.Get(lab[:])
+		cell, ok := x.cells.Get(s.label(i))
 		if !ok {
 			return out, nil
 		}
@@ -73,7 +73,7 @@ func (x *basicIndex) Search(stag Stag) ([][]byte, error) {
 			// crafted v2 segments with lying offset tables.
 			return nil, fmt.Errorf("sse: corrupt basic cell (%d bytes, want %d)", len(cell), x.width)
 		}
-		out = append(out, decryptCell(keys.enc, i, cell))
+		out = append(out, s.decrypt(i, cell))
 	}
 }
 

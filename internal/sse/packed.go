@@ -94,27 +94,27 @@ func (x *packedIndex) Size() int     { return x.size }
 func (x *packedIndex) Resident() int { return x.cells.Resident() }
 
 func (x *packedIndex) Search(stag Stag) ([][]byte, error) {
-	keys := deriveStagKeys(stag, 0)
+	s := getCellSearcher(stag)
+	defer putCellSearcher(s)
 	blockLen := 1 + x.blockSize*x.width
 	var out [][]byte
 	for b := uint64(0); ; b++ {
-		lab := cellLabel(keys.loc, b)
-		cell, ok := x.cells.Get(lab[:])
+		cell, ok := x.cells.Get(s.label(b))
 		if !ok {
 			return out, nil
 		}
 		if len(cell) != blockLen {
 			return nil, fmt.Errorf("sse: corrupt packed block (%d bytes, want %d)", len(cell), blockLen)
 		}
-		plain := decryptCell(keys.enc, b, cell)
+		plain := s.decrypt(b, cell)
 		n := int(plain[0])
 		if n > x.blockSize {
 			return nil, fmt.Errorf("sse: corrupt packed block (count %d > block size %d)", n, x.blockSize)
 		}
+		// The payloads subslice the arena-held block, so no per-posting
+		// copy: the block outlives the searcher's return to the pool.
 		for i := 0; i < n; i++ {
-			p := make([]byte, x.width)
-			copy(p, plain[1+i*x.width:])
-			out = append(out, p)
+			out = append(out, plain[1+i*x.width:1+(i+1)*x.width:1+(i+1)*x.width])
 		}
 	}
 }

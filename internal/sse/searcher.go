@@ -1,0 +1,95 @@
+package sse
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"sync"
+
+	"rsse/internal/prf"
+	"rsse/internal/secenc"
+)
+
+// cellSearcher is the shared allocation-free machinery of the four
+// constructions' Search paths. Per search it costs one pooled checkout,
+// one AES key schedule, and arena chunks for the returned plaintexts;
+// everything per *cell* — label derivation, dictionary probe, CTR
+// decryption — reuses the searcher's scratch.
+//
+// The arena hands out disjoint regions of append-only chunks, so the
+// returned payload slices stay valid after the searcher goes back to
+// the pool: a reused searcher keeps carving the same chunk forward and
+// never re-slices memory it already handed out.
+type cellSearcher struct {
+	h     *prf.Hasher // keyed to the stag's label key after begin
+	blk   cipher.Block
+	nonce [aes.BlockSize]byte
+	ks    [aes.BlockSize]byte
+	lab   [LabelSize]byte // label buffer: a field so Get's interface call cannot force a heap escape
+	chunk []byte          // free region of the current arena chunk
+	slots []uint64        // twolevel pointer scratch
+}
+
+var cellSearcherPool = sync.Pool{New: func() any {
+	return &cellSearcher{h: prf.NewHasher(prf.Key{})}
+}}
+
+// getCellSearcher checks out a searcher keyed for stag. Of the three
+// stag-derived keys only loc and enc matter here: the salted bucket key
+// steers build-time placement, never search.
+func getCellSearcher(stag Stag) *cellSearcher {
+	s := cellSearcherPool.Get().(*cellSearcher)
+	base := prf.Key(stag)
+	s.h.SetKey(base)
+	encFull := s.h.Derive("sse/enc")
+	loc := s.h.Derive("sse/loc")
+	var err error
+	if s.blk, err = aes.NewCipher(encFull[:secenc.KeySize]); err != nil {
+		panic("sse: " + err.Error())
+	}
+	s.h.SetKey(loc)
+	return s
+}
+
+func putCellSearcher(s *cellSearcher) {
+	s.blk = nil
+	cellSearcherPool.Put(s)
+}
+
+// label computes the i-th cell label under the stag's location key.
+// The returned slice is valid until the next label call.
+func (s *cellSearcher) label(i uint64) []byte {
+	full := s.h.EvalUint64(i)
+	copy(s.lab[:], full[:LabelSize])
+	return s.lab[:]
+}
+
+// alloc carves an n-byte region out of the arena.
+func (s *cellSearcher) alloc(n int) []byte {
+	if len(s.chunk) < n {
+		s.chunk = make([]byte, max(n, 4096))
+	}
+	p := s.chunk[:n:n]
+	s.chunk = s.chunk[n:]
+	return p
+}
+
+// decrypt CTR-decrypts the cell encrypted under counter ctr into a
+// fresh arena region. The manual counter walk is byte-identical to
+// secenc.XORKeyStreamCTR with secenc.NonceFromUint64(ctr): that nonce's
+// low 8 bytes start at zero and stdlib CTR increments the whole nonce
+// big-endian, so for any cell shorter than 2^64 blocks only the low 8
+// bytes ever change.
+func (s *cellSearcher) decrypt(ctr uint64, src []byte) []byte {
+	dst := s.alloc(len(src))
+	binary.BigEndian.PutUint64(s.nonce[:8], ctr)
+	for off, blkCtr := 0, uint64(0); off < len(src); off, blkCtr = off+aes.BlockSize, blkCtr+1 {
+		binary.BigEndian.PutUint64(s.nonce[8:], blkCtr)
+		s.blk.Encrypt(s.ks[:], s.nonce[:])
+		n := min(aes.BlockSize, len(src)-off)
+		for j := 0; j < n; j++ {
+			dst[off+j] = src[off+j] ^ s.ks[j]
+		}
+	}
+	return dst
+}

@@ -207,18 +207,18 @@ func (x *tsetIndex) Buckets() int { return x.numBuckets }
 func (x *tsetIndex) Capacity() int { return x.capacity }
 
 func (x *tsetIndex) Search(stag Stag) ([][]byte, error) {
-	keys := deriveStagKeys(stag, x.salt)
+	s := getCellSearcher(stag)
+	defer putCellSearcher(s)
 	var out [][]byte
 	for i := uint64(0); ; i++ {
-		lab := cellLabel(keys.loc, i)
-		cell, ok := x.lookup.Get(lab[:])
+		cell, ok := x.lookup.Get(s.label(i))
 		if !ok {
 			return out, nil
 		}
 		if len(cell) != x.width {
 			return nil, fmt.Errorf("sse: corrupt tset cell (%d bytes, want %d)", len(cell), x.width)
 		}
-		out = append(out, decryptCell(keys.enc, i, cell))
+		out = append(out, s.decrypt(i, cell))
 	}
 }
 

@@ -203,16 +203,16 @@ func (x *twoLevelIndex) Resident() int { return x.cells.Resident() + x.blocksRes
 func (x *twoLevelIndex) BlockCount() int { return len(x.blocks) }
 
 func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
-	keys := deriveStagKeys(stag, 0)
-	lab := cellLabel(keys.loc, 0)
-	cellCT, ok := x.cells.Get(lab[:])
+	s := getCellSearcher(stag)
+	defer putCellSearcher(s)
+	cellCT, ok := x.cells.Get(s.label(0))
 	if !ok {
 		return nil, nil
 	}
 	if cellLen := 1 + 4 + x.inlineCap*8; len(cellCT) != cellLen {
 		return nil, fmt.Errorf("sse: corrupt 2lev cell (%d bytes, want %d)", len(cellCT), cellLen)
 	}
-	cell := decryptCell(keys.enc, 0, cellCT)
+	cell := s.decrypt(0, cellCT)
 	mode := cell[0]
 	n := int(binary.BigEndian.Uint32(cell[1:5]))
 	slots := cell[5:]
@@ -221,12 +221,13 @@ func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
 		if slot >= uint64(len(x.blocks)) {
 			return nil, fmt.Errorf("sse: 2lev block pointer %d out of range", slot)
 		}
-		return decryptCell(keys.enc, 1+slot, x.blocks[slot]), nil
+		return s.decrypt(1+slot, x.blocks[slot]), nil
 	}
-	items := func(raw []byte, count int) [][]byte {
-		out := make([][]byte, count)
+	// Decrypted cells and blocks live in the searcher's arena, so the
+	// returned items subslice them without per-item copies.
+	items := func(out [][]byte, raw []byte, count int) [][]byte {
 		for i := 0; i < count; i++ {
-			out[i] = append([]byte(nil), raw[i*8:(i+1)*8]...)
+			out = append(out, raw[i*8:(i+1)*8:(i+1)*8])
 		}
 		return out
 	}
@@ -236,10 +237,10 @@ func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
 		if n > x.inlineCap {
 			return nil, fmt.Errorf("sse: corrupt 2lev inline cell (count %d)", n)
 		}
-		return items(slots, n), nil
+		return items(make([][]byte, 0, n), slots, n), nil
 	case modeMedium, modeLarge:
 		idBlocks := (n + x.blockSize - 1) / x.blockSize
-		var idSlots []uint64
+		idSlots := s.slots[:0]
 		if mode == modeMedium {
 			if idBlocks > x.inlineCap {
 				return nil, fmt.Errorf("sse: corrupt 2lev medium cell")
@@ -265,6 +266,7 @@ func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
 				remaining -= take
 			}
 		}
+		s.slots = idSlots[:0]
 		out := make([][]byte, 0, n)
 		remaining := n
 		for _, slot := range idSlots {
@@ -273,7 +275,7 @@ func (x *twoLevelIndex) Search(stag Stag) ([][]byte, error) {
 				return nil, err
 			}
 			take := min(remaining, x.blockSize)
-			out = append(out, items(raw, take)...)
+			out = items(out, raw, take)
 			remaining -= take
 		}
 		return out, nil

@@ -20,8 +20,7 @@ import (
 type Conn struct {
 	conn io.ReadWriteCloser
 
-	wmu sync.Mutex // guards bw
-	bw  *bufio.Writer
+	wmu sync.Mutex // serializes frame writes to conn
 
 	mu      sync.Mutex
 	nextID  uint32
@@ -43,7 +42,6 @@ type rpcResult struct {
 func NewConn(conn io.ReadWriteCloser) *Conn {
 	c := &Conn{
 		conn:      conn,
-		bw:        bufio.NewWriter(conn),
 		pending:   make(map[uint32]chan rpcResult),
 		abandoned: make(map[uint32]struct{}),
 	}
@@ -133,12 +131,20 @@ func (c *Conn) roundTripContext(ctx context.Context, op byte, name string, paylo
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	body := appendRequest(id, op, name, payload)
+	// The request is staged into a pooled frame writer and shipped with
+	// one vectored write: header and name coalesce into the staging
+	// buffer, a large payload (batch trapdoors, update blobs) rides
+	// zero-copy as its own iovec.
 	c.wmu.Lock()
-	err := writeFrame(c.bw, body)
-	if err == nil {
-		err = c.bw.Flush()
-	}
+	fw := getFrameWriter()
+	fw.begin()
+	fw.stageUint32(id)
+	fw.stageByte(op)
+	fw.stageByte(byte(len(name)))
+	fw.stageString(name)
+	fw.ref(payload)
+	err := fw.flush(c.conn)
+	putFrameWriter(fw)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()

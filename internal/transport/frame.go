@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+)
+
+// inlineThreshold is the part size below which a frame part is copied
+// into the writer's staging buffer instead of referenced as its own
+// scatter-gather entry. Small parts (headers, names, trapdoors) coalesce
+// into one contiguous region; large payloads (result groups, index
+// sections) are referenced in place and never copied on their way to
+// the kernel.
+const inlineThreshold = 1024
+
+// frameWriter assembles one length-prefixed frame as a scatter-gather
+// vector over a reusable staging buffer, then ships it with a single
+// net.Buffers write — one writev on TCP and unix sockets. All scratch
+// is retained across pool checkouts, so steady-state frame writes cost
+// no heap allocation.
+//
+// Usage: begin, stage*/ref* in wire order, flush. A frameWriter is not
+// safe for concurrent use; pool instances with getFrameWriter/
+// putFrameWriter and hold the connection's write lock across the
+// begin..flush sequence.
+type frameWriter struct {
+	buf []byte // staging: 4-byte length prefix, then inlined parts
+	// marks[i] is the staging offset at which zero-copy part refs[i] is
+	// spliced into the frame (offsets never move: splices only record
+	// positions, so staging appends may reallocate buf freely).
+	marks []int
+	refs  [][]byte
+	vecs  net.Buffers // flush scratch
+}
+
+var frameWriterPool = sync.Pool{New: func() any { return new(frameWriter) }}
+
+// getFrameWriter returns a pooled frameWriter, ready for begin.
+func getFrameWriter() *frameWriter { return frameWriterPool.Get().(*frameWriter) }
+
+// putFrameWriter returns fw to the pool, dropping references to caller
+// payloads (the staging buffer's capacity is kept).
+func putFrameWriter(fw *frameWriter) {
+	for i := range fw.refs {
+		fw.refs[i] = nil
+	}
+	for i := range fw.vecs {
+		fw.vecs[i] = nil
+	}
+	fw.buf, fw.marks, fw.refs, fw.vecs = fw.buf[:0], fw.marks[:0], fw.refs[:0], fw.vecs[:0]
+	frameWriterPool.Put(fw)
+}
+
+// begin starts a new frame, reserving the length prefix.
+func (fw *frameWriter) begin() {
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0)
+	fw.marks = fw.marks[:0]
+	fw.refs = fw.refs[:0]
+}
+
+// stage copies p into the frame's staging buffer.
+func (fw *frameWriter) stage(p []byte) { fw.buf = append(fw.buf, p...) }
+
+// stageString is stage for string data (no []byte conversion alloc).
+func (fw *frameWriter) stageString(s string) { fw.buf = append(fw.buf, s...) }
+
+// stageByte appends one staged byte.
+func (fw *frameWriter) stageByte(b byte) { fw.buf = append(fw.buf, b) }
+
+// stageUint32 appends one staged big-endian uint32.
+func (fw *frameWriter) stageUint32(v uint32) {
+	fw.buf = binary.BigEndian.AppendUint32(fw.buf, v)
+}
+
+// ref splices p into the frame. Large parts are referenced zero-copy —
+// the caller must keep p unchanged until flush returns — small ones are
+// staged like stage.
+func (fw *frameWriter) ref(p []byte) {
+	if len(p) < inlineThreshold {
+		fw.stage(p)
+		return
+	}
+	fw.marks = append(fw.marks, len(fw.buf))
+	fw.refs = append(fw.refs, p)
+}
+
+// size returns the frame's body length so far.
+func (fw *frameWriter) size() int {
+	n := len(fw.buf) - 4
+	for _, p := range fw.refs {
+		n += len(p)
+	}
+	return n
+}
+
+// flush patches the length prefix and writes the whole frame with one
+// vectored write. An oversized frame is rejected before any byte is
+// written, leaving the stream clean.
+func (fw *frameWriter) flush(w io.Writer) error {
+	n := fw.size()
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(fw.buf[:4], uint32(n))
+	if len(fw.refs) == 0 {
+		_, err := w.Write(fw.buf)
+		return err
+	}
+	fw.vecs = fw.vecs[:0]
+	prev := 0
+	for i, m := range fw.marks {
+		if m > prev {
+			fw.vecs = append(fw.vecs, fw.buf[prev:m:m])
+		}
+		fw.vecs = append(fw.vecs, fw.refs[i])
+		prev = m
+	}
+	if len(fw.buf) > prev {
+		fw.vecs = append(fw.vecs, fw.buf[prev:])
+	}
+	// WriteTo consumes the vector in place; fw.vecs is reset by the next
+	// begin/put, and entry 0 always holds the staged length prefix, so
+	// nothing the caller owns is clobbered beyond being sliced forward.
+	v := fw.vecs
+	_, err := v.WriteTo(w)
+	return err
+}
+
+// bodyPool recycles server-side request frame bodies. Request bodies
+// are safe to recycle once the response is written: parseRequest copies
+// the name, and every handler either copies what it keeps (trapdoor
+// tokens, update payloads) or builds its response afresh. Client-side
+// *response* bodies are NOT pooled — result items and fetched
+// ciphertexts alias them all the way up to the caller.
+var bodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// readFrameInto reads one frame body into buf (grown if needed),
+// returning the filled slice.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -3,7 +3,6 @@ package transport
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -191,7 +190,6 @@ func ServeConnRegistry(conn io.ReadWriter, reg *Registry) error {
 // shutdown.
 func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server) error {
 	br := bufio.NewReader(rw)
-	bw := bufio.NewWriter(rw)
 	var wmu sync.Mutex
 	sem := make(chan struct{}, connConcurrency)
 	var inFlight sync.WaitGroup
@@ -199,27 +197,37 @@ func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server) error {
 	// connection.
 	defer inFlight.Wait()
 	for {
-		body, err := readFrame(br)
+		// Request bodies come from a pool and go back once the request's
+		// response is on the wire (see bodyPool for why that is safe);
+		// each loop turn takes a fresh buffer because earlier requests
+		// may still be executing on their own goroutines.
+		bp := bodyPool.Get().(*[]byte)
+		body, err := readFrameInto(br, (*bp)[:0])
 		if err != nil {
+			bodyPool.Put(bp)
 			if errors.Is(err, io.EOF) || (srv != nil && srv.closing()) {
 				return nil
 			}
 			return err
 		}
+		*bp = body
 		req, err := parseRequest(body)
 		if err != nil {
 			// Without a request id there is nothing to route an error to;
 			// the framing is corrupt, drop the connection.
+			bodyPool.Put(bp)
 			return err
 		}
 		if srv != nil && !srv.beginRequest() {
-			writeResponse(bw, &wmu, req.id, nil, errors.New("server shutting down"))
+			writeResponse(rw, &wmu, req.id, nil, errors.New("server shutting down"))
+			bodyPool.Put(bp)
 			continue
 		}
 		sem <- struct{}{}
 		inFlight.Add(1)
-		go func(req request) {
+		go func(req request, bp *[]byte) {
 			defer func() {
+				bodyPool.Put(bp)
 				<-sem
 				inFlight.Done()
 				if srv != nil {
@@ -227,36 +235,41 @@ func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server) error {
 				}
 			}()
 			payload, herr := handleRequest(reg, req)
-			writeResponse(bw, &wmu, req.id, payload, herr)
-		}(req)
+			writeResponse(rw, &wmu, req.id, payload, herr)
+		}(req, bp)
 	}
 }
 
-// writeResponse frames one response under the connection's write lock.
-// An oversized payload is converted to an err-response so the waiting
-// request fails instead of hanging; other write errors are dropped (the
-// read side of a dead connection surfaces them to serveLoop).
-func writeResponse(bw *bufio.Writer, wmu *sync.Mutex, id uint32, payload []byte, herr error) {
-	var hdr [responseHeader]byte
-	binary.BigEndian.PutUint32(hdr[:4], id)
+// writeResponse frames one response under the connection's write lock,
+// staging the header in a pooled frame writer and shipping header and
+// payload in a single vectored write. An oversized payload is converted
+// to an err-response so the waiting request fails instead of hanging;
+// other write errors are dropped (the read side of a dead connection
+// surfaces them to serveLoop).
+func writeResponse(w io.Writer, wmu *sync.Mutex, id uint32, payload []byte, herr error) {
+	status := statusOK
 	if herr != nil {
-		hdr[4] = statusErr
+		status = statusErr
 		payload = []byte(herr.Error())
-	} else {
-		hdr[4] = statusOK
 	}
+	fw := getFrameWriter()
+	defer putFrameWriter(fw)
 	wmu.Lock()
 	defer wmu.Unlock()
-	if err := writeFrame(bw, hdr[:], payload); err != nil {
+	fw.begin()
+	fw.stageUint32(id)
+	fw.stageByte(status)
+	fw.ref(payload)
+	if err := fw.flush(w); err != nil {
 		if !errors.Is(err, ErrFrameTooLarge) {
 			return
 		}
-		// writeFrame rejects oversized frames before writing any bytes,
-		// so the stream is still clean for a substitute error response.
-		hdr[4] = statusErr
-		if err := writeFrame(bw, hdr[:], []byte(ErrFrameTooLarge.Error())); err != nil {
-			return
-		}
+		// flush rejects oversized frames before writing any bytes, so
+		// the stream is still clean for a substitute error response.
+		fw.begin()
+		fw.stageUint32(id)
+		fw.stageByte(statusErr)
+		fw.stageString(ErrFrameTooLarge.Error())
+		_ = fw.flush(w)
 	}
-	_ = bw.Flush()
 }
