@@ -28,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"rsse/internal/benchutil"
@@ -81,8 +82,19 @@ func main() {
 	if len(wanted) == 0 {
 		wanted = []string{"all"}
 	}
+	known := []string{"fig5", "table2", "fig6", "fig7", "fig8", "table1",
+		"ablation", "batch", "updates", "perf", "durable", "all"}
+	isKnown := map[string]bool{}
+	for _, k := range known {
+		isKnown[k] = true
+	}
 	want := map[string]bool{}
 	for _, w := range wanted {
+		if !isKnown[w] {
+			fmt.Fprintf(os.Stderr, "rsse-bench: unknown experiment %q\navailable experiments: %s\n",
+				w, strings.Join(known, ", "))
+			os.Exit(2)
+		}
 		want[w] = true
 	}
 	runAll := want["all"]

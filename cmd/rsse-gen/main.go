@@ -1,7 +1,7 @@
 // Command rsse-gen generates the synthetic workloads the benchmarks use
-// (Gowalla-like near-uniform, USPS-like skewed, Zipf, uniform, clustered)
-// as CSV on stdout: id,value per line. Useful for feeding external tools
-// or inspecting what the harness measures.
+// (Gowalla-like near-uniform, USPS-like skewed, Zipf, uniform, hotspot,
+// adversarial, clustered) as CSV on stdout: id,value per line. Useful
+// for feeding external tools or inspecting what the harness measures.
 //
 // Usage:
 //
@@ -9,7 +9,15 @@
 //	rsse-gen -kind usps -n 50000 > usps.csv
 //	rsse-gen -kind zipf -n 10000 -bits 20 -distinct 500 -s 1.3
 //	rsse-gen -kind uniform -n 10000 -bits 16
+//	rsse-gen -kind hotspot -n 10000 -bits 16 -hot-frac 0.05 -hot-weight 0.9
+//	rsse-gen -kind adversarial -n 10000 -bits 16
 //	rsse-gen -kind clustered -n 10000 -bits 16 -clusters 8 -spread 100
+//
+// The zipf, uniform, hotspot and adversarial kinds are the shared
+// distribution families of internal/dataset: rsse-load's workload specs
+// position their query ranges by drawing from the same families, so a
+// dataset and the query stream hammering it can agree on where the mass
+// is (or, for adversarial, on which dyadic boundaries to straddle).
 //
 // -dist selects the value distribution directly (overriding -kind):
 // `-dist zipf` is the skewed workload for sharded-cluster experiments —
@@ -31,15 +39,17 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "gowalla", "gowalla|usps|zipf|uniform|clustered")
-		dist     = flag.String("dist", "", "value distribution; overrides -kind when set. `-dist zipf` generates the skewed workload that exposes shard imbalance (equal-width shards concentrate Zipf mass on few shards; rsse-owner shard build -split quantile rebalances it)")
-		n        = flag.Int("n", 10000, "number of tuples")
-		bits     = flag.Uint("bits", 20, "domain exponent (zipf/uniform/clustered)")
-		distinct = flag.Int("distinct", 0, "distinct values (zipf; default n/20)")
-		skew     = flag.Float64("s", 1.3, "zipf exponent (>1)")
-		clusters = flag.Int("clusters", 8, "cluster count (clustered)")
-		spread   = flag.Uint64("spread", 100, "cluster spread (clustered)")
-		seed     = flag.Int64("seed", 1, "generator seed")
+		kind      = flag.String("kind", "gowalla", "gowalla|usps|zipf|uniform|hotspot|adversarial|clustered")
+		dist      = flag.String("dist", "", "value distribution; overrides -kind when set. `-dist zipf` generates the skewed workload that exposes shard imbalance (equal-width shards concentrate Zipf mass on few shards; rsse-owner shard build -split quantile rebalances it)")
+		n         = flag.Int("n", 10000, "number of tuples")
+		bits      = flag.Uint("bits", 20, "domain exponent (zipf/uniform/hotspot/adversarial/clustered)")
+		distinct  = flag.Int("distinct", 0, "distinct values (zipf; default n/20)")
+		skew      = flag.Float64("s", 1.3, "zipf exponent (>1)")
+		hotFrac   = flag.Float64("hot-frac", 0.05, "hotspot: fraction of the domain the hot band covers")
+		hotWeight = flag.Float64("hot-weight", 0.9, "hotspot: fraction of tuples landing in the hot band")
+		clusters  = flag.Int("clusters", 8, "cluster count (clustered)")
+		spread    = flag.Uint64("spread", 100, "cluster spread (clustered)")
+		seed      = flag.Int64("seed", 1, "generator seed")
 	)
 	flag.Parse()
 
@@ -60,6 +70,20 @@ func main() {
 		tuples = dataset.ZipfPool(*n, uint8(*bits), d, *skew, *seed)
 	case "uniform":
 		tuples = dataset.Uniform(*n, uint8(*bits), *seed)
+	case "hotspot":
+		var err error
+		tuples, err = dataset.Hotspot(*n, uint8(*bits), *hotFrac, *hotWeight, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsse-gen:", err)
+			os.Exit(2)
+		}
+	case "adversarial":
+		var err error
+		tuples, err = dataset.Adversarial(*n, uint8(*bits), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsse-gen:", err)
+			os.Exit(2)
+		}
 	case "clustered":
 		tuples = dataset.Clustered(*n, uint8(*bits), *clusters, *spread, *seed)
 	default:

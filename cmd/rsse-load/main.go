@@ -1,0 +1,452 @@
+// Command rsse-load is the sustained-throughput harness: a multi-client
+// open-loop driver that hammers a live rsse-server with a declarative
+// workload spec and reports latency histograms, sustained QPS and
+// leakage counters in a machine-readable BENCH report.
+//
+// Run the bundled uniform and zipf specs against a server (the scheme,
+// domain and index name are discovered from the server's metadata; only
+// the owner key is local):
+//
+//	rsse-load -addr 127.0.0.1:7070 -keyfile table.key \
+//	    -workloads uniform,zipf -json BENCH_7.json
+//
+// Run a spec file (see internal/workload.Spec for the format):
+//
+//	rsse-load -addr 127.0.0.1:7070 -keyfile table.key -spec soak.json
+//
+// Shrink every phase for a smoke run:
+//
+//	rsse-load ... -scale 0.2
+//
+// Measure the bounded-dispatch before/after: point -compare-addr at a
+// second server running the legacy goroutine-per-request path
+// (rsse-server -dispatch spawn); the zipf workload is driven against
+// both and the report gains a dispatch_comparison block:
+//
+//	rsse-load -addr 127.0.0.1:7070 -compare-addr 127.0.0.1:7071 \
+//	    -keyfile table.key -workloads zipf -json BENCH_7.json
+//
+// Gate CI against a committed baseline (non-zero exit if sustained QPS
+// drops or steady p99 rises by more than -gate):
+//
+//	rsse-load ... -json /tmp/now.json -baseline BENCH_7.json -gate 0.20
+//
+// Drive a sharded cluster instead of a single index by passing the
+// cluster manifest; each session is its own cluster dial (batched ops
+// run range-at-a-time — the cluster path has no batch protocol):
+//
+//	rsse-load -addr 127.0.0.1:7070 -manifest users.cluster.json \
+//	    -keyfile cluster.key -workloads hotspot
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rsse"
+	"rsse/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "server address")
+		name        = flag.String("name", rsse.DefaultIndexName, "served index name")
+		keyfile     = flag.String("keyfile", "", "hex master key file (required)")
+		workloads   = flag.String("workloads", "uniform,zipf", "comma-separated builtin workload specs")
+		specPath    = flag.String("spec", "", "JSON workload spec file (overrides -workloads)")
+		scale       = flag.Float64("scale", 1, "multiply every phase duration (0.2 = smoke run)")
+		jsonPath    = flag.String("json", "", "write the machine-readable report here")
+		baseline    = flag.String("baseline", "", "baseline report to gate against")
+		gate        = flag.Float64("gate", 0.20, "allowed fractional regression vs -baseline")
+		compareAddr = flag.String("compare-addr", "", "spawn-dispatch server for the before/after comparison")
+		compareReps = flag.Int("compare-reps", 1, "A/B pairs to run for the comparison (median wins; >1 tames noisy boxes)")
+		dispatch    = flag.String("dispatch", "pooled", "dispatch mode label of -addr's server (report metadata)")
+		manifest    = flag.String("manifest", "", "cluster manifest: drive the whole cluster instead of one index")
+	)
+	flag.Parse()
+	if *keyfile == "" {
+		fatal(fmt.Errorf("-keyfile is required"))
+	}
+	keyHex, err := os.ReadFile(*keyfile)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := hex.DecodeString(strings.TrimSpace(string(keyHex)))
+	if err != nil {
+		fatal(fmt.Errorf("keyfile: %w", err))
+	}
+
+	specs, err := loadSpecs(*specPath, *workloads, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	env, err := discover(*addr, *name, *manifest, key)
+	if err != nil {
+		fatal(err)
+	}
+	report := workload.NewLoadReport(env.kind.String(), env.bits, *dispatch)
+	ctx := context.Background()
+	for _, spec := range specs {
+		fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s\n", spec.Name, *addr)
+		run, err := drive(ctx, env, *addr, spec)
+		if err != nil {
+			fatal(err)
+		}
+		report.Runs = append(report.Runs, *run)
+	}
+
+	if *compareAddr != "" {
+		cmp, spawnRun, err := compareDispatch(ctx, env, *addr, *compareAddr, *compareReps, specs, report.Runs)
+		if err != nil {
+			fatal(err)
+		}
+		report.DispatchComparison = cmp
+		report.Runs = append(report.Runs, *spawnRun)
+	}
+
+	report.Print(os.Stdout)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rsse-load: report written to %s\n", *jsonPath)
+	}
+
+	if *baseline != "" {
+		base, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var cur strings.Builder
+		if err := report.WriteJSON(&cur); err != nil {
+			fatal(err)
+		}
+		if err := workload.CompareReports(base, []byte(cur.String()), *gate); err != nil {
+			fmt.Fprintf(os.Stderr, "rsse-load: REGRESSION vs %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rsse-load: within %.0f%% of baseline %s\n", *gate*100, *baseline)
+	}
+}
+
+// loadSpecs resolves the requested workloads and applies the duration
+// scale.
+func loadSpecs(specPath, names string, scale float64) ([]*workload.Spec, error) {
+	var specs []*workload.Spec
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		s, err := workload.ParseSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	} else {
+		for _, n := range strings.Split(names, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			s, err := workload.Builtin(n)
+			if err != nil {
+				return nil, fmt.Errorf("%w\navailable workloads: %s", err, strings.Join(workload.BuiltinNames(), " "))
+			}
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("rsse-load: no workloads selected")
+	}
+	if scale != 1 {
+		for _, s := range specs {
+			for i := range s.Phases {
+				d := int(float64(s.Phases[i].DurationMS) * scale)
+				if d < 50 {
+					d = 50
+				}
+				s.Phases[i].DurationMS = d
+			}
+		}
+	}
+	return specs, nil
+}
+
+// env is everything discovered once and shared by all sessions.
+type env struct {
+	kind     rsse.Kind
+	bits     uint8
+	name     string
+	key      []byte
+	manifest string
+	man      rsse.ClusterManifest
+}
+
+// discover connects once to learn the scheme and domain so the load
+// clients configure themselves from the server's own metadata.
+func discover(addr, name, manifest string, key []byte) (*env, error) {
+	e := &env{name: name, key: key, manifest: manifest}
+	if manifest != "" {
+		man, err := rsse.ReadClusterManifest(manifest)
+		if err != nil {
+			return nil, err
+		}
+		e.man = man
+		cl, err := rsse.DialCluster("tcp", addr, man, key)
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		e.kind = cl.Kind()
+		e.bits = cl.Domain().Bits
+		return e, nil
+	}
+	r, err := rsse.DialIndex("tcp", addr, name)
+	if err != nil {
+		return nil, fmt.Errorf("rsse-load: %s: %w", addr, err)
+	}
+	defer r.Close()
+	if e.kind, err = r.Kind(); err != nil {
+		return nil, fmt.Errorf("rsse-load: meta: %w", err)
+	}
+	if e.bits, err = r.DomainBits(); err != nil {
+		return nil, fmt.Errorf("rsse-load: meta: %w", err)
+	}
+	return e, nil
+}
+
+// drive runs one spec against addr.
+func drive(ctx context.Context, e *env, addr string, spec *workload.Spec) (*workload.RunReport, error) {
+	r := &workload.Runner{
+		Spec: spec,
+		Bits: e.bits,
+		NewSession: func() (workload.Session, error) {
+			if e.manifest != "" {
+				return newClusterSession(e, addr, spec.InFlight)
+			}
+			return newNodeSession(e, addr, spec.InFlight)
+		},
+		OnPhase: func(p workload.PhaseReport) {
+			fmt.Fprintf(os.Stderr, "  %-10s %9.1f qps  p99 %8.0fµs  err %d  shed %d\n",
+				p.Name, p.QPS, p.Latency.P99Us, p.Errors, p.Shed)
+		},
+	}
+	return r.Run(ctx)
+}
+
+// compareDispatch drives the zipf spec (or the first one) against the
+// spawn-dispatch server — interleaved A/B with the pooled server when
+// reps > 1, taking medians so one noisy-neighbour window can't decide
+// the verdict. The last spawn run's full phase breakdown joins the
+// report under "<workload>@spawn" so the comparison's inputs stay
+// inspectable.
+func compareDispatch(ctx context.Context, e *env, pooledAddr, spawnAddr string, reps int, specs []*workload.Spec, pooled []workload.RunReport) (*workload.DispatchComparison, *workload.RunReport, error) {
+	pick := 0
+	for i, s := range specs {
+		if s.Name == "zipf" {
+			pick = i
+			break
+		}
+	}
+	spec := specs[pick]
+	p := pooled[pick]
+	pooledQPS := []float64{p.SustainedQPS}
+	pooledP99 := []float64{sustainP99(&p)}
+	var spawnQPS, spawnP99 []float64
+	var lastSpawn *workload.RunReport
+	for rep := 0; rep < reps; rep++ {
+		fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s (spawn dispatch, rep %d/%d)\n", spec.Name, spawnAddr, rep+1, reps)
+		spawn, err := drive(ctx, e, spawnAddr, spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rsse-load: compare run: %w", err)
+		}
+		spawnQPS = append(spawnQPS, spawn.SustainedQPS)
+		spawnP99 = append(spawnP99, sustainP99(spawn))
+		lastSpawn = spawn
+		if rep+1 < reps {
+			fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s (pooled, rep %d/%d)\n", spec.Name, pooledAddr, rep+2, reps)
+			again, err := drive(ctx, e, pooledAddr, spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("rsse-load: compare run: %w", err)
+			}
+			pooledQPS = append(pooledQPS, again.SustainedQPS)
+			pooledP99 = append(pooledP99, sustainP99(again))
+		}
+	}
+	cmp := &workload.DispatchComparison{
+		Workload:    spec.Name,
+		PooledQPS:   median(pooledQPS),
+		PooledP99Us: median(pooledP99),
+		SpawnQPS:    median(spawnQPS),
+		SpawnP99Us:  median(spawnP99),
+	}
+	if cmp.SpawnQPS > 0 {
+		cmp.Speedup = cmp.PooledQPS / cmp.SpawnQPS
+	}
+	lastSpawn.Workload += "@spawn"
+	return cmp, lastSpawn, nil
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// sustainP99 is the p99 of the phase that set SustainedQPS, so the
+// comparison quotes throughput and tail latency from the same phase.
+func sustainP99(r *workload.RunReport) float64 {
+	for _, p := range r.Phases {
+		if !p.Warmup && p.QPS == r.SustainedQPS {
+			return p.Latency.P99Us
+		}
+	}
+	return r.Latency.P99Us
+}
+
+// nodeSession is one multiplexed connection to a single served index.
+// The wire Conn is safe for concurrent use but an owner Client is not,
+// so the session keeps a pool of clients, one per in-flight slot.
+type nodeSession struct {
+	remote  *rsse.RemoteIndex
+	clients chan *rsse.Client
+}
+
+func newNodeSession(e *env, addr string, inflight int) (*nodeSession, error) {
+	remote, err := rsse.DialIndex("tcp", addr, e.name)
+	if err != nil {
+		return nil, err
+	}
+	s := &nodeSession{remote: remote, clients: make(chan *rsse.Client, inflight)}
+	for i := 0; i < inflight; i++ {
+		c, err := rsse.NewClient(e.kind, e.bits,
+			rsse.WithMasterKey(e.key), rsse.AllowIntersectingQueries())
+		if err != nil {
+			remote.Close()
+			return nil, err
+		}
+		s.clients <- c
+	}
+	return s, nil
+}
+
+func (s *nodeSession) Do(ctx context.Context, op *workload.Op) (workload.Metrics, error) {
+	c := <-s.clients
+	defer func() {
+		// The Constant schemes log every issued range; a load run would
+		// grow that history without bound.
+		c.ResetHistory()
+		s.clients <- c
+	}()
+	if len(op.Ranges) == 1 {
+		q := op.Ranges[0]
+		res, err := c.QueryRemoteContext(ctx, s.remote, rsse.Range{Lo: q.Lo, Hi: q.Hi})
+		if err != nil {
+			return workload.Metrics{}, err
+		}
+		st := res.Stats
+		return workload.Metrics{
+			Tokens:         uint64(st.Tokens),
+			TokenBytes:     uint64(st.TokenBytes),
+			ResponseItems:  uint64(st.ResponseItems),
+			RawIDs:         uint64(st.Raw),
+			FalsePositives: uint64(st.FalsePositives),
+		}, nil
+	}
+	ranges := make([]rsse.Range, len(op.Ranges))
+	for i, q := range op.Ranges {
+		ranges[i] = rsse.Range{Lo: q.Lo, Hi: q.Hi}
+	}
+	br, err := c.QueryBatchRemoteContext(ctx, s.remote, ranges)
+	if err != nil {
+		return workload.Metrics{}, err
+	}
+	m := workload.Metrics{
+		Tokens:        uint64(br.Stats.UniqueTokens),
+		TokenBytes:    uint64(br.Stats.TokenBytes),
+		ResponseItems: uint64(br.Stats.ResponseItems),
+		RawIDs:        uint64(br.Stats.FetchedTuples),
+	}
+	for _, res := range br.Results {
+		m.FalsePositives += uint64(res.Stats.FalsePositives)
+	}
+	return m, nil
+}
+
+func (s *nodeSession) Close() error { return s.remote.Close() }
+
+// clusterSession drives a whole sharded cluster. A Cluster is not safe
+// for concurrent queries (the shard owners share state), so like
+// nodeSession it pools one dialled cluster per in-flight slot.
+type clusterSession struct {
+	clusters chan *rsse.Cluster
+	all      []*rsse.Cluster
+}
+
+func newClusterSession(e *env, addr string, inflight int) (*clusterSession, error) {
+	s := &clusterSession{clusters: make(chan *rsse.Cluster, inflight)}
+	for i := 0; i < inflight; i++ {
+		cl, err := rsse.DialCluster("tcp", addr, e.man, e.key)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.all = append(s.all, cl)
+		s.clusters <- cl
+	}
+	return s, nil
+}
+
+func (s *clusterSession) Do(ctx context.Context, op *workload.Op) (workload.Metrics, error) {
+	cl := <-s.clusters
+	defer func() {
+		cl.ResetHistory()
+		s.clusters <- cl
+	}()
+	var m workload.Metrics
+	// The cluster path has no batched protocol; a batch op runs
+	// range-at-a-time on this slot's cluster.
+	for _, q := range op.Ranges {
+		res, err := cl.QueryContext(ctx, rsse.Range{Lo: q.Lo, Hi: q.Hi})
+		if err != nil {
+			return workload.Metrics{}, err
+		}
+		st := res.Stats
+		m.Tokens += uint64(st.Tokens)
+		m.TokenBytes += uint64(st.TokenBytes)
+		m.ResponseItems += uint64(st.ResponseItems)
+		m.RawIDs += uint64(st.Raw)
+		m.FalsePositives += uint64(st.FalsePositives)
+	}
+	return m, nil
+}
+
+func (s *clusterSession) Close() error {
+	for _, cl := range s.all {
+		cl.Close()
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsse-load:", err)
+	os.Exit(2)
+}

@@ -80,6 +80,7 @@ func main() {
 		"storage engine for loaded indexes: "+strings.Join(rsse.StorageEngines(), "|"))
 	preload := flag.Bool("preload", false, "with -dir -storage disk: open every index at startup instead of on first query")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
+	dispatch := flag.String("dispatch", "pooled", "connection dispatch mode: pooled (bounded worker pool + coalesced writes) or spawn (legacy goroutine-per-request, for before/after load tests)")
 	writable := flag.String("writable", "", "durable dynamic store directory to host for remote updates")
 	writableName := flag.String("writable-name", rsse.DefaultDynamicName, "update-namespace name the writable store serves under")
 	scheme := flag.String("scheme", "Logarithmic-BRC", "with -writable on a fresh directory: scheme of the dynamic store")
@@ -156,6 +157,12 @@ func main() {
 	}
 
 	srv := rsse.NewServer(reg)
+	if err := srv.SetDispatch(*dispatch); err != nil {
+		fatal(err)
+	}
+	if *dispatch != "pooled" {
+		fmt.Printf("rsse-server: %s dispatch\n", *dispatch)
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 

@@ -116,6 +116,39 @@ func USPSLike(n int, seed int64) []core.Tuple {
 	return BandedZipfPool(n, USPSBits, n/20, 1.3, m/8, m/2, seed)
 }
 
+// FromDistribution draws n tuples whose values follow one of the shared
+// distribution families (see Distribution) — the generator rsse-gen and
+// the workload harness's dataset side both go through, so a load test's
+// query stream and its dataset can draw from the same family.
+func FromDistribution(n int, bits uint8, d Distribution, seed int64) ([]core.Tuple, error) {
+	s, err := NewSampler(d, bits, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Tuple, n)
+	for i := range out {
+		out[i] = core.Tuple{ID: uint64(i + 1), Value: s.Next()}
+	}
+	return out, nil
+}
+
+// Hotspot draws n tuples where hotWeight of the mass lands uniformly in
+// a contiguous band covering hotFrac of the domain — the "everyone
+// queries this week's data" shape. Zero parameters use the family
+// defaults (5% band, 90% weight).
+func Hotspot(n int, bits uint8, hotFrac, hotWeight float64, seed int64) ([]core.Tuple, error) {
+	return FromDistribution(n, bits, Distribution{
+		Family: FamilyHotspot, HotFrac: hotFrac, HotWeight: hotWeight,
+	}, seed)
+}
+
+// Adversarial draws n tuples piled around the domain's high dyadic
+// boundaries, where straddling ranges force the largest covers — the
+// worst case for BRC/URC token counts rather than for data density.
+func Adversarial(n int, bits uint8, seed int64) ([]core.Tuple, error) {
+	return FromDistribution(n, bits, Distribution{Family: FamilyAdversarial}, seed)
+}
+
 // Clustered draws n tuples grouped into the given number of clusters:
 // cluster centers are uniform, members deviate by at most spread. Useful
 // for moderately skewed workloads between the two extremes.

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"fmt"
+	mrand "math/rand"
+)
+
+// The distribution families below are shared between dataset generation
+// (rsse-gen writes tuples whose values follow a family) and query-stream
+// generation (internal/workload positions query ranges by drawing from
+// the same family): a "zipf" load test hammers the same hot region a
+// "zipf" dataset concentrates its tuples in, and the "adversarial"
+// family stresses the covers themselves rather than any data density.
+
+// Distribution families.
+const (
+	FamilyUniform     = "uniform"
+	FamilyZipf        = "zipf"
+	FamilyHotspot     = "hotspot"
+	FamilyAdversarial = "adversarial"
+)
+
+// Families lists the shared value-distribution families.
+func Families() []string {
+	return []string{FamilyUniform, FamilyZipf, FamilyHotspot, FamilyAdversarial}
+}
+
+// Distribution selects one value-distribution family with its
+// parameters. The zero value of every parameter means "use the family's
+// default", so {Family: "zipf"} is a complete spec.
+type Distribution struct {
+	Family string `json:"family"`
+
+	// Zipf: draws concentrate on a pool of Distinct values placed
+	// uniformly in the domain, with Zipf(S) mass over the pool.
+	Distinct int     `json:"distinct,omitempty"`
+	S        float64 `json:"s,omitempty"`
+
+	// Hotspot: HotWeight of the draws land uniformly inside a contiguous
+	// hot band covering HotFrac of the domain; the rest are uniform over
+	// the whole domain.
+	HotFrac   float64 `json:"hot_frac,omitempty"`
+	HotWeight float64 `json:"hot_weight,omitempty"`
+}
+
+// withDefaults fills zero parameters with the family defaults.
+func (d Distribution) withDefaults() Distribution {
+	switch d.Family {
+	case FamilyZipf:
+		if d.Distinct == 0 {
+			d.Distinct = 1024
+		}
+		if d.S == 0 {
+			d.S = 1.2
+		}
+	case FamilyHotspot:
+		if d.HotFrac == 0 {
+			d.HotFrac = 0.05
+		}
+		if d.HotWeight == 0 {
+			d.HotWeight = 0.9
+		}
+	}
+	return d
+}
+
+// Validate rejects unknown families and out-of-range parameters.
+func (d Distribution) Validate() error {
+	switch d.Family {
+	case FamilyUniform, FamilyAdversarial:
+		return nil
+	case FamilyZipf:
+		if d.Distinct < 0 {
+			return fmt.Errorf("dataset: zipf distinct %d < 0", d.Distinct)
+		}
+		if d.S != 0 && d.S <= 1 {
+			return fmt.Errorf("dataset: zipf s %v must be > 1", d.S)
+		}
+		return nil
+	case FamilyHotspot:
+		if d.HotFrac < 0 || d.HotFrac > 1 {
+			return fmt.Errorf("dataset: hotspot hot_frac %v outside [0, 1]", d.HotFrac)
+		}
+		if d.HotWeight < 0 || d.HotWeight > 1 {
+			return fmt.Errorf("dataset: hotspot hot_weight %v outside [0, 1]", d.HotWeight)
+		}
+		return nil
+	case "":
+		return fmt.Errorf("dataset: distribution family is empty")
+	default:
+		return fmt.Errorf("dataset: unknown distribution family %q", d.Family)
+	}
+}
+
+// Sampler draws values from one Distribution over a bits-wide domain,
+// deterministically given a seed. Next allocates nothing; a Sampler is
+// not safe for concurrent use (give each goroutine its own, seeded
+// distinctly).
+type Sampler struct {
+	dist Distribution
+	bits uint8
+	size uint64
+	rnd  *mrand.Rand
+
+	// zipf
+	pool []uint64
+	zipf *mrand.Zipf
+
+	// hotspot
+	hotLo, hotHi uint64
+
+	// adversarial
+	maxLevel uint8
+}
+
+// NewSampler validates d and builds its sampler.
+func NewSampler(d Distribution, bits uint8, seed int64) (*Sampler, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if bits == 0 || bits > 63 {
+		return nil, fmt.Errorf("dataset: domain bits %d outside [1, 63]", bits)
+	}
+	d = d.withDefaults()
+	s := &Sampler{
+		dist: d,
+		bits: bits,
+		size: uint64(1) << bits,
+		rnd:  mrand.New(mrand.NewSource(seed)),
+	}
+	switch d.Family {
+	case FamilyZipf:
+		distinct := d.Distinct
+		if distinct < 1 {
+			distinct = 1
+		}
+		s.pool = make([]uint64, distinct)
+		for i := range s.pool {
+			s.pool[i] = s.rnd.Uint64() % s.size
+		}
+		s.zipf = mrand.NewZipf(s.rnd, d.S, 1, uint64(distinct-1))
+	case FamilyHotspot:
+		width := uint64(float64(s.size) * d.HotFrac)
+		if width < 1 {
+			width = 1
+		}
+		if width > s.size {
+			width = s.size
+		}
+		s.hotLo = s.rnd.Uint64() % (s.size - width + 1)
+		s.hotHi = s.hotLo + width
+	case FamilyAdversarial:
+		s.maxLevel = bits
+		if s.maxLevel > 10 {
+			s.maxLevel = 10
+		}
+	}
+	return s, nil
+}
+
+// Next draws one value.
+func (s *Sampler) Next() uint64 {
+	switch s.dist.Family {
+	case FamilyZipf:
+		return s.pool[s.zipf.Uint64()]
+	case FamilyHotspot:
+		if s.rnd.Float64() < s.dist.HotWeight {
+			return s.hotLo + s.rnd.Uint64()%(s.hotHi-s.hotLo)
+		}
+		return s.rnd.Uint64() % s.size
+	case FamilyAdversarial:
+		// Values pile up immediately around high dyadic boundaries of
+		// the domain — the positions where a range straddling the
+		// boundary forces the largest BRC/URC covers (a range crossing
+		// the domain midpoint can never be covered by one high node).
+		level := uint8(1) + uint8(s.rnd.Intn(int(s.maxLevel)))
+		step := s.size >> level
+		boundary := step * uint64(1+s.rnd.Intn((1<<level)-1))
+		off := s.rnd.Uint64() % 16
+		if s.rnd.Intn(2) == 0 {
+			if boundary+off < s.size {
+				return boundary + off
+			}
+			return boundary
+		}
+		if boundary > off {
+			return boundary - off - 1
+		}
+		return 0
+	default: // FamilyUniform
+		return s.rnd.Uint64() % s.size
+	}
+}
+
+// Adversarial reports whether the sampler draws boundary-spanning
+// positions (callers center ranges on the drawn value to straddle the
+// boundary).
+func (s *Sampler) Adversarial() bool { return s.dist.Family == FamilyAdversarial }

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"testing"
+
+	"math/bits"
+)
+
+func TestSamplerDeterminism(t *testing.T) {
+	for _, fam := range Families() {
+		d := Distribution{Family: fam}
+		a, err := NewSampler(d, 16, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		b, _ := NewSampler(d, 16, 7)
+		c, _ := NewSampler(d, 16, 8)
+		diverged := false
+		for i := 0; i < 1000; i++ {
+			av, bv, cv := a.Next(), b.Next(), c.Next()
+			if av != bv {
+				t.Fatalf("%s: same seed diverged at draw %d", fam, i)
+			}
+			if av >= 1<<16 {
+				t.Fatalf("%s: value %d outside domain", fam, av)
+			}
+			if av != cv {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("%s: different seeds produced identical streams", fam)
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	tuples, err := Hotspot(20000, 16, 0.05, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the hot band by counting values per 5% slice; the hot slice
+	// must hold far more than uniform's 5%.
+	slices := [20]int{}
+	for _, tu := range tuples {
+		slices[tu.Value*20/(1<<16)]++
+	}
+	// The 5% band may straddle a slice boundary; the hottest adjacent
+	// pair must hold nearly all of the 90% hot weight.
+	max := 0
+	for i := 0; i+1 < len(slices); i++ {
+		if c := slices[i] + slices[i+1]; c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / float64(len(tuples)); frac < 0.85 {
+		t.Errorf("hottest adjacent slices hold %.2f of the mass, want >= 0.85", frac)
+	}
+}
+
+func TestAdversarialBoundaryMass(t *testing.T) {
+	tuples, err := Adversarial(10000, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every value sits within 16 of a dyadic boundary of level <= 10.
+	for _, tu := range tuples {
+		v := tu.Value
+		near := false
+		for off := uint64(0); off <= 16 && !near; off++ {
+			for _, b := range []uint64{v - off, v + off, v + off + 1} {
+				if b < 1<<16 && b != 0 && bits.TrailingZeros64(b) >= 16-10 {
+					near = true
+					break
+				}
+			}
+		}
+		if !near {
+			t.Fatalf("value %d is not near any level<=10 dyadic boundary", v)
+		}
+	}
+	// The midpoint neighbourhood (level 1) must be populated.
+	mid := uint64(1) << 15
+	n := 0
+	for _, tu := range tuples {
+		if tu.Value >= mid-16 && tu.Value < mid+16 {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Error("no mass around the domain midpoint")
+	}
+}
+
+func TestDistributionValidate(t *testing.T) {
+	bad := []Distribution{
+		{},
+		{Family: "nope"},
+		{Family: FamilyZipf, S: 0.5},
+		{Family: FamilyZipf, Distinct: -1},
+		{Family: FamilyHotspot, HotFrac: 1.5},
+		{Family: FamilyHotspot, HotWeight: -0.1},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%+v: want error", d)
+		}
+		if _, err := NewSampler(d, 16, 1); err == nil {
+			t.Errorf("NewSampler(%+v): want error", d)
+		}
+	}
+	if _, err := NewSampler(Distribution{Family: FamilyUniform}, 0, 1); err == nil {
+		t.Error("bits=0: want error")
+	}
+	if _, err := NewSampler(Distribution{Family: FamilyUniform}, 64, 1); err == nil {
+		t.Error("bits=64: want error")
+	}
+}
+
+func TestFromDistributionZipfSkew(t *testing.T) {
+	tuples, err := FromDistribution(20000, 16, Distribution{Family: FamilyZipf, Distinct: 100, S: 1.3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := DistinctFraction(tuples); f > 0.01 {
+		t.Errorf("zipf pool of 100 gave distinct fraction %f", f)
+	}
+}

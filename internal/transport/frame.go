@@ -15,24 +15,30 @@ import (
 // the kernel.
 const inlineThreshold = 1024
 
-// frameWriter assembles one length-prefixed frame as a scatter-gather
-// vector over a reusable staging buffer, then ships it with a single
-// net.Buffers write — one writev on TCP and unix sockets. All scratch
-// is retained across pool checkouts, so steady-state frame writes cost
-// no heap allocation.
+// frameWriter assembles one or more length-prefixed frames as a
+// scatter-gather vector over a reusable staging buffer, then ships them
+// with a single net.Buffers write — one writev on TCP and unix sockets.
+// All scratch is retained across pool checkouts, so steady-state frame
+// writes cost no heap allocation.
 //
-// Usage: begin, stage*/ref* in wire order, flush. A frameWriter is not
-// safe for concurrent use; pool instances with getFrameWriter/
-// putFrameWriter and hold the connection's write lock across the
-// begin..flush sequence.
+// Single frame: begin, stage*/ref* in wire order, flush. Coalesced
+// frames (the server's busy-connection response path): reset, then per
+// frame beginFrame, stage*/ref*, endFrame, and one flushAll for the
+// whole group — k responses leave in one vectored write instead of k.
+// A frameWriter is not safe for concurrent use; pool instances with
+// getFrameWriter/putFrameWriter and keep the connection's writes
+// single-threaded across the begin..flush sequence.
 type frameWriter struct {
-	buf []byte // staging: 4-byte length prefix, then inlined parts
+	buf []byte // staging: per frame, a 4-byte length prefix then inlined parts
 	// marks[i] is the staging offset at which zero-copy part refs[i] is
 	// spliced into the frame (offsets never move: splices only record
 	// positions, so staging appends may reallocate buf freely).
 	marks []int
 	refs  [][]byte
 	vecs  net.Buffers // flush scratch
+
+	frameStart int // staging offset of the current frame's length prefix
+	frameRefs  int // len(refs) when the current frame began
 }
 
 var frameWriterPool = sync.Pool{New: func() any { return new(frameWriter) }}
@@ -53,11 +59,46 @@ func putFrameWriter(fw *frameWriter) {
 	frameWriterPool.Put(fw)
 }
 
-// begin starts a new frame, reserving the length prefix.
-func (fw *frameWriter) begin() {
-	fw.buf = append(fw.buf[:0], 0, 0, 0, 0)
+// reset clears all staged frames.
+func (fw *frameWriter) reset() {
+	fw.buf = fw.buf[:0]
 	fw.marks = fw.marks[:0]
 	fw.refs = fw.refs[:0]
+	fw.frameStart = 0
+	fw.frameRefs = 0
+}
+
+// beginFrame starts the next frame of a coalesced group, reserving its
+// length prefix.
+func (fw *frameWriter) beginFrame() {
+	fw.frameStart = len(fw.buf)
+	fw.frameRefs = len(fw.refs)
+	fw.buf = append(fw.buf, 0, 0, 0, 0)
+}
+
+// endFrame patches the current frame's length prefix. An oversized
+// frame is rolled back — the staging buffer and splice records return
+// to the frame's start, leaving the group's earlier frames intact — and
+// ErrFrameTooLarge is returned so the caller can stage a substitute.
+func (fw *frameWriter) endFrame() error {
+	n := len(fw.buf) - fw.frameStart - 4
+	for _, p := range fw.refs[fw.frameRefs:] {
+		n += len(p)
+	}
+	if n > MaxFrame {
+		fw.buf = fw.buf[:fw.frameStart]
+		fw.marks = fw.marks[:fw.frameRefs]
+		fw.refs = fw.refs[:fw.frameRefs]
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(fw.buf[fw.frameStart:], uint32(n))
+	return nil
+}
+
+// begin starts a single frame, reserving the length prefix.
+func (fw *frameWriter) begin() {
+	fw.reset()
+	fw.beginFrame()
 }
 
 // stage copies p into the frame's staging buffer.
@@ -86,24 +127,19 @@ func (fw *frameWriter) ref(p []byte) {
 	fw.refs = append(fw.refs, p)
 }
 
-// size returns the frame's body length so far.
-func (fw *frameWriter) size() int {
-	n := len(fw.buf) - 4
-	for _, p := range fw.refs {
-		n += len(p)
-	}
-	return n
-}
-
-// flush patches the length prefix and writes the whole frame with one
+// flush ends the single frame begun with begin and writes it with one
 // vectored write. An oversized frame is rejected before any byte is
 // written, leaving the stream clean.
 func (fw *frameWriter) flush(w io.Writer) error {
-	n := fw.size()
-	if n > MaxFrame {
-		return ErrFrameTooLarge
+	if err := fw.endFrame(); err != nil {
+		return err
 	}
-	binary.BigEndian.PutUint32(fw.buf[:4], uint32(n))
+	return fw.flushAll(w)
+}
+
+// flushAll writes every staged frame of a coalesced group with one
+// vectored write. Frames must all have been closed with endFrame.
+func (fw *frameWriter) flushAll(w io.Writer) error {
 	if len(fw.refs) == 0 {
 		_, err := w.Write(fw.buf)
 		return err

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -12,20 +13,69 @@ import (
 	"rsse/internal/core"
 )
 
-// connConcurrency caps the requests one connection may have executing at
-// once; further frames queue behind the semaphore. Requests from
-// different connections are unbounded relative to each other.
+// connConcurrency caps the requests one connection may have executing
+// at once. Under pooled dispatch it is the connection's worker-pool
+// ceiling (workers spawn lazily up to it); under spawn dispatch it is
+// the per-connection goroutine semaphore. Requests from different
+// connections are unbounded relative to each other.
 const connConcurrency = 32
+
+// connQueue bounds the requests a connection may have parsed but not
+// yet executing under pooled dispatch. A full queue blocks the
+// connection's read loop — backpressure lands in the peer's socket
+// buffer instead of as unbounded server-side goroutines or memory.
+const connQueue = 128
+
+// writeCoalesce caps how many completed responses the connection's
+// writer folds into one vectored write when the connection is busy.
+const writeCoalesce = 64
 
 // ErrServerClosed is returned by Serve after Shutdown.
 var ErrServerClosed = errors.New("transport: server closed")
+
+// DispatchMode selects how a connection's requests are executed.
+type DispatchMode int
+
+const (
+	// DispatchPooled (the default) runs each connection's requests on a
+	// bounded worker pool and coalesces completed responses into grouped
+	// vectored writes: under high fan-in, throughput degrades into
+	// backpressure instead of goroutine/scheduler thrash, and a busy
+	// connection pays one writev per response group instead of one per
+	// response.
+	DispatchPooled DispatchMode = iota
+	// DispatchSpawn is the legacy goroutine-per-request dispatch (one
+	// spawned goroutine and one vectored write per request), kept so the
+	// load harness can measure the pooled path against it.
+	DispatchSpawn
+)
+
+// DispatchModeByName resolves "pooled" or "spawn".
+func DispatchModeByName(name string) (DispatchMode, error) {
+	switch name {
+	case "pooled":
+		return DispatchPooled, nil
+	case "spawn":
+		return DispatchSpawn, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown dispatch mode %q (pooled|spawn)", name)
+	}
+}
+
+func (m DispatchMode) String() string {
+	if m == DispatchSpawn {
+		return "spawn"
+	}
+	return "pooled"
+}
 
 // Server serves a Registry of named indexes over any number of
 // listeners. Every connection's requests are dispatched concurrently —
 // one slow search does not block the connection's other requests — and
 // Shutdown drains in-flight requests before closing connections.
 type Server struct {
-	reg *Registry
+	reg      *Registry
+	dispatch DispatchMode
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -49,6 +99,10 @@ func NewServer(reg *Registry) *Server {
 
 // Registry returns the served registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// SetDispatch selects the connection dispatch mode. Call before Serve;
+// connections pick the mode up when accepted.
+func (s *Server) SetDispatch(m DispatchMode) { s.dispatch = m }
 
 // closing reports whether Shutdown has begun.
 func (s *Server) closing() bool {
@@ -117,7 +171,7 @@ func (s *Server) Serve(l net.Listener) error {
 				s.mu.Unlock()
 				conn.Close()
 			}()
-			_ = serveLoop(s.reg, conn, s)
+			_ = serveLoop(s.reg, conn, s, s.dispatch)
 		}()
 	}
 }
@@ -176,31 +230,92 @@ func Serve(l net.Listener, idx core.Server) error {
 // established connection until EOF or error (nil on clean EOF). Requests
 // are still dispatched concurrently.
 func ServeConn(conn io.ReadWriter, idx core.Server) error {
-	return serveLoop(singleRegistry(idx), conn, nil)
+	return serveLoop(singleRegistry(idx), conn, nil, DispatchPooled)
 }
 
 // ServeConnRegistry is ServeConn over a full registry.
 func ServeConnRegistry(conn io.ReadWriter, reg *Registry) error {
-	return serveLoop(reg, conn, nil)
+	return serveLoop(reg, conn, nil, DispatchPooled)
 }
 
-// serveLoop reads request frames from rw and dispatches each to its own
-// goroutine (bounded per connection), serializing responses through one
-// write lock. srv, when non-nil, tracks in-flight requests for graceful
-// shutdown.
-func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server) error {
+// serveLoop reads request frames from rw and executes them concurrently
+// under the selected dispatch mode. srv, when non-nil, tracks in-flight
+// requests for graceful shutdown.
+func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server, mode DispatchMode) error {
+	if mode == DispatchSpawn {
+		return serveLoopSpawn(reg, rw, srv)
+	}
+	return serveLoopPooled(reg, rw, srv)
+}
+
+// task is one admitted request awaiting a dispatcher worker.
+type task struct {
+	req request
+	bp  *[]byte // pooled frame body backing req; recycled after the write
+	// counted marks the request in srv's in-flight set (endRequest runs
+	// after its response is written).
+	counted bool
+}
+
+// completion is one executed request awaiting its response write.
+type completion struct {
+	id      uint32
+	status  byte
+	payload []byte
+	bp      *[]byte
+	counted bool
+}
+
+// dispatcher runs one connection's bounded worker pool and its response
+// writer. Requests flow read loop → tasks → workers → compl → writer;
+// the writer drains compl opportunistically and ships each drained
+// group as one vectored write.
+type dispatcher struct {
+	reg *Registry
+	srv *Server
+	w   io.Writer
+
+	tasks chan task
+	compl chan completion
+
+	spawned    int // workers started; touched only by the read loop
+	workers    sync.WaitGroup
+	writerDone chan struct{}
+}
+
+// serveLoopPooled reads request frames from rw and feeds them to the
+// connection's dispatcher: a worker pool bounded at connConcurrency
+// (spawned lazily — a sequential request stream costs one worker) over
+// a queue bounded at connQueue. A full queue blocks the read loop, so
+// overload turns into TCP backpressure on the peer instead of unbounded
+// goroutine fan-out, and completed responses leave through one writer
+// that coalesces bursts into grouped vectored writes.
+func serveLoopPooled(reg *Registry, rw io.ReadWriter, srv *Server) error {
 	br := bufio.NewReader(rw)
-	var wmu sync.Mutex
-	sem := make(chan struct{}, connConcurrency)
-	var inFlight sync.WaitGroup
-	// Let in-flight requests finish writing before the caller closes the
-	// connection.
-	defer inFlight.Wait()
+	d := &dispatcher{
+		reg:   reg,
+		srv:   srv,
+		w:     rw,
+		tasks: make(chan task, connQueue),
+		// compl never blocks the workers for long: its capacity covers
+		// every admissible task plus the read loop's shed responses.
+		compl:      make(chan completion, connQueue+connConcurrency+1),
+		writerDone: make(chan struct{}),
+	}
+	go d.writeLoop()
+	// Drain on exit: workers finish their tasks, then the writer flushes
+	// every remaining response, before the caller closes the connection.
+	defer func() {
+		close(d.tasks)
+		d.workers.Wait()
+		close(d.compl)
+		<-d.writerDone
+	}()
 	for {
 		// Request bodies come from a pool and go back once the request's
 		// response is on the wire (see bodyPool for why that is safe);
 		// each loop turn takes a fresh buffer because earlier requests
-		// may still be executing on their own goroutines.
+		// may still be executing on the pool's workers.
 		bp := bodyPool.Get().(*[]byte)
 		body, err := readFrameInto(br, (*bp)[:0])
 		if err != nil {
@@ -215,6 +330,134 @@ func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server) error {
 		if err != nil {
 			// Without a request id there is nothing to route an error to;
 			// the framing is corrupt, drop the connection.
+			bodyPool.Put(bp)
+			return err
+		}
+		if srv != nil && !srv.beginRequest() {
+			// Shed without executing: the err-response routes straight to
+			// the writer.
+			d.compl <- completion{id: req.id, status: statusErr,
+				payload: []byte("server shutting down"), bp: bp}
+			continue
+		}
+		d.submit(task{req: req, bp: bp, counted: srv != nil})
+	}
+}
+
+// submit queues one task, growing the worker pool while the queue is
+// backing up (up to connConcurrency workers). Blocks when the queue is
+// full — that is the connection's backpressure.
+func (d *dispatcher) submit(t task) {
+	d.tasks <- t
+	if d.spawned == 0 || (d.spawned < connConcurrency && len(d.tasks) > 0) {
+		d.spawned++
+		d.workers.Add(1)
+		go d.worker()
+	}
+}
+
+// worker executes tasks until the queue closes.
+func (d *dispatcher) worker() {
+	defer d.workers.Done()
+	for t := range d.tasks {
+		c := completion{id: t.req.id, bp: t.bp, counted: t.counted}
+		payload, herr := handleRequest(d.reg, t.req)
+		if herr != nil {
+			c.status = statusErr
+			c.payload = []byte(herr.Error())
+		} else {
+			c.payload = payload
+		}
+		d.compl <- c
+	}
+}
+
+// writeLoop ships completed responses. Each wakeup drains whatever has
+// completed (capped at writeCoalesce) and writes the whole group as one
+// vectored write: an idle connection still gets one write per response,
+// a busy one amortizes the syscall and the wakeup across the burst.
+func (d *dispatcher) writeLoop() {
+	defer close(d.writerDone)
+	fw := getFrameWriter()
+	defer putFrameWriter(fw)
+	batch := make([]completion, 0, writeCoalesce)
+	for c := range d.compl {
+		batch = append(batch[:0], c)
+	drain:
+		for len(batch) < writeCoalesce {
+			select {
+			case c2, ok := <-d.compl:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, c2)
+			default:
+				break drain
+			}
+		}
+		d.writeBatch(fw, batch)
+	}
+}
+
+// writeBatch stages the group's response frames and ships them with one
+// vectored write. An oversized response is rolled back and replaced by
+// an err-response so the waiting request fails instead of hanging;
+// write errors are dropped (the read side of a dead connection surfaces
+// them to serveLoopPooled). Request bodies recycle and in-flight
+// accounting closes only after the group is on the wire, so graceful
+// shutdown never closes a connection under a pending response.
+func (d *dispatcher) writeBatch(fw *frameWriter, batch []completion) {
+	fw.reset()
+	for _, c := range batch {
+		fw.beginFrame()
+		fw.stageUint32(c.id)
+		fw.stageByte(c.status)
+		fw.ref(c.payload)
+		if err := fw.endFrame(); err != nil {
+			fw.beginFrame()
+			fw.stageUint32(c.id)
+			fw.stageByte(statusErr)
+			fw.stageString(ErrFrameTooLarge.Error())
+			_ = fw.endFrame()
+		}
+	}
+	_ = fw.flushAll(d.w)
+	for _, c := range batch {
+		if c.bp != nil {
+			bodyPool.Put(c.bp)
+		}
+		if c.counted {
+			d.srv.endRequest()
+		}
+	}
+}
+
+// serveLoopSpawn is the legacy dispatch: each request runs on its own
+// spawned goroutine (bounded by a per-connection semaphore), and each
+// response is its own vectored write under the connection's write lock.
+// Kept selectable so the load harness can measure the pooled path
+// against it; see DispatchSpawn.
+func serveLoopSpawn(reg *Registry, rw io.ReadWriter, srv *Server) error {
+	br := bufio.NewReader(rw)
+	var wmu sync.Mutex
+	sem := make(chan struct{}, connConcurrency)
+	var inFlight sync.WaitGroup
+	// Let in-flight requests finish writing before the caller closes the
+	// connection.
+	defer inFlight.Wait()
+	for {
+		bp := bodyPool.Get().(*[]byte)
+		body, err := readFrameInto(br, (*bp)[:0])
+		if err != nil {
+			bodyPool.Put(bp)
+			if errors.Is(err, io.EOF) || (srv != nil && srv.closing()) {
+				return nil
+			}
+			return err
+		}
+		*bp = body
+		req, err := parseRequest(body)
+		if err != nil {
 			bodyPool.Put(bp)
 			return err
 		}

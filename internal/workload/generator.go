@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"rsse/internal/core"
+	"rsse/internal/dataset"
+)
+
+// An Op is one generated operation: a single range query when Ranges
+// has one element, a batched query otherwise. The slice is owned by the
+// Generator and reused across Next calls.
+type Op struct {
+	Ranges []core.Range
+}
+
+// Generator deterministically produces the op stream for one load slot.
+// Two generators built with the same (spec, bits, slot) emit identical
+// streams, so a run is reproducible and distinct slots never correlate.
+// Next allocates nothing after construction.
+type Generator struct {
+	spec    *Spec
+	sampler *dataset.Sampler
+	rnd     *mrand.Rand
+	size    uint64
+	buf     []core.Range
+	op      Op
+}
+
+// NewGenerator builds the generator for one slot of a validated spec.
+func NewGenerator(spec *Spec, bits uint8, slot int) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	// Splitmix-style seed spread so adjacent slots land far apart in the
+	// generator's state space.
+	seed := spec.Seed + int64(slot+1)*-0x61c8864680b583eb
+	sampler, err := dataset.NewSampler(spec.Keys, bits, seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: slot %d: %w", slot, err)
+	}
+	batch := spec.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	return &Generator{
+		spec:    spec,
+		sampler: sampler,
+		rnd:     mrand.New(mrand.NewSource(seed ^ 0x2545f4914f6cdd1d)),
+		size:    uint64(1) << bits,
+		buf:     make([]core.Range, batch),
+	}, nil
+}
+
+// Next produces the next op. The returned pointer (and its Ranges) is
+// only valid until the following Next call.
+func (g *Generator) Next() *Op {
+	n := 1
+	if g.spec.BatchFraction > 0 && g.rnd.Float64() < g.spec.BatchFraction {
+		n = g.spec.BatchSize
+	}
+	for i := 0; i < n; i++ {
+		g.buf[i] = g.nextRange()
+	}
+	g.op.Ranges = g.buf[:n]
+	return &g.op
+}
+
+func (g *Generator) nextRange() core.Range {
+	c := g.sampler.Next()
+	w := g.width()
+	// Center the range on the drawn value: for the adversarial family
+	// this straddles the dyadic boundary the sampler aimed at, forcing
+	// maximal covers.
+	lo := uint64(0)
+	if half := w / 2; c > half {
+		lo = c - half
+	}
+	hi := lo + w - 1
+	if hi >= g.size {
+		hi = g.size - 1
+		if lo > hi {
+			lo = hi
+		}
+	}
+	return core.Range{Lo: lo, Hi: hi}
+}
+
+func (g *Generator) width() uint64 {
+	s := g.spec.Sizes
+	if s.Dist == "fixed" || s.Max <= s.Min {
+		return s.Min
+	}
+	return s.Min + g.rnd.Uint64()%(s.Max-s.Min+1)
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: exact below
+// 64ns, then 64 sub-buckets per octave (~1.6% relative error), covering
+// the full uint64 nanosecond range in a fixed 3776-bucket array. Record
+// is a couple of integer ops and never allocates, so the hot loop of a
+// load generator can record every sample. A Histogram is not safe for
+// concurrent use: give each worker its own and Merge them afterwards.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+const (
+	histSubBits = 6
+	histSubCnt  = 1 << histSubBits // 64 sub-buckets per octave
+	// Indexes are continuous: [0, 64) exact, then one 64-wide band per
+	// octave up to 2^64.
+	histBuckets = (64 - histSubBits + 1) * histSubCnt
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCnt {
+		return int(v)
+	}
+	shift := bits.Len64(v) - histSubBits - 1
+	// v>>shift is in [64, 128); consecutive octaves tile consecutive
+	// 64-wide index bands.
+	return shift*histSubCnt + int(v>>shift)
+}
+
+// bucketMid returns the representative (midpoint) value of a bucket.
+func bucketMid(i int) uint64 {
+	if i < histSubCnt {
+		return uint64(i)
+	}
+	shift := i/histSubCnt - 1
+	m := uint64(histSubCnt + i%histSubCnt)
+	return m<<shift + uint64(1)<<shift>>1
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	v := uint64(d)
+	if d < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min || h.total == 1 {
+		h.min = v
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded sample exactly.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Min returns the smallest recorded sample exactly.
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+
+// Mean returns the exact mean of the recorded samples.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Quantile returns the value at quantile q in [0, 1], within the
+// bucketing's ~1.6% relative error (the extremes are exact).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			mid := bucketMid(i)
+			if mid > h.max {
+				mid = h.max
+			}
+			if mid < h.min {
+				mid = h.min
+			}
+			return time.Duration(mid)
+		}
+	}
+	return h.Max()
+}

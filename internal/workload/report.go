@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// The rsse-load report lineage: BENCH_<pr>.json files at the repository
+// root are either rsse-bench PerfReports (micro: ns/op, allocs) or
+// rsse-load LoadReports (macro: sustained QPS and latency quantiles
+// against a live server). Both carry the same tool/go/platform header so
+// docs_test.go can dispatch validation on the "tool" field, and CI gates
+// regressions by comparing a fresh report against the committed one.
+
+// LatencySummary is the JSON face of a Histogram, in microseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+	MeanUs float64 `json:"mean_us"`
+}
+
+// Summarize extracts the standard quantiles from h.
+func Summarize(h *Histogram) LatencySummary {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return LatencySummary{
+		Count:  h.Count(),
+		P50Us:  us(h.Quantile(0.50)),
+		P95Us:  us(h.Quantile(0.95)),
+		P99Us:  us(h.Quantile(0.99)),
+		MaxUs:  us(h.Max()),
+		MeanUs: us(h.Mean()),
+	}
+}
+
+// PhaseReport is one phase's measured outcome.
+type PhaseReport struct {
+	Name        string          `json:"name"`
+	Warmup      bool            `json:"warmup,omitempty"`
+	TargetQPS   float64         `json:"target_qps,omitempty"`
+	Connections int             `json:"connections"`
+	InFlight    int             `json:"in_flight"`
+	DurationMS  float64         `json:"duration_ms"`
+	Requests    uint64          `json:"requests"`
+	Batches     uint64          `json:"batches,omitempty"`
+	Errors      uint64          `json:"errors"`
+	Shed        uint64          `json:"shed"`
+	QPS         float64         `json:"qps"`
+	Latency     LatencySummary  `json:"latency"`
+	Leakage     LeakageCounters `json:"leakage"`
+}
+
+// RunReport is one workload spec's full result: every phase, plus the
+// steady-state rollup over the non-warmup phases.
+type RunReport struct {
+	Workload     string         `json:"workload"`
+	Seed         int64          `json:"seed"`
+	Phases       []PhaseReport  `json:"phases"`
+	SustainedQPS float64        `json:"sustained_qps"`
+	Latency      LatencySummary `json:"latency"`
+}
+
+// DispatchComparison records the bounded-dispatch before/after: the same
+// workload driven against a pooled-dispatch server and a spawn-dispatch
+// (goroutine-per-request) server.
+type DispatchComparison struct {
+	Workload    string  `json:"workload"`
+	PooledQPS   float64 `json:"pooled_qps"`
+	PooledP99Us float64 `json:"pooled_p99_us"`
+	SpawnQPS    float64 `json:"spawn_qps"`
+	SpawnP99Us  float64 `json:"spawn_p99_us"`
+	// Speedup is PooledQPS / SpawnQPS.
+	Speedup float64 `json:"speedup"`
+}
+
+// LoadReport is rsse-load's machine-readable output.
+type LoadReport struct {
+	Tool       string `json:"tool"` // "rsse-load"
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Scheme     string `json:"scheme"`
+	DomainBits uint8  `json:"domain_bits"`
+	Dispatch   string `json:"dispatch,omitempty"`
+
+	Runs               []RunReport         `json:"runs"`
+	DispatchComparison *DispatchComparison `json:"dispatch_comparison,omitempty"`
+}
+
+// NewLoadReport stamps the platform header.
+func NewLoadReport(scheme string, bits uint8, dispatch string) *LoadReport {
+	return &LoadReport{
+		Tool:       "rsse-load",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Scheme:     scheme,
+		DomainBits: bits,
+		Dispatch:   dispatch,
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *LoadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Print renders the report as aligned text.
+func (r *LoadReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "\nSustained load — scheme %s, 2^%d domain (%s %s/%s)\n",
+		r.Scheme, r.DomainBits, r.GoVersion, r.GOOS, r.GOARCH)
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "  workload %-12s sustained %9.1f qps   p50 %7.0fµs  p99 %7.0fµs\n",
+			run.Workload, run.SustainedQPS, run.Latency.P50Us, run.Latency.P99Us)
+		for _, p := range run.Phases {
+			tag := ""
+			if p.Warmup {
+				tag = " (warmup)"
+			}
+			fmt.Fprintf(w, "    %-10s %8.1f qps  p50 %7.0fµs  p95 %7.0fµs  p99 %7.0fµs  max %7.0fµs  err %d  shed %d%s\n",
+				p.Name, p.QPS, p.Latency.P50Us, p.Latency.P95Us, p.Latency.P99Us, p.Latency.MaxUs, p.Errors, p.Shed, tag)
+		}
+	}
+	if c := r.DispatchComparison; c != nil {
+		fmt.Fprintf(w, "  dispatch on %s: pooled %.1f qps (p99 %.0fµs) vs spawn %.1f qps (p99 %.0fµs) — %.2fx\n",
+			c.Workload, c.PooledQPS, c.PooledP99Us, c.SpawnQPS, c.SpawnP99Us, c.Speedup)
+	}
+}
+
+// ValidateReport checks that data is a structurally sound LoadReport:
+// right tool tag, at least one run, internally consistent quantiles.
+// docs_test.go runs it over every committed BENCH_*.json with
+// tool == "rsse-load".
+func ValidateReport(data []byte) error {
+	var r LoadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("workload: parse report: %w", err)
+	}
+	if r.Tool != "rsse-load" {
+		return fmt.Errorf("workload: tool %q, want rsse-load", r.Tool)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("workload: missing platform header")
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("workload: report has no runs")
+	}
+	for _, run := range r.Runs {
+		if run.Workload == "" {
+			return fmt.Errorf("workload: run with empty workload name")
+		}
+		if len(run.Phases) == 0 {
+			return fmt.Errorf("workload: run %s has no phases", run.Workload)
+		}
+		if run.SustainedQPS <= 0 {
+			return fmt.Errorf("workload: run %s sustained_qps %v <= 0", run.Workload, run.SustainedQPS)
+		}
+		if err := validSummary(run.Workload, run.Latency); err != nil {
+			return err
+		}
+		for _, p := range run.Phases {
+			if p.Requests > 0 {
+				if p.Latency.Count == 0 {
+					return fmt.Errorf("workload: run %s phase %s: %d requests but empty histogram", run.Workload, p.Name, p.Requests)
+				}
+				if err := validSummary(run.Workload+"/"+p.Name, p.Latency); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if c := r.DispatchComparison; c != nil {
+		if c.PooledQPS <= 0 || c.SpawnQPS <= 0 || c.Speedup <= 0 {
+			return fmt.Errorf("workload: dispatch comparison has non-positive rates")
+		}
+	}
+	return nil
+}
+
+func validSummary(where string, l LatencySummary) error {
+	if l.P50Us < 0 || l.P50Us > l.P95Us || l.P95Us > l.P99Us || l.P99Us > l.MaxUs {
+		return fmt.Errorf("workload: %s: quantiles not monotone (p50 %v p95 %v p99 %v max %v)",
+			where, l.P50Us, l.P95Us, l.P99Us, l.MaxUs)
+	}
+	return nil
+}
+
+// CompareReports is the CI regression gate: for every workload present
+// in both reports, the current sustained QPS may not fall more than
+// tolerance (e.g. 0.20) below the baseline, and the current steady p99
+// may not rise more than tolerance above it.
+func CompareReports(baseline, current []byte, tolerance float64) error {
+	var base, cur LoadReport
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("workload: parse baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return fmt.Errorf("workload: parse current: %w", err)
+	}
+	curRuns := make(map[string]RunReport, len(cur.Runs))
+	for _, run := range cur.Runs {
+		curRuns[run.Workload] = run
+	}
+	matched := 0
+	for _, b := range base.Runs {
+		c, ok := curRuns[b.Workload]
+		if !ok {
+			continue
+		}
+		matched++
+		if c.SustainedQPS < b.SustainedQPS*(1-tolerance) {
+			return fmt.Errorf("workload: %s sustained qps regressed %.1f -> %.1f (more than %.0f%%)",
+				b.Workload, b.SustainedQPS, c.SustainedQPS, tolerance*100)
+		}
+		if b.Latency.P99Us > 0 && c.Latency.P99Us > b.Latency.P99Us*(1+tolerance) {
+			return fmt.Errorf("workload: %s p99 regressed %.0fµs -> %.0fµs (more than %.0f%%)",
+				b.Workload, b.Latency.P99Us, c.Latency.P99Us, tolerance*100)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("workload: no workload in common between baseline and current report")
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rsse/internal/dataset"
+)
+
+// A Spec declaratively describes one sustained-load workload: where the
+// query ranges land (a shared dataset.Distribution family), how wide
+// they are, the single/batch mix, the client fan-out, and a sequence of
+// phases (warmup, concurrency ramp, unpaced sustain, paced hold). Specs
+// are plain JSON so a run is reproducible from the file plus its seed.
+type Spec struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+
+	// Keys positions range centers; Sizes draws range widths.
+	Keys  dataset.Distribution `json:"keys"`
+	Sizes SizeDist             `json:"sizes"`
+
+	// BatchFraction of the ops are batched queries of BatchSize ranges
+	// sent as one wire operation; the rest are single range queries.
+	BatchFraction float64 `json:"batch_fraction,omitempty"`
+	BatchSize     int     `json:"batch_size,omitempty"`
+
+	// Default fan-out: Connections sockets × InFlight concurrent
+	// requests per socket. Phases may override either.
+	Connections int `json:"connections"`
+	InFlight    int `json:"in_flight"`
+
+	Phases []Phase `json:"phases"`
+}
+
+// SizeDist draws range widths (number of domain values covered).
+type SizeDist struct {
+	Dist string `json:"dist"` // "fixed" | "uniform"
+	Min  uint64 `json:"min"`
+	Max  uint64 `json:"max,omitempty"`
+}
+
+// A Phase runs for DurationMS at one offered-load level. TargetQPS == 0
+// means unpaced: every slot keeps one request in flight continuously
+// (closed loop, measures capacity). TargetQPS > 0 means open loop: slots
+// fire on a fixed schedule and a slot that falls behind sheds the missed
+// fires rather than silently queueing them.
+type Phase struct {
+	Name        string  `json:"name"`
+	Warmup      bool    `json:"warmup,omitempty"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	DurationMS  int     `json:"duration_ms"`
+	Connections int     `json:"connections,omitempty"` // override Spec.Connections
+	InFlight    int     `json:"in_flight,omitempty"`   // override Spec.InFlight
+}
+
+// Validate rejects malformed specs with a field-level error.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec name is empty")
+	}
+	if err := s.Keys.Validate(); err != nil {
+		return fmt.Errorf("workload: keys: %w", err)
+	}
+	switch s.Sizes.Dist {
+	case "fixed":
+		if s.Sizes.Min < 1 {
+			return fmt.Errorf("workload: fixed size min %d < 1", s.Sizes.Min)
+		}
+	case "uniform":
+		if s.Sizes.Min < 1 || s.Sizes.Max < s.Sizes.Min {
+			return fmt.Errorf("workload: uniform size bounds [%d, %d] invalid", s.Sizes.Min, s.Sizes.Max)
+		}
+	default:
+		return fmt.Errorf("workload: unknown size dist %q (want fixed or uniform)", s.Sizes.Dist)
+	}
+	if s.BatchFraction < 0 || s.BatchFraction > 1 {
+		return fmt.Errorf("workload: batch_fraction %v outside [0, 1]", s.BatchFraction)
+	}
+	if s.BatchFraction > 0 && s.BatchSize < 2 {
+		return fmt.Errorf("workload: batch_size %d < 2 with batch_fraction set", s.BatchSize)
+	}
+	if s.Connections < 1 || s.InFlight < 1 {
+		return fmt.Errorf("workload: connections %d × in_flight %d must both be ≥ 1", s.Connections, s.InFlight)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workload: no phases")
+	}
+	for i, p := range s.Phases {
+		if p.DurationMS <= 0 {
+			return fmt.Errorf("workload: phase %d (%s): duration_ms %d <= 0", i, p.Name, p.DurationMS)
+		}
+		if p.TargetQPS < 0 {
+			return fmt.Errorf("workload: phase %d (%s): target_qps %v < 0", i, p.Name, p.TargetQPS)
+		}
+		if p.Connections < 0 || p.InFlight < 0 {
+			return fmt.Errorf("workload: phase %d (%s): negative fan-out override", i, p.Name)
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workload: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// BuiltinNames lists the bundled workload specs, one per shared
+// distribution family.
+func BuiltinNames() []string { return dataset.Families() }
+
+// Builtin returns a bundled spec by family name. Each runs a warmup, a
+// low-concurrency ramp, a full-fan-out unpaced sustain, and paced holds.
+// The zipf spec is the dispatch-path benchmark: narrow ranges over few
+// connections at deep in-flight, so per-request dispatch and write
+// batching — not cover evaluation — set the pace, and its two paced
+// holds (12k and 24k QPS) put both servers of a before/after comparison
+// under identical offered load for a latency-at-equal-rate read.
+func Builtin(name string) (*Spec, error) {
+	s := &Spec{
+		Name:        name,
+		Seed:        7,
+		Keys:        dataset.Distribution{Family: name},
+		Connections: 8,
+		InFlight:    4,
+		Phases: []Phase{
+			{Name: "warmup", Warmup: true, DurationMS: 1000},
+			{Name: "ramp", DurationMS: 1000, Connections: 2, InFlight: 2},
+			{Name: "sustain", DurationMS: 3000},
+			{Name: "paced-2k", DurationMS: 2000, TargetQPS: 2000},
+		},
+	}
+	switch name {
+	case dataset.FamilyUniform:
+		s.Sizes = SizeDist{Dist: "uniform", Min: 1, Max: 256}
+	case dataset.FamilyZipf:
+		s.Sizes = SizeDist{Dist: "uniform", Min: 1, Max: 8}
+		s.Connections = 2
+		s.InFlight = 64
+		s.Phases = []Phase{
+			{Name: "warmup", Warmup: true, DurationMS: 1000},
+			{Name: "ramp", DurationMS: 1000, Connections: 1, InFlight: 16},
+			{Name: "sustain", DurationMS: 3000},
+			{Name: "paced-12k", DurationMS: 2500, TargetQPS: 12000},
+			{Name: "paced-24k", DurationMS: 2500, TargetQPS: 24000},
+		}
+	case dataset.FamilyHotspot:
+		s.Sizes = SizeDist{Dist: "uniform", Min: 1, Max: 1024}
+		s.BatchFraction = 0.2
+		s.BatchSize = 4
+	case dataset.FamilyAdversarial:
+		s.Sizes = SizeDist{Dist: "uniform", Min: 2, Max: 64}
+	default:
+		return nil, fmt.Errorf("workload: no builtin spec %q (have %v)", name, BuiltinNames())
+	}
+	return s, nil
+}

@@ -98,6 +98,20 @@ func NewServer(reg *Registry) *Server {
 // Shutdown is called (returning nil in both cases).
 func (s *Server) Serve(l net.Listener) error { return s.inner.Serve(l) }
 
+// SetDispatch selects the connection dispatch mode: "pooled" (the
+// default — bounded per-connection worker pool with coalesced response
+// writes, so high fan-in degrades into backpressure) or "spawn" (the
+// legacy goroutine-per-request path, kept so rsse-load can measure the
+// two against each other). Call before Serve.
+func (s *Server) SetDispatch(mode string) error {
+	m, err := transport.DispatchModeByName(mode)
+	if err != nil {
+		return err
+	}
+	s.inner.SetDispatch(m)
+	return nil
+}
+
 // Shutdown gracefully stops the server: listeners close immediately,
 // in-flight requests finish and their responses are flushed before the
 // connections are closed. If ctx expires first, remaining connections
@@ -177,6 +191,17 @@ func (r *RemoteIndex) Kind() (Kind, error) {
 		return 0, err
 	}
 	return meta.Kind, nil
+}
+
+// DomainBits returns the width in bits of the remote index's value
+// domain. Together with Kind it lets a client (rsse-load, rsse-owner)
+// configure itself entirely from the server's metadata.
+func (r *RemoteIndex) DomainBits() (uint8, error) {
+	meta, err := r.handle.Meta()
+	if err != nil {
+		return 0, err
+	}
+	return meta.DomainBits, nil
 }
 
 // DialCluster connects a cluster built earlier (BuildCluster) to its
