@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"rsse/internal/benchutil"
+	"rsse/internal/obs"
 )
 
 func main() {
@@ -41,7 +42,12 @@ func main() {
 	jsonPath := flag.String("json", "", "write the perf experiment's machine-readable report to this file (implies the perf experiment)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("rsse-bench", obs.Info())
+		return
+	}
 	scale, err := benchutil.ScaleByName(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -35,6 +35,7 @@ import (
 
 	"rsse/internal/core"
 	"rsse/internal/dataset"
+	"rsse/internal/obs"
 )
 
 func main() {
@@ -50,8 +51,13 @@ func main() {
 		clusters  = flag.Int("clusters", 8, "cluster count (clustered)")
 		spread    = flag.Uint64("spread", 100, "cluster spread (clustered)")
 		seed      = flag.Int64("seed", 1, "generator seed")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("rsse-gen", obs.Info())
+		return
+	}
 
 	if *dist != "" {
 		*kind = *dist

@@ -49,6 +49,7 @@ import (
 	"strings"
 
 	"rsse"
+	"rsse/internal/obs"
 	"rsse/internal/workload"
 )
 
@@ -67,8 +68,14 @@ func main() {
 		compareReps = flag.Int("compare-reps", 1, "A/B pairs to run for the comparison (median wins; >1 tames noisy boxes)")
 		dispatch    = flag.String("dispatch", "pooled", "dispatch mode label of -addr's server (report metadata)")
 		manifest    = flag.String("manifest", "", "cluster manifest: drive the whole cluster instead of one index")
+		opsAddr     = flag.String("ops-addr", "", "server ops address (rsse-server -ops): scrape /metrics before and after the run and embed the delta in the report")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("rsse-load", obs.Info())
+		return
+	}
 	if *keyfile == "" {
 		fatal(fmt.Errorf("-keyfile is required"))
 	}
@@ -91,6 +98,12 @@ func main() {
 		fatal(err)
 	}
 	report := workload.NewLoadReport(env.kind.String(), env.bits, *dispatch)
+	var before map[string]float64
+	if *opsAddr != "" {
+		if before, err = obs.Scrape(*opsAddr); err != nil {
+			fatal(fmt.Errorf("ops scrape before run: %w", err))
+		}
+	}
 	ctx := context.Background()
 	for _, spec := range specs {
 		fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s\n", spec.Name, *addr)
@@ -108,6 +121,19 @@ func main() {
 		}
 		report.DispatchComparison = cmp
 		report.Runs = append(report.Runs, *spawnRun)
+	}
+
+	if *opsAddr != "" {
+		after, err := obs.Scrape(*opsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("ops scrape after run: %w", err))
+		}
+		// The delta is the server's own view of the run: counters as
+		// after−before, gauges at their final value. It lands in the
+		// report so client-observed and server-observed numbers (requests
+		// vs ops, leakage tokens vs LeakageCounters) can be cross-checked
+		// from one artifact.
+		report.ServerMetrics = obs.Delta(before, after)
 	}
 
 	report.Print(os.Stdout)

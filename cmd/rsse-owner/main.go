@@ -88,6 +88,7 @@ import (
 
 	"rsse"
 	"rsse/internal/core"
+	"rsse/internal/obs"
 )
 
 func main() {
@@ -95,6 +96,8 @@ func main() {
 		usage()
 	}
 	switch os.Args[1] {
+	case "version", "-version", "--version":
+		fmt.Println("rsse-owner", obs.Info())
 	case "build":
 		build(os.Args[2:])
 	case "query":
@@ -121,7 +124,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query|stats|put|del|modify|flush|get|shard build|shard query [flags] (see package docs)")
+	fmt.Fprintln(os.Stderr, "usage: rsse-owner build|query|stats|put|del|modify|flush|get|shard build|shard query|version [flags] (see package docs)")
 	os.Exit(2)
 }
 

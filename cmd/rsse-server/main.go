@@ -48,17 +48,35 @@
 // indexes traffic actually touches. Per-index resident vs. file bytes
 // are logged at load time.
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: listeners close
-// immediately, in-flight requests finish and flush before connections
-// drop. -cpuprofile and -memprofile write pprof profiles of the
-// serving process, finalized during graceful shutdown — profile a load,
-// then SIGINT the server and run `go tool pprof` on the files.
+// With -ops the server binds a second HTTP listener exposing the
+// operational surface: Prometheus metrics on /metrics (request rates
+// and latency histograms per op, dispatch queue depth, WAL and epoch
+// state, and the per-index server-observed leakage counters), liveness
+// on /healthz, readiness on /readyz (503 while draining), and the
+// standard pprof handlers under /debug/pprof/. The ops port quantifies
+// the deployment's leakage at full resolution and pprof is a remote
+// profiling oracle — bind it to operator-trusted networks only:
+//
+//	rsse-server -dir ./indexes -ops 127.0.0.1:9090
+//
+// Diagnostics go to stderr as structured logs (-log-format text|json);
+// -slow-query logs every request slower than the threshold with its op,
+// index and duration.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503
+// first, -drain-grace gives load balancers time to observe it, then
+// listeners close and in-flight requests finish and flush before
+// connections drop (shed requests get overload responses, not errors).
+// -cpuprofile and -memprofile write pprof profiles of the serving
+// process, finalized during graceful shutdown — or grab one live from
+// /debug/pprof/profile on the ops port.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -70,16 +88,23 @@ import (
 	"time"
 
 	"rsse"
+	"rsse/internal/obs"
 )
+
+// logger is the process-wide structured logger, configured from
+// -log-format before any serving starts.
+var logger *slog.Logger
 
 func main() {
 	indexPath := flag.String("index", "", "serialized index file, served as \"default\"")
 	dir := flag.String("dir", "", "directory of .idx files, each served under its basename")
 	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
+	ops := flag.String("ops", "", "ops listen address for /metrics, /healthz, /readyz and /debug/pprof (operator-trusted networks only)")
 	engine := flag.String("storage", "sorted",
 		"storage engine for loaded indexes: "+strings.Join(rsse.StorageEngines(), "|"))
 	preload := flag.Bool("preload", false, "with -dir -storage disk: open every index at startup instead of on first query")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
+	drainGrace := flag.Duration("drain-grace", 0, "time to stay up (not-ready on /readyz) before draining, so load balancers stop routing first")
 	dispatch := flag.String("dispatch", "pooled", "connection dispatch mode: pooled (bounded worker pool + coalesced writes) or spawn (legacy goroutine-per-request, for before/after load tests)")
 	writable := flag.String("writable", "", "durable dynamic store directory to host for remote updates")
 	writableName := flag.String("writable-name", rsse.DefaultDynamicName, "update-namespace name the writable store serves under")
@@ -87,9 +112,22 @@ func main() {
 	bits := flag.Uint("bits", 16, "with -writable on a fresh directory: domain bits of the dynamic store")
 	step := flag.Int("step", 0, "with -writable on a fresh directory: consolidation step (0 = default)")
 	syncEvery := flag.Int("sync", 1, "with -writable: fsync the WAL every N updates (1 = every acknowledged update is durable)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	slowQuery := flag.Duration("slow-query", 0, "log requests whose execution exceeds this threshold (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized on graceful shutdown)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on graceful shutdown")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("rsse-server", obs.Info())
+		return
+	}
+	var err error
+	if logger, err = setupLogging(*logFormat, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "rsse-server:", err)
+		os.Exit(2)
+	}
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	if *indexPath != "" && *dir != "" {
 		fmt.Fprintln(os.Stderr, "rsse-server: -index and -dir are mutually exclusive")
@@ -103,7 +141,6 @@ func main() {
 	reg := rsse.NewRegistry()
 	var dyn *rsse.Dynamic
 	if *writable != "" {
-		var err error
 		if dyn, err = openWritable(*writable, *scheme, uint8(*bits), *step, *syncEvery); err != nil {
 			fatal(err)
 		}
@@ -137,7 +174,7 @@ func main() {
 			}
 			if err != nil {
 				// One corrupt index must not take down the server.
-				fmt.Fprintf(os.Stderr, "rsse-server: skipping %s: %v\n", path, err)
+				logger.Warn("skipping index", "path", path, "err", err)
 			}
 		}
 		if len(reg.Names()) == 0 {
@@ -150,49 +187,91 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("rsse-server: serving %d index(es) on %s (%s storage)\n",
-		len(reg.Names()), l.Addr(), *engine)
+	logger.Info("serving", "indexes", len(reg.Names()), "addr", l.Addr().String(),
+		"storage", *engine, "dispatch", *dispatch, "version", obs.Version)
 	if dyn != nil {
-		fmt.Printf("rsse-server: writable store %q ready on %s\n", *writableName, l.Addr())
+		logger.Info("writable store ready", "name", *writableName, "addr", l.Addr().String())
+	}
+
+	// The ops endpoint comes up before serving and reports not-ready
+	// until the query listener is accepting; build info is registered so
+	// every scrape identifies the binary.
+	ready := obs.NewReadiness()
+	var stopOps func()
+	if *ops != "" {
+		obs.RegisterBuildInfo(obs.Default)
+		bound, stop, err := obs.Serve(*ops, obs.Default, ready)
+		if err != nil {
+			fatal(err)
+		}
+		stopOps = stop
+		logger.Info("ops endpoint up", "addr", bound)
 	}
 
 	srv := rsse.NewServer(reg)
 	if err := srv.SetDispatch(*dispatch); err != nil {
 		fatal(err)
 	}
-	if *dispatch != "pooled" {
-		fmt.Printf("rsse-server: %s dispatch\n", *dispatch)
-	}
+	srv.SetLogger(logger)
+	srv.SetSlowQuery(*slowQuery)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
+	ready.SetReady(true)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("rsse-server: %v — draining (up to %v)\n", s, *drain)
+		// Flip readiness first so traffic directors stop routing, give
+		// them -drain-grace to notice, then drain in-flight requests.
+		ready.SetReady(false)
+		logger.Info("shutdown signal", "signal", s.String(), "grace", *drainGrace, "drain", *drain)
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "rsse-server: forced shutdown:", err)
+			logger.Error("forced shutdown", "err", err)
 			os.Exit(1)
 		}
 		if dyn != nil {
 			// Pending updates stay pending: they are durable in the WAL
 			// and recover exactly on the next start.
 			if err := dyn.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "rsse-server: closing writable store:", err)
+				logger.Error("closing writable store", "err", err)
 				os.Exit(1)
 			}
 		}
+		if stopOps != nil {
+			stopOps()
+		}
 		stopProfiles()
-		fmt.Println("rsse-server: drained, bye")
+		logger.Info("drained, bye")
 	case err := <-done:
 		if err != nil {
 			fatal(err)
 		}
+		if stopOps != nil {
+			stopOps()
+		}
 		stopProfiles()
 	}
+}
+
+// setupLogging builds the process logger from the -log-format and
+// -log-level flags and installs it as the slog default.
+func setupLogging(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	l, err := obs.NewLogger(format, os.Stderr, lvl)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(l)
+	return l, nil
 }
 
 // startProfiles begins the requested pprof captures and returns the
@@ -244,19 +323,19 @@ func openWritable(dir, scheme string, bits uint8, step, syncEvery int) (*rsse.Dy
 	}
 	if meta, err := rsse.PeekDynamicDir(dir); err == nil {
 		kind, bits, step = meta.Kind, meta.DomainBits, meta.Step
-		fmt.Printf("rsse-server: writable %s: adopting %v, domain 2^%d, step %d from manifest\n",
-			dir, kind, bits, step)
+		logger.Info("writable store: adopting manifest", "dir", dir,
+			"scheme", kind.String(), "bits", bits, "step", step)
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	} else {
-		fmt.Printf("rsse-server: writable %s: fresh store (%v, domain 2^%d)\n", dir, kind, bits)
+		logger.Info("writable store: fresh", "dir", dir, "scheme", kind.String(), "bits", bits)
 	}
 	dyn, err := rsse.OpenDynamic(dir, kind, bits, step, rsse.WithSyncEvery(syncEvery))
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("rsse-server: writable %s: %d active epochs, %d pending recovered updates (fsync every %d)\n",
-		dir, dyn.ActiveIndexes(), dyn.Pending(), syncEvery)
+	logger.Info("writable store recovered", "dir", dir,
+		"epochs", dyn.ActiveIndexes(), "pending", dyn.Pending(), "sync_every", syncEvery)
 	return dyn, nil
 }
 
@@ -284,7 +363,7 @@ func registerLazy(reg *rsse.Registry, name, path, engine string) error {
 	if err := reg.RegisterLazy(name, func() (*rsse.Index, error) {
 		index, err := rsse.OpenIndexFile(path, engine)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rsse-server: lazy open %s: %v\n", path, err)
+			logger.Warn("lazy open failed", "path", path, "err", err)
 			return nil, err
 		}
 		logLoaded(name, index.Stats())
@@ -292,8 +371,8 @@ func registerLazy(reg *rsse.Registry, name, path, engine string) error {
 	}); err != nil {
 		return err
 	}
-	fmt.Printf("rsse-server: %-20q %v  %d tuples  registered lazily (opens on first query)\n",
-		name, meta.Kind, meta.N)
+	logger.Info("index registered lazily", "index", name,
+		"scheme", meta.Kind.String(), "tuples", meta.N)
 	return nil
 }
 
@@ -320,7 +399,7 @@ func logClusters(dir string, reg *rsse.Registry) {
 		path := filepath.Join(dir, e.Name())
 		man, err := rsse.ReadClusterManifest(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rsse-server: ignoring manifest %s: %v\n", path, err)
+			logger.Warn("ignoring cluster manifest", "path", path, "err", err)
 			continue
 		}
 		local := 0
@@ -332,25 +411,32 @@ func logClusters(dir string, reg *rsse.Registry) {
 				missing = append(missing, s.Name)
 			}
 		}
-		fmt.Printf("rsse-server: cluster %-14q %s  domain 2^%d  %d shards (%d served here)\n",
-			strings.TrimSuffix(e.Name(), ".cluster.json"), man.Kind, man.DomainBits, len(man.Shards), local)
+		logger.Info("cluster", "name", strings.TrimSuffix(e.Name(), ".cluster.json"),
+			"scheme", man.Kind, "bits", man.DomainBits,
+			"shards", len(man.Shards), "served_here", local)
 		if len(missing) > 0 {
-			fmt.Fprintf(os.Stderr, "rsse-server: cluster %s: shards not served here and not pinned elsewhere: %s\n",
-				e.Name(), strings.Join(missing, ", "))
+			logger.Warn("cluster shards not served here and not pinned elsewhere",
+				"manifest", e.Name(), "missing", strings.Join(missing, ", "))
 		}
 	}
 }
 
-// logLoaded prints one loaded index's operational profile: name, scheme,
+// logLoaded logs one loaded index's operational profile: name, scheme,
 // tuple count, and where its bytes live (resident heap vs. backing file).
 func logLoaded(name string, s rsse.IndexStats) {
-	fmt.Printf("rsse-server: %-20q %v  %d tuples  %.1f MB index  %.1f MB store  [%s: %.1f MB resident, %.1f MB file]\n",
-		name, s.Kind, s.N,
-		float64(s.IndexBytes)/(1<<20), float64(s.StoreBytes)/(1<<20),
-		s.Engine, float64(s.Resident)/(1<<20), float64(s.FileBytes)/(1<<20))
+	logger.Info("index loaded", "index", name, "scheme", s.Kind.String(),
+		"tuples", s.N, "engine", s.Engine,
+		"index_mb", float64(s.IndexBytes)/(1<<20),
+		"store_mb", float64(s.StoreBytes)/(1<<20),
+		"resident_mb", float64(s.Resident)/(1<<20),
+		"file_mb", float64(s.FileBytes)/(1<<20))
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rsse-server:", err)
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "rsse-server:", err)
+	}
 	os.Exit(1)
 }

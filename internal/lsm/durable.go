@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"rsse/internal/core"
 	"rsse/internal/cover"
@@ -109,6 +110,7 @@ func epochFileName(seq uint64) string { return fmt.Sprintf("epoch-%d.idx", seq) 
 // it beside the directory); opening with a different master than the
 // epochs were built under makes every query fail to decrypt.
 func OpenManager(dir string, kind core.Kind, dom cover.Domain, step int, master prf.Key, opts core.Options, syncEvery int) (*Manager, error) {
+	openStart := time.Now()
 	m, err := NewManagerWithMaster(kind, dom, step, master, opts)
 	if err != nil {
 		return nil, err
@@ -167,6 +169,8 @@ func OpenManager(dir string, kind core.Kind, dom cover.Domain, step int, master 
 	}
 	m.log = log
 	m.removeOrphanEpochs()
+	mRecovery.Record(time.Since(openStart))
+	m.observeState()
 	return m, nil
 }
 

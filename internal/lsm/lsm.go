@@ -179,6 +179,7 @@ func (m *Manager) bufferRecord(rec wal.Record) {
 			Op{Kind: OpInsert, ID: rec.ID, Value: rec.NewValue, Payload: rec.Payload, seq: rec.Seq + 1})
 	}
 	m.nextOpSeq = rec.Seq + rec.Span()
+	mPending.Set(int64(len(m.pending)))
 }
 
 // Pending returns the number of buffered operations.
@@ -347,6 +348,8 @@ func (m *Manager) Flush() error {
 	}
 	m.levels[0] = append(m.levels[0], e)
 	m.dirty = true
+	mFlushes.Inc()
+	m.observeState()
 	if err := m.consolidate(); err != nil {
 		return err
 	}
@@ -373,6 +376,8 @@ func (m *Manager) consolidate() error {
 				m.levels = append(m.levels, nil)
 			}
 			m.levels[lvl+1] = append(m.levels[lvl+1], merged)
+			mConsolidations.Inc()
+			m.observeState()
 		}
 	}
 	return nil
@@ -462,6 +467,8 @@ func (m *Manager) FullConsolidate() error {
 	}
 	m.levels = [][]*epoch{nil, {merged}}
 	m.dirty = true
+	mConsolidations.Inc()
+	m.observeState()
 	if m.log != nil {
 		return m.commit()
 	}

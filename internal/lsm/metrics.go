@@ -1,0 +1,26 @@
+package lsm
+
+import "rsse/internal/obs"
+
+// LSM metrics on the process-wide obs.Default registry. The gauges
+// reflect the most recently touched manager; the rsse-server deployment
+// runs one durable store per process, which is what they are for.
+var (
+	mFlushes = obs.Default.Counter("rsse_lsm_flushes_total",
+		"Flushes that sealed a pending batch into a fresh epoch.")
+	mConsolidations = obs.Default.Counter("rsse_lsm_consolidations_total",
+		"Epoch-group merges performed by consolidation.")
+	mPending = obs.Default.Gauge("rsse_lsm_pending_ops",
+		"Buffered update operations awaiting the next flush.")
+	mEpochs = obs.Default.Gauge("rsse_lsm_epochs",
+		"Active (queryable) epochs across all levels.")
+	mRecovery = obs.Default.Histogram("rsse_lsm_recovery_seconds",
+		"Durable-manager open latency: manifest load, epoch reopen, WAL replay.")
+)
+
+// observeState publishes the manager's pending/epoch gauges; called
+// wherever either changes (buffering, flush, consolidation, recovery).
+func (m *Manager) observeState() {
+	mPending.Set(int64(len(m.pending)))
+	mEpochs.Set(int64(m.ActiveIndexes()))
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Build identity, stamped at link time:
+//
+//	go build -ldflags "-X rsse/internal/obs.Version=v1.2.3 \
+//	    -X rsse/internal/obs.Commit=$(git rev-parse --short HEAD) \
+//	    -X rsse/internal/obs.BuildDate=$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+//
+// Unstamped builds report the defaults below.
+var (
+	Version   = "dev"
+	Commit    = "none"
+	BuildDate = "unknown"
+)
+
+// BuildInfo is the resolved build identity of the running binary.
+type BuildInfo struct {
+	Version   string
+	Commit    string
+	BuildDate string
+	GoVersion string
+}
+
+// Info returns the build identity (ldflags-stamped or defaults).
+func Info() BuildInfo {
+	return BuildInfo{
+		Version:   Version,
+		Commit:    Commit,
+		BuildDate: BuildDate,
+		GoVersion: runtime.Version(),
+	}
+}
+
+// String renders "v1.2.3 (commit abc1234, built 2026-08-07, go1.24.0)".
+func (b BuildInfo) String() string {
+	return fmt.Sprintf("%s (commit %s, built %s, %s)", b.Version, b.Commit, b.BuildDate, b.GoVersion)
+}
+
+// RegisterBuildInfo exposes the build identity on r as the conventional
+// constant-1 info gauge:
+//
+//	rsse_build_info{version="...",commit="...",built="...",goversion="..."} 1
+func RegisterBuildInfo(r *Registry) {
+	b := Info()
+	r.GaugeVec("rsse_build_info",
+		"Build identity of the serving binary (constant 1).",
+		"version", "commit", "built", "goversion").
+		With(b.Version, b.Commit, b.BuildDate, b.GoVersion).Set(1)
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the CLIs' structured logger: format is "text" or
+// "json" (the -log-format flag every binary exposes), writing to w.
+func NewLogger(format string, w io.Writer, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text|json)", format)
+	}
+}
+
+// SetupLogger builds the logger and installs it as slog's default, so
+// both explicit slog calls and instrumented library code share one
+// sink. Returns the logger for callers that attach context attrs.
+func SetupLogger(format string, w io.Writer, level slog.Level) (*slog.Logger, error) {
+	l, err := NewLogger(format, w, level)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(l)
+	return l, nil
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Readiness is the serving process's load-balancer signal: /readyz
+// serves 200 while ready and 503 otherwise. A server flips it to
+// not-ready at the start of graceful shutdown — before draining — so
+// traffic directors stop routing new work while in-flight requests
+// finish.
+type Readiness struct {
+	ready atomic.Bool
+}
+
+// NewReadiness returns a not-ready signal; call SetReady(true) once the
+// process is serving.
+func NewReadiness() *Readiness { return &Readiness{} }
+
+// SetReady flips the signal.
+func (r *Readiness) SetReady(ready bool) { r.ready.Store(ready) }
+
+// Ready reports the current state.
+func (r *Readiness) Ready() bool { return r.ready.Load() }
+
+// Handler returns the ops endpoint: Prometheus metrics, liveness,
+// readiness, and the standard pprof surface.
+//
+//	/metrics        reg in Prometheus text format
+//	/healthz        200 while the process is alive (liveness)
+//	/readyz         200 while ready, 503 while draining (readiness)
+//	/debug/pprof/   index, profile, heap, goroutine, trace, ...
+//
+// The handler must only be bound to operator-trusted networks: metrics
+// quantify the schemes' leakage at full resolution and pprof is a
+// remote profiling oracle (see the package comment and ARCHITECTURE.md).
+func Handler(reg *Registry, ready *Readiness) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// Explicit pprof wiring (importing net/http/pprof for its side
+	// effects would pollute http.DefaultServeMux instead of this mux).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds the ops endpoint on addr and serves it until the returned
+// shutdown function is called. It returns the bound address (useful
+// with ":0") once the listener is up, so a caller knows scrapes will
+// succeed before it reports ready.
+func Serve(addr string, reg *Registry, ready *Readiness) (boundAddr string, shutdown func(), err error) {
+	srv := &http.Server{Addr: addr, Handler: Handler(reg, ready)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), func() {
+		_ = srv.Close()
+		<-done
+	}, nil
+}

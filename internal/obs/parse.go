@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The scrape side: rsse-load reads the server's /metrics before and
+// after a run and embeds the delta in its LoadReport, so the client-side
+// and server-side views of the same run land in one artifact.
+
+// ParseText parses Prometheus text-format exposition into a flat
+// "family{labels}" → value map (comment and blank lines skipped). It
+// accepts any 0.0.4 exposition, not just this package's.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; an optional
+		// timestamp would follow it, which this package never emits and
+		// the parser does not accept.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			return nil, fmt.Errorf("obs: unparseable metric line %q", line)
+		}
+		key := strings.TrimSpace(line[:cut])
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in %q: %w", line, err)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Scrape fetches and parses http://addr/metrics.
+func Scrape(addr string) (map[string]float64, error) {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scrape %s: HTTP %d", addr, resp.StatusCode)
+	}
+	return ParseText(resp.Body)
+}
+
+// Delta computes the per-series movement between two scrapes of the
+// same process: counter-style series (suffixes _total, _count, _sum,
+// and histogram _bucket) report after−before; everything else — gauges
+// — reports its after value. Series absent from the before scrape count
+// from zero.
+func Delta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		if isCumulative(k) {
+			out[k] = v - before[k]
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// isCumulative reports whether a series key names a monotone counter.
+func isCumulative(key string) bool {
+	name := key
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	for _, suffix := range []string{"_total", "_count", "_sum", "_bucket"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}

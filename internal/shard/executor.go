@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrAllShardsFailed is returned by a Partial-policy run in which not a
@@ -82,9 +83,16 @@ func Run[Tk, T any](ctx context.Context, e Executor, tasks []Tk, run func(contex
 				t := tasks[i]
 				if err := ctx.Err(); err != nil {
 					outcomes[i] = Outcome[Tk, T]{Task: t, Err: err}
+					mSubqueryErrs.Inc()
 					continue
 				}
+				start := time.Now()
 				res, err := run(ctx, t)
+				mSubqueries.Inc()
+				mSubqueryTime.Record(time.Since(start))
+				if err != nil {
+					mSubqueryErrs.Inc()
+				}
 				outcomes[i] = Outcome[Tk, T]{Task: t, Res: res, Err: err}
 				if err != nil && e.Policy == FailFast {
 					errOnce.Do(func() {
@@ -133,6 +141,9 @@ func Run[Tk, T any](ctx context.Context, e Executor, tasks []Tk, run func(contex
 		}
 		if failed == len(outcomes) {
 			return outcomes, ErrAllShardsFailed
+		}
+		if failed > 0 {
+			mPartials.Inc()
 		}
 	}
 	return outcomes, nil

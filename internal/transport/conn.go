@@ -188,6 +188,10 @@ func (c *Conn) roundTripContext(ctx context.Context, op byte, name string, paylo
 		return res.payload, nil
 	case statusErr:
 		return nil, fmt.Errorf("transport: server: %s", res.payload)
+	case statusOverload:
+		// The server is up but shed this request; wrap ErrOverloaded so
+		// callers can errors.Is it and back off instead of failing over.
+		return nil, fmt.Errorf("%w (%s)", ErrOverloaded, res.payload)
 	default:
 		return nil, fmt.Errorf("transport: bad response status %d", res.status)
 	}

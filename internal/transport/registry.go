@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"rsse/internal/core"
 )
@@ -50,26 +51,45 @@ type Registry struct {
 
 // regEntry is one served name: either a live server, or an opener that
 // resolves to one on first use. The open result (or error) is cached, so
-// each name's file is opened at most once.
+// each name's file is opened at most once. ob carries the entry's
+// pre-resolved per-index metric children (request counts, leakage
+// families, resident bytes), so the request path pays no label lookups.
 type regEntry struct {
 	mu   sync.Mutex
 	open func() (core.Server, error)
 	s    core.Server
 	err  error
+	ob   *indexObs
 }
 
 // resolve returns the entry's server, invoking a pending opener once.
+// Lazy opens are timed into rsse_index_open_seconds, and a resolved
+// server's resident bytes land in the per-index gauge.
 func (e *regEntry) resolve() (core.Server, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.open != nil {
+		start := time.Now()
 		e.s, e.err = e.open()
 		if e.err == nil && e.s == nil {
 			e.err = errors.New("transport: lazy opener returned a nil index")
 		}
 		e.open = nil // open exactly once; the outcome is cached either way
+		ixOpenSeconds.Record(time.Since(start))
+		if e.err == nil {
+			e.observeResident()
+		}
 	}
 	return e.s, e.err
+}
+
+// observeResident publishes the resolved server's resident bytes; only
+// servers that report stats (a *core.Index does) contribute. Callers
+// hold e.mu or know e.s is immutable.
+func (e *regEntry) observeResident() {
+	if xs, ok := e.s.(interface{ Stats() core.IndexStats }); ok {
+		e.ob.resident.Set(int64(xs.Stats().Resident))
+	}
 }
 
 // loaded reports the resolved server without triggering an open and
@@ -91,6 +111,10 @@ func NewRegistry() *Registry {
 func (r *Registry) add(name string, e *regEntry) error {
 	if len(name) == 0 || len(name) > maxNameLen {
 		return fmt.Errorf("%w: %q", ErrBadIndexName, name)
+	}
+	e.ob = newIndexObs(name)
+	if e.s != nil {
+		e.observeResident()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -139,17 +163,24 @@ func (r *Registry) Deregister(name string) bool {
 // Lookup resolves a served index by name, opening it first if it was
 // registered lazily.
 func (r *Registry) Lookup(name string) (core.Server, error) {
+	s, _, err := r.lookupServing(name)
+	return s, err
+}
+
+// lookupServing is Lookup plus the entry's per-index metric set, for
+// the request path.
+func (r *Registry) lookupServing(name string) (core.Server, *indexObs, error) {
 	r.mu.RLock()
 	e, ok := r.m[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownIndex, name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownIndex, name)
 	}
 	s, err := e.resolve()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %q: %v", ErrUnknownIndex, name, err)
+		return nil, nil, fmt.Errorf("%w: %q: %v", ErrUnknownIndex, name, err)
 	}
-	return s, nil
+	return s, e.ob, nil
 }
 
 // Names lists the registered names in sorted order, lazy entries

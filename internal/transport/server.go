@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rsse/internal/core"
@@ -77,6 +79,14 @@ type Server struct {
 	reg      *Registry
 	dispatch DispatchMode
 
+	// logger, when set, receives structured serving events (connection
+	// lifecycle at Debug, protocol errors at Warn) with per-connection
+	// attrs; slowQuery > 0 additionally logs every request whose
+	// execution exceeds the threshold. Both are set before Serve.
+	logger    *slog.Logger
+	slowQuery time.Duration
+	connSeq   atomic.Uint64
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -103,6 +113,30 @@ func (s *Server) Registry() *Registry { return s.reg }
 // SetDispatch selects the connection dispatch mode. Call before Serve;
 // connections pick the mode up when accepted.
 func (s *Server) SetDispatch(m DispatchMode) { s.dispatch = m }
+
+// SetLogger installs a structured logger for serving events: connection
+// lifecycle at Debug, protocol errors at Warn, slow queries (see
+// SetSlowQuery) at Warn. Call before Serve; nil (the default) disables
+// serving logs.
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+// SetSlowQuery sets the slow-query threshold: requests whose execution
+// (queue wait excluded) takes at least d are logged at Warn with their
+// op, index name, and duration. Zero (the default) disables the
+// slow-query log. Call before Serve; requires SetLogger.
+func (s *Server) SetSlowQuery(d time.Duration) { s.slowQuery = d }
+
+// connLogger derives the per-connection logger with conn id and peer
+// attrs, or nil when serving logs are off.
+func (s *Server) connLogger(conn net.Conn) *slog.Logger {
+	if s.logger == nil {
+		return nil
+	}
+	return s.logger.With(
+		slog.Uint64("conn", s.connSeq.Add(1)),
+		slog.String("remote", conn.RemoteAddr().String()),
+	)
+}
 
 // closing reports whether Shutdown has begun.
 func (s *Server) closing() bool {
@@ -164,14 +198,28 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		tm.conns.Inc()
+		tm.connsTotal.Inc()
+		log := s.connLogger(conn)
+		if log != nil {
+			log.Debug("connection accepted")
+		}
 		go func() {
 			defer func() {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				tm.conns.Dec()
 			}()
-			_ = serveLoop(s.reg, conn, s, s.dispatch)
+			err := serveLoop(s.reg, conn, s, s.dispatch, log, s.slowQuery)
+			if log != nil {
+				if err != nil {
+					log.Warn("connection dropped", slog.Any("err", err))
+				} else {
+					log.Debug("connection closed")
+				}
+			}
 		}()
 	}
 }
@@ -230,28 +278,30 @@ func Serve(l net.Listener, idx core.Server) error {
 // established connection until EOF or error (nil on clean EOF). Requests
 // are still dispatched concurrently.
 func ServeConn(conn io.ReadWriter, idx core.Server) error {
-	return serveLoop(singleRegistry(idx), conn, nil, DispatchPooled)
+	return serveLoop(singleRegistry(idx), conn, nil, DispatchPooled, nil, 0)
 }
 
 // ServeConnRegistry is ServeConn over a full registry.
 func ServeConnRegistry(conn io.ReadWriter, reg *Registry) error {
-	return serveLoop(reg, conn, nil, DispatchPooled)
+	return serveLoop(reg, conn, nil, DispatchPooled, nil, 0)
 }
 
 // serveLoop reads request frames from rw and executes them concurrently
 // under the selected dispatch mode. srv, when non-nil, tracks in-flight
-// requests for graceful shutdown.
-func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server, mode DispatchMode) error {
+// requests for graceful shutdown; log, when non-nil, receives serving
+// events, and slow enables the slow-query log.
+func serveLoop(reg *Registry, rw io.ReadWriter, srv *Server, mode DispatchMode, log *slog.Logger, slow time.Duration) error {
 	if mode == DispatchSpawn {
-		return serveLoopSpawn(reg, rw, srv)
+		return serveLoopSpawn(reg, rw, srv, log, slow)
 	}
-	return serveLoopPooled(reg, rw, srv)
+	return serveLoopPooled(reg, rw, srv, log, slow)
 }
 
 // task is one admitted request awaiting a dispatcher worker.
 type task struct {
 	req request
 	bp  *[]byte // pooled frame body backing req; recycled after the write
+	enq time.Time
 	// counted marks the request in srv's in-flight set (endRequest runs
 	// after its response is written).
 	counted bool
@@ -275,6 +325,9 @@ type dispatcher struct {
 	srv *Server
 	w   io.Writer
 
+	log  *slog.Logger
+	slow time.Duration
+
 	tasks chan task
 	compl chan completion
 
@@ -290,12 +343,14 @@ type dispatcher struct {
 // overload turns into TCP backpressure on the peer instead of unbounded
 // goroutine fan-out, and completed responses leave through one writer
 // that coalesces bursts into grouped vectored writes.
-func serveLoopPooled(reg *Registry, rw io.ReadWriter, srv *Server) error {
+func serveLoopPooled(reg *Registry, rw io.ReadWriter, srv *Server, log *slog.Logger, slow time.Duration) error {
 	br := bufio.NewReader(rw)
 	d := &dispatcher{
 		reg:   reg,
 		srv:   srv,
 		w:     rw,
+		log:   log,
+		slow:  slow,
 		tasks: make(chan task, connQueue),
 		// compl never blocks the workers for long: its capacity covers
 		// every admissible task plus the read loop's shed responses.
@@ -323,24 +378,30 @@ func serveLoopPooled(reg *Registry, rw io.ReadWriter, srv *Server) error {
 			if errors.Is(err, io.EOF) || (srv != nil && srv.closing()) {
 				return nil
 			}
+			tm.frameErrs.Inc()
 			return err
 		}
+		tm.bytesIn.Add(uint64(4 + len(body)))
 		*bp = body
 		req, err := parseRequest(body)
 		if err != nil {
 			// Without a request id there is nothing to route an error to;
 			// the framing is corrupt, drop the connection.
 			bodyPool.Put(bp)
+			tm.frameErrs.Inc()
 			return err
 		}
 		if srv != nil && !srv.beginRequest() {
-			// Shed without executing: the err-response routes straight to
-			// the writer.
-			d.compl <- completion{id: req.id, status: statusErr,
-				payload: []byte("server shutting down"), bp: bp}
+			// Shed without executing: the overload response routes straight
+			// to the writer, telling the peer the server is alive but
+			// refusing work (vs a dead connection).
+			tm.shed.Inc()
+			d.compl <- completion{id: req.id, status: statusOverload,
+				payload: []byte(overloadMsg), bp: bp}
 			continue
 		}
-		d.submit(task{req: req, bp: bp, counted: srv != nil})
+		tm.queueDepth.Inc()
+		d.submit(task{req: req, bp: bp, enq: time.Now(), counted: srv != nil})
 	}
 }
 
@@ -359,17 +420,46 @@ func (d *dispatcher) submit(t task) {
 // worker executes tasks until the queue closes.
 func (d *dispatcher) worker() {
 	defer d.workers.Done()
+	tm.workers.Inc()
+	defer tm.workers.Dec()
 	for t := range d.tasks {
+		tm.queueDepth.Dec()
+		tm.queueWait.Record(time.Since(t.enq))
 		c := completion{id: t.req.id, bp: t.bp, counted: t.counted}
+		oi := opIndex(t.req.op)
+		start := time.Now()
 		payload, herr := handleRequest(d.reg, t.req)
+		dur := time.Since(start)
+		tm.requests[oi].Inc()
+		tm.latency[oi].Record(dur)
 		if herr != nil {
+			tm.errors[oi].Inc()
 			c.status = statusErr
 			c.payload = []byte(herr.Error())
 		} else {
 			c.payload = payload
 		}
+		logSlowQuery(d.log, d.slow, t.req, dur, herr)
 		d.compl <- c
 	}
+}
+
+// logSlowQuery emits the slow-query Warn record when a request's
+// execution crossed the threshold (and the connection has a logger).
+func logSlowQuery(log *slog.Logger, slow time.Duration, req request, dur time.Duration, herr error) {
+	if log == nil || slow <= 0 || dur < slow {
+		return
+	}
+	attrs := []any{
+		slog.Uint64("req", uint64(req.id)),
+		slog.String("op", opLabel[opIndex(req.op)]),
+		slog.String("index", req.name),
+		slog.Duration("dur", dur),
+	}
+	if herr != nil {
+		attrs = append(attrs, slog.Any("err", herr))
+	}
+	log.Warn("slow query", attrs...)
 }
 
 // writeLoop ships completed responses. Each wakeup drains whatever has
@@ -408,6 +498,7 @@ func (d *dispatcher) writeLoop() {
 // shutdown never closes a connection under a pending response.
 func (d *dispatcher) writeBatch(fw *frameWriter, batch []completion) {
 	fw.reset()
+	out := 0
 	for _, c := range batch {
 		fw.beginFrame()
 		fw.stageUint32(c.id)
@@ -419,9 +510,16 @@ func (d *dispatcher) writeBatch(fw *frameWriter, batch []completion) {
 			fw.stageByte(statusErr)
 			fw.stageString(ErrFrameTooLarge.Error())
 			_ = fw.endFrame()
+			out += 4 + responseHeader + len(ErrFrameTooLarge.Error())
+		} else {
+			out += 4 + responseHeader + len(c.payload)
+		}
+		if c.status == statusOverload {
+			tm.overload.Inc()
 		}
 	}
 	_ = fw.flushAll(d.w)
+	tm.bytesOut.Add(uint64(out))
 	for _, c := range batch {
 		if c.bp != nil {
 			bodyPool.Put(c.bp)
@@ -437,7 +535,7 @@ func (d *dispatcher) writeBatch(fw *frameWriter, batch []completion) {
 // response is its own vectored write under the connection's write lock.
 // Kept selectable so the load harness can measure the pooled path
 // against it; see DispatchSpawn.
-func serveLoopSpawn(reg *Registry, rw io.ReadWriter, srv *Server) error {
+func serveLoopSpawn(reg *Registry, rw io.ReadWriter, srv *Server, log *slog.Logger, slow time.Duration) error {
 	br := bufio.NewReader(rw)
 	var wmu sync.Mutex
 	sem := make(chan struct{}, connConcurrency)
@@ -453,16 +551,20 @@ func serveLoopSpawn(reg *Registry, rw io.ReadWriter, srv *Server) error {
 			if errors.Is(err, io.EOF) || (srv != nil && srv.closing()) {
 				return nil
 			}
+			tm.frameErrs.Inc()
 			return err
 		}
+		tm.bytesIn.Add(uint64(4 + len(body)))
 		*bp = body
 		req, err := parseRequest(body)
 		if err != nil {
 			bodyPool.Put(bp)
+			tm.frameErrs.Inc()
 			return err
 		}
 		if srv != nil && !srv.beginRequest() {
-			writeResponse(rw, &wmu, req.id, nil, errors.New("server shutting down"))
+			tm.shed.Inc()
+			writeStatusResponse(rw, &wmu, req.id, statusOverload, []byte(overloadMsg))
 			bodyPool.Put(bp)
 			continue
 		}
@@ -477,7 +579,16 @@ func serveLoopSpawn(reg *Registry, rw io.ReadWriter, srv *Server) error {
 					srv.endRequest()
 				}
 			}()
+			oi := opIndex(req.op)
+			start := time.Now()
 			payload, herr := handleRequest(reg, req)
+			dur := time.Since(start)
+			tm.requests[oi].Inc()
+			tm.latency[oi].Record(dur)
+			if herr != nil {
+				tm.errors[oi].Inc()
+			}
+			logSlowQuery(log, slow, req, dur, herr)
 			writeResponse(rw, &wmu, req.id, payload, herr)
 		}(req, bp)
 	}
@@ -495,6 +606,16 @@ func writeResponse(w io.Writer, wmu *sync.Mutex, id uint32, payload []byte, herr
 		status = statusErr
 		payload = []byte(herr.Error())
 	}
+	writeStatusResponse(w, wmu, id, status, payload)
+}
+
+// writeStatusResponse is writeResponse with an explicit status byte, so
+// the shed path can ship overload responses through the same framing.
+func writeStatusResponse(w io.Writer, wmu *sync.Mutex, id uint32, status byte, payload []byte) {
+	if status == statusOverload {
+		tm.overload.Inc()
+	}
+	tm.bytesOut.Add(uint64(4 + responseHeader + len(payload)))
 	fw := getFrameWriter()
 	defer putFrameWriter(fw)
 	wmu.Lock()

@@ -73,7 +73,7 @@ func soakSharedConn(t *testing.T, mode DispatchMode) {
 			return
 		}
 		defer sc.Close()
-		_ = serveLoop(reg, sc, nil, mode)
+		_ = serveLoop(reg, sc, nil, mode, nil, 0)
 	}()
 	nc, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {

@@ -17,7 +17,13 @@
 //	ops:      meta(1), search(trapdoor wire, 2), fetch(id, 3), names(4),
 //	          batch-query(trapdoor batch wire, 5), update(6),
 //	          dyn-flush(7), dyn-query(8)
-//	status:   ok(0) payload | err(1) message
+//	status:   ok(0) payload | err(1) message | overload(2) message
+//
+// The overload status distinguishes "server refused this request" from
+// "server gone": a draining server answers shed requests with status 2
+// (surfaced to callers as ErrOverloaded) while the connection stays up,
+// so clients can back off or fail over instead of treating the shed as
+// a dead peer.
 //
 // The batch-query op carries several trapdoors in one frame and answers
 // with the matching responses in one frame; the server searches the
@@ -59,9 +65,19 @@ const (
 	opDynFlush   byte = 7
 	opDynQuery   byte = 8
 
-	statusOK  byte = 0
-	statusErr byte = 1
+	statusOK       byte = 0
+	statusErr      byte = 1
+	statusOverload byte = 2
 )
+
+// ErrOverloaded is returned to a caller whose request the server shed
+// (overload response, status 2): the server is alive but refusing new
+// work — during a graceful-shutdown drain, for instance. Distinct from
+// a connection error so clients can back off or fail over.
+var ErrOverloaded = errors.New("transport: server overloaded, request shed")
+
+// overloadMsg is the payload of a drain-shed overload response.
+const overloadMsg = "server draining"
 
 // requestHeader is the fixed prefix of a request body: id, op, name
 // length.
@@ -148,7 +164,11 @@ func appendRequest(id uint32, op byte, name string, payload []byte) []byte {
 
 // handleRequest executes one request against the registry. The returned
 // payload is the ok-response body; a non-nil error becomes an
-// err-response, leaving the connection up.
+// err-response, leaving the connection up. Per-index counters — request
+// counts and the server-observed leakage families — are incremented
+// here, where the request's name, tokens and result sizes are all in
+// hand; the per-index children are resolved once at registration, so
+// the accounting is atomic adds only.
 func handleRequest(reg *Registry, req request) ([]byte, error) {
 	if req.op >= opUpdate && req.op <= opDynQuery {
 		// Update ops route to the writable-store namespace.
@@ -163,7 +183,7 @@ func handleRequest(reg *Registry, req request) ([]byte, error) {
 		}
 		return out, nil
 	}
-	idx, err := reg.Lookup(req.name)
+	idx, ob, err := reg.lookupServing(req.name)
 	if err != nil {
 		return nil, err
 	}
@@ -181,15 +201,25 @@ func handleRequest(reg *Registry, req request) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		ob.queries.Inc()
+		ob.tokens.Add(uint64(t.Tokens()))
+		ob.tokenBytes.Add(uint64(t.Bytes()))
 		resp, err := idx.Search(t)
 		if err != nil {
 			return nil, err
 		}
+		ob.respItems.Add(uint64(resp.Items()))
 		return resp.MarshalBinary()
 	case opBatchQuery:
 		ts, err := core.UnmarshalTrapdoors(req.payload)
 		if err != nil {
 			return nil, err
+		}
+		ob.batches.Inc()
+		ob.queries.Add(uint64(len(ts)))
+		for _, t := range ts {
+			ob.tokens.Add(uint64(t.Tokens()))
+			ob.tokenBytes.Add(uint64(t.Bytes()))
 		}
 		var resps []*core.Response
 		if bs, ok := idx.(core.BatchSearcher); ok {
@@ -207,11 +237,16 @@ func handleRequest(reg *Registry, req request) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		for _, resp := range resps {
+			ob.respItems.Add(uint64(resp.Items()))
+		}
 		return core.MarshalResponses(resps)
 	case opFetch:
 		if len(req.payload) != 8 {
 			return nil, fmt.Errorf("transport: fetch payload must be 8 bytes")
 		}
+		ob.fetches.Inc()
+		ob.rawIDs.Inc()
 		ct, ok, err := idx.Fetch(binary.BigEndian.Uint64(req.payload))
 		if err != nil {
 			return nil, err

@@ -160,6 +160,10 @@ func handleUpdateRequest(reg *Registry, req request) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Server-observed update leakage: the store learns one update
+		// happened (kind and timing), which is exactly what the forward-
+		// private construction concedes per op.
+		ixUpdates.With(req.name).Inc()
 		return nil, target.ApplyUpdate(u)
 	case opDynFlush:
 		return nil, target.FlushUpdates()

@@ -1,0 +1,20 @@
+package wal
+
+import "rsse/internal/obs"
+
+// WAL metrics on the process-wide obs.Default registry. The size gauge
+// tracks the most recently touched log; deployments that care about it
+// run one durable store (and thus one live WAL) per process, which is
+// the rsse-server shape.
+var (
+	mAppends = obs.Default.Counter("rsse_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	mAppendErrs = obs.Default.Counter("rsse_wal_append_errors_total",
+		"Appends that failed and were rolled back (disk full, I/O error).")
+	mFsyncs = obs.Default.Counter("rsse_wal_fsyncs_total",
+		"fsync calls issued by the log (policy syncs, explicit Syncs, close).")
+	mResets = obs.Default.Counter("rsse_wal_resets_total",
+		"Log resets after a flush sealed the records into an epoch.")
+	mBytes = obs.Default.Gauge("rsse_wal_bytes",
+		"Current size of the write-ahead log in bytes, header included.")
+)

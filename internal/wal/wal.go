@@ -341,10 +341,13 @@ func (l *Log) Append(r Record) error {
 	buf := appendRecord(nil, r)
 	if _, err := l.f.Write(buf); err != nil {
 		l.rollback()
+		mAppendErrs.Inc()
 		return err
 	}
 	l.off += int64(len(buf))
 	l.unsynced++
+	mAppends.Inc()
+	mBytes.Set(l.off)
 	if l.unsynced >= l.syncEvery {
 		if err := l.Sync(); err != nil {
 			// The record is written but its durability is unknown; the
@@ -355,6 +358,8 @@ func (l *Log) Append(r Record) error {
 			l.off -= int64(len(buf))
 			l.unsynced--
 			l.rollback()
+			mAppendErrs.Inc()
+			mBytes.Set(l.off)
 			return err
 		}
 	}
@@ -382,6 +387,7 @@ func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	mFsyncs.Inc()
 	l.unsynced = 0
 	return nil
 }
@@ -401,6 +407,8 @@ func (l *Log) Reset() error {
 	l.off = int64(len(magic))
 	l.unsynced = 0
 	l.broken = nil
+	mResets.Inc()
+	mBytes.Set(l.off)
 	return l.f.Sync()
 }
 

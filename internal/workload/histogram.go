@@ -27,8 +27,15 @@ const (
 	histBuckets = (64 - histSubBits + 1) * histSubCnt
 )
 
-// bucketIndex maps a nanosecond value to its bucket.
-func bucketIndex(v uint64) int {
+// NumBuckets is the fixed bucket count of the log-linear layout. The
+// layout is shared with internal/obs, whose concurrent (atomic)
+// histogram uses the same index/midpoint mapping so client-side and
+// server-side latency distributions are directly comparable.
+const NumBuckets = histBuckets
+
+// BucketIndex maps a nanosecond value to its bucket in the shared
+// log-linear layout: exact below 64ns, then 64 sub-buckets per octave.
+func BucketIndex(v uint64) int {
 	if v < histSubCnt {
 		return int(v)
 	}
@@ -38,8 +45,8 @@ func bucketIndex(v uint64) int {
 	return shift*histSubCnt + int(v>>shift)
 }
 
-// bucketMid returns the representative (midpoint) value of a bucket.
-func bucketMid(i int) uint64 {
+// BucketMid returns the representative (midpoint) value of a bucket.
+func BucketMid(i int) uint64 {
 	if i < histSubCnt {
 		return uint64(i)
 	}
@@ -47,6 +54,10 @@ func bucketMid(i int) uint64 {
 	m := uint64(histSubCnt + i%histSubCnt)
 	return m<<shift + uint64(1)<<shift>>1
 }
+
+// bucketIndex and bucketMid keep the package-internal call sites short.
+func bucketIndex(v uint64) int { return BucketIndex(v) }
+func bucketMid(i int) uint64   { return BucketMid(i) }
 
 // Record adds one latency sample.
 func (h *Histogram) Record(d time.Duration) {

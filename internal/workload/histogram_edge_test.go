@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// The edge cases here pin the bucket layout shared with internal/obs:
+// both packages index through BucketIndex/BucketMid, so a drift in
+// either direction would skew one side of the client-vs-server latency
+// comparison.
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatalf("empty histogram reports non-zero stats: count=%d mean=%v min=%v max=%v",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Merging an empty histogram must be a no-op in both directions.
+	var a, b Histogram
+	a.Record(100)
+	before := a
+	a.Merge(&b)
+	if a != before {
+		t.Fatalf("merging an empty histogram changed the target")
+	}
+	b.Merge(&a)
+	if b.Count() != 1 || b.Quantile(0.5) != 100 || b.Min() != 100 || b.Max() != 100 {
+		t.Fatalf("merge into empty lost the sample: count=%d p50=%v", b.Count(), b.Quantile(0.5))
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	for _, v := range []time.Duration{0, 1, 63, 64, 12345, time.Second} {
+		var h Histogram
+		h.Record(v)
+		if h.Count() != 1 || h.Min() != v || h.Max() != v || h.Mean() != v {
+			t.Fatalf("single sample %v: count=%d min=%v max=%v mean=%v",
+				v, h.Count(), h.Min(), h.Max(), h.Mean())
+		}
+		// Every quantile of a one-sample distribution is that sample: the
+		// bucket midpoint is clamped to [min, max].
+		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("single sample %v: Quantile(%v) = %v", v, q, got)
+			}
+		}
+	}
+}
+
+func TestHistogramNegativeSampleClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample must clamp to 0: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramCrossOctaveMerge(t *testing.T) {
+	// Samples straddling several octaves, split across two histograms in
+	// an interleaved pattern: the merge must be exactly the histogram of
+	// the union (bucket-by-bucket — same layout, pure addition).
+	samples := []time.Duration{
+		1, 63, // exact region
+		64, 65, 127, // first octave
+		128, 255, // next octave
+		1 << 20, 1<<20 + 1, // far octave
+		time.Second, 2 * time.Second,
+	}
+	var a, b, all Histogram
+	for i, s := range samples {
+		if i%2 == 0 {
+			a.Record(s)
+		} else {
+			b.Record(s)
+		}
+		all.Record(s)
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatalf("cross-octave merge differs from recording the union directly")
+	}
+	if a.Count() != uint64(len(samples)) {
+		t.Fatalf("merged count %d, want %d", a.Count(), len(samples))
+	}
+	if a.Min() != 1 || a.Max() != 2*time.Second {
+		t.Fatalf("merged extremes min=%v max=%v", a.Min(), a.Max())
+	}
+	// The p50 of the union must land within the layout's ~1.6% relative
+	// error of the true median (128ns here: rank 5 of 11).
+	p50 := float64(a.Quantile(0.5))
+	if p50 < 128*0.975 || p50 > 128*1.025 {
+		t.Fatalf("merged p50 %v, want ~128ns", a.Quantile(0.5))
+	}
+}
+
+func TestBucketLayoutRoundTrip(t *testing.T) {
+	if NumBuckets != histBuckets {
+		t.Fatalf("NumBuckets %d != histBuckets %d", NumBuckets, histBuckets)
+	}
+	// Every bucket's midpoint must map back into the same bucket, and
+	// bucket indexes must be monotone in the value.
+	for i := 0; i < NumBuckets; i++ {
+		mid := BucketMid(i)
+		if got := BucketIndex(mid); got != i {
+			t.Fatalf("BucketIndex(BucketMid(%d)=%d) = %d", i, mid, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 63, 64, 100, 128, 1 << 10, 1 << 32, 1<<63 + 1} {
+		idx := BucketIndex(v)
+		if idx <= prev && v != 0 {
+			t.Fatalf("BucketIndex not monotone at %d: %d <= %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}

@@ -90,6 +90,14 @@ type LoadReport struct {
 
 	Runs               []RunReport         `json:"runs"`
 	DispatchComparison *DispatchComparison `json:"dispatch_comparison,omitempty"`
+
+	// ServerMetrics is the server-side view of the same run: the delta of
+	// the server's /metrics families between the start and the end of the
+	// run, keyed "family{labels}" (rsse-load -ops-addr). Counters are
+	// true deltas; gauges carry their end-of-run value. Having both views
+	// in one artifact is what lets CI assert that the client-observed
+	// leakage (LeakageCounters) and the server-observed leakage agree.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
 }
 
 // NewLoadReport stamps the platform header.
@@ -132,6 +140,27 @@ func (r *LoadReport) Print(w io.Writer) {
 		fmt.Fprintf(w, "  dispatch on %s: pooled %.1f qps (p99 %.0fµs) vs spawn %.1f qps (p99 %.0fµs) — %.2fx\n",
 			c.Workload, c.PooledQPS, c.PooledP99Us, c.SpawnQPS, c.SpawnP99Us, c.Speedup)
 	}
+	if len(r.ServerMetrics) > 0 {
+		fmt.Fprintf(w, "  server view: %.0f requests, %.0f shed, %.0f leakage tokens, %.0f response items (%d series scraped)\n",
+			r.ServerFamilyTotal("rsse_requests_total"),
+			r.ServerFamilyTotal("rsse_requests_shed_total"),
+			r.ServerFamilyTotal("rsse_server_leakage_tokens_total"),
+			r.ServerFamilyTotal("rsse_server_leakage_response_items_total"),
+			len(r.ServerMetrics))
+	}
+}
+
+// ServerFamilyTotal sums every labeled series of one metric family in
+// the embedded server-metrics delta (0 when absent). A series matches
+// when it is exactly the family or the family plus a label set.
+func (r *LoadReport) ServerFamilyTotal(family string) float64 {
+	var sum float64
+	for k, v := range r.ServerMetrics {
+		if k == family || (len(k) > len(family) && k[:len(family)] == family && k[len(family)] == '{') {
+			sum += v
+		}
+	}
+	return sum
 }
 
 // ValidateReport checks that data is a structurally sound LoadReport:

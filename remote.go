@@ -5,12 +5,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
+	"time"
 
 	"rsse/internal/core"
 	"rsse/internal/transport"
 )
+
+// ErrOverloaded is returned by a query whose request the server shed
+// (it is alive but refusing new work, e.g. during a shutdown drain).
+// Distinct from a connection error so clients can back off or fail
+// over; detect it with errors.Is.
+var ErrOverloaded = transport.ErrOverloaded
 
 // DefaultIndexName is the name single-index deployments serve under.
 // Serve and Dial use it implicitly; multi-index servers pick their own
@@ -111,6 +119,16 @@ func (s *Server) SetDispatch(mode string) error {
 	s.inner.SetDispatch(m)
 	return nil
 }
+
+// SetLogger installs a structured logger for serving events: connection
+// lifecycle at Debug, protocol errors and slow queries at Warn. Call
+// before Serve; nil (the default) disables serving logs.
+func (s *Server) SetLogger(l *slog.Logger) { s.inner.SetLogger(l) }
+
+// SetSlowQuery sets the slow-query threshold: requests whose execution
+// takes at least d are logged at Warn with op, index and duration. Zero
+// disables the slow-query log. Call before Serve; requires SetLogger.
+func (s *Server) SetSlowQuery(d time.Duration) { s.inner.SetSlowQuery(d) }
 
 // Shutdown gracefully stops the server: listeners close immediately,
 // in-flight requests finish and their responses are flushed before the
