@@ -106,3 +106,9 @@ func (c *Client) TrapdoorCost(q Range) (tokens, bytes int, err error) {
 
 // ResetHistory clears the Constant schemes' intersecting-query guard.
 func (c *Client) ResetHistory() { c.inner.ResetHistory() }
+
+// TrapdoorMemoStats reports cumulative trapdoor-memo hits and misses;
+// both stay zero unless WithTrapdoorMemo enabled the memo.
+func (c *Client) TrapdoorMemoStats() (hits, misses uint64) {
+	return c.inner.TrapdoorMemoStats()
+}

@@ -64,18 +64,30 @@ func main() {
 		jsonPath    = flag.String("json", "", "write the machine-readable report here")
 		baseline    = flag.String("baseline", "", "baseline report to gate against")
 		gate        = flag.Float64("gate", 0.20, "allowed fractional regression vs -baseline")
-		compareAddr = flag.String("compare-addr", "", "spawn-dispatch server for the before/after comparison")
+		compareAddr = flag.String("compare-addr", "", "old-configuration server for the interleaved before/after comparison")
 		compareReps = flag.Int("compare-reps", 1, "A/B pairs to run for the comparison (median wins; >1 tames noisy boxes)")
+		compareMode = flag.String("compare-mode", "spawn-dispatch", "what the -compare-addr server differs in (e.g. legacy-kernel); labels the comparison and the @-suffixed run")
 		dispatch    = flag.String("dispatch", "pooled", "dispatch mode label of -addr's server (report metadata)")
 		manifest    = flag.String("manifest", "", "cluster manifest: drive the whole cluster instead of one index")
+		writeName   = flag.String("writable-name", rsse.DefaultDynamicName, "writable-store name for write_fraction ops (rsse-server -writable)")
 		opsAddr     = flag.String("ops-addr", "", "server ops address (rsse-server -ops): scrape /metrics before and after the run and embed the delta in the report")
+		tdMemo      = flag.Int("td-memo", 16384, "per-session shared trapdoor memo capacity (0 derives every trapdoor fresh)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a driver-side CPU profile here (the driver shares the box's CPU with the server; profile both)")
 		version     = flag.Bool("version", false, "print version and exit")
+		notes       multiFlag
 	)
+	flag.Var(&notes, "note", "free-form provenance line embedded in the report's notes (repeatable)")
 	flag.Parse()
 	if *version {
 		fmt.Println("rsse-load", obs.Info())
 		return
 	}
+	profiles, err := obs.StartProfiles(*cpuprofile, "")
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = profiles.Stop
+	defer profiles.Stop()
 	if *keyfile == "" {
 		fatal(fmt.Errorf("-keyfile is required"))
 	}
@@ -97,6 +109,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	env.tdMemo = *tdMemo
+	env.writableName = *writeName
+	for _, spec := range specs {
+		if spec.WriteFraction > 0 && *manifest != "" {
+			fatal(fmt.Errorf("workload %s: write_fraction is not supported against a cluster (no cluster update protocol)", spec.Name))
+		}
+	}
 	report := workload.NewLoadReport(env.kind.String(), env.bits, *dispatch)
 	var before map[string]float64
 	if *opsAddr != "" {
@@ -115,13 +134,14 @@ func main() {
 	}
 
 	if *compareAddr != "" {
-		cmp, spawnRun, err := compareDispatch(ctx, env, *addr, *compareAddr, *compareReps, specs, report.Runs)
+		cmp, oldRun, err := compareAB(ctx, env, *addr, *compareAddr, *compareMode, *compareReps, specs, report.Runs)
 		if err != nil {
 			fatal(err)
 		}
 		report.DispatchComparison = cmp
-		report.Runs = append(report.Runs, *spawnRun)
+		report.Runs = append(report.Runs, *oldRun)
 	}
+	report.Notes = notes
 
 	if *opsAddr != "" {
 		after, err := obs.Scrape(*opsAddr)
@@ -214,12 +234,14 @@ func loadSpecs(specPath, names string, scale float64) ([]*workload.Spec, error) 
 
 // env is everything discovered once and shared by all sessions.
 type env struct {
-	kind     rsse.Kind
-	bits     uint8
-	name     string
-	key      []byte
-	manifest string
-	man      rsse.ClusterManifest
+	kind         rsse.Kind
+	bits         uint8
+	name         string
+	key          []byte
+	manifest     string
+	man          rsse.ClusterManifest
+	tdMemo       int
+	writableName string
 }
 
 // discover connects once to learn the scheme and domain so the load
@@ -264,7 +286,7 @@ func drive(ctx context.Context, e *env, addr string, spec *workload.Spec) (*work
 			if e.manifest != "" {
 				return newClusterSession(e, addr, spec.InFlight)
 			}
-			return newNodeSession(e, addr, spec.InFlight)
+			return newNodeSession(e, addr, spec.InFlight, spec.WriteFraction > 0)
 		},
 		OnPhase: func(p workload.PhaseReport) {
 			fmt.Fprintf(os.Stderr, "  %-10s %9.1f qps  p99 %8.0fµs  err %d  shed %d\n",
@@ -274,13 +296,13 @@ func drive(ctx context.Context, e *env, addr string, spec *workload.Spec) (*work
 	return r.Run(ctx)
 }
 
-// compareDispatch drives the zipf spec (or the first one) against the
-// spawn-dispatch server — interleaved A/B with the pooled server when
-// reps > 1, taking medians so one noisy-neighbour window can't decide
-// the verdict. The last spawn run's full phase breakdown joins the
-// report under "<workload>@spawn" so the comparison's inputs stay
-// inspectable.
-func compareDispatch(ctx context.Context, e *env, pooledAddr, spawnAddr string, reps int, specs []*workload.Spec, pooled []workload.RunReport) (*workload.DispatchComparison, *workload.RunReport, error) {
+// compareAB drives the zipf spec (or the first one) against the
+// old-configuration server — interleaved A/B with the primary server
+// when reps > 1, taking medians so one noisy-neighbour window can't
+// decide the verdict. The last old-side run's full phase breakdown
+// joins the report under "<workload>@<mode>" so the comparison's
+// inputs stay inspectable.
+func compareAB(ctx context.Context, e *env, pooledAddr, spawnAddr, mode string, reps int, specs []*workload.Spec, pooled []workload.RunReport) (*workload.DispatchComparison, *workload.RunReport, error) {
 	pick := 0
 	for i, s := range specs {
 		if s.Name == "zipf" {
@@ -295,7 +317,7 @@ func compareDispatch(ctx context.Context, e *env, pooledAddr, spawnAddr string, 
 	var spawnQPS, spawnP99 []float64
 	var lastSpawn *workload.RunReport
 	for rep := 0; rep < reps; rep++ {
-		fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s (spawn dispatch, rep %d/%d)\n", spec.Name, spawnAddr, rep+1, reps)
+		fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s (%s, rep %d/%d)\n", spec.Name, spawnAddr, mode, rep+1, reps)
 		spawn, err := drive(ctx, e, spawnAddr, spec)
 		if err != nil {
 			return nil, nil, fmt.Errorf("rsse-load: compare run: %w", err)
@@ -304,7 +326,7 @@ func compareDispatch(ctx context.Context, e *env, pooledAddr, spawnAddr string, 
 		spawnP99 = append(spawnP99, sustainP99(spawn))
 		lastSpawn = spawn
 		if rep+1 < reps {
-			fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s (pooled, rep %d/%d)\n", spec.Name, pooledAddr, rep+2, reps)
+			fmt.Fprintf(os.Stderr, "rsse-load: workload %s against %s (primary, rep %d/%d)\n", spec.Name, pooledAddr, rep+2, reps)
 			again, err := drive(ctx, e, pooledAddr, spec)
 			if err != nil {
 				return nil, nil, fmt.Errorf("rsse-load: compare run: %w", err)
@@ -315,6 +337,7 @@ func compareDispatch(ctx context.Context, e *env, pooledAddr, spawnAddr string, 
 	}
 	cmp := &workload.DispatchComparison{
 		Workload:    spec.Name,
+		Mode:        mode,
 		PooledQPS:   median(pooledQPS),
 		PooledP99Us: median(pooledP99),
 		SpawnQPS:    median(spawnQPS),
@@ -323,8 +346,18 @@ func compareDispatch(ctx context.Context, e *env, pooledAddr, spawnAddr string, 
 	if cmp.SpawnQPS > 0 {
 		cmp.Speedup = cmp.PooledQPS / cmp.SpawnQPS
 	}
-	lastSpawn.Workload += "@spawn"
+	lastSpawn.Workload += "@" + mode
 	return cmp, lastSpawn, nil
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 func median(v []float64) float64 {
@@ -350,21 +383,34 @@ func sustainP99(r *workload.RunReport) float64 {
 
 // nodeSession is one multiplexed connection to a single served index.
 // The wire Conn is safe for concurrent use but an owner Client is not,
-// so the session keeps a pool of clients, one per in-flight slot.
+// so the session keeps a pool of clients, one per in-flight slot. With
+// writes enabled the session also dials the update namespace on the
+// same address (RemoteDynamic is safe for concurrent use as-is).
 type nodeSession struct {
 	remote  *rsse.RemoteIndex
 	clients chan *rsse.Client
+	dyn     *rsse.RemoteDynamic
 }
 
-func newNodeSession(e *env, addr string, inflight int) (*nodeSession, error) {
+func newNodeSession(e *env, addr string, inflight int, writes bool) (*nodeSession, error) {
 	remote, err := rsse.DialIndex("tcp", addr, e.name)
 	if err != nil {
 		return nil, err
 	}
 	s := &nodeSession{remote: remote, clients: make(chan *rsse.Client, inflight)}
+	if writes {
+		if s.dyn, err = rsse.DialDynamic("tcp", addr, e.writableName); err != nil {
+			remote.Close()
+			return nil, fmt.Errorf("write path (is the server running with -writable?): %w", err)
+		}
+	}
+	// One memo for the whole session: all slot clients hold the same key,
+	// so a range derived by one slot replays for every other.
+	memo := rsse.NewTrapdoorMemo(e.tdMemo)
 	for i := 0; i < inflight; i++ {
 		c, err := rsse.NewClient(e.kind, e.bits,
-			rsse.WithMasterKey(e.key), rsse.AllowIntersectingQueries())
+			rsse.WithMasterKey(e.key), rsse.AllowIntersectingQueries(),
+			rsse.WithSharedTrapdoorMemo(memo))
 		if err != nil {
 			remote.Close()
 			return nil, err
@@ -375,6 +421,17 @@ func newNodeSession(e *env, addr string, inflight int) (*nodeSession, error) {
 }
 
 func (s *nodeSession) Do(ctx context.Context, op *workload.Op) (workload.Metrics, error) {
+	if w := op.Write; w != nil {
+		if s.dyn == nil {
+			return workload.Metrics{}, fmt.Errorf("write op without a write path")
+		}
+		// Writes carry no query-leakage counters; latency is what the
+		// harness measures (acknowledged per the server's fsync policy).
+		if w.Del {
+			return workload.Metrics{}, s.dyn.Delete(w.ID, w.Value)
+		}
+		return workload.Metrics{}, s.dyn.Insert(w.ID, w.Value, w.Payload)
+	}
 	c := <-s.clients
 	defer func() {
 		// The Constant schemes log every issued range; a load run would
@@ -417,7 +474,12 @@ func (s *nodeSession) Do(ctx context.Context, op *workload.Op) (workload.Metrics
 	return m, nil
 }
 
-func (s *nodeSession) Close() error { return s.remote.Close() }
+func (s *nodeSession) Close() error {
+	if s.dyn != nil {
+		s.dyn.Close()
+	}
+	return s.remote.Close()
+}
 
 // clusterSession drives a whole sharded cluster. A Cluster is not safe
 // for concurrent queries (the shard owners share state), so like
@@ -447,6 +509,9 @@ func (s *clusterSession) Do(ctx context.Context, op *workload.Op) (workload.Metr
 		cl.ResetHistory()
 		s.clusters <- cl
 	}()
+	if op.Write != nil {
+		return workload.Metrics{}, fmt.Errorf("write ops are not supported against a cluster")
+	}
 	var m workload.Metrics
 	// The cluster path has no batched protocol; a batch op runs
 	// range-at-a-time on this slot's cluster.
@@ -472,7 +537,12 @@ func (s *clusterSession) Close() error {
 	return nil
 }
 
+// stopProfiles finalizes the -cpuprofile output; fatal exits route
+// through it so a failed run still leaves a valid profile.
+var stopProfiles = func() error { return nil }
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rsse-load:", err)
+	stopProfiles()
 	os.Exit(2)
 }

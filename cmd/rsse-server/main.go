@@ -81,8 +81,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -95,6 +93,12 @@ import (
 // -log-format before any serving starts.
 var logger *slog.Logger
 
+// profiles owns the optional -cpuprofile/-memprofile outputs. It is a
+// package variable so fatal() can finalize them: without that, any
+// error exit (bad index file, port in use, failed shutdown) would
+// leave a truncated, unreadable CPU profile behind.
+var profiles *obs.Profiles
+
 func main() {
 	indexPath := flag.String("index", "", "serialized index file, served as \"default\"")
 	dir := flag.String("dir", "", "directory of .idx files, each served under its basename")
@@ -103,6 +107,7 @@ func main() {
 	engine := flag.String("storage", "sorted",
 		"storage engine for loaded indexes: "+strings.Join(rsse.StorageEngines(), "|"))
 	preload := flag.Bool("preload", false, "with -dir -storage disk: open every index at startup instead of on first query")
+	prefetch := flag.Bool("prefetch", false, "with -storage disk: madvise each opened index's mapping into the page cache ahead of traffic (trades resident memory for warm first queries)")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	drainGrace := flag.Duration("drain-grace", 0, "time to stay up (not-ready on /readyz) before draining, so load balancers stop routing first")
 	dispatch := flag.String("dispatch", "pooled", "connection dispatch mode: pooled (bounded worker pool + coalesced writes) or spawn (legacy goroutine-per-request, for before/after load tests)")
@@ -112,10 +117,11 @@ func main() {
 	bits := flag.Uint("bits", 16, "with -writable on a fresh directory: domain bits of the dynamic store")
 	step := flag.Int("step", 0, "with -writable on a fresh directory: consolidation step (0 = default)")
 	syncEvery := flag.Int("sync", 1, "with -writable: fsync the WAL every N updates (1 = every acknowledged update is durable)")
+	prfKernel := flag.String("prf-kernel", "batched", "token search path: batched (lane-batched PRF + derived-state cache) or legacy (scalar, for before/after load tests)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	slowQuery := flag.Duration("slow-query", 0, "log requests whose execution exceeds this threshold (0 disables)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized on graceful shutdown)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized on every exit path: drain, signal, fatal)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on graceful shutdown")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -128,7 +134,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rsse-server:", err)
 		os.Exit(2)
 	}
-	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	// Profile finalization must run on every exit path — graceful drain,
+	// signal, fatal error — or the CPU profile file is empty. obs.Profiles
+	// is idempotent, so the racing paths can all call Stop.
+	if profiles, err = obs.StartProfiles(*cpuProfile, *memProfile); err != nil {
+		fatal(err)
+	}
+	if err := rsse.SetSearchKernel(*prfKernel); err != nil {
+		fmt.Fprintln(os.Stderr, "rsse-server:", err)
+		os.Exit(2)
+	}
 	if *indexPath != "" && *dir != "" {
 		fmt.Fprintln(os.Stderr, "rsse-server: -index and -dir are mutually exclusive")
 		os.Exit(2)
@@ -149,7 +164,7 @@ func main() {
 		}
 	}
 	if *indexPath != "" {
-		if err := load(reg, rsse.DefaultIndexName, *indexPath, *engine); err != nil {
+		if err := load(reg, rsse.DefaultIndexName, *indexPath, *engine, *prefetch); err != nil {
 			fatal(err)
 		}
 	} else if *dir != "" {
@@ -168,9 +183,9 @@ func main() {
 			name := strings.TrimSuffix(e.Name(), ".idx")
 			path := filepath.Join(*dir, e.Name())
 			if lazy {
-				err = registerLazy(reg, name, path, *engine)
+				err = registerLazy(reg, name, path, *engine, *prefetch)
 			} else {
-				err = load(reg, name, path, *engine)
+				err = load(reg, name, path, *engine, *prefetch)
 			}
 			if err != nil {
 				// One corrupt index must not take down the server.
@@ -188,7 +203,8 @@ func main() {
 		fatal(err)
 	}
 	logger.Info("serving", "indexes", len(reg.Names()), "addr", l.Addr().String(),
-		"storage", *engine, "dispatch", *dispatch, "version", obs.Version)
+		"storage", *engine, "dispatch", *dispatch, "prf_kernel", rsse.SearchKernelName(),
+		"version", obs.Version)
 	if dyn != nil {
 		logger.Info("writable store ready", "name", *writableName, "addr", l.Addr().String())
 	}
@@ -274,42 +290,15 @@ func setupLogging(format, level string) (*slog.Logger, error) {
 	return l, nil
 }
 
-// startProfiles begins the requested pprof captures and returns the
-// finalizer the graceful-shutdown path runs: it stops the CPU profile
-// and snapshots the heap after a final GC, so the files are complete
-// and readable by `go tool pprof`.
-func startProfiles(cpuPath, memPath string) func() {
-	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		cpuFile = f
+// stopProfiles finalizes the pprof captures, logging (not dying on)
+// any write failure: by the time it runs the process is exiting and a
+// broken profile must not mask the real exit status.
+func stopProfiles() {
+	if profiles == nil {
+		return
 	}
-	return func() {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				fatal(err)
-			}
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fatal(err)
-			}
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}
+	if err := profiles.Stop(); err != nil && logger != nil {
+		logger.Error("finalizing profiles", "err", err)
 	}
 }
 
@@ -339,11 +328,16 @@ func openWritable(dir, scheme string, bits uint8, step, syncEvery int) (*rsse.Dy
 	return dyn, nil
 }
 
-// load reads, parses and registers one index file eagerly.
-func load(reg *rsse.Registry, name, path, engine string) error {
+// load reads, parses and registers one index file eagerly. With
+// prefetch, a mapped index's pages stream into the page cache now
+// instead of faulting in one by one under the first queries.
+func load(reg *rsse.Registry, name, path, engine string, prefetch bool) error {
 	index, err := rsse.OpenIndexFile(path, engine)
 	if err != nil {
 		return err
+	}
+	if prefetch {
+		index.Prefetch()
 	}
 	if err := reg.Register(name, index); err != nil {
 		index.Close()
@@ -355,7 +349,7 @@ func load(reg *rsse.Registry, name, path, engine string) error {
 
 // registerLazy validates the file's header now but defers the real open
 // — an mmap plus checksum pass — to the first query addressing name.
-func registerLazy(reg *rsse.Registry, name, path, engine string) error {
+func registerLazy(reg *rsse.Registry, name, path, engine string, prefetch bool) error {
 	meta, err := rsse.PeekIndexFile(path)
 	if err != nil {
 		return err
@@ -365,6 +359,9 @@ func registerLazy(reg *rsse.Registry, name, path, engine string) error {
 		if err != nil {
 			logger.Warn("lazy open failed", "path", path, "err", err)
 			return nil, err
+		}
+		if prefetch {
+			index.Prefetch()
 		}
 		logLoaded(name, index.Stats())
 		return index, nil
@@ -438,5 +435,6 @@ func fatal(err error) {
 	} else {
 		fmt.Fprintln(os.Stderr, "rsse-server:", err)
 	}
+	stopProfiles()
 	os.Exit(1)
 }

@@ -168,8 +168,21 @@ func (x *Index) searchConstantToken(tok dprf.Token) ([][]byte, error) {
 // done; the first error is returned, with ctx's taking precedence.
 // Jobs must write to disjoint state (slots indexed by their job index).
 func runJobs(ctx context.Context, workers, n int, job func(i int) error) error {
-	if workers > n {
-		workers = n
+	return runJobsChunked(ctx, workers, n, 1, job)
+}
+
+// runJobsChunked is runJobs dispatching jobs in runs of `chunk`
+// consecutive indices per channel send. A worker that receives a run
+// executes its jobs back to back, so jobs that are adjacent in the
+// caller's layout — the tokens of one trapdoor, say — land on one
+// goroutine with their shared state hot, and the unbuffered handoff
+// happens once per run instead of once per job.
+func runJobsChunked(ctx context.Context, workers, n, chunk int, job func(i int) error) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if workers > (n+chunk-1)/chunk {
+		workers = (n + chunk - 1) / chunk
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -204,21 +217,27 @@ func runJobs(ctx context.Context, workers, n int, job func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				if failed() || ctx.Err() != nil {
-					continue
+			for base := range next {
+				hi := base + chunk
+				if hi > n {
+					hi = n
 				}
-				if err := job(i); err != nil {
-					fail(err)
+				for i := base; i < hi; i++ {
+					if failed() || ctx.Err() != nil {
+						break
+					}
+					if err := job(i); err != nil {
+						fail(err)
+					}
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for base := 0; base < n; base += chunk {
 		if failed() || ctx.Err() != nil {
 			break
 		}
-		next <- i
+		next <- base
 	}
 	close(next)
 	wg.Wait()
@@ -230,8 +249,12 @@ func runJobs(ctx context.Context, workers, n int, job func(i int) error) error {
 
 // SearchBatchContext implements ContextBatchSearcher: every (trapdoor,
 // token) pair is an independent search job, fanned out over up to
-// GOMAXPROCS workers. Group order within each response matches token
-// order, as the demultiplexing owner requires.
+// GOMAXPROCS workers in lane-width runs. Jobs are laid out trapdoor by
+// trapdoor, so a run keeps one trapdoor's tokens — which share the
+// trapdoor struct and, under the batched kernel, neighbouring
+// derived-state cache entries — on a single worker. Group order within
+// each response matches token order, as the demultiplexing owner
+// requires.
 func (x *Index) SearchBatchContext(ctx context.Context, ts []*Trapdoor) ([]*Response, error) {
 	type job struct{ ti, tj int }
 	out := make([]*Response, len(ts))
@@ -242,7 +265,7 @@ func (x *Index) SearchBatchContext(ctx context.Context, ts []*Trapdoor) ([]*Resp
 			jobs = append(jobs, job{ti: i, tj: j})
 		}
 	}
-	err := runJobs(ctx, runtime.GOMAXPROCS(0), len(jobs), func(i int) error {
+	err := runJobsChunked(ctx, runtime.GOMAXPROCS(0), len(jobs), prf.DefaultLanes, func(i int) error {
 		return x.searchToken(ts[jobs[i].ti], jobs[i].tj, out[jobs[i].ti])
 	})
 	if err != nil {

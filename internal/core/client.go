@@ -50,6 +50,13 @@ type Options struct {
 	// (parallel false-positive fetches during QueryBatch filtering);
 	// 0 selects a small default.
 	BatchWorkers int
+	// TrapdoorMemo sizes the client's private trapdoor memo (see
+	// tdmemo.go); 0 disables memoization.
+	TrapdoorMemo int
+	// SharedTrapdoorMemo attaches an existing memo instead — for client
+	// pools holding the same key and kind. Takes precedence over
+	// TrapdoorMemo.
+	SharedTrapdoorMemo *TrapdoorMemo
 }
 
 // Client is the data owner: it holds the secret keys of one scheme
@@ -74,6 +81,10 @@ type Client struct {
 	batchWorkers   int
 
 	history []Range // issued queries (Constant schemes' guard)
+
+	// Trapdoor memo (see tdmemo.go); nil unless enabled, possibly shared
+	// with other clients of the same key and kind.
+	tdMemo *TrapdoorMemo
 }
 
 // NewClient creates an owner for the given scheme over the given domain.
@@ -113,6 +124,11 @@ func NewClient(kind Kind, dom cover.Domain, opts Options) (*Client, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.SharedTrapdoorMemo != nil {
+		c.ShareTrapdoorMemo(opts.SharedTrapdoorMemo)
+	} else {
+		c.SetTrapdoorMemo(opts.TrapdoorMemo)
 	}
 	c.kSSE = prf.Derive(c.master, "keywords/primary")
 	c.kSSE2 = prf.Derive(c.master, "keywords/positions")
@@ -393,6 +409,12 @@ type Trapdoor struct {
 	round int
 	Stags []sse.Stag
 	GGM   []dprf.Token
+
+	// wire caches the MarshalBinary form for memoized trapdoors that are
+	// replayed across many queries. Trapdoors are immutable once built,
+	// so the cached bytes stay valid; callers treat the marshaled slice
+	// as read-only (the transport layer copies it into its write queue).
+	wire []byte
 }
 
 // Tokens returns the number of tokens in the trapdoor.
@@ -588,8 +610,22 @@ func (c *Client) Trapdoor(q Range) (*Trapdoor, error) {
 	return c.trapdoorRound1(q)
 }
 
-// trapdoorRound1 dispatches the first (often only) Trpdr round.
+// trapdoorRound1 dispatches the first (often only) Trpdr round,
+// replaying a memoized trapdoor when the range was derived before (see
+// tdmemo.go).
 func (c *Client) trapdoorRound1(q Range) (*Trapdoor, error) {
+	if t, ok := c.tdMemo.get(q); ok {
+		return t, nil
+	}
+	t, err := c.deriveRound1(q)
+	if err == nil {
+		c.tdMemo.put(q, t)
+	}
+	return t, err
+}
+
+// deriveRound1 derives the first-round trapdoor for q from scratch.
+func (c *Client) deriveRound1(q Range) (*Trapdoor, error) {
 	switch c.kind {
 	case Quadratic:
 		return c.trapdoorQuadratic(q)

@@ -24,6 +24,9 @@ func (t *Trapdoor) Round() int {
 // MarshalBinary serializes a trapdoor:
 // round(1) kind(1: 0=stags, 1=ggm) count(4) tokens...
 func (t *Trapdoor) MarshalBinary() ([]byte, error) {
+	if t.wire != nil {
+		return t.wire, nil
+	}
 	out := make([]byte, 0, 6+len(t.Stags)*sse.StagSize+len(t.GGM)*dprf.TokenSize)
 	out = append(out, byte(t.Round()))
 	if len(t.GGM) > 0 {

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Trapdoor memoization. A trapdoor is a deterministic function of the
+// client's keys and the queried range (up to the stag permutation, which
+// is drawn once per derivation), so an owner replaying skewed traffic —
+// the zipf workloads, a dashboard refreshing hot ranges — re-derives
+// byte-identical token sets over and over. The memo caches whole
+// trapdoors per range and replays them, skipping cover planning, PRF
+// evaluation and serialization for repeated ranges.
+//
+// Replaying a memoized trapdoor sends the server exactly the bytes a
+// fresh derivation of the same range would, modulo the stag order.
+// That order reveals nothing new: stags are deterministic, so the
+// server already links repeated ranges by token-set equality (the
+// search-pattern leakage every scheme here admits), and a re-randomized
+// permutation of an already-observed set carries no extra information.
+// Server-side work per query is unchanged — only redundant owner-side
+// derivation is skipped.
+//
+// The memo is disabled by default so that cost-accounting tests and
+// leakage experiments see every derivation.
+
+// TrapdoorMemo is a bounded, concurrency-safe range → trapdoor cache.
+// One memo may be shared by any number of clients holding the same
+// master key and scheme kind (the load harness pools one owner client
+// per in-flight slot; sharing the memo lets a range derived by one slot
+// serve every other). Sharing across clients with different keys or
+// kinds would replay wrong trapdoors — the caller owns that invariant.
+type TrapdoorMemo struct {
+	mu           sync.RWMutex
+	cap          int
+	m            map[Range]*Trapdoor
+	hits, misses atomic.Uint64
+}
+
+// NewTrapdoorMemo creates a memo holding up to capacity distinct
+// ranges. It returns nil when capacity is not positive; a nil memo is
+// valid and never caches.
+func NewTrapdoorMemo(capacity int) *TrapdoorMemo {
+	if capacity <= 0 {
+		return nil
+	}
+	return &TrapdoorMemo{cap: capacity, m: make(map[Range]*Trapdoor, capacity)}
+}
+
+// Stats returns cumulative memo hits and misses (misses count only
+// derivations eligible for memoization). Nil-safe.
+func (m *TrapdoorMemo) Stats() (hits, misses uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.hits.Load(), m.misses.Load()
+}
+
+// get returns the cached trapdoor for q, if any. Nil-safe.
+func (m *TrapdoorMemo) get(q Range) (*Trapdoor, bool) {
+	if m == nil {
+		return nil, false
+	}
+	m.mu.RLock()
+	t, ok := m.m[q]
+	m.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return t, ok
+}
+
+// put records q's freshly derived trapdoor, evicting an arbitrary entry
+// when full. Random-ish eviction is enough: under the skewed streams
+// the memo exists for, hot ranges are restored on their next occurrence
+// and an evicted cold range only costs one re-derivation. The wire form
+// is pre-marshaled once so remote replays skip serialization too.
+func (m *TrapdoorMemo) put(q Range, t *Trapdoor) {
+	if m == nil {
+		return
+	}
+	if wire, err := t.MarshalBinary(); err == nil {
+		t.wire = wire
+	}
+	m.mu.Lock()
+	if _, ok := m.m[q]; !ok && len(m.m) >= m.cap {
+		for k := range m.m {
+			delete(m.m, k)
+			break
+		}
+	}
+	m.m[q] = t
+	m.mu.Unlock()
+}
+
+// len reports the current entry count (for tests). Nil-safe.
+func (m *TrapdoorMemo) len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.m)
+}
+
+// SetTrapdoorMemo gives the client a private trapdoor memo of the given
+// capacity: up to capacity distinct ranges keep their derived
+// first-round trapdoors for replay. Zero or negative disables
+// memoization and drops any cached entries. Only single-query round-1
+// trapdoors are memoized; batch plans and the position-dependent
+// Logarithmic-SRC-i round 2 always derive fresh.
+func (c *Client) SetTrapdoorMemo(capacity int) {
+	c.tdMemo = NewTrapdoorMemo(capacity)
+}
+
+// ShareTrapdoorMemo attaches a memo shared with other clients of the
+// same master key and kind (nil detaches). See TrapdoorMemo.
+func (c *Client) ShareTrapdoorMemo(m *TrapdoorMemo) { c.tdMemo = m }
+
+// TrapdoorMemoStats returns the attached memo's cumulative hits and
+// misses (zero when no memo is attached).
+func (c *Client) TrapdoorMemoStats() (hits, misses uint64) {
+	return c.tdMemo.Stats()
+}

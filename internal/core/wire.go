@@ -332,11 +332,29 @@ func OpenIndexFile(path string, eng storage.Engine) (*Index, error) {
 		x.mapped = m.Mapped()
 		if x.mapped {
 			x.retained = nil
+			// Serving probes are label-keyed point lookups: turn off the
+			// kernel's sequential readahead so each fault pulls one page,
+			// not a speculative neighbourhood. Prefetch() reverses this
+			// for deployments that want the whole index warm.
+			m.AdviseRandom()
 		}
 	} else {
 		m.Close()
 	}
 	return x, nil
+}
+
+// Prefetch asks the OS to page a mapped, serve-in-place index into the
+// page cache ahead of traffic (madvise WILLNEED): the file streams in
+// at sequential bandwidth now instead of faulting one cold page per
+// early query. Best-effort and asynchronous; a no-op for heap-loaded
+// indexes, which are already resident.
+func (x *Index) Prefetch() {
+	if x.mapped {
+		if m, ok := x.closer.(*storage.MappedFile); ok {
+			m.Prefetch()
+		}
+	}
 }
 
 // wireReader is a bounds-checked cursor over a byte slice. Reads alias

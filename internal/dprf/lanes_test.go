@@ -1,0 +1,100 @@
+package dprf
+
+import (
+	"bytes"
+	"testing"
+
+	"rsse/internal/cover"
+	"rsse/internal/prf"
+)
+
+// TestExpandIntoLanes: lane-batched expansion is byte-identical to the
+// scalar walk at every level and lane width, including levels narrower
+// than a lane chunk and ragged chunk tails.
+func TestExpandIntoLanes(t *testing.T) {
+	k := KeyFromSeed(cover.Domain{Bits: 12}, [Size]byte{1, 2, 3, 4, 5})
+	e := NewExpander()
+	for lanes := 1; lanes <= prf.MaxLanes; lanes++ {
+		m, err := prf.NewMultiHasher(lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for level := uint8(0); level <= 10; level++ {
+			tok, err := k.NodeToken(cover.Node{Start: 0, Level: level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar := e.ExpandInto(nil, tok)
+			laned := e.ExpandIntoLanes(m, nil, tok)
+			if len(scalar) != len(laned) {
+				t.Fatalf("lanes=%d level=%d: %d scalar leaves, %d laned", lanes, level, len(scalar), len(laned))
+			}
+			for i := range scalar {
+				if scalar[i] != laned[i] {
+					t.Fatalf("lanes=%d level=%d leaf %d: scalar %x, laned %x",
+						lanes, level, i, scalar[i], laned[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedExpandMode: the mode switch routes ExpandInto through the
+// kernel without changing a byte of output, and restores cleanly.
+func TestBatchedExpandMode(t *testing.T) {
+	if BatchedExpandEnabled() {
+		t.Fatal("batched expansion must default off")
+	}
+	k := KeyFromSeed(cover.Domain{Bits: 10}, [Size]byte{9, 8, 7})
+	tok, err := k.NodeToken(cover.Node{Start: 0, Level: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar := Expand(tok)
+	SetBatchedExpand(true)
+	defer SetBatchedExpand(false)
+	batched := Expand(tok)
+	if len(scalar) != len(batched) {
+		t.Fatalf("%d scalar leaves, %d batched", len(scalar), len(batched))
+	}
+	for i := range scalar {
+		if !bytes.Equal(scalar[i][:], batched[i][:]) {
+			t.Fatalf("leaf %d: scalar %x, batched %x", i, scalar[i], batched[i])
+		}
+	}
+}
+
+// BenchmarkExpandScalar and BenchmarkExpandLanes compare the two
+// expansion paths over a 256-leaf token (the deepest tokens Constant
+// schemes ship at 16-bit domains are level ~8).
+func BenchmarkExpandScalar(b *testing.B) {
+	k := KeyFromSeed(cover.Domain{Bits: 12}, [Size]byte{42})
+	e := NewExpander()
+	tok, err := k.NodeToken(cover.Node{Start: 0, Level: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var dst []Value
+	for i := 0; i < b.N; i++ {
+		dst = e.ExpandInto(dst[:0], tok)
+	}
+}
+
+func BenchmarkExpandLanes(b *testing.B) {
+	k := KeyFromSeed(cover.Domain{Bits: 12}, [Size]byte{42})
+	e := NewExpander()
+	m, err := prf.NewMultiHasher(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok, err := k.NodeToken(cover.Node{Start: 0, Level: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var dst []Value
+	for i := 0; i < b.N; i++ {
+		dst = e.ExpandIntoLanes(m, dst[:0], tok)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Profiles owns a process's optional CPU and heap profile outputs and
+// guarantees they are finalized exactly once no matter which shutdown
+// path runs first. A CPU profile that is never stopped is an empty
+// file, and a heap profile is only written at stop time — so every
+// exit path (graceful drain, signal, fatal error) must funnel through
+// Stop, and with this type they all can: Stop is idempotent and safe
+// from any goroutine.
+type Profiles struct {
+	cpu  *os.File
+	mem  string
+	once sync.Once
+	err  error
+}
+
+// StartProfiles begins a CPU profile at cpuPath and arranges for a heap
+// profile at memPath; either may be empty to skip. The returned
+// Profiles is non-nil even when both are empty, so callers can
+// unconditionally defer/invoke Stop.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{mem: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop finalizes whatever profiles were started: the CPU profile is
+// flushed and closed, the heap profile written after a final GC. Only
+// the first call does work; every later call (from another shutdown
+// path racing the first) returns the first call's error.
+func (p *Profiles) Stop() error {
+	p.once.Do(func() {
+		if p.cpu != nil {
+			pprof.StopCPUProfile()
+			if err := p.cpu.Close(); err != nil && p.err == nil {
+				p.err = fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if p.mem != "" {
+			f, err := os.Create(p.mem)
+			if err != nil {
+				p.err = fmt.Errorf("mem profile: %w", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && p.err == nil {
+				p.err = fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && p.err == nil {
+				p.err = fmt.Errorf("mem profile: %w", err)
+			}
+		}
+	})
+	return p.err
+}

@@ -115,6 +115,56 @@ func (h *Hasher) EvalByteUint64(b byte, v uint64) [KeySize]byte {
 	return h.Eval(h.lbuf)
 }
 
+// EvalUint64N evaluates the PRF on the big-endian encodings of from,
+// from+1, ..., from+n-1 — a token's cell-label stream — writing the
+// 32-byte outputs into out[0..n). The batch form keeps the staging
+// buffer and bounds checks out of the per-label loop; the compression
+// engine is whatever the Hasher already uses (the stdlib asm block).
+func (h *Hasher) EvalUint64N(from uint64, n int, out [][KeySize]byte) {
+	h.lbuf = append(h.lbuf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(h.lbuf, from+uint64(i))
+		out[i] = h.Eval(h.lbuf)
+	}
+}
+
+// snapshotMax bounds a marshaled SHA-512 digest state (204 bytes in
+// the current runtime, with headroom for format growth). Fixed-size
+// storage keeps a Snapshot a plain value: embedding one in a cache
+// entry costs no extra heap object.
+const snapshotMax = 256
+
+// Snapshot captures the Hasher's keyed state as an immutable value:
+// restoring it later costs two small copies instead of a key schedule.
+// Snapshots are what the derived-state caches store — they are safe to
+// share across goroutines because Restore only reads them.
+type Snapshot struct {
+	ni, no   int
+	ist, ost [snapshotMax]byte
+}
+
+// Valid reports whether s holds a captured state.
+func (s *Snapshot) Valid() bool { return s.ni > 0 }
+
+// Snapshot returns the current keyed state as a self-contained value.
+func (h *Hasher) Snapshot() Snapshot {
+	var s Snapshot
+	if len(h.istate) > snapshotMax || len(h.ostate) > snapshotMax {
+		panic("prf: sha512 state exceeds snapshot bound")
+	}
+	s.ni = copy(s.ist[:], h.istate)
+	s.no = copy(s.ost[:], h.ostate)
+	return s
+}
+
+// Restore rekeys the Hasher from a Snapshot without touching the key
+// schedule: equivalent to the SetKey that produced the snapshot, at
+// memcpy cost. Allocation-free in steady state.
+func (h *Hasher) Restore(s *Snapshot) {
+	h.istate = append(h.istate[:0], s.ist[:s.ni]...)
+	h.ostate = append(h.ostate[:0], s.ost[:s.no]...)
+}
+
 // Derive is the labelled KDF of package function Derive, evaluated
 // under the Hasher's current key.
 func (h *Hasher) Derive(label string) Key {

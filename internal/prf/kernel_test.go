@@ -1,0 +1,297 @@
+package prf
+
+import (
+	"crypto/hmac"
+	"crypto/sha512"
+	"encoding/binary"
+	mrand "math/rand"
+	"testing"
+
+	"rsse/internal/race"
+)
+
+// refEvalFull is refEval without truncation, for the GGM full-digest path.
+func refEvalFull(k Key, data []byte) [64]byte {
+	mac := hmac.New(sha512.New, k[:])
+	mac.Write(data)
+	var out [64]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+func TestStateMatchesHMAC(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		var k Key
+		rnd.Read(k[:])
+		s := MakeState(k)
+		// Lengths straddle the single-padded-block threshold (111) and
+		// both padding branches of the multi-block path (112..239 needs
+		// a double trailing block).
+		for _, n := range []int{0, 1, 8, 9, 32, 64, 111, 112, 127, 128, 129, 239, 240, 1000} {
+			data := make([]byte, n)
+			rnd.Read(data)
+			if got, want := s.Eval(data), refEval(k, data); got != want {
+				t.Fatalf("State.Eval(%d bytes) disagrees with crypto/hmac", n)
+			}
+		}
+		if s.EvalUint64(uint64(trial)*0x9e3779b9) != refEval(k, binary.BigEndian.AppendUint64(nil, uint64(trial)*0x9e3779b9)) {
+			t.Fatal("State.EvalUint64 disagrees")
+		}
+		h := NewHasher(k)
+		if s.EvalByteUint64(7, 99) != h.EvalByteUint64(7, 99) {
+			t.Fatal("State.EvalByteUint64 disagrees with Hasher")
+		}
+		if s.Derive("sse/loc") != h.Derive("sse/loc") {
+			t.Fatal("State.Derive disagrees with Hasher")
+		}
+		d := s.DeriveState("sse/loc")
+		if d.Eval([]byte("x")) != Eval(s.Derive("sse/loc"), []byte("x")) {
+			t.Fatal("DeriveState does not match MakeState(Derive(...))")
+		}
+	}
+}
+
+// TestMultiHasherMatchesHMAC exercises every batched entry point across
+// all lane widths, ragged batch sizes and rekeying between batches,
+// against fresh crypto/hmac instances.
+func TestMultiHasherMatchesHMAC(t *testing.T) {
+	rnd := mrand.New(mrand.NewSource(3))
+	for lanes := 1; lanes <= MaxLanes; lanes++ {
+		m, err := NewMultiHasher(lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 3; batch++ { // rekey between batches
+			var k Key
+			rnd.Read(k[:])
+			m.SetKey(k)
+
+			// EvalN over ragged sizes, mixing short and long messages.
+			for _, n := range []int{1, lanes - 1, lanes, lanes + 1, 2*lanes + 3} {
+				if n < 1 {
+					continue
+				}
+				msgs := make([][]byte, n)
+				out := make([][KeySize]byte, n)
+				for i := range msgs {
+					ln := rnd.Intn(140) // crosses the 111-byte short-path bound
+					msgs[i] = make([]byte, ln)
+					rnd.Read(msgs[i])
+				}
+				m.EvalN(msgs, out)
+				for i := range msgs {
+					if out[i] != refEval(k, msgs[i]) {
+						t.Fatalf("lanes=%d EvalN[%d/%d] disagrees with crypto/hmac", lanes, i, n)
+					}
+				}
+			}
+
+			// EvalCounters against the scalar counter encoding.
+			from := rnd.Uint64()
+			n := 2*lanes + 1
+			out := make([][KeySize]byte, n)
+			m.EvalCounters(from, n, out)
+			for i := 0; i < n; i++ {
+				if out[i] != refEval(k, binary.BigEndian.AppendUint64(nil, from+uint64(i))) {
+					t.Fatalf("lanes=%d EvalCounters[%d] disagrees", lanes, i)
+				}
+			}
+
+			// EvalByteUint64N against the 9-byte label encoding.
+			bs := make([]byte, n)
+			vs := make([]uint64, n)
+			for i := range vs {
+				bs[i] = byte(rnd.Intn(64))
+				vs[i] = rnd.Uint64()
+			}
+			m.EvalByteUint64N(bs, vs, out)
+			for i := range vs {
+				var lab [9]byte
+				lab[0] = bs[i]
+				binary.BigEndian.PutUint64(lab[1:], vs[i])
+				if out[i] != refEval(k, lab[:]) {
+					t.Fatalf("lanes=%d EvalByteUint64N[%d] disagrees", lanes, i)
+				}
+			}
+
+			// Per-lane keys: EvalSame / EvalSameFull / DeriveSame.
+			keys := make([]Key, lanes)
+			for l := range keys {
+				rnd.Read(keys[l][:])
+				if l%2 == 0 {
+					m.SetLaneKey(l, keys[l])
+				} else {
+					m.SetLaneState(l, MakeState(keys[l]))
+				}
+			}
+			msg := []byte("rsse/ggm")
+			same := make([][KeySize]byte, lanes)
+			m.EvalSame(msg, lanes, same)
+			full := make([][64]byte, lanes)
+			m.EvalSameFull(msg, lanes, full)
+			derived := make([][KeySize]byte, lanes)
+			m.DeriveSame("sse/enc", lanes, derived)
+			for l := 0; l < lanes; l++ {
+				if same[l] != refEval(keys[l], msg) {
+					t.Fatalf("lanes=%d EvalSame[%d] disagrees", lanes, l)
+				}
+				if full[l] != refEvalFull(keys[l], msg) {
+					t.Fatalf("lanes=%d EvalSameFull[%d] disagrees", lanes, l)
+				}
+				if Key(derived[l]) != Derive(keys[l], "sse/enc") {
+					t.Fatalf("lanes=%d DeriveSame[%d] disagrees", lanes, l)
+				}
+				if m.LaneState(l) != MakeState(keys[l]) {
+					t.Fatalf("lanes=%d LaneState[%d] not the keyed snapshot", lanes, l)
+				}
+			}
+		}
+	}
+}
+
+func TestNewMultiHasherBounds(t *testing.T) {
+	if m, err := NewMultiHasher(0); err != nil || m.Lanes() != DefaultLanes {
+		t.Fatalf("NewMultiHasher(0) = %v lanes, err %v; want DefaultLanes", m.Lanes(), err)
+	}
+	for _, bad := range []int{-1, MaxLanes + 1} {
+		if _, err := NewMultiHasher(bad); err == nil {
+			t.Errorf("NewMultiHasher(%d) accepted", bad)
+		}
+	}
+}
+
+// FuzzMultiHasherDifferential drives lane width, batch shape, keys and
+// messages from fuzz input and cross-checks EvalN against crypto/hmac,
+// including a rekey mid-case.
+func FuzzMultiHasherDifferential(f *testing.F) {
+	f.Add(uint8(4), []byte("seed-corpus-message"), []byte("key-material-key-material-key-ma"))
+	f.Add(uint8(8), []byte{0x80, 0x00, 0xff}, []byte("k"))
+	f.Add(uint8(1), make([]byte, 300), []byte{})
+	f.Fuzz(func(t *testing.T, lanesRaw uint8, msgPool, keyRaw []byte) {
+		lanes := int(lanesRaw)%MaxLanes + 1
+		var k Key
+		copy(k[:], keyRaw)
+		m, err := NewMultiHasher(lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetKey(k)
+		// Slice msgPool into a ragged batch: lengths cycle through a few
+		// boundary-hugging values derived from the pool itself.
+		n := len(msgPool)%13 + 1
+		msgs := make([][]byte, n)
+		for i := range msgs {
+			lo := (i * 7) % (len(msgPool) + 1)
+			hi := lo + (i*37)%(len(msgPool)-lo+1)
+			msgs[i] = msgPool[lo:hi]
+		}
+		out := make([][KeySize]byte, n)
+		m.EvalN(msgs, out)
+		for i := range msgs {
+			if out[i] != refEval(k, msgs[i]) {
+				t.Fatalf("EvalN[%d] (len %d, lanes %d) disagrees with crypto/hmac", i, len(msgs[i]), lanes)
+			}
+		}
+		// Rekey with the complement and re-evaluate the same batch.
+		for i := range k {
+			k[i] ^= 0xff
+		}
+		m.SetKey(k)
+		m.EvalN(msgs, out)
+		for i := range msgs {
+			if out[i] != refEval(k, msgs[i]) {
+				t.Fatalf("post-rekey EvalN[%d] disagrees with crypto/hmac", i)
+			}
+		}
+	})
+}
+
+// TestMultiHasherAllocs pins zero allocations per steady-state batched
+// evaluation — the lane kernel must not re-inflate the query path.
+func TestMultiHasherAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race detector perturbs sync.Pool; alloc counts are nondeterministic")
+	}
+	var k Key
+	k[0] = 3
+	m, _ := NewMultiHasher(MaxLanes)
+	m.SetKey(k)
+	s := MakeState(k)
+	msgs := make([][]byte, MaxLanes)
+	for i := range msgs {
+		msgs[i] = []byte("alloc-guard")
+	}
+	out := make([][KeySize]byte, 2*MaxLanes+1)
+	full := make([][64]byte, MaxLanes)
+	bs := make([]byte, MaxLanes)
+	vs := make([]uint64, MaxLanes)
+	data := []byte("alloc-guard")
+	checks := []struct {
+		name string
+		max  float64
+		f    func()
+	}{
+		{"State.Eval", 0, func() { s.Eval(data) }},
+		{"State.EvalUint64", 0, func() { s.EvalUint64(7) }},
+		{"State.EvalByteUint64", 0, func() { s.EvalByteUint64(5, 7) }},
+		{"State.Derive", 0, func() { s.Derive("label") }},
+		{"MakeState", 0, func() { MakeState(k) }},
+		{"MultiHasher.SetKey", 0, func() { m.SetKey(k) }},
+		{"MultiHasher.EvalN", 0, func() { m.EvalN(msgs, out) }},
+		{"MultiHasher.EvalCounters", 0, func() { m.EvalCounters(9, 2*MaxLanes+1, out) }},
+		{"MultiHasher.EvalByteUint64N", 0, func() { m.EvalByteUint64N(bs, vs, out) }},
+		{"MultiHasher.EvalSame", 0, func() { m.EvalSame(data, MaxLanes, out) }},
+		{"MultiHasher.EvalSameFull", 0, func() { m.EvalSameFull(data, MaxLanes, full) }},
+		{"MultiHasher.DeriveSame", 0, func() { m.DeriveSame("label", MaxLanes, out) }},
+		// Pooled checkout: a GC emptying the pool costs one refill.
+		{"GetMultiHasher", 0.1, func() { PutMultiHasher(GetMultiHasher()) }},
+	}
+	for _, c := range checks {
+		c.f()
+		if n := testing.AllocsPerRun(200, c.f); n > c.max {
+			t.Errorf("%s: %v allocs/op, want <= %v", c.name, n, c.max)
+		}
+	}
+}
+
+func BenchmarkStateEval(b *testing.B) {
+	var k Key
+	k[0] = 1
+	s := MakeState(k)
+	data := []byte("benchmark-keyword")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Eval(data)
+	}
+}
+
+func BenchmarkMakeState(b *testing.B) {
+	var k Key
+	k[0] = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MakeState(k)
+	}
+}
+
+func BenchmarkMultiEvalCounters(b *testing.B) {
+	for _, lanes := range []int{2, 4, 8} {
+		b.Run(benchName("lanes", lanes), func(b *testing.B) {
+			var k Key
+			k[0] = 1
+			m, _ := NewMultiHasher(lanes)
+			m.SetKey(k)
+			out := make([][KeySize]byte, lanes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.EvalCounters(uint64(i), lanes, out)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(lanes), "ns/label")
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "=" + string(rune('0'+n))
+}

@@ -1,0 +1,236 @@
+package prf
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// This file is the raw-state SHA-512 core under the multi-lane PRF
+// kernel. The stdlib digest is excellent at hashing but its only
+// snapshot/restore path goes through MarshalBinary/UnmarshalBinary,
+// which parses a versioned encoding on every restore and clones the
+// whole digest on every Sum. For 2-compression HMAC evaluations (every
+// PRF call in this module: inputs are at most a few dozen bytes) that
+// overhead rivals the hashing itself. Here a keyed state is just two
+// [8]uint64 arrays — restore is a copy, finalize is a truncation — and
+// the compression function is exposed directly so lanes can be
+// scheduled over it (lanes_*.go).
+
+const (
+	sha512BlockSize = 128
+	// shortMax is the longest message that fits a single padded block
+	// after the HMAC key block: 128 - 1 (0x80) - 16 (length) = 111.
+	// Every label, KDF input and counter in this module is far shorter,
+	// so the hot path is exactly one compression per HMAC pass.
+	shortMax = sha512BlockSize - 17
+)
+
+// sha512IV is the SHA-512 initial state (FIPS 180-4).
+var sha512IV = [8]uint64{
+	0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b, 0xa54ff53a5f1d36f1,
+	0x510e527fade682d1, 0x9b05688c2b3e6c1f, 0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,
+}
+
+// sha512K holds the 80 round constants (fractional parts of the cube
+// roots of the first 80 primes).
+var sha512K = [80]uint64{
+	0x428a2f98d728ae22, 0x7137449123ef65cd, 0xb5c0fbcfec4d3b2f, 0xe9b5dba58189dbbc,
+	0x3956c25bf348b538, 0x59f111f1b605d019, 0x923f82a4af194f9b, 0xab1c5ed5da6d8118,
+	0xd807aa98a3030242, 0x12835b0145706fbe, 0x243185be4ee4b28c, 0x550c7dc3d5ffb4e2,
+	0x72be5d74f27b896f, 0x80deb1fe3b1696b1, 0x9bdc06a725c71235, 0xc19bf174cf692694,
+	0xe49b69c19ef14ad2, 0xefbe4786384f25e3, 0x0fc19dc68b8cd5b5, 0x240ca1cc77ac9c65,
+	0x2de92c6f592b0275, 0x4a7484aa6ea6e483, 0x5cb0a9dcbd41fbd4, 0x76f988da831153b5,
+	0x983e5152ee66dfab, 0xa831c66d2db43210, 0xb00327c898fb213f, 0xbf597fc7beef0ee4,
+	0xc6e00bf33da88fc2, 0xd5a79147930aa725, 0x06ca6351e003826f, 0x142929670a0e6e70,
+	0x27b70a8546d22ffc, 0x2e1b21385c26c926, 0x4d2c6dfc5ac42aed, 0x53380d139d95b3df,
+	0x650a73548baf63de, 0x766a0abb3c77b2a8, 0x81c2c92e47edaee6, 0x92722c851482353b,
+	0xa2bfe8a14cf10364, 0xa81a664bbc423001, 0xc24b8b70d0f89791, 0xc76c51a30654be30,
+	0xd192e819d6ef5218, 0xd69906245565a910, 0xf40e35855771202a, 0x106aa07032bbd1b8,
+	0x19a4c116b8d2d0c8, 0x1e376c085141ab53, 0x2748774cdf8eeb99, 0x34b0bcb5e19b48a8,
+	0x391c0cb3c5c95a63, 0x4ed8aa4ae3418acb, 0x5b9cca4f7763e373, 0x682e6ff3d6b2b8a3,
+	0x748f82ee5defb2fc, 0x78a5636f43172f60, 0x84c87814a1f0ab72, 0x8cc702081a6439ec,
+	0x90befffa23631e28, 0xa4506cebde82bde9, 0xbef9a3f7b2c67915, 0xc67178f2e372532b,
+	0xca273eceea26619c, 0xd186b8c721c0c207, 0xeada7dd6cde0eb1e, 0xf57d4f7fee6ed178,
+	0x06f067aa72176fba, 0x0a637dc5a2c898a6, 0x113f9804bef90dae, 0x1b710b35131c471b,
+	0x28db77f523047d84, 0x32caab7b40c72493, 0x3c9ebe0a15c9bebc, 0x431d67c49c100d4c,
+	0x4cc5d4becb3e42b6, 0x597f299cfc657e2a, 0x5fcb6fab3ad6faec, 0x6c44198c4a475817,
+}
+
+// sha512Block applies the SHA-512 compression function to st for each
+// 128-byte block of p. len(p) must be a multiple of 128.
+func sha512Block(st *[8]uint64, p []byte) {
+	var w [80]uint64
+	a0, b0, c0, d0 := st[0], st[1], st[2], st[3]
+	e0, f0, g0, h0 := st[4], st[5], st[6], st[7]
+	for len(p) >= sha512BlockSize {
+		for i := 0; i < 16; i++ {
+			w[i] = binary.BigEndian.Uint64(p[i*8:])
+		}
+		for i := 16; i < 80; i++ {
+			v1 := w[i-2]
+			t1 := bits.RotateLeft64(v1, -19) ^ bits.RotateLeft64(v1, -61) ^ (v1 >> 6)
+			v2 := w[i-15]
+			t2 := bits.RotateLeft64(v2, -1) ^ bits.RotateLeft64(v2, -8) ^ (v2 >> 7)
+			w[i] = t1 + w[i-7] + t2 + w[i-16]
+		}
+		a, b, c, d, e, f, g, h := a0, b0, c0, d0, e0, f0, g0, h0
+		for i := 0; i < 80; i++ {
+			t1 := h + (bits.RotateLeft64(e, -14) ^ bits.RotateLeft64(e, -18) ^ bits.RotateLeft64(e, -41)) +
+				((e & f) ^ (^e & g)) + sha512K[i] + w[i]
+			t2 := (bits.RotateLeft64(a, -28) ^ bits.RotateLeft64(a, -34) ^ bits.RotateLeft64(a, -39)) +
+				((a & b) ^ (a & c) ^ (b & c))
+			h = g
+			g = f
+			f = e
+			e = d + t1
+			d = c
+			c = b
+			b = a
+			a = t1 + t2
+		}
+		a0 += a
+		b0 += b
+		c0 += c
+		d0 += d
+		e0 += e
+		f0 += f
+		g0 += g
+		h0 += h
+		p = p[sha512BlockSize:]
+	}
+	st[0], st[1], st[2], st[3] = a0, b0, c0, d0
+	st[4], st[5], st[6], st[7] = e0, f0, g0, h0
+}
+
+// stageShortBlock lays out msg in blk as the single padded trailing
+// block of an HMAC pass whose key block was already absorbed:
+// msg || 0x80 || zeros || BE128((128+len(msg))*8). len(msg) <= shortMax.
+func stageShortBlock(blk *[sha512BlockSize]byte, msg []byte) {
+	n := copy(blk[:shortMax], msg)
+	blk[n] = 0x80
+	clear(blk[n+1 : 112])
+	binary.BigEndian.PutUint64(blk[112:], 0)
+	binary.BigEndian.PutUint64(blk[120:], uint64(sha512BlockSize+len(msg))*8)
+}
+
+// stageOuterBlock lays out the inner digest in blk as the padded
+// trailing block of the outer HMAC pass: digest || 0x80 || zeros ||
+// BE128((128+64)*8).
+func stageOuterBlock(blk *[sha512BlockSize]byte, inner *[8]uint64) {
+	for w := 0; w < 8; w++ {
+		binary.BigEndian.PutUint64(blk[w*8:], inner[w])
+	}
+	blk[64] = 0x80
+	clear(blk[65:112])
+	binary.BigEndian.PutUint64(blk[112:], 0)
+	binary.BigEndian.PutUint64(blk[120:], uint64(sha512BlockSize+64)*8)
+}
+
+// State is a keyed HMAC-SHA-512 state: the inner and outer compression
+// states after absorbing the key blocks. It is a plain value — copying
+// it yields an independent evaluator, so derived states can be cached
+// and shared without synchronization. The zero State is not keyed; use
+// MakeState or MultiHasher.LaneState.
+type State struct {
+	istate [8]uint64
+	ostate [8]uint64
+}
+
+// MakeState keys a State with k (two compressions, no allocation).
+func MakeState(k Key) State {
+	var s State
+	var blk [sha512BlockSize]byte
+	for i := range blk {
+		blk[i] = 0x36
+	}
+	for i, b := range k {
+		blk[i] ^= b
+	}
+	s.istate = sha512IV
+	sha512Block(&s.istate, blk[:])
+	for i := range blk {
+		blk[i] ^= 0x36 ^ 0x5c
+	}
+	s.ostate = sha512IV
+	sha512Block(&s.ostate, blk[:])
+	return s
+}
+
+// Eval computes PRF_k(msg) under s, truncated to 32 bytes. Short inputs
+// (<= 111 bytes — every label in this module) cost exactly two
+// compressions; longer inputs take the generic multi-block path.
+func (s *State) Eval(msg []byte) [KeySize]byte {
+	var st [8]uint64
+	if len(msg) <= shortMax {
+		var blk [sha512BlockSize]byte
+		stageShortBlock(&blk, msg)
+		st = s.istate
+		sha512Block(&st, blk[:])
+		stageOuterBlock(&blk, &st)
+		st = s.ostate
+		sha512Block(&st, blk[:])
+	} else {
+		s.evalLong(msg, &st)
+	}
+	var out [KeySize]byte
+	binary.BigEndian.PutUint64(out[0:], st[0])
+	binary.BigEndian.PutUint64(out[8:], st[1])
+	binary.BigEndian.PutUint64(out[16:], st[2])
+	binary.BigEndian.PutUint64(out[24:], st[3])
+	return out
+}
+
+// evalLong is the multi-block inner pass for messages that do not fit
+// one padded block; st receives the outer digest state.
+func (s *State) evalLong(msg []byte, st *[8]uint64) {
+	inner := s.istate
+	full := len(msg) / sha512BlockSize * sha512BlockSize
+	sha512Block(&inner, msg[:full])
+	rem := msg[full:]
+	var blk [2 * sha512BlockSize]byte
+	n := copy(blk[:], rem)
+	blk[n] = 0x80
+	bitlen := uint64(sha512BlockSize+len(msg)) * 8
+	if n <= shortMax {
+		binary.BigEndian.PutUint64(blk[120:], bitlen)
+		sha512Block(&inner, blk[:sha512BlockSize])
+	} else {
+		binary.BigEndian.PutUint64(blk[248:], bitlen)
+		sha512Block(&inner, blk[:])
+	}
+	var outer [sha512BlockSize]byte
+	stageOuterBlock(&outer, &inner)
+	*st = s.ostate
+	sha512Block(st, outer[:])
+}
+
+// EvalUint64 evaluates the PRF on the 8-byte big-endian encoding of v.
+func (s *State) EvalUint64(v uint64) [KeySize]byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return s.Eval(buf[:])
+}
+
+// EvalByteUint64 evaluates the PRF on the 9-byte dyadic-node label
+// b || BE(v), matching Hasher.EvalByteUint64.
+func (s *State) EvalByteUint64(b byte, v uint64) [KeySize]byte {
+	var buf [9]byte
+	buf[0] = b
+	binary.BigEndian.PutUint64(buf[1:], v)
+	return s.Eval(buf[:])
+}
+
+// Derive is the labelled KDF of package function Derive, evaluated
+// under s.
+func (s *State) Derive(label string) Key {
+	var buf [64]byte
+	n := copy(buf[:], kdfPrefix)
+	n += copy(buf[n:], label)
+	return Key(s.Eval(buf[:n]))
+}
+
+// DeriveState keys a fresh State with the labelled subkey — the
+// SetKey(h.Derive(label)) idiom in one step, for derived-state caches.
+func (s *State) DeriveState(label string) State {
+	return MakeState(s.Derive(label))
+}

@@ -5,6 +5,7 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"rsse/internal/prf"
 	"rsse/internal/secenc"
@@ -28,7 +29,28 @@ type cellSearcher struct {
 	lab   [LabelSize]byte // label buffer: a field so Get's interface call cannot force a heap escape
 	chunk []byte          // free region of the current arena chunk
 	slots []uint64        // twolevel pointer scratch
+
+	// Batched label window: labels labBase..labBase+labN-1 derived
+	// ahead through the batched PRF API (kernel mode only).
+	labs    [labelBatchMax][prf.KeySize]byte
+	labBase uint64
+	labN    int
+	labNext int // window width for the next refill (adaptive)
+
+	// Derived-state cache bookkeeping (kernel mode only): the entry this
+	// search runs from, its slot, and the contiguous run of first labels
+	// observed this search — published back if it extends the entry.
+	stag    Stag
+	slot    *atomic.Pointer[stagState]
+	ent     *stagState   // warm entry this search runs from (nil on a miss)
+	pendLoc prf.Snapshot // miss path: snapshot pending publication at put time
+	first   [labelBatchMax][prf.KeySize]byte
+	firstN  int
 }
+
+// labelBatchMax caps the label lookahead window at the PRF kernel's
+// lane width.
+const labelBatchMax = prf.MaxLanes
 
 var cellSearcherPool = sync.Pool{New: func() any {
 	return &cellSearcher{h: prf.NewHasher(prf.Key{})}
@@ -37,8 +59,42 @@ var cellSearcherPool = sync.Pool{New: func() any {
 // getCellSearcher checks out a searcher keyed for stag. Of the three
 // stag-derived keys only loc and enc matter here: the salted bucket key
 // steers build-time placement, never search.
+//
+// In kernel mode the per-stag state comes from the derived-state cache
+// when present: a hit restores the location-key snapshot and reuses the
+// shared AES block, skipping the whole key schedule. A miss derives as
+// the legacy path does, then publishes the state for the next
+// occurrence of the same stag.
 func getCellSearcher(stag Stag) *cellSearcher {
 	s := cellSearcherPool.Get().(*cellSearcher)
+	s.labN, s.labNext = 0, 1
+	s.firstN = 0
+	if kernelOn.Load() {
+		s.stag = stag
+		s.slot = stagCacheSlot(&stag)
+		if e := s.slot.Load(); e != nil && e.stag == stag {
+			stagCacheHits.Add(1)
+			s.h.Restore(&e.loc)
+			s.blk = e.blk
+			s.ent = e
+			return s
+		}
+		stagCacheMisses.Add(1)
+		s.key(stag)
+		// Publication waits until putCellSearcher so the entry ships with
+		// this search's labels in one allocation.
+		s.pendLoc = s.h.Snapshot()
+		s.ent = nil
+		return s
+	}
+	s.key(stag)
+	return s
+}
+
+// key runs the full stag key schedule: two KDF passes for the
+// encryption and location keys, an AES key schedule, and rekeying the
+// hasher to the location key.
+func (s *cellSearcher) key(stag Stag) {
 	base := prf.Key(stag)
 	s.h.SetKey(base)
 	encFull := s.h.Derive("sse/enc")
@@ -48,19 +104,68 @@ func getCellSearcher(stag Stag) *cellSearcher {
 		panic("sse: " + err.Error())
 	}
 	s.h.SetKey(loc)
-	return s
 }
 
 func putCellSearcher(s *cellSearcher) {
+	// Publish the search's derived state — key schedule plus the labels
+	// it evaluated — so the next occurrence of the same stag derives
+	// nothing. A miss publishes its first entry here; a warm search
+	// republishes only when it extended the label run. Entries are
+	// immutable; a concurrent search of the same stag may race the store,
+	// and either entry is correct (last writer wins).
+	if s.slot != nil {
+		if e := s.ent; e == nil {
+			s.slot.Store(&stagState{stag: s.stag, loc: s.pendLoc, blk: s.blk, labN: s.firstN, labs: s.first})
+		} else if s.firstN > e.labN {
+			s.slot.Store(&stagState{stag: s.stag, loc: e.loc, blk: e.blk, labN: s.firstN, labs: s.first})
+		}
+	}
+	s.ent = nil
+	s.slot = nil
 	s.blk = nil
 	cellSearcherPool.Put(s)
 }
 
 // label computes the i-th cell label under the stag's location key.
 // The returned slice is valid until the next label call.
+//
+// In kernel mode consecutive labels are gathered into lane-width
+// batches through the batched PRF API: the window doubles from one
+// label up to the lane width as the posting list proves longer, so
+// empty and single-cell lists (the overwhelming majority) derive
+// exactly the labels they probe, while long lists amortize staging and
+// bounds checks across whole windows. Search loops always probe
+// labels with consecutive i, which is what makes the lookahead exact.
 func (s *cellSearcher) label(i uint64) []byte {
-	full := s.h.EvalUint64(i)
-	copy(s.lab[:], full[:LabelSize])
+	if !kernelOn.Load() {
+		full := s.h.EvalUint64(i)
+		copy(s.lab[:], full[:LabelSize])
+		return s.lab[:]
+	}
+	// Cached labels first: a warm entry answers the whole stream of a
+	// short posting list with zero PRF evaluations.
+	if e := s.ent; e != nil && i < uint64(e.labN) {
+		if int(i) == s.firstN {
+			s.first[i] = e.labs[i]
+			s.firstN++
+		}
+		copy(s.lab[:], e.labs[i][:LabelSize])
+		return s.lab[:]
+	}
+	if s.labN == 0 || i < s.labBase || i >= s.labBase+uint64(s.labN) {
+		n := s.labNext
+		if n > labelBatchMax {
+			n = labelBatchMax
+		}
+		s.h.EvalUint64N(i, n, s.labs[:n])
+		s.labBase, s.labN = i, n
+		s.labNext = n * 2
+	}
+	if i < labelBatchMax && int(i) == s.firstN {
+		s.first[i] = s.labs[i-s.labBase]
+		s.firstN++
+	}
+	copy(s.lab[:], s.labs[i-s.labBase][:LabelSize])
 	return s.lab[:]
 }
 

@@ -49,6 +49,28 @@ func MapFile(path string) (*MappedFile, error) {
 // pages live in the page cache, not the Go heap).
 func (m *MappedFile) Mapped() bool { return m.mapped }
 
+// Prefetch asks the OS to page the whole mapping in ahead of use
+// (madvise WILLNEED): one sequential streaming read now instead of a
+// random page fault per future probe. Best-effort and asynchronous; a
+// no-op for heap-backed files (already resident) and on platforms
+// without madvise.
+func (m *MappedFile) Prefetch() {
+	if m.mapped && !m.closed {
+		prefetchBytes(m.Data)
+	}
+}
+
+// AdviseRandom declares the mapping's access pattern random (madvise
+// RANDOM), switching off sequential readahead around faults. Right for
+// serving: index probes are label-keyed point lookups, so readahead
+// drags in neighbours nobody will touch. Best-effort no-op where
+// unsupported.
+func (m *MappedFile) AdviseRandom() {
+	if m.mapped && !m.closed {
+		adviseRandomBytes(m.Data)
+	}
+}
+
 // Close releases the mapping. Idempotent. Every backend aliasing Data
 // becomes invalid — callers own that ordering.
 func (m *MappedFile) Close() error {
@@ -94,6 +116,12 @@ func (s *SegmentFile) FileBytes() int64 { return s.size }
 
 // Mapped reports whether the segment is memory-mapped.
 func (s *SegmentFile) Mapped() bool { return s.m.Mapped() }
+
+// Prefetch pages the segment in ahead of use; see MappedFile.Prefetch.
+func (s *SegmentFile) Prefetch() { s.m.Prefetch() }
+
+// AdviseRandom declares random access; see MappedFile.AdviseRandom.
+func (s *SegmentFile) AdviseRandom() { s.m.AdviseRandom() }
 
 // Close releases the underlying mapping; the Backend must not be used
 // afterwards.

@@ -1,0 +1,10 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package storage
+
+// Platforms without madvise: page-residency advice is a no-op (the
+// data is a heap copy here anyway, see mmap_other.go).
+
+func prefetchBytes([]byte) {}
+
+func adviseRandomBytes([]byte) {}

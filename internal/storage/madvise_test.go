@@ -1,0 +1,52 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMappedFileAdvice: page-residency advice must be safe on every
+// MappedFile state — mapped, heap-backed, empty, closed — and must not
+// disturb the data (madvise is advisory; a wrong flag combination that
+// discarded pages would corrupt every later read).
+func TestMappedFileAdvice(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	content := make([]byte, 64<<10)
+	for i := range content {
+		content[i] = byte(i * 31)
+	}
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AdviseRandom()
+	m.Prefetch()
+	for i, b := range m.Data {
+		if b != byte(i*31) {
+			t.Fatalf("byte %d corrupted after advice: %d", i, b)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closed: both must be no-ops, not faults on the unmapped region.
+	m.Prefetch()
+	m.AdviseRandom()
+
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := MapFile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Prefetch()
+	e.AdviseRandom()
+}

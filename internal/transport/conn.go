@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 
 	"rsse/internal/core"
@@ -20,7 +21,7 @@ import (
 type Conn struct {
 	conn io.ReadWriteCloser
 
-	wmu sync.Mutex // serializes frame writes to conn
+	wq writeQueue // combines concurrent request frames into batched writes
 
 	mu      sync.Mutex
 	nextID  uint32
@@ -35,6 +36,85 @@ type Conn struct {
 type rpcResult struct {
 	status  byte
 	payload []byte
+}
+
+// writeQueue is a combining buffer for request frames: concurrent
+// round trips stage their frames under a short critical section, and
+// whichever goroutine finds the queue idle becomes the flusher,
+// draining everything staged so far with a single write. With many
+// requests in flight this collapses k frame-sized writes into one
+// syscall carrying k frames, mirroring the server's coalesced response
+// path from the other side of the socket.
+//
+// Frames are staged by copy (requests are small: header, name, and a
+// trapdoor or update payload), which also makes staging independent of
+// the caller's buffer lifetime — a caller that abandons on context
+// expiry may reuse its payload before the flush happens.
+type writeQueue struct {
+	mu       sync.Mutex
+	buf      []byte // frames staged since the last flush began
+	spare    []byte // recycled buffer for the next staging round
+	flushing bool
+	err      error // sticky: set once a write fails; the conn is dead
+}
+
+// enqueueFrame stages one request frame and flushes the queue if no
+// other goroutine is already doing so. It returns once the frame is
+// either written or staged behind an active flusher; a write error
+// poisons the queue and closes the connection, so waiters see the
+// failure through the read loop's shutdown.
+func (c *Conn) enqueueFrame(id uint32, op byte, name string, payload []byte) error {
+	n := requestHeader + len(name) + len(payload)
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	q := &c.wq
+	q.mu.Lock()
+	if q.err != nil {
+		err := q.err
+		q.mu.Unlock()
+		return err
+	}
+	q.buf = binary.BigEndian.AppendUint32(q.buf, uint32(n))
+	q.buf = binary.BigEndian.AppendUint32(q.buf, id)
+	q.buf = append(q.buf, op, byte(len(name)))
+	q.buf = append(q.buf, name...)
+	q.buf = append(q.buf, payload...)
+	if q.flushing {
+		// An active flusher will pick this frame up in its next round.
+		q.mu.Unlock()
+		return nil
+	}
+	q.flushing = true
+	q.mu.Unlock()
+	// Yield once before flushing: socket writes on a ready descriptor
+	// are fast syscalls that never deschedule, so without this the
+	// flusher would always run ahead of every other ready sender and
+	// each frame would pay its own syscall. One scheduler round lets the
+	// senders the last response burst woke stage their frames first,
+	// and the write below carries all of them.
+	runtime.Gosched()
+	q.mu.Lock()
+	for q.err == nil && len(q.buf) > 0 {
+		out := q.buf
+		q.buf = q.spare[:0]
+		q.mu.Unlock()
+		_, err := c.conn.Write(out)
+		q.mu.Lock()
+		q.spare = out[:0]
+		if err != nil {
+			q.err = fmt.Errorf("transport: write: %w", err)
+		}
+	}
+	q.flushing = false
+	err := q.err
+	q.mu.Unlock()
+	if err != nil {
+		// Kill the connection so the read loop fails every pending
+		// request, including frames staged behind the failed write.
+		c.conn.Close()
+	}
+	return err
 }
 
 // NewConn wraps an established stream connection and starts its response
@@ -64,7 +144,9 @@ func (c *Conn) Close() error { return c.conn.Close() }
 // readLoop routes response frames to their waiting requests until the
 // connection dies, then fails everything outstanding.
 func (c *Conn) readLoop() {
-	br := bufio.NewReader(c.conn)
+	// Wide enough to drain a whole coalesced response burst (the server
+	// combines up to 64 responses per write) in one read syscall.
+	br := bufio.NewReaderSize(c.conn, 64<<10)
 	var err error
 	for {
 		var body []byte
@@ -76,13 +158,22 @@ func (c *Conn) readLoop() {
 			break
 		}
 		id := binary.BigEndian.Uint32(body[:4])
+		status := body[4]
 		c.mu.Lock()
 		ch, ok := c.pending[id]
-		delete(c.pending, id)
-		_, wasAbandoned := c.abandoned[id]
-		delete(c.abandoned, id)
-		c.mu.Unlock()
+		if ok && status != statusPartial {
+			// A partial frame leaves the request pending: more frames with
+			// this id are coming, and only the terminal frame retires it.
+			delete(c.pending, id)
+		}
 		if !ok {
+			_, wasAbandoned := c.abandoned[id]
+			if wasAbandoned && status != statusPartial {
+				// An abandoned stream's marker survives its partial frames,
+				// so every late chunk is discarded, not just the first.
+				delete(c.abandoned, id)
+			}
+			c.mu.Unlock()
 			if wasAbandoned {
 				// The caller's context expired before this response
 				// arrived: the server did the work, nobody is waiting.
@@ -91,7 +182,8 @@ func (c *Conn) readLoop() {
 			err = fmt.Errorf("transport: response for unknown request %d", id)
 			break
 		}
-		ch <- rpcResult{status: body[4], payload: body[responseHeader:]}
+		c.mu.Unlock()
+		ch <- rpcResult{status: status, payload: body[responseHeader:]}
 	}
 	c.mu.Lock()
 	c.readErr = fmt.Errorf("transport: connection lost: %w", err)
@@ -131,22 +223,10 @@ func (c *Conn) roundTripContext(ctx context.Context, op byte, name string, paylo
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	// The request is staged into a pooled frame writer and shipped with
-	// one vectored write: header and name coalesce into the staging
-	// buffer, a large payload (batch trapdoors, update blobs) rides
-	// zero-copy as its own iovec.
-	c.wmu.Lock()
-	fw := getFrameWriter()
-	fw.begin()
-	fw.stageUint32(id)
-	fw.stageByte(op)
-	fw.stageByte(byte(len(name)))
-	fw.stageString(name)
-	fw.ref(payload)
-	err := fw.flush(c.conn)
-	putFrameWriter(fw)
-	c.wmu.Unlock()
-	if err != nil {
+	// The request joins the connection's combining write queue: under
+	// concurrent load many callers' frames leave in one write instead of
+	// one syscall each.
+	if err := c.enqueueFrame(id, op, name, payload); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -194,6 +274,92 @@ func (c *Conn) roundTripContext(ctx context.Context, op byte, name string, paylo
 		return nil, fmt.Errorf("%w (%s)", ErrOverloaded, res.payload)
 	default:
 		return nil, fmt.Errorf("transport: bad response status %d", res.status)
+	}
+}
+
+// streamContext sends one request and consumes its streamed response:
+// onChunk is called with each partial frame's payload and then with the
+// terminal ok-frame's, in arrival order (which is the server's emission
+// order — frames of one id never reorder). frames is the caller's upper
+// bound on response frames; it sizes the reply buffer so the
+// connection's read loop never blocks on this stream. A server that
+// exceeds it is protocol-corrupt and kills the connection. If ctx
+// expires mid-stream the request is abandoned — the read loop keeps
+// discarding its late chunks until the stream's terminal frame.
+func (c *Conn) streamContext(ctx context.Context, op byte, name string, payload []byte, frames int, onChunk func([]byte) error) error {
+	if len(name) > maxNameLen {
+		return fmt.Errorf("%w: %q", ErrBadIndexName, name)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ch := make(chan rpcResult, frames)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	abandon := func() {
+		c.mu.Lock()
+		if _, still := c.pending[id]; still {
+			delete(c.pending, id)
+			c.abandoned[id] = struct{}{}
+		}
+		c.mu.Unlock()
+	}
+	if err := c.enqueueFrame(id, op, name, payload); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	for got := 0; ; got++ {
+		var (
+			res rpcResult
+			ok  bool
+		)
+		select {
+		case res, ok = <-ch:
+		case <-ctx.Done():
+			abandon()
+			return ctx.Err()
+		}
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return err
+		}
+		if got >= frames {
+			// More frames than the op can legitimately produce: the stream
+			// is corrupt and the demultiplexer's buffer guarantee is gone.
+			c.conn.Close()
+			return fmt.Errorf("transport: stream for request %d exceeded %d frames", id, frames)
+		}
+		switch res.status {
+		case statusPartial, statusOK:
+			if err := onChunk(res.payload); err != nil {
+				if res.status == statusPartial {
+					abandon()
+				}
+				return err
+			}
+			if res.status == statusOK {
+				return nil
+			}
+		case statusErr:
+			return fmt.Errorf("transport: server: %s", res.payload)
+		case statusOverload:
+			return fmt.Errorf("%w (%s)", ErrOverloaded, res.payload)
+		default:
+			return fmt.Errorf("transport: bad response status %d", res.status)
+		}
 	}
 }
 
@@ -290,8 +456,14 @@ func (h *IndexHandle) SearchBatch(ts []*core.Trapdoor) ([]*core.Response, error)
 	return h.SearchBatchContext(context.Background(), ts)
 }
 
-// SearchBatchContext implements core.ContextBatchSearcher.
+// SearchBatchContext implements core.ContextBatchSearcher. Large
+// batches switch to the streamed op automatically: the responses come
+// back in bounded chunks the owner starts decrypting while the server
+// is still searching, instead of one frame carrying the whole batch.
 func (h *IndexHandle) SearchBatchContext(ctx context.Context, ts []*core.Trapdoor) ([]*core.Response, error) {
+	if len(ts) >= streamBatchThreshold {
+		return h.SearchBatchStreamContext(ctx, ts)
+	}
 	payload, err := core.MarshalTrapdoors(ts)
 	if err != nil {
 		return nil, err

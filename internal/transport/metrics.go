@@ -14,16 +14,17 @@ import (
 
 // opLabel maps wire op bytes to their metric label; index 0 doubles as
 // the unknown-op bucket.
-var opLabel = [opDynQuery + 1]string{
-	0:            "unknown",
-	opMeta:       "meta",
-	opSearch:     "search",
-	opFetch:      "fetch",
-	opNames:      "names",
-	opBatchQuery: "batch",
-	opUpdate:     "update",
-	opDynFlush:   "dyn_flush",
-	opDynQuery:   "dyn_query",
+var opLabel = [opBatchStream + 1]string{
+	0:             "unknown",
+	opMeta:        "meta",
+	opSearch:      "search",
+	opFetch:       "fetch",
+	opNames:       "names",
+	opBatchQuery:  "batch",
+	opUpdate:      "update",
+	opDynFlush:    "dyn_flush",
+	opDynQuery:    "dyn_query",
+	opBatchStream: "batch_stream",
 }
 
 // opIndex clamps a wire op byte into opLabel's range.

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -425,6 +426,12 @@ func (d *dispatcher) worker() {
 	for t := range d.tasks {
 		tm.queueDepth.Dec()
 		tm.queueWait.Record(time.Since(t.enq))
+		if t.req.op == opBatchStream {
+			// Streamed responses leave chunk by chunk through the same
+			// completion channel; see stream.go.
+			d.streamTask(t)
+			continue
+		}
 		c := completion{id: t.req.id, bp: t.bp, counted: t.counted}
 		oi := opIndex(t.req.op)
 		start := time.Now()
@@ -473,6 +480,12 @@ func (d *dispatcher) writeLoop() {
 	batch := make([]completion, 0, writeCoalesce)
 	for c := range d.compl {
 		batch = append(batch[:0], c)
+		// Yield once before draining: completions arrive from workers
+		// that are still runnable, and socket writes on a ready
+		// descriptor never deschedule this goroutine. One scheduler
+		// round lets the rest of the burst complete so the drain below
+		// folds it into the same vectored write.
+		runtime.Gosched()
 	drain:
 		for len(batch) < writeCoalesce {
 			select {
@@ -579,6 +592,10 @@ func serveLoopSpawn(reg *Registry, rw io.ReadWriter, srv *Server, log *slog.Logg
 					srv.endRequest()
 				}
 			}()
+			if req.op == opBatchStream {
+				streamRequestSpawn(reg, rw, &wmu, req)
+				return
+			}
 			oi := opIndex(req.op)
 			start := time.Now()
 			payload, herr := handleRequest(reg, req)

@@ -47,8 +47,9 @@ func (l *LeakageCounters) merge(o *LeakageCounters) {
 // phase so the hot path never shares state.
 type Accumulator struct {
 	Hist     Histogram
-	Requests uint64 // completed ops (batched or not)
-	Batches  uint64 // ops that were batched
+	Requests uint64 // completed ops (batched, write, or single query)
+	Batches  uint64 // ops that were batched queries
+	Writes   uint64 // ops that were owner-style writes
 	Errors   uint64
 	Shed     uint64 // paced fires skipped because the slot fell behind
 	Leakage  LeakageCounters
@@ -59,6 +60,7 @@ func (a *Accumulator) Merge(o *Accumulator) {
 	a.Hist.Merge(&o.Hist)
 	a.Requests += o.Requests
 	a.Batches += o.Batches
+	a.Writes += o.Writes
 	a.Errors += o.Errors
 	a.Shed += o.Shed
 	a.Leakage.merge(&o.Leakage)
@@ -164,6 +166,7 @@ func (r *Runner) Run(ctx context.Context) (*RunReport, error) {
 			DurationMS:  float64(elapsed) / float64(time.Millisecond),
 			Requests:    merged.Requests,
 			Batches:     merged.Batches,
+			Writes:      merged.Writes,
 			Errors:      merged.Errors,
 			Shed:        merged.Shed,
 			QPS:         float64(merged.Requests) / elapsed.Seconds(),
@@ -246,7 +249,10 @@ func runSlot(ctx context.Context, sess Session, gen *Generator, acc *Accumulator
 		}
 		acc.Hist.Record(time.Since(fireAt))
 		acc.Requests++
-		if len(op.Ranges) > 1 {
+		switch {
+		case op.Write != nil:
+			acc.Writes++
+		case len(op.Ranges) > 1:
 			acc.Batches++
 		}
 		acc.Leakage.add(m)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"encoding/binary"
 	"fmt"
 	mrand "math/rand"
 
@@ -9,11 +10,30 @@ import (
 )
 
 // An Op is one generated operation: a single range query when Ranges
-// has one element, a batched query otherwise. The slice is owned by the
-// Generator and reused across Next calls.
+// has one element, a batched query otherwise, an owner-style write when
+// Write is non-nil (Ranges is then empty). The slice and the WriteOp
+// are owned by the Generator and reused across Next calls.
 type Op struct {
 	Ranges []core.Range
+	Write  *WriteOp
 }
+
+// A WriteOp is one owner-style mutation: a put of a fresh tuple, or a
+// delete of a tuple this slot put earlier (Del set; ID/Value name the
+// victim). Payload aliases generator scratch.
+type WriteOp struct {
+	Del     bool
+	ID      core.ID
+	Value   core.Value
+	Payload []byte
+}
+
+// writeDelEvery makes every n-th write a delete of an earlier put, so a
+// mixed stream exercises both WAL paths while the store keeps growing.
+const writeDelEvery = 4
+
+// liveRingCap bounds the per-slot remembered puts a delete can target.
+const liveRingCap = 1024
 
 // Generator deterministically produces the op stream for one load slot.
 // Two generators built with the same (spec, bits, slot) emit identical
@@ -26,6 +46,20 @@ type Generator struct {
 	size    uint64
 	buf     []core.Range
 	op      Op
+
+	// Write-stream state: slot tags IDs so distinct slots never collide,
+	// wseq numbers this slot's writes, live rings the puts still eligible
+	// for deletion.
+	slot  int
+	wseq  uint64
+	live  []liveTuple
+	write WriteOp
+	pay   [16]byte
+}
+
+type liveTuple struct {
+	id core.ID
+	v  core.Value
 }
 
 // NewGenerator builds the generator for one slot of a validated spec.
@@ -50,12 +84,19 @@ func NewGenerator(spec *Spec, bits uint8, slot int) (*Generator, error) {
 		rnd:     mrand.New(mrand.NewSource(seed ^ 0x2545f4914f6cdd1d)),
 		size:    uint64(1) << bits,
 		buf:     make([]core.Range, batch),
+		slot:    slot,
 	}, nil
 }
 
-// Next produces the next op. The returned pointer (and its Ranges) is
-// only valid until the following Next call.
+// Next produces the next op. The returned pointer (and its Ranges or
+// Write) is only valid until the following Next call.
 func (g *Generator) Next() *Op {
+	if g.spec.WriteFraction > 0 && g.rnd.Float64() < g.spec.WriteFraction {
+		g.op.Ranges = g.op.Ranges[:0]
+		g.op.Write = g.nextWrite()
+		return &g.op
+	}
+	g.op.Write = nil
 	n := 1
 	if g.spec.BatchFraction > 0 && g.rnd.Float64() < g.spec.BatchFraction {
 		n = g.spec.BatchSize
@@ -65,6 +106,30 @@ func (g *Generator) Next() *Op {
 	}
 	g.op.Ranges = g.buf[:n]
 	return &g.op
+}
+
+// nextWrite draws the next mutation. IDs are slot-tagged (slot in the
+// high 32 bits, this slot's write sequence in the low 32) so concurrent
+// slots never fight over a tuple; deletes always name a put this slot
+// made earlier, so the victim exists whatever order the server applied
+// other slots' writes in.
+func (g *Generator) nextWrite() *WriteOp {
+	g.wseq++
+	if len(g.live) > 0 && g.wseq%writeDelEvery == 0 {
+		t := g.live[len(g.live)-1]
+		g.live = g.live[:len(g.live)-1]
+		g.write = WriteOp{Del: true, ID: t.id, Value: t.v}
+		return &g.write
+	}
+	id := uint64(g.slot)<<32 | (g.wseq & 0xffffffff)
+	v := g.sampler.Next()
+	binary.BigEndian.PutUint64(g.pay[:8], id)
+	binary.BigEndian.PutUint64(g.pay[8:], v)
+	g.write = WriteOp{ID: id, Value: v, Payload: g.pay[:]}
+	if len(g.live) < liveRingCap {
+		g.live = append(g.live, liveTuple{id: id, v: v})
+	}
+	return &g.write
 }
 
 func (g *Generator) nextRange() core.Range {

@@ -48,6 +48,7 @@ type PhaseReport struct {
 	DurationMS  float64         `json:"duration_ms"`
 	Requests    uint64          `json:"requests"`
 	Batches     uint64          `json:"batches,omitempty"`
+	Writes      uint64          `json:"writes,omitempty"`
 	Errors      uint64          `json:"errors"`
 	Shed        uint64          `json:"shed"`
 	QPS         float64         `json:"qps"`
@@ -65,11 +66,16 @@ type RunReport struct {
 	Latency      LatencySummary `json:"latency"`
 }
 
-// DispatchComparison records the bounded-dispatch before/after: the same
-// workload driven against a pooled-dispatch server and a spawn-dispatch
-// (goroutine-per-request) server.
+// DispatchComparison records an interleaved before/after: the same
+// workload driven against the primary server and a comparison server
+// running the old configuration. Historically the two sides were
+// pooled vs spawn dispatch — the field names keep that lineage — but
+// Mode names what actually differs ("spawn-dispatch", "legacy-kernel",
+// ...): Pooled* is always the primary (new) side, Spawn* the
+// comparison (old) side.
 type DispatchComparison struct {
 	Workload    string  `json:"workload"`
+	Mode        string  `json:"mode,omitempty"`
 	PooledQPS   float64 `json:"pooled_qps"`
 	PooledP99Us float64 `json:"pooled_p99_us"`
 	SpawnQPS    float64 `json:"spawn_qps"`
@@ -90,6 +96,11 @@ type LoadReport struct {
 
 	Runs               []RunReport         `json:"runs"`
 	DispatchComparison *DispatchComparison `json:"dispatch_comparison,omitempty"`
+
+	// Notes carries free-form provenance lines — methodology, the
+	// baseline this run was measured against, trajectory across PRs —
+	// so the committed artifact explains itself.
+	Notes []string `json:"notes,omitempty"`
 
 	// ServerMetrics is the server-side view of the same run: the delta of
 	// the server's /metrics families between the start and the end of the
@@ -137,8 +148,15 @@ func (r *LoadReport) Print(w io.Writer) {
 		}
 	}
 	if c := r.DispatchComparison; c != nil {
-		fmt.Fprintf(w, "  dispatch on %s: pooled %.1f qps (p99 %.0fµs) vs spawn %.1f qps (p99 %.0fµs) — %.2fx\n",
-			c.Workload, c.PooledQPS, c.PooledP99Us, c.SpawnQPS, c.SpawnP99Us, c.Speedup)
+		mode := c.Mode
+		if mode == "" {
+			mode = "spawn-dispatch"
+		}
+		fmt.Fprintf(w, "  A/B (%s) on %s: new %.1f qps (p99 %.0fµs) vs old %.1f qps (p99 %.0fµs) — %.2fx\n",
+			mode, c.Workload, c.PooledQPS, c.PooledP99Us, c.SpawnQPS, c.SpawnP99Us, c.Speedup)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	if len(r.ServerMetrics) > 0 {
 		fmt.Fprintf(w, "  server view: %.0f requests, %.0f shed, %.0f leakage tokens, %.0f response items (%d series scraped)\n",

@@ -25,6 +25,14 @@ type Spec struct {
 	BatchFraction float64 `json:"batch_fraction,omitempty"`
 	BatchSize     int     `json:"batch_size,omitempty"`
 
+	// WriteFraction of the ops are owner-style writes — puts of fresh
+	// tuples, with every fourth write deleting a tuple the slot put
+	// earlier — shipped to the server's writable store (rsse-server
+	// -writable). The remainder of the ops are queries as usual. The
+	// driver must supply a write path; rsse-load dials the update
+	// namespace on the same address when this is set.
+	WriteFraction float64 `json:"write_fraction,omitempty"`
+
 	// Default fan-out: Connections sockets × InFlight concurrent
 	// requests per socket. Phases may override either.
 	Connections int `json:"connections"`
@@ -79,6 +87,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.BatchFraction > 0 && s.BatchSize < 2 {
 		return fmt.Errorf("workload: batch_size %d < 2 with batch_fraction set", s.BatchSize)
+	}
+	if s.WriteFraction < 0 || s.WriteFraction > 1 {
+		return fmt.Errorf("workload: write_fraction %v outside [0, 1]", s.WriteFraction)
 	}
 	if s.Connections < 1 || s.InFlight < 1 {
 		return fmt.Errorf("workload: connections %d × in_flight %d must both be ≥ 1", s.Connections, s.InFlight)

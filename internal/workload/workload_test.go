@@ -180,6 +180,75 @@ func TestGeneratorBatchMix(t *testing.T) {
 	}
 }
 
+// TestGeneratorWriteMix: with write_fraction set, the stream mixes
+// writes near the configured rate; deletes only ever name tuples the
+// same slot put earlier; IDs are unique within the slot and carry the
+// slot tag, so concurrent slots cannot collide on the shared store.
+func TestGeneratorWriteMix(t *testing.T) {
+	spec, err := Builtin(dataset.FamilyZipf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.WriteFraction = 0.3
+	const slot = 5
+	g, err := NewGenerator(spec, 16, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(spec, 16, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[uint64]uint64{} // id -> value of not-yet-deleted puts
+	writes, dels := 0, 0
+	for i := 0; i < 5000; i++ {
+		op, op2 := g.Next(), g2.Next()
+		if (op.Write == nil) != (op2.Write == nil) {
+			t.Fatalf("op %d: same-seed generators disagree on op kind", i)
+		}
+		if op.Write == nil {
+			if len(op.Ranges) == 0 {
+				t.Fatalf("op %d: neither query nor write", i)
+			}
+			continue
+		}
+		w := op.Write
+		if op2.Write.ID != w.ID || op2.Write.Del != w.Del || op2.Write.Value != w.Value {
+			t.Fatalf("op %d: same-seed generators diverge on write", i)
+		}
+		writes++
+		if w.Del {
+			dels++
+			v, ok := live[w.ID]
+			if !ok {
+				t.Fatalf("op %d: delete of id %d never put (or already deleted)", i, w.ID)
+			}
+			if v != w.Value {
+				t.Fatalf("op %d: delete of id %d with value %d, put with %d", i, w.ID, w.Value, v)
+			}
+			delete(live, w.ID)
+			continue
+		}
+		if w.ID>>32 != slot {
+			t.Fatalf("op %d: put id %#x missing slot tag %d", i, w.ID, slot)
+		}
+		if _, dup := live[w.ID]; dup {
+			t.Fatalf("op %d: duplicate put id %d", i, w.ID)
+		}
+		if len(w.Payload) == 0 {
+			t.Fatalf("op %d: put with empty payload", i)
+		}
+		live[w.ID] = w.Value
+	}
+	frac := float64(writes) / 5000
+	if frac < spec.WriteFraction*0.7 || frac > spec.WriteFraction*1.3 {
+		t.Fatalf("write fraction %.3f far from configured %.2f", frac, spec.WriteFraction)
+	}
+	if dels == 0 {
+		t.Fatal("write stream produced no deletes")
+	}
+}
+
 func TestSpecValidate(t *testing.T) {
 	good, err := Builtin("zipf")
 	if err != nil {
@@ -195,6 +264,8 @@ func TestSpecValidate(t *testing.T) {
 		func(s *Spec) { s.Sizes = SizeDist{Dist: "uniform", Min: 9, Max: 3} },
 		func(s *Spec) { s.BatchFraction = 1.5 },
 		func(s *Spec) { s.BatchFraction = 0.5; s.BatchSize = 0 },
+		func(s *Spec) { s.WriteFraction = -0.1 },
+		func(s *Spec) { s.WriteFraction = 1.01 },
 		func(s *Spec) { s.Connections = 0 },
 		func(s *Spec) { s.Phases = nil },
 		func(s *Spec) { s.Phases[0].DurationMS = 0 },
@@ -300,6 +371,37 @@ func TestRunnerUnpacedAndPaced(t *testing.T) {
 	}
 	if sustain.Leakage.Tokens == 0 || sustain.Leakage.ResponseItems != 3*sustain.Requests {
 		t.Fatalf("leakage accounting wrong: %+v", sustain.Leakage)
+	}
+}
+
+// TestRunnerCountsWrites: write ops land in the phase report's Writes
+// column, separate from Batches.
+func TestRunnerCountsWrites(t *testing.T) {
+	spec := &Spec{
+		Name:          "mixed",
+		Seed:          1,
+		Keys:          dataset.Distribution{Family: dataset.FamilyUniform},
+		Sizes:         SizeDist{Dist: "fixed", Min: 4},
+		WriteFraction: 0.5,
+		Connections:   1,
+		InFlight:      2,
+		Phases:        []Phase{{Name: "mix", DurationMS: 150}},
+	}
+	r := &Runner{
+		Spec:       spec,
+		Bits:       16,
+		NewSession: func() (Session, error) { return &fakeSession{delay: 100 * time.Microsecond}, nil },
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Phases[0]
+	if p.Writes == 0 {
+		t.Fatalf("no writes counted in %d requests at write_fraction 0.5", p.Requests)
+	}
+	if p.Writes >= p.Requests {
+		t.Fatalf("writes %d should be a strict subset of requests %d", p.Writes, p.Requests)
 	}
 }
 

@@ -24,6 +24,8 @@ type config struct {
 	quadMaxBits  uint8
 	batchWorkers int
 	syncEvery    int
+	tdMemo       int
+	tdMemoShared *core.TrapdoorMemo
 }
 
 // Option customizes a Client or Dynamic store.
@@ -168,6 +170,45 @@ func WithSyncEvery(n int) Option {
 	}
 }
 
+// WithTrapdoorMemo lets the client memoize up to n ranges' derived
+// trapdoors and replay them for repeated queries. Trapdoors are a
+// deterministic function of the keys and the range, so a replay sends
+// the server what a fresh derivation would (the server already links
+// repeated ranges through its search-pattern leakage); only redundant
+// owner-side PRF work is skipped. 0, the default, derives every
+// trapdoor fresh — keep it off when measuring owner-side query cost.
+func WithTrapdoorMemo(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("rsse: trapdoor memo size %d must not be negative", n)
+		}
+		c.tdMemo = n
+		return nil
+	}
+}
+
+// TrapdoorMemo is a bounded range → trapdoor cache shareable between
+// clients holding the same master key and scheme kind; see
+// WithSharedTrapdoorMemo.
+type TrapdoorMemo = core.TrapdoorMemo
+
+// NewTrapdoorMemo creates a shareable trapdoor memo holding up to
+// capacity distinct ranges (nil, meaning no memoization, when capacity
+// is not positive).
+func NewTrapdoorMemo(capacity int) *TrapdoorMemo { return core.NewTrapdoorMemo(capacity) }
+
+// WithSharedTrapdoorMemo attaches an existing memo, letting a pool of
+// clients with the same master key and kind serve each other's repeated
+// ranges (the load harness keeps one owner client per in-flight slot).
+// Clients with different keys or kinds must not share a memo. Takes
+// precedence over WithTrapdoorMemo.
+func WithSharedTrapdoorMemo(m *TrapdoorMemo) Option {
+	return func(c *config) error {
+		c.tdMemoShared = m
+		return nil
+	}
+}
+
 // AllowIntersectingQueries disables the Constant schemes' client-side
 // guard against intersecting queries. The schemes are then no longer
 // covered by their adaptive-security argument (Section 5) — intended for
@@ -213,6 +254,8 @@ func (c *config) lower() (core.Options, error) {
 	opts.AllowIntersecting = c.allowInter
 	opts.QuadraticMaxBits = c.quadMaxBits
 	opts.BatchWorkers = c.batchWorkers
+	opts.TrapdoorMemo = c.tdMemo
+	opts.SharedTrapdoorMemo = c.tdMemoShared
 	return opts, nil
 }
 
