@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"strings"
 	"sync"
 
 	"rsse/internal/core"
 	"rsse/internal/cover"
 	"rsse/internal/prf"
 	"rsse/internal/shard"
+	"rsse/internal/transport"
 )
 
 // Cluster is a range-partitioned deployment of one scheme: the domain
@@ -47,6 +50,8 @@ type clusterConfig struct {
 	quantile  bool
 	masterKey []byte
 	shardOpts []Option
+	retry     *transport.RetryPolicy
+	connWrap  func(net.Conn) net.Conn
 }
 
 // ClusterOption customizes a Cluster.
@@ -72,6 +77,38 @@ func WithClusterWorkers(n int) ClusterOption {
 func WithPartialResults() ClusterOption {
 	return func(c *clusterConfig) error {
 		c.policy = shard.Partial
+		return nil
+	}
+}
+
+// WithShardRetry makes a dialed cluster resilient: each shard target
+// becomes a retrying handle that redials dead connections, retries
+// idempotent read sub-queries with capped jittered backoff, and backs
+// off (without failing over) when a shard sheds under ErrOverloaded.
+// Shard dialing turns lazy — an unreachable shard no longer fails
+// DialCluster; its sub-queries fail typed (ErrConnDead) after the
+// policy's attempts, which WithPartialResults then degrades to a
+// partial result instead of a failed query. The zero policy selects
+// the defaults (4 attempts, 10ms base backoff). Only meaningful for
+// dialed clusters; local clusters ignore it.
+func WithShardRetry(p RetryPolicy) ClusterOption {
+	return func(c *clusterConfig) error {
+		pc := p
+		c.retry = &pc
+		return nil
+	}
+}
+
+// WithShardConnWrapper passes every shard connection a dialed cluster
+// opens through wrap before the transport takes over — the seam chaos
+// tests and the load harness use to inject faults (see
+// internal/fault). Only meaningful for DialCluster.
+func WithShardConnWrapper(wrap func(net.Conn) net.Conn) ClusterOption {
+	return func(c *clusterConfig) error {
+		if wrap == nil {
+			return errors.New("rsse: nil shard conn wrapper")
+		}
+		c.connWrap = wrap
 		return nil
 	}
 }
@@ -226,7 +263,7 @@ func OpenCluster(man ClusterManifest, masterKey []byte, open func(shardIndex int
 	if open == nil {
 		return nil, errors.New("rsse: OpenCluster requires an open function")
 	}
-	c, err := clusterFromManifest(man, masterKey, opts)
+	c, _, err := clusterFromManifest(man, masterKey, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -249,21 +286,24 @@ func OpenCluster(man ClusterManifest, masterKey []byte, open func(shardIndex int
 
 // clusterFromManifest builds the owner-side cluster state (map, derived
 // clients) described by a manifest, leaving the shard targets unset.
-func clusterFromManifest(man ClusterManifest, masterKey []byte, opts []ClusterOption) (*Cluster, error) {
+// The resolved config rides along for callers (dialCluster) that need
+// the connection-level options.
+func clusterFromManifest(man ClusterManifest, masterKey []byte, opts []ClusterOption) (*Cluster, clusterConfig, error) {
 	kind, err := man.KindValue()
 	if err != nil {
-		return nil, err
+		return nil, clusterConfig{}, err
 	}
 	m, err := man.MapValue()
 	if err != nil {
-		return nil, err
+		return nil, clusterConfig{}, err
 	}
 	opts = append(opts, WithClusterKey(masterKey))
 	cfg, master, err := applyClusterOptions(opts)
 	if err != nil {
-		return nil, err
+		return nil, clusterConfig{}, err
 	}
-	return newCluster(kind, m, master, cfg)
+	c, err := newCluster(kind, m, master, cfg)
+	return c, cfg, err
 }
 
 // ClusterManifest is the serializable topology of a cluster: scheme,
@@ -364,6 +404,51 @@ type ClusterResult struct {
 	Shards []ShardQueryStat
 }
 
+// ErrPartialResult marks a cluster result whose merged matches are
+// missing at least one shard's slice: under WithPartialResults the
+// query itself succeeds (err == nil, reachable shards merged), and
+// this typed error — from ClusterResult.PartialErr — is how callers
+// detect and attribute the gap. Detect with errors.Is.
+var ErrPartialResult = errors.New("rsse: partial result, one or more shards failed")
+
+// partialErr builds the typed partial-result error from per-shard
+// failures: nil when every shard answered.
+func partialErr(failed []int, first error) error {
+	if len(failed) == 0 {
+		return nil
+	}
+	ids := make([]string, len(failed))
+	for i, s := range failed {
+		ids[i] = fmt.Sprint(s)
+	}
+	// Both errors wrap: callers match the category (ErrPartialResult)
+	// and the cause (e.g. ErrConnDead) with one errors.Is each.
+	return fmt.Errorf("%w: shard(s) %s: %w", ErrPartialResult, strings.Join(ids, ","), first)
+}
+
+// PartialErr returns nil when every intersected shard answered, and a
+// typed error wrapping ErrPartialResult (naming the failed shards and
+// carrying the first underlying failure) otherwise. The degradation
+// ladder: a healthy cluster returns complete results; under
+// WithPartialResults a dead shard costs only its slice, surfaced
+// here; only when every shard fails does the query itself error.
+func (r *ClusterResult) PartialErr() error {
+	var failed []int
+	var first error
+	for _, s := range r.Shards {
+		if s.Err != nil {
+			failed = append(failed, s.Shard)
+			if first == nil {
+				first = s.Err
+			}
+		}
+	}
+	return partialErr(failed, first)
+}
+
+// Complete reports whether every intersected shard answered.
+func (r *ClusterResult) Complete() bool { return r.PartialErr() == nil }
+
 // Query answers a range query across the cluster: the range splits at
 // shard boundaries, each intersected shard is queried concurrently with
 // its own trapdoors, and the per-shard results merge into one. A range
@@ -421,6 +506,24 @@ type ClusterBatchResult struct {
 	Stats   BatchStats
 	Shards  []ShardBatchStat
 }
+
+// PartialErr is ClusterResult.PartialErr for a batched outcome.
+func (r *ClusterBatchResult) PartialErr() error {
+	var failed []int
+	var first error
+	for _, s := range r.Shards {
+		if s.Err != nil {
+			failed = append(failed, s.Shard)
+			if first == nil {
+				first = s.Err
+			}
+		}
+	}
+	return partialErr(failed, first)
+}
+
+// Complete reports whether every intersected shard answered.
+func (r *ClusterBatchResult) Complete() bool { return r.PartialErr() == nil }
 
 // QueryBatch answers several ranges across the cluster in one batched
 // scatter: every range splits at shard boundaries, the slices group by

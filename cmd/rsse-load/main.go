@@ -37,6 +37,15 @@
 //
 //	rsse-load -addr 127.0.0.1:7070 -manifest users.cluster.json \
 //	    -keyfile cluster.key -workloads hotspot
+//
+// Run under fault injection: -fault points at a JSON fault plan (see
+// internal/fault.Plan) that every load connection is wrapped in, and
+// -retry makes read sessions resilient so the run survives the chaos —
+// killed connections redial, idempotent reads retry, failed writes are
+// never re-sent (at-most-once), and the injector's tally lands in the
+// report notes:
+//
+//	rsse-load ... -fault plan.json -retry 6 -op-timeout 2s
 package main
 
 import (
@@ -44,11 +53,14 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"rsse"
+	"rsse/internal/fault"
 	"rsse/internal/obs"
 	"rsse/internal/workload"
 )
@@ -72,6 +84,9 @@ func main() {
 		writeName   = flag.String("writable-name", rsse.DefaultDynamicName, "writable-store name for write_fraction ops (rsse-server -writable)")
 		opsAddr     = flag.String("ops-addr", "", "server ops address (rsse-server -ops): scrape /metrics before and after the run and embed the delta in the report")
 		tdMemo      = flag.Int("td-memo", 16384, "per-session shared trapdoor memo capacity (0 derives every trapdoor fresh)")
+		faultPath   = flag.String("fault", "", "JSON fault plan (internal/fault.Plan): wrap every load connection in deterministic fault injection")
+		retry       = flag.Int("retry", 0, "resilient sessions: attempts per idempotent read op (0 disables redial/retry)")
+		opTimeout   = flag.Duration("op-timeout", 0, "per-attempt deadline of resilient reads (0: none; required to recover black-holed connections)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a driver-side CPU profile here (the driver shares the box's CPU with the server; profile both)")
 		version     = flag.Bool("version", false, "print version and exit")
 		notes       multiFlag
@@ -111,6 +126,18 @@ func main() {
 	}
 	env.tdMemo = *tdMemo
 	env.writableName = *writeName
+	if *faultPath != "" {
+		plan, err := fault.LoadPlan(*faultPath)
+		if err != nil {
+			fatal(err)
+		}
+		env.injector = fault.New(plan)
+	}
+	if *retry > 0 {
+		env.retry = &rsse.RetryPolicy{MaxAttempts: *retry, OpTimeout: *opTimeout}
+	} else if env.injector != nil {
+		fmt.Fprintln(os.Stderr, "rsse-load: -fault without -retry: sessions will NOT recover killed connections")
+	}
 	for _, spec := range specs {
 		if spec.WriteFraction > 0 && *manifest != "" {
 			fatal(fmt.Errorf("workload %s: write_fraction is not supported against a cluster (no cluster update protocol)", spec.Name))
@@ -142,6 +169,12 @@ func main() {
 		report.Runs = append(report.Runs, *oldRun)
 	}
 	report.Notes = notes
+	if env.injector != nil {
+		st := env.injector.Stats()
+		report.Notes = append(report.Notes,
+			fmt.Sprintf("fault: plan=%s seed=%d conns=%d drops=%d closes=%d blackholes=%d delays=%d truncations=%d",
+				*faultPath, env.injector.Plan().Seed, st.Conns, st.Drops, st.Closes, st.BlackHoles, st.Delays, st.Truncations))
+	}
 
 	if *opsAddr != "" {
 		after, err := obs.Scrape(*opsAddr)
@@ -242,6 +275,12 @@ type env struct {
 	man          rsse.ClusterManifest
 	tdMemo       int
 	writableName string
+	// injector wraps every session connection when -fault is set; its
+	// stats land in the report notes. retry, when set, makes sessions
+	// resilient (-retry/-op-timeout). The discovery connection stays
+	// clean either way.
+	injector *fault.Injector
+	retry    *rsse.RetryPolicy
 }
 
 // discover connects once to learn the scheme and domain so the load
@@ -389,17 +428,46 @@ func sustainP99(r *workload.RunReport) float64 {
 type nodeSession struct {
 	remote  *rsse.RemoteIndex
 	clients chan *rsse.Client
+
+	// The write path is deliberately NOT resilient: an errored update's
+	// fate is unknown (it may have reached the WAL before the connection
+	// died), so it is never re-sent — the op just counts as an error.
+	// What redial buys here is that the NEXT write gets a fresh
+	// connection instead of the sticky-dead one killing the whole run.
+	dynMu   sync.Mutex
 	dyn     *rsse.RemoteDynamic
+	redials int
+	dynDial func() (*rsse.RemoteDynamic, error)
 }
 
 func newNodeSession(e *env, addr string, inflight int, writes bool) (*nodeSession, error) {
-	remote, err := rsse.DialIndex("tcp", addr, e.name)
+	var dialOpts []rsse.DialOption
+	if e.injector != nil {
+		dialOpts = append(dialOpts, rsse.WithConnWrapper(e.injector.Wrap))
+	}
+	if e.retry != nil {
+		dialOpts = append(dialOpts, rsse.WithRetry(*e.retry))
+	}
+	remote, err := rsse.DialIndexWith("tcp", addr, e.name, dialOpts...)
 	if err != nil {
 		return nil, err
 	}
 	s := &nodeSession{remote: remote, clients: make(chan *rsse.Client, inflight)}
 	if writes {
-		if s.dyn, err = rsse.DialDynamic("tcp", addr, e.writableName); err != nil {
+		s.dynDial = func() (*rsse.RemoteDynamic, error) {
+			return rsse.DialDynamic("tcp", addr, e.writableName)
+		}
+		if e.injector != nil {
+			wrap, name := e.injector.Wrap, e.writableName
+			s.dynDial = func() (*rsse.RemoteDynamic, error) {
+				nc, err := new(net.Dialer).Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return rsse.NewRemoteDynamic(wrap(nc), name), nil
+			}
+		}
+		if s.dyn, err = s.dynDial(); err != nil {
 			remote.Close()
 			return nil, fmt.Errorf("write path (is the server running with -writable?): %w", err)
 		}
@@ -422,15 +490,9 @@ func newNodeSession(e *env, addr string, inflight int, writes bool) (*nodeSessio
 
 func (s *nodeSession) Do(ctx context.Context, op *workload.Op) (workload.Metrics, error) {
 	if w := op.Write; w != nil {
-		if s.dyn == nil {
-			return workload.Metrics{}, fmt.Errorf("write op without a write path")
-		}
 		// Writes carry no query-leakage counters; latency is what the
 		// harness measures (acknowledged per the server's fsync policy).
-		if w.Del {
-			return workload.Metrics{}, s.dyn.Delete(w.ID, w.Value)
-		}
-		return workload.Metrics{}, s.dyn.Insert(w.ID, w.Value, w.Payload)
+		return workload.Metrics{}, s.write(w)
 	}
 	c := <-s.clients
 	defer func() {
@@ -474,10 +536,37 @@ func (s *nodeSession) Do(ctx context.Context, op *workload.Op) (workload.Metrics
 	return m, nil
 }
 
+// write sends one update. On a dead connection the failed op is NOT
+// re-sent (its fate is unknown — at-most-once); the session redials so
+// subsequent writes get a live connection instead of the corpse.
+func (s *nodeSession) write(w *workload.WriteOp) error {
+	s.dynMu.Lock()
+	defer s.dynMu.Unlock()
+	if s.dyn == nil {
+		return fmt.Errorf("write op without a write path")
+	}
+	var err error
+	if w.Del {
+		err = s.dyn.Delete(w.ID, w.Value)
+	} else {
+		err = s.dyn.Insert(w.ID, w.Value, w.Payload)
+	}
+	if err != nil {
+		s.dyn.Close()
+		if fresh, derr := s.dynDial(); derr == nil {
+			s.dyn = fresh
+			s.redials++
+		}
+	}
+	return err
+}
+
 func (s *nodeSession) Close() error {
+	s.dynMu.Lock()
 	if s.dyn != nil {
 		s.dyn.Close()
 	}
+	s.dynMu.Unlock()
 	return s.remote.Close()
 }
 
@@ -490,9 +579,16 @@ type clusterSession struct {
 }
 
 func newClusterSession(e *env, addr string, inflight int) (*clusterSession, error) {
+	var clOpts []rsse.ClusterOption
+	if e.injector != nil {
+		clOpts = append(clOpts, rsse.WithShardConnWrapper(e.injector.Wrap))
+	}
+	if e.retry != nil {
+		clOpts = append(clOpts, rsse.WithShardRetry(*e.retry), rsse.WithPartialResults())
+	}
 	s := &clusterSession{clusters: make(chan *rsse.Cluster, inflight)}
 	for i := 0; i < inflight; i++ {
-		cl, err := rsse.DialCluster("tcp", addr, e.man, e.key)
+		cl, err := rsse.DialCluster("tcp", addr, e.man, e.key, clOpts...)
 		if err != nil {
 			s.Close()
 			return nil, err

@@ -1,5 +1,7 @@
 package rsse
 
+import "rsse/internal/storage"
+
 // Test-only crash hooks: recovery tests simulate SIGKILL by dropping a
 // durable store's WAL file descriptor without syncing or flushing —
 // on-disk state stays exactly as a crash would leave it, and the WAL's
@@ -13,5 +15,16 @@ func Crash(d *Dynamic) { d.inner.Abandon() }
 func CrashSharded(d *ShardedDynamic) {
 	for _, s := range d.stores {
 		s.inner.Abandon()
+	}
+}
+
+// WithStorageEngine injects a concrete storage engine instead of a
+// registered name — the chaos suite uses it to slide a fault-injecting
+// wrapper (internal/fault.Engine) under a served index without adding a
+// production option for it.
+func WithStorageEngine(e storage.Engine) Option {
+	return func(c *config) error {
+		c.engine = e
+		return nil
 	}
 }

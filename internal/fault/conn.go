@@ -1,0 +1,281 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// conn is a net.Conn with one Plan applied. It is safe for the
+// transport's usage pattern: one reader goroutine plus one writer
+// goroutine; the decision mutex is never held across blocking I/O.
+type conn struct {
+	net.Conn
+	in *Injector
+	id int64
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	rules      []*ruleState
+	readCalls  int64
+	writeCalls int64
+	readBytes  int64
+	writeBytes int64
+	bhRead     bool
+	bhWrite    bool
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+type ruleState struct {
+	Rule
+	fired bool
+}
+
+func newConn(nc net.Conn, in *Injector, id int64) *conn {
+	c := &conn{
+		Conn:   nc,
+		in:     in,
+		id:     id,
+		rng:    rand.New(rand.NewSource(connSeed(in.plan.Seed, id))),
+		closed: make(chan struct{}),
+	}
+	for _, r := range in.plan.Rules {
+		if r.Conn == -1 || int64(r.Conn) == id {
+			if r.Side == "" {
+				r.Side = Write
+			}
+			c.rules = append(c.rules, &ruleState{Rule: r})
+		}
+	}
+	return c
+}
+
+// connSeed derives a per-conn seed with a splitmix64 step so nearby
+// (seed, ordinal) pairs do not produce correlated streams.
+func connSeed(seed, id int64) int64 {
+	z := uint64(seed) + uint64(id)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// verdict is what decide resolved for one call.
+type verdict struct {
+	action Action
+	delay  time.Duration
+	// cut is the number of bytes the call may move before a truncate
+	// rule severs the conn; -1 means no truncate rule is armed.
+	cut int64
+}
+
+// decide picks the fate of one call on side. Explicit rules win over
+// random noise; the first armed, matching rule fires.
+func (c *conn) decide(side Side) verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var call, bytes int64
+	if side == Read {
+		c.readCalls++
+		call, bytes = c.readCalls, c.readBytes
+	} else {
+		c.writeCalls++
+		call, bytes = c.writeCalls, c.writeBytes
+	}
+
+	v := verdict{cut: -1}
+	if (side == Read && c.bhRead) || (side == Write && c.bhWrite) {
+		v.action = BlackHole
+		return v
+	}
+	for _, r := range c.rules {
+		if r.Side != side || r.fired {
+			continue
+		}
+		if r.Action == Truncate {
+			// Armed until the byte offset is reached; expose the
+			// remaining budget so the caller clamps its I/O.
+			rem := r.AtByte - bytes
+			if rem < 0 {
+				rem = 0
+			}
+			if v.cut < 0 || rem < v.cut {
+				v.cut = rem
+			}
+			if rem == 0 {
+				r.fired = true
+				v.action = Truncate
+				return v
+			}
+			continue
+		}
+		if !r.triggered(call, bytes) {
+			continue
+		}
+		switch r.Action {
+		case Delay:
+			v.delay = time.Duration(r.DelayMS) * time.Millisecond
+			// A delay composes with a later rule (e.g. delay then
+			// close); keep scanning.
+			continue
+		case BlackHole:
+			if side == Read {
+				c.bhRead = true
+			} else {
+				c.bhWrite = true
+			}
+		}
+		v.action = r.Action
+		return v
+	}
+
+	// Background noise, seeded per conn.
+	p := c.plan()
+	if p.CloseRate > 0 && c.rng.Float64() < p.CloseRate {
+		v.action = Close
+		return v
+	}
+	if side == Write && p.DropRate > 0 && c.rng.Float64() < p.DropRate {
+		v.action = Drop
+		return v
+	}
+	if p.DelayRate > 0 && p.MaxDelayMS > 0 && c.rng.Float64() < p.DelayRate {
+		v.delay += time.Duration(1+c.rng.Intn(p.MaxDelayMS)) * time.Millisecond
+	}
+	return v
+}
+
+func (c *conn) plan() Plan { return c.in.plan }
+
+// triggered reports whether a non-truncate rule fires on this call,
+// consuming one-shot rules.
+func (r *ruleState) triggered(call, bytes int64) bool {
+	if r.Every > 0 {
+		return call%int64(r.Every) == 0
+	}
+	switch {
+	case r.AfterCalls > 0:
+		if call < int64(r.AfterCalls) {
+			return false
+		}
+	case r.AtByte > 0:
+		if bytes < r.AtByte {
+			return false
+		}
+	}
+	r.fired = true
+	return true
+}
+
+func (c *conn) account(side Side, n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if side == Read {
+		c.readBytes += int64(n)
+	} else {
+		c.writeBytes += int64(n)
+	}
+	c.mu.Unlock()
+	if side == Read {
+		c.in.bytesRead.Add(int64(n))
+	} else {
+		c.in.bytesWritten.Add(int64(n))
+	}
+}
+
+// sleep waits d or until the conn is closed, whichever is first.
+func (c *conn) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	v := c.decide(Read)
+	if v.delay > 0 {
+		c.in.delays.Add(1)
+		c.sleep(v.delay)
+	}
+	switch v.action {
+	case Close:
+		c.in.closes.Add(1)
+		c.Close()
+		return 0, fmt.Errorf("%w: conn %d closed on read", ErrInjected, c.id)
+	case Truncate:
+		c.in.truncs.Add(1)
+		c.Close()
+		return 0, fmt.Errorf("%w: conn %d read truncated", ErrInjected, c.id)
+	case BlackHole:
+		c.in.holes.Add(1)
+		<-c.closed
+		return 0, fmt.Errorf("%w: conn %d black-holed on read", ErrInjected, c.id)
+	}
+	if v.cut >= 0 && int64(len(p)) > v.cut {
+		p = p[:v.cut]
+	}
+	n, err := c.Conn.Read(p)
+	c.account(Read, n)
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	v := c.decide(Write)
+	if v.delay > 0 {
+		c.in.delays.Add(1)
+		c.sleep(v.delay)
+	}
+	switch v.action {
+	case Drop:
+		c.in.drops.Add(1)
+		return len(p), nil
+	case Close:
+		c.in.closes.Add(1)
+		c.Close()
+		return 0, fmt.Errorf("%w: conn %d closed on write", ErrInjected, c.id)
+	case Truncate:
+		c.in.truncs.Add(1)
+		c.Close()
+		return 0, fmt.Errorf("%w: conn %d write truncated", ErrInjected, c.id)
+	case BlackHole:
+		// Pretend success forever; the peer sees silence.
+		c.in.holes.Add(1)
+		return len(p), nil
+	}
+	if v.cut >= 0 && int64(len(p)) > v.cut {
+		n, _ := c.Conn.Write(p[:v.cut])
+		c.account(Write, n)
+		c.in.truncs.Add(1)
+		c.Close()
+		return n, fmt.Errorf("%w: conn %d write truncated at byte %d", ErrInjected, c.id, c.sideBytes(Write))
+	}
+	n, err := c.Conn.Write(p)
+	c.account(Write, n)
+	return n, err
+}
+
+func (c *conn) sideBytes(side Side) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if side == Read {
+		return c.readBytes
+	}
+	return c.writeBytes
+}
+
+func (c *conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.Conn.Close()
+	})
+	return err
+}

@@ -1,0 +1,220 @@
+// Package fault is a deterministic fault-injection layer for chaos
+// testing the transport and storage paths. A Plan is a seeded,
+// schedulable description of failures — dropped writes, closed
+// connections, black holes, delays, and truncate-at-byte-N cuts —
+// triggered per connection ordinal, per call, or per byte offset. An
+// Injector applies a Plan to net.Conns (via Wrap/WrapDial/Listener)
+// and to storage backends (via Engine/WrapBackend) without touching
+// any production hot path: production code never imports this
+// package; tests and the load driver opt in through the existing
+// dial/engine seams.
+//
+// Everything is deterministic from Plan.Seed plus the order in which
+// connections are wrapped, so a chaos run can be replayed exactly.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+)
+
+// ErrInjected marks every failure this package fabricates, so tests
+// can tell injected faults from real ones with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Action is what a triggered Rule does to the connection.
+type Action string
+
+const (
+	// Drop discards a single write but reports success to the caller —
+	// the classic lost-packet: the peer never sees the frame.
+	Drop Action = "drop"
+	// Close closes the connection at the trigger point; the call that
+	// tripped the rule fails with ErrInjected.
+	Close Action = "close"
+	// BlackHole leaves the connection open but inert from the trigger
+	// on: writes succeed without transmitting, reads block until the
+	// conn is closed. Models a peer that vanished without a FIN.
+	BlackHole Action = "blackhole"
+	// Delay sleeps Rule.DelayMS before letting the call proceed.
+	Delay Action = "delay"
+	// Truncate passes bytes through untouched until the side's
+	// absolute byte offset reaches Rule.AtByte, then cuts the
+	// connection mid-frame. This is the transport analogue of the WAL
+	// torn-tail kill point from the recovery suite.
+	Truncate Action = "truncate"
+)
+
+// Side selects which direction of the conn a Rule watches.
+type Side string
+
+const (
+	Read  Side = "read"
+	Write Side = "write"
+)
+
+// Rule is one scheduled fault. Zero trigger fields mean "first call
+// on that side". Rules are evaluated in plan order; the first armed,
+// matching rule fires.
+type Rule struct {
+	// Conn is the connection ordinal the rule applies to (0 is the
+	// first conn the injector wraps); -1 applies to every conn.
+	Conn int `json:"conn"`
+	// Side is the direction watched; defaults to Write.
+	Side Side `json:"side,omitempty"`
+	// Action is what happens at the trigger.
+	Action Action `json:"action"`
+	// AfterCalls triggers on the Nth call (1-based) of Side.
+	AfterCalls int `json:"after_calls,omitempty"`
+	// AtByte is the absolute byte offset: for Truncate, where the cut
+	// lands; for other actions, the trigger fires once the side has
+	// moved at least this many bytes.
+	AtByte int64 `json:"at_byte,omitempty"`
+	// DelayMS is the sleep for Delay rules.
+	DelayMS int `json:"delay_ms,omitempty"`
+	// Every re-arms the rule on every Nth call instead of firing
+	// once; only meaningful for Drop and Delay.
+	Every int `json:"every,omitempty"`
+}
+
+// Plan is a complete fault schedule: explicit Rules plus optional
+// seeded background noise rates. It marshals to/from JSON so chaos
+// runs are reproducible from a flag (`rsse-load -fault plan.json`).
+type Plan struct {
+	// Seed drives every random decision; the same seed and wrap order
+	// replays the same faults.
+	Seed int64 `json:"seed"`
+	// Rules are the scheduled faults.
+	Rules []Rule `json:"rules,omitempty"`
+	// DropRate is the probability each write is silently discarded.
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// CloseRate is the probability each call (read or write) kills
+	// the conn instead.
+	CloseRate float64 `json:"close_rate,omitempty"`
+	// DelayRate is the probability a call sleeps a random duration up
+	// to MaxDelayMS first.
+	DelayRate  float64 `json:"delay_rate,omitempty"`
+	MaxDelayMS int     `json:"max_delay_ms,omitempty"`
+}
+
+// ParsePlan decodes a Plan from JSON.
+func ParsePlan(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	for i, r := range p.Rules {
+		switch r.Action {
+		case Drop, Close, BlackHole, Delay, Truncate:
+		default:
+			return Plan{}, fmt.Errorf("fault: rule %d: unknown action %q", i, r.Action)
+		}
+		switch r.Side {
+		case "", Read, Write:
+		default:
+			return Plan{}, fmt.Errorf("fault: rule %d: unknown side %q", i, r.Side)
+		}
+	}
+	return p, nil
+}
+
+// LoadPlan reads a Plan from a JSON file.
+func LoadPlan(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("fault: load plan: %w", err)
+	}
+	return ParsePlan(data)
+}
+
+// Stats counts what an Injector has done so far. All counters are
+// cumulative across every wrapped conn.
+type Stats struct {
+	Conns        int64 `json:"conns"`
+	Drops        int64 `json:"drops"`
+	Closes       int64 `json:"closes"`
+	BlackHoles   int64 `json:"black_holes"`
+	Delays       int64 `json:"delays"`
+	Truncations  int64 `json:"truncations"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+}
+
+// Injector applies one Plan to every connection it wraps. Connection
+// ordinals are assigned in wrap order; each conn gets its own
+// deterministic RNG derived from the plan seed and its ordinal, so
+// concurrency in unrelated conns cannot perturb the schedule.
+type Injector struct {
+	plan Plan
+	next atomic.Int64
+
+	conns, drops, closes, holes, delays, truncs atomic.Int64
+	bytesRead, bytesWritten                     atomic.Int64
+}
+
+// New builds an Injector for plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
+// Plan returns the plan the injector runs.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats snapshots the counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Conns:        in.conns.Load(),
+		Drops:        in.drops.Load(),
+		Closes:       in.closes.Load(),
+		BlackHoles:   in.holes.Load(),
+		Delays:       in.delays.Load(),
+		Truncations:  in.truncs.Load(),
+		BytesRead:    in.bytesRead.Load(),
+		BytesWritten: in.bytesWritten.Load(),
+	}
+}
+
+// Wrap returns nc with the injector's plan applied. The returned conn
+// is safe for one concurrent reader plus one concurrent writer (the
+// transport's usage pattern).
+func (in *Injector) Wrap(nc net.Conn) net.Conn {
+	id := in.next.Add(1) - 1
+	in.conns.Add(1)
+	return newConn(nc, in, id)
+}
+
+// WrapDial decorates a dial function so every new connection passes
+// through the injector. The signature matches transport.NewPoolFunc
+// and the test-server dial seams.
+func (in *Injector) WrapDial(dial func(network, addr string) (net.Conn, error)) func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		nc, err := dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(nc), nil
+	}
+}
+
+// Listener wraps l so every accepted conn passes through the
+// injector — the server-side mirror of WrapDial.
+func (in *Injector) Listener(l net.Listener) net.Listener {
+	return &faultListener{Listener: l, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(nc), nil
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -134,13 +135,19 @@ func Run[Tk, T any](ctx context.Context, e Executor, tasks []Tk, run func(contex
 	}
 	if e.Policy == Partial {
 		failed := 0
+		var firstFailure error
 		for _, o := range outcomes {
 			if o.Err != nil {
+				if firstFailure == nil {
+					firstFailure = o.Err
+				}
 				failed++
 			}
 		}
 		if failed == len(outcomes) {
-			return outcomes, ErrAllShardsFailed
+			// Wrap the first cause so callers can type-match it (e.g.
+			// transport.ErrConnDead) alongside the category.
+			return outcomes, fmt.Errorf("%w: %w", ErrAllShardsFailed, firstFailure)
 		}
 		if failed > 0 {
 			mPartials.Inc()

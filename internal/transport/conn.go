@@ -103,7 +103,7 @@ func (c *Conn) enqueueFrame(id uint32, op byte, name string, payload []byte) err
 		q.mu.Lock()
 		q.spare = out[:0]
 		if err != nil {
-			q.err = fmt.Errorf("transport: write: %w", err)
+			q.err = fmt.Errorf("%w: write: %v", ErrConnDead, err)
 		}
 	}
 	q.flushing = false
@@ -140,6 +140,25 @@ func Dial(network, addr string) (*Conn, error) {
 
 // Close closes the underlying connection; outstanding requests fail.
 func (c *Conn) Close() error { return c.conn.Close() }
+
+// Err returns the sticky transport error: non-nil once either the
+// read loop or the write path has died. A non-nil Err wraps
+// ErrConnDead and never clears — dead conns are replaced (see
+// Redialer), not revived.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	readErr := c.readErr
+	c.mu.Unlock()
+	if readErr != nil {
+		return readErr
+	}
+	c.wq.mu.Lock()
+	defer c.wq.mu.Unlock()
+	return c.wq.err
+}
+
+// Dead reports whether the connection can no longer carry requests.
+func (c *Conn) Dead() bool { return c.Err() != nil }
 
 // readLoop routes response frames to their waiting requests until the
 // connection dies, then fails everything outstanding.
@@ -186,7 +205,7 @@ func (c *Conn) readLoop() {
 		ch <- rpcResult{status: status, payload: body[responseHeader:]}
 	}
 	c.mu.Lock()
-	c.readErr = fmt.Errorf("transport: connection lost: %w", err)
+	c.readErr = fmt.Errorf("%w: connection lost: %v", ErrConnDead, err)
 	for id, ch := range c.pending {
 		delete(c.pending, id)
 		close(ch) // a closed channel signals transport failure
@@ -399,35 +418,50 @@ type IndexHandle struct {
 	conn *Conn
 	name string
 
-	metaOnce sync.Once
-	meta     core.IndexMeta
-	metaErr  error
+	metaMu sync.Mutex
+	metaOK bool
+	meta   core.IndexMeta
 }
 
 // Name returns the index name the handle addresses.
 func (h *IndexHandle) Name() string { return h.name }
 
-// Meta implements core.Server; the result is cached for the handle's
-// lifetime (index metadata is immutable).
+// fetchMeta performs one meta round trip for name over c.
+func fetchMeta(ctx context.Context, c *Conn, name string) (core.IndexMeta, error) {
+	resp, err := c.roundTripContext(ctx, opMeta, name, nil)
+	if err != nil {
+		return core.IndexMeta{}, err
+	}
+	return parseMeta(resp)
+}
+
+func parseMeta(resp []byte) (core.IndexMeta, error) {
+	if len(resp) != 11 {
+		return core.IndexMeta{}, fmt.Errorf("transport: bad meta response length %d", len(resp))
+	}
+	return core.IndexMeta{
+		Kind:       core.Kind(resp[0]),
+		DomainBits: resp[1],
+		PosBits:    resp[2],
+		N:          int(binary.BigEndian.Uint64(resp[3:])),
+	}, nil
+}
+
+// Meta implements core.Server. A successful result is cached for the
+// handle's lifetime (index metadata is immutable); failures are not,
+// so a transient transport error cannot poison the handle.
 func (h *IndexHandle) Meta() (core.IndexMeta, error) {
-	h.metaOnce.Do(func() {
-		resp, err := h.conn.roundTrip(opMeta, h.name, nil)
-		if err != nil {
-			h.metaErr = err
-			return
-		}
-		if len(resp) != 11 {
-			h.metaErr = fmt.Errorf("transport: bad meta response length %d", len(resp))
-			return
-		}
-		h.meta = core.IndexMeta{
-			Kind:       core.Kind(resp[0]),
-			DomainBits: resp[1],
-			PosBits:    resp[2],
-			N:          int(binary.BigEndian.Uint64(resp[3:])),
-		}
-	})
-	return h.meta, h.metaErr
+	h.metaMu.Lock()
+	defer h.metaMu.Unlock()
+	if h.metaOK {
+		return h.meta, nil
+	}
+	m, err := fetchMeta(context.Background(), h.conn, h.name)
+	if err != nil {
+		return core.IndexMeta{}, err
+	}
+	h.meta, h.metaOK = m, true
+	return m, nil
 }
 
 // Search implements core.Server.

@@ -27,12 +27,19 @@ func NewPoolFunc(network string, dial func(network, addr string) (*Conn, error))
 }
 
 // Get returns the shared connection to addr, dialing it the first time.
-// A failed dial is not cached; the next Get retries.
+// A failed dial is not cached; the next Get retries. A cached conn
+// whose transport has died (sticky read or write error) is evicted
+// and redialed instead of being handed out again — without this, one
+// transient I/O error would poison the address forever.
 func (p *Pool) Get(addr string) (*Conn, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if c, ok := p.conns[addr]; ok {
-		return c, nil
+		if !c.Dead() {
+			return c, nil
+		}
+		delete(p.conns, addr)
+		c.Close()
 	}
 	c, err := p.dial(p.network, addr)
 	if err != nil {
@@ -40,6 +47,22 @@ func (p *Pool) Get(addr string) (*Conn, error) {
 	}
 	p.conns[addr] = c
 	return c, nil
+}
+
+// Evict drops the cached connection for addr if it is still c, and
+// closes it. Callers that discover a conn is unusable (a black-holed
+// peer times every request out without the read loop ever failing)
+// evict it so the next Get dials fresh. The identity check means a
+// racing caller that already replaced the conn loses nothing.
+func (p *Pool) Evict(addr string, c *Conn) {
+	p.mu.Lock()
+	if cur, ok := p.conns[addr]; ok && cur == c {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
 }
 
 // Close closes every pooled connection, returning the first error.

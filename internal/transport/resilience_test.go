@@ -1,0 +1,420 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rsse/internal/core"
+	"rsse/internal/fault"
+)
+
+// pipeDial returns a dial function that serves idx over a fresh
+// net.Pipe per call, optionally passing the client end through a
+// fault injector. dials counts how many conns were created.
+func pipeDial(t *testing.T, idx core.Server, in *fault.Injector, dials *atomic.Int64) func(network, addr string) (*Conn, error) {
+	t.Helper()
+	return func(network, addr string) (*Conn, error) {
+		serverEnd, clientEnd := net.Pipe()
+		go func() { _ = ServeConn(serverEnd, idx) }()
+		t.Cleanup(func() { serverEnd.Close(); clientEnd.Close() })
+		var nc net.Conn = clientEnd
+		if in != nil {
+			nc = in.Wrap(nc)
+		}
+		if dials != nil {
+			dials.Add(1)
+		}
+		return NewConn(nc), nil
+	}
+}
+
+func waitDead(t *testing.T, c *Conn) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Dead() {
+		if time.Now().After(deadline) {
+			t.Fatal("conn never became dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeadConnTypedError: every failure mode of a dead conn must be
+// errors.Is-able as ErrConnDead — that is what retry logic keys on.
+func TestDeadConnTypedError(t *testing.T) {
+	_, idx, _ := testClientIndex(t, core.LogarithmicBRC)
+
+	t.Run("read loop died", func(t *testing.T) {
+		conn := pipeServer(t, idx)
+		conn.Close()
+		waitDead(t, conn)
+		if _, err := conn.Names(); !errors.Is(err, ErrConnDead) {
+			t.Fatalf("err = %v, want ErrConnDead", err)
+		}
+		if err := conn.Err(); !errors.Is(err, ErrConnDead) {
+			t.Fatalf("Err() = %v, want ErrConnDead", err)
+		}
+	})
+
+	t.Run("in-flight request", func(t *testing.T) {
+		serverEnd, clientEnd := net.Pipe()
+		conn := NewConn(clientEnd)
+		errc := make(chan error, 1)
+		go func() {
+			_, err := conn.Names()
+			errc <- err
+		}()
+		// Swallow the request, then kill the conn under the waiter.
+		buf := make([]byte, 64)
+		serverEnd.Read(buf)
+		serverEnd.Close()
+		if err := <-errc; !errors.Is(err, ErrConnDead) {
+			t.Fatalf("in-flight err = %v, want ErrConnDead", err)
+		}
+	})
+}
+
+// TestPoolEvictsDeadConn: the pool must never hand out a conn whose
+// transport already died; it evicts and redials instead.
+func TestPoolEvictsDeadConn(t *testing.T) {
+	_, idx, _ := testClientIndex(t, core.LogarithmicBRC)
+	var dials atomic.Int64
+	pool := NewPoolFunc("pipe", pipeDial(t, idx, nil, &dials))
+	defer pool.Close()
+
+	c1, err := pool.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Names(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	waitDead(t, c1)
+
+	c2, err := pool.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("pool handed out the dead conn again")
+	}
+	if _, err := c2.Names(); err != nil {
+		t.Fatalf("redialed conn: %v", err)
+	}
+	if got := dials.Load(); got != 2 {
+		t.Fatalf("dials = %d, want 2", got)
+	}
+
+	// Evict is identity-checked: evicting the long-dead c1 must not
+	// disturb the live replacement.
+	pool.Evict("a", c1)
+	c3, err := pool.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c2 {
+		t.Fatal("stale Evict displaced the live conn")
+	}
+
+	// Evicting the live conn forces the next Get to dial fresh.
+	pool.Evict("a", c2)
+	c4, err := pool.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4 == c2 {
+		t.Fatal("evicted conn still cached")
+	}
+}
+
+// TestRedialerRetriesAcrossConnDeath: a scheduled mid-session conn
+// kill must be invisible to the caller — the handle redials and the
+// answer matches the fault-free one.
+func TestRedialerRetriesAcrossConnDeath(t *testing.T) {
+	c, idx, tuples := testClientIndex(t, core.LogarithmicBRC)
+	// Conn 0 dies on its second write; conn 1 and later are clean.
+	in := fault.New(fault.Plan{Seed: 11, Rules: []fault.Rule{
+		{Conn: 0, Side: fault.Write, Action: fault.Close, AfterCalls: 2},
+	}})
+	var dials atomic.Int64
+	pool := NewPoolFunc("pipe", pipeDial(t, idx, in, &dials))
+	defer pool.Close()
+	rd := NewRedialer(pool, "a", RetryPolicy{
+		MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 1,
+	})
+	h := rd.Default()
+
+	q := core.Range{Lo: 100, Hi: 300}
+	res, err := c.QueryServer(h, q) // meta = write 1, search = write 2 (killed), retried
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact(tuples, q)
+	if len(res.Matches) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(res.Matches), len(want))
+	}
+	if got := dials.Load(); got != 2 {
+		t.Fatalf("dials = %d, want 2 (one redial)", got)
+	}
+	if s := in.Stats(); s.Closes != 1 {
+		t.Fatalf("injected closes = %d, want 1", s.Closes)
+	}
+}
+
+// TestOverloadBacksOffWithoutFailover: ErrOverloaded means the server
+// is alive; the handle must keep the conn (no redial, no failover)
+// and just back off between attempts.
+func TestOverloadBacksOffWithoutFailover(t *testing.T) {
+	reg := NewRegistry()
+	srv := drainServer(reg)
+	var dials atomic.Int64
+	pool := NewPoolFunc("pipe", func(network, addr string) (*Conn, error) {
+		serverEnd, clientEnd := net.Pipe()
+		go func() { _ = serveLoop(reg, serverEnd, srv, DispatchPooled, nil, 0) }()
+		dials.Add(1)
+		return NewConn(clientEnd), nil
+	})
+	defer pool.Close()
+	rd := NewRedialer(pool, "a", RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 1,
+	})
+
+	_, err := rd.Default().Meta()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dials = %d, want 1 — overload must not trigger failover", got)
+	}
+}
+
+// metaCountServer counts Meta calls and always fails them with a
+// server-side error.
+type metaCountServer struct{ calls atomic.Int64 }
+
+func (s *metaCountServer) Meta() (core.IndexMeta, error) {
+	s.calls.Add(1)
+	return core.IndexMeta{}, fmt.Errorf("synthetic server failure")
+}
+func (s *metaCountServer) Search(*core.Trapdoor) (*core.Response, error) {
+	return nil, fmt.Errorf("unreachable")
+}
+func (s *metaCountServer) Fetch(core.ID) ([]byte, bool, error) { return nil, false, nil }
+
+// TestServerErrorNotRetried: a server-reported error means the
+// transport worked; retrying it would just repeat the failure.
+func TestServerErrorNotRetried(t *testing.T) {
+	srv := &metaCountServer{}
+	var dials atomic.Int64
+	pool := NewPoolFunc("pipe", pipeDial(t, srv, nil, &dials))
+	defer pool.Close()
+	rd := NewRedialer(pool, "a", RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 1,
+	})
+
+	_, err := rd.Default().Meta()
+	if err == nil || errors.Is(err, ErrConnDead) || errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want plain server error", err)
+	}
+	if got := srv.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d meta calls, want 1 (no retry)", got)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dials = %d, want 1", got)
+	}
+}
+
+// TestBlackHoleRecoveredByOpTimeout: a black-holed conn never fails
+// its read loop, so only the per-op deadline can detect it. The
+// handle must time the attempt out, replace the conn, and succeed.
+func TestBlackHoleRecoveredByOpTimeout(t *testing.T) {
+	c, idx, tuples := testClientIndex(t, core.LogarithmicBRC)
+	in := fault.New(fault.Plan{Seed: 5, Rules: []fault.Rule{
+		{Conn: 0, Side: fault.Read, Action: fault.BlackHole},
+	}})
+	var dials atomic.Int64
+	pool := NewPoolFunc("pipe", pipeDial(t, idx, in, &dials))
+	defer pool.Close()
+	rd := NewRedialer(pool, "a", RetryPolicy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		OpTimeout: 100 * time.Millisecond, Seed: 1,
+	})
+	h := rd.Default()
+
+	q := core.Range{Lo: 0, Hi: 50}
+	res, err := c.QueryServer(h, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exact(tuples, q); len(res.Matches) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(res.Matches), len(want))
+	}
+	if got := dials.Load(); got != 2 {
+		t.Fatalf("dials = %d, want 2 (black hole evicted once)", got)
+	}
+}
+
+// measureExchange runs one fault-free meta+search exchange and
+// returns the query result plus the total server→client byte count —
+// the sweep range for the kill-point test.
+func measureExchange(t *testing.T, c *core.Client, idx core.Server, q core.Range) (*core.Result, int64) {
+	t.Helper()
+	in := fault.New(fault.Plan{Seed: 1})
+	conn, err := pipeDial(t, idx, in, nil)("pipe", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := c.QueryServer(conn.Default(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, in.Stats().BytesRead
+}
+
+func sameResult(a, b *core.Result) bool {
+	return reflect.DeepEqual(a.Matches, b.Matches) && reflect.DeepEqual(a.Raw, b.Raw)
+}
+
+// TestKillPointFrameOffsets severs the server→client stream at every
+// byte offset of a recorded exchange — the transport mirror of the
+// WAL torn-tail sweep. At each offset the bare client must return
+// either the byte-identical result or a typed ErrConnDead, never a
+// wrong answer; the resilient client must always recover the
+// byte-identical result.
+func TestKillPointFrameOffsets(t *testing.T) {
+	c, idx, _ := testClientIndex(t, core.LogarithmicBRC)
+	q := core.Range{Lo: 700, Hi: 740}
+	oracle, total := measureExchange(t, c, idx, q)
+	if total == 0 {
+		t.Fatal("measured zero exchange bytes")
+	}
+
+	for off := int64(0); off <= total; off++ {
+		in := fault.New(fault.Plan{Seed: 1, Rules: []fault.Rule{
+			{Conn: 0, Side: fault.Read, Action: fault.Truncate, AtByte: off},
+		}})
+
+		// Bare conn: correct or typed death — never silent corruption.
+		conn, err := pipeDial(t, idx, in, nil)("pipe", "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.QueryServer(conn.Default(), q)
+		if err != nil {
+			if !errors.Is(err, ErrConnDead) {
+				t.Fatalf("offset %d/%d: err = %v, want ErrConnDead", off, total, err)
+			}
+		} else if !sameResult(res, oracle) {
+			t.Fatalf("offset %d/%d: result differs from oracle", off, total)
+		}
+		conn.Close()
+
+		// Resilient client: conn 0 truncates at off, later conns are
+		// clean; the caller must always see the oracle's bytes.
+		pool := NewPoolFunc("pipe", pipeDial(t, idx, in, nil))
+		rd := NewRedialer(pool, "a", RetryPolicy{
+			MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: time.Millisecond, Seed: off + 1,
+		})
+		res, err = c.QueryServer(rd.Default(), q)
+		if err != nil {
+			t.Fatalf("offset %d/%d: resilient query failed: %v", off, total, err)
+		}
+		if !sameResult(res, oracle) {
+			t.Fatalf("offset %d/%d: resilient result differs from oracle", off, total)
+		}
+		pool.Close()
+	}
+}
+
+// TestBatchStreamMidStreamDeath kills the server→client stream of the
+// chunked batch-stream op at sampled offsets, including between
+// chunks. A death mid-stream must surface a clean typed error — never
+// a silently truncated result slice — and the resilient path must
+// reassemble the oracle's exact responses on a fresh conn.
+func TestBatchStreamMidStreamDeath(t *testing.T) {
+	client, index := batchTestIndex(t, 211)
+	var ts []*core.Trapdoor
+	for i := 0; i < 40; i++ { // ≥ streamBatchThreshold: the streamed path
+		lo := uint64(i * 20 % 900)
+		tr, err := client.Trapdoor(core.Range{Lo: lo, Hi: lo + 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts = append(ts, tr)
+	}
+
+	// Fault-free oracle + stream length, through a counting injector.
+	in := fault.New(fault.Plan{Seed: 1})
+	conn, err := pipeDial(t, index, in, nil)("pipe", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := conn.Default().SearchBatchStreamContext(context.Background(), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle) != len(ts) {
+		t.Fatalf("oracle has %d responses for %d trapdoors", len(oracle), len(ts))
+	}
+	total := in.Stats().BytesRead
+	conn.Close()
+
+	sameResponses := func(got []*core.Response) bool {
+		if len(got) != len(oracle) {
+			return false
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i].Groups, oracle[i].Groups) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// ~40 evenly spaced offsets plus the exact end.
+	step := total / 40
+	if step == 0 {
+		step = 1
+	}
+	for off := int64(0); off <= total; off += step {
+		plan := fault.Plan{Seed: 1, Rules: []fault.Rule{
+			{Conn: 0, Side: fault.Read, Action: fault.Truncate, AtByte: off},
+		}}
+
+		in := fault.New(plan)
+		conn, err := pipeDial(t, index, in, nil)("pipe", "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := conn.Default().SearchBatchStreamContext(context.Background(), ts)
+		if err != nil {
+			if !errors.Is(err, ErrConnDead) {
+				t.Fatalf("offset %d/%d: err = %v, want ErrConnDead", off, total, err)
+			}
+		} else if !sameResponses(got) {
+			t.Fatalf("offset %d/%d: mid-stream death returned truncated/divergent responses", off, total)
+		}
+		conn.Close()
+
+		pool := NewPoolFunc("pipe", pipeDial(t, index, fault.New(plan), nil))
+		rd := NewRedialer(pool, "a", RetryPolicy{
+			MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: time.Millisecond, Seed: off + 1,
+		})
+		got, err = rd.Default().SearchBatchContext(context.Background(), ts)
+		if err != nil {
+			t.Fatalf("offset %d/%d: resilient batch failed: %v", off, total, err)
+		}
+		if !sameResponses(got) {
+			t.Fatalf("offset %d/%d: resilient batch differs from oracle", off, total)
+		}
+		pool.Close()
+	}
+}

@@ -93,6 +93,14 @@ const (
 // a connection error so clients can back off or fail over.
 var ErrOverloaded = errors.New("transport: server overloaded, request shed")
 
+// ErrConnDead marks every failure caused by the connection itself
+// dying — a failed write, a lost read loop, a request failed by the
+// demultiplexer's shutdown. It is distinct from server-reported
+// errors (which mean the transport is fine) so retry logic can tell
+// "redial and try again" from "the server rejected this": a dead conn
+// is safely retryable for idempotent reads, a server error is not.
+var ErrConnDead = errors.New("transport: connection dead")
+
 // overloadMsg is the payload of a drain-shed overload response.
 const overloadMsg = "server draining"
 

@@ -26,6 +26,7 @@ type config struct {
 	syncEvery    int
 	tdMemo       int
 	tdMemoShared *core.TrapdoorMemo
+	engine       storage.Engine
 }
 
 // Option customizes a Client or Dynamic store.
@@ -245,6 +246,11 @@ func (c *config) lower() (core.Options, error) {
 			return opts, err
 		}
 		opts.Storage = eng
+	}
+	if c.engine != nil {
+		// An explicitly injected engine (test-only, see WithStorageEngine
+		// in export_test.go) overrides the named selection.
+		opts.Storage = c.engine
 	}
 	if c.seed != nil {
 		opts.Rand = mrand.New(mrand.NewSource(*c.seed))

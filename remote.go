@@ -156,8 +156,23 @@ func ServeConn(conn io.ReadWriter, index *Index) error {
 // many goroutines interleave without corrupting the stream (and without
 // waiting on each other's responses).
 type RemoteIndex struct {
-	conn   *transport.Conn
-	handle *transport.IndexHandle
+	handle remoteHandle
+	names  func() ([]string, error)
+	close  func() error
+}
+
+// remoteHandle is the wire surface a RemoteIndex speaks through:
+// either a plain per-conn handle (transport.IndexHandle) or a
+// retrying one over a redialing pool (transport.ResilientHandle, via
+// DialIndexWith + WithRetry). Both implement core.Server plus the
+// context and batch extensions the query paths use.
+type remoteHandle interface {
+	core.Server
+	core.ContextSearcher
+	core.BatchSearcher
+	core.ContextBatchSearcher
+	core.ContextFetcher
+	Name() string
 }
 
 // Dial connects to a remote index server and addresses its default
@@ -169,11 +184,7 @@ func Dial(network, addr string) (*RemoteIndex, error) {
 // DialIndex connects to a remote multi-index server and addresses the
 // index served under name.
 func DialIndex(network, addr, name string) (*RemoteIndex, error) {
-	c, err := transport.Dial(network, addr)
-	if err != nil {
-		return nil, err
-	}
-	return &RemoteIndex{conn: c, handle: c.Index(name)}, nil
+	return DialIndexWith(network, addr, name)
 }
 
 // NewRemoteIndex wraps an established stream connection (TCP, unix
@@ -181,17 +192,17 @@ func DialIndex(network, addr, name string) (*RemoteIndex, error) {
 // default index.
 func NewRemoteIndex(conn io.ReadWriteCloser) *RemoteIndex {
 	c := transport.NewConn(conn)
-	return &RemoteIndex{conn: c, handle: c.Default()}
+	return &RemoteIndex{handle: c.Default(), names: c.Names, close: c.Close}
 }
 
-// Close closes the connection.
-func (r *RemoteIndex) Close() error { return r.conn.Close() }
+// Close closes the connection (for a resilient handle, its pool).
+func (r *RemoteIndex) Close() error { return r.close() }
 
 // Name returns the served-index name this handle addresses.
 func (r *RemoteIndex) Name() string { return r.handle.Name() }
 
 // ServedIndexes asks the server which index names it serves.
-func (r *RemoteIndex) ServedIndexes() ([]string, error) { return r.conn.Names() }
+func (r *RemoteIndex) ServedIndexes() ([]string, error) { return r.names() }
 
 // N returns the number of tuples in the remote index (its L1 leakage).
 func (r *RemoteIndex) N() (int, error) {
@@ -233,16 +244,46 @@ func (r *RemoteIndex) DomainBits() (uint8, error) {
 //
 // Close the returned cluster to drop the connections.
 func DialCluster(network, defaultAddr string, man ClusterManifest, masterKey []byte, opts ...ClusterOption) (*Cluster, error) {
-	return dialCluster(man, masterKey, opts, transport.NewPool(network), defaultAddr)
+	return dialClusterNet(network, defaultAddr, man, masterKey, opts)
+}
+
+// dialClusterNet builds the network pool after the options resolve,
+// so WithShardConnWrapper can interpose on every shard connection.
+func dialClusterNet(network, defaultAddr string, man ClusterManifest, masterKey []byte, opts []ClusterOption) (*Cluster, error) {
+	c, cfg, err := clusterFromManifest(man, masterKey, opts)
+	if err != nil {
+		return nil, err
+	}
+	dial := transport.Dial
+	if cfg.connWrap != nil {
+		wrap := cfg.connWrap
+		dial = func(network, addr string) (*transport.Conn, error) {
+			nc, err := net.Dial(network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewConn(wrap(nc)), nil
+		}
+	}
+	return finishDialCluster(c, cfg, man, transport.NewPoolFunc(network, dial), defaultAddr)
 }
 
 // dialCluster resolves every shard through the pool — shared with tests,
 // which dial in-process pipes instead of TCP.
 func dialCluster(man ClusterManifest, masterKey []byte, opts []ClusterOption, pool *transport.Pool, defaultAddr string) (*Cluster, error) {
-	c, err := clusterFromManifest(man, masterKey, opts)
+	c, cfg, err := clusterFromManifest(man, masterKey, opts)
 	if err != nil {
 		return nil, err
 	}
+	return finishDialCluster(c, cfg, man, pool, defaultAddr)
+}
+
+// finishDialCluster attaches every shard's wire target. Without a
+// retry policy each shard dials eagerly (an unreachable address fails
+// here, fast); with WithShardRetry targets are lazy retrying handles
+// and a dead shard surfaces per query — as a typed partial result
+// under WithPartialResults.
+func finishDialCluster(c *Cluster, cfg clusterConfig, man ClusterManifest, pool *transport.Pool, defaultAddr string) (*Cluster, error) {
 	c.closers = append(c.closers, pool)
 	for i, info := range man.Shards {
 		addr := info.Addr
@@ -252,6 +293,10 @@ func dialCluster(man ClusterManifest, masterKey []byte, opts []ClusterOption, po
 		if addr == "" {
 			c.Close()
 			return nil, fmt.Errorf("rsse: shard %d (%s) has no address and no default was given", i, info.Name)
+		}
+		if cfg.retry != nil {
+			c.targets[i] = transport.NewRedialer(pool, addr, *cfg.retry).Index(info.Name)
+			continue
 		}
 		conn, err := pool.Get(addr)
 		if err != nil {
